@@ -1,0 +1,417 @@
+// Package bench regenerates every table and figure of the paper as a
+// benchmark, one per artifact. Each benchmark reports, besides the usual
+// ns/op, custom metrics that carry the experiment's headline numbers
+// (error percentages, energies, reductions), so that
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation end to end and prints the measured
+// analogues of its reported values. EXPERIMENTS.md records the
+// paper-versus-measured comparison produced this way.
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"heteromix/internal/experiments"
+	"heteromix/internal/stats"
+	"heteromix/internal/workloads"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// sharedSuite builds the models once; benchmarks exercise the analyses.
+func sharedSuite() *experiments.Suite {
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: 0.03, Seed: 1})
+	})
+	return suite
+}
+
+// BenchmarkTable3SingleNodeValidation regenerates Table 3: model-versus-
+// testbed errors for all six workloads across every single-node
+// configuration. Reported metrics: the worst mean time and energy error
+// in percent (the paper's bound is 15%).
+func BenchmarkTable3SingleNodeValidation(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worstT, worstE := 0.0, 0.0
+	for _, r := range rows {
+		worstT = maxF(worstT, r.TimeErrAMD.Mean, r.TimeErrARM.Mean)
+		worstE = maxF(worstE, r.EnergyErrAMD.Mean, r.EnergyErrARM.Mean)
+	}
+	b.ReportMetric(worstT, "worst-time-err-%")
+	b.ReportMetric(worstE, "worst-energy-err-%")
+}
+
+// BenchmarkTable4ClusterValidation regenerates Table 4: cluster-level
+// validation on 8 ARM + {0,1} AMD nodes.
+func BenchmarkTable4ClusterValidation(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		worst = maxF(worst, r.TimeErr, r.EnergyErr)
+	}
+	b.ReportMetric(worst, "worst-err-%")
+}
+
+// BenchmarkTable5PPR regenerates Table 5: performance-to-power ratios at
+// each node type's most energy-efficient configuration. Reported metric:
+// EP's ARM PPR (paper: 6,048,057 random numbers per joule).
+func BenchmarkTable5PPR(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Program == "ep" {
+			b.ReportMetric(r.ARM, "ep-arm-ppr")
+			b.ReportMetric(r.AMD, "ep-amd-ppr")
+		}
+	}
+}
+
+// BenchmarkFigure2WPIConstancy regenerates Figure 2: WPI and SPIcore
+// across EP problem classes A, B, C. Reported metric: the maximum
+// relative spread in percent (the paper's constancy hypothesis).
+func BenchmarkFigure2WPIConstancy(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxRelSpread*100, "max-spread-%")
+}
+
+// BenchmarkFigure3SPImemRegression regenerates Figure 3: the SPImem
+// linear fits over core frequency. Reported metric: the weakest r^2
+// (paper: >= 0.94).
+func BenchmarkFigure3SPImemRegression(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MinR2, "min-r2")
+}
+
+// BenchmarkFigure4ParetoEP regenerates Figure 4: the 36,380-point EP
+// configuration space and its Pareto frontier. Reported metrics: sweet-
+// region linearity and the frontier's energy bounds.
+func BenchmarkFigure4ParetoEP(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.FrontierResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Points)), "configs")
+	b.ReportMetric(r.Sweet.LinearR2, "sweet-linear-r2")
+	b.ReportMetric(r.Frontier[len(r.Frontier)-1].Energy, "min-energy-J")
+}
+
+// BenchmarkFigure5ParetoMemcached regenerates Figure 5 for memcached.
+func BenchmarkFigure5ParetoMemcached(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.FrontierResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Frontier)), "frontier-points")
+	b.ReportMetric(r.Frontier[len(r.Frontier)-1].Energy, "min-energy-J")
+}
+
+// BenchmarkFigure6BudgetMixesMemcached regenerates Figure 6: the 1 kW
+// budget mix series for memcached. Reported metric: the ARM-only pool's
+// fastest deadline in ms (paper: ARM-only cannot meet deadlines below
+// ~30 ms).
+func BenchmarkFigure6BudgetMixesMemcached(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.MixSeriesResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Series[len(r.Series)-1]
+	b.ReportMetric(last.MinTime.Millis(), "arm-only-floor-ms")
+	b.ReportMetric(float64(last.MinEnergy), "min-energy-J")
+}
+
+// BenchmarkFigure7BudgetMixesEP regenerates Figure 7 for EP.
+func BenchmarkFigure7BudgetMixesEP(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.MixSeriesResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	amdOnly, armOnly := r.Series[0], r.Series[len(r.Series)-1]
+	b.ReportMetric(float64(amdOnly.MinEnergy), "amd-only-min-J")
+	b.ReportMetric(float64(armOnly.MinEnergy), "arm-only-min-J")
+}
+
+// BenchmarkFigure8ScalingMemcached regenerates Figure 8: constant-ratio
+// scaling for memcached. Reported metric: relative spread of the series'
+// minimum energies (paper Observation 3: energy bounds unchanged).
+func BenchmarkFigure8ScalingMemcached(b *testing.B) {
+	benchScaling(b, "memcached")
+}
+
+// BenchmarkFigure9ScalingEP regenerates Figure 9 for EP.
+func BenchmarkFigure9ScalingEP(b *testing.B) {
+	benchScaling(b, "ep")
+}
+
+func benchScaling(b *testing.B, workload string) {
+	s := sharedSuite()
+	var r experiments.MixSeriesResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if workload == "memcached" {
+			r, err = s.Figure8()
+		} else {
+			r, err = s.Figure9()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var energies []float64
+	for _, mf := range r.Series {
+		energies = append(energies, float64(mf.MinEnergy))
+	}
+	mean := stats.Mean(energies)
+	spread := 0.0
+	if mean > 0 {
+		spread = stats.StdDev(energies) / mean * 100
+	}
+	b.ReportMetric(spread, "min-energy-spread-%")
+	b.ReportMetric(r.Series[0].MinTime.Millis()/r.Series[len(r.Series)-1].MinTime.Millis(), "speedup-8x-pool")
+}
+
+// BenchmarkFigure10Queueing regenerates Figure 10: the M/D/1 queueing
+// analysis on the 16 ARM + 14 AMD pool at utilizations 5/25/50%.
+// Reported metric: the U=5% frontier's energy span (paper: savings span
+// almost two orders of magnitude).
+func BenchmarkFigure10Queueing(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.Figure10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fr := r.Profiles[0].Frontier
+	b.ReportMetric(fr[0].Energy/fr[len(fr)-1].Energy, "u5-energy-span-x")
+	b.ReportMetric(float64(len(r.Profiles[0].Points)), "u5-configs")
+}
+
+// BenchmarkHeadlineReduction regenerates the paper's §VI headline: the
+// maximum energy reduction of the 16 ARM + 14 AMD mix versus homogeneous
+// AMD (paper: 58% for EP, 44% for memcached).
+func BenchmarkHeadlineReduction(b *testing.B) {
+	s := sharedSuite()
+	var ep, mc experiments.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		ep, err = s.Headline("ep")
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc, err = s.Headline("memcached")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ep.MaxReduction, "ep-reduction-%")
+	b.ReportMetric(mc.MaxReduction, "memcached-reduction-%")
+	b.ReportMetric(ep.MaxReductionNoSwitch, "ep-reduction-noswitch-%")
+	b.ReportMetric(mc.MaxReductionNoSwitch, "memcached-reduction-noswitch-%")
+}
+
+// BenchmarkWorkloadKernels measures the native kernels themselves: the
+// real computations whose service demands the model captures.
+func BenchmarkWorkloadKernels(b *testing.B) {
+	sizes := map[string]int{
+		"ep":           200000,
+		"memcached":    20000,
+		"x264":         2,
+		"blackscholes": 20000,
+		"julius":       4000,
+		"rsa2048":      50,
+	}
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			n := sizes[w.Name()]
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Kernel.Run(n, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n), "units/op")
+		})
+	}
+}
+
+func maxF(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BenchmarkSplitAblation quantifies the matching split's advantage over
+// naive work divisions on a 16 ARM + 14 AMD cluster — the energy the
+// paper's technique saves by eliminating idle waiting.
+func BenchmarkSplitAblation(b *testing.B) {
+	s := sharedSuite()
+	var results []experiments.SplitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = s.SplitAblation("memcached")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		if r.Policy.String() == "proportional-to-nodes" {
+			b.ReportMetric(r.EnergyPenalty, "naive-energy-penalty-%")
+		}
+	}
+}
+
+// BenchmarkDVFSAblation measures how much of the EP Pareto frontier
+// survives when per-node dimensions (frequency, cores) are frozen.
+func BenchmarkDVFSAblation(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.DVFSAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.DVFSAblation("ep", 6, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Full.SpacePoints), "full-space")
+	b.ReportMetric(float64(r.NodesOnly.SpacePoints), "nodes-only-space")
+}
+
+// BenchmarkConfigSpacePruning measures the per-node domination pruning:
+// the configuration-space reduction the paper leaves as future work.
+func BenchmarkConfigSpacePruning(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.PruningReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Pruning("memcached", 10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.FrontierIntact {
+			b.Fatal("pruning altered the frontier")
+		}
+	}
+	b.ReportMetric(r.Stats.Reduction(), "space-reduction-x")
+}
+
+// BenchmarkAdaptiveScheduling measures the adaptive-dispatcher extension:
+// energy saved by per-job frontier reconfiguration for mixed-deadline
+// traffic on the EP frontier.
+func BenchmarkAdaptiveScheduling(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.AdaptiveSchedulingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.AdaptiveScheduling("ep", 0.05, 0.5, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Result.SavingsPercent, "adaptive-savings-%")
+}
+
+// BenchmarkSensitivity measures the calibration-robustness sweep: how
+// often the Table 5 ordering survives a +/-10% perturbation of every
+// demand constant.
+func BenchmarkSensitivity(b *testing.B) {
+	s := sharedSuite()
+	var r experiments.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Sensitivity("ep", 0.10, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.PPROrderingHeld)/float64(r.Trials)*100, "ppr-ordering-held-%")
+}
+
+// BenchmarkEndToEndValidation measures the whole-stack check: analytic
+// provisioning versus discrete-event dispatcher simulation.
+func BenchmarkEndToEndValidation(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.EndToEndRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.EndToEndValidation(0.25, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		worst = maxF(worst, r.ResponseErr, r.EnergyErr)
+	}
+	b.ReportMetric(worst, "worst-err-%")
+}

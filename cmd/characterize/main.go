@@ -1,0 +1,192 @@
+// Command characterize runs the paper's workload- and
+// power-characterization procedures (§II-D, §III-B, §III-C):
+//
+//   - "-fig 2" measures WPI and SPIcore for EP across NAS problem
+//     classes A, B and C on both node types (constancy hypothesis);
+//   - "-fig 3" sweeps the stall micro-benchmark across core frequencies
+//     and core counts and fits SPImem linearly against frequency;
+//   - "-power" prints both node types' measured power characterizations
+//     (P_CPU,act and P_CPU,stall per P-state, P_mem, P_I/O, P_idle);
+//   - "-workload <name>" runs a full baseline campaign for one workload
+//     on both node types and prints the fitted profile; with "-trace
+//     FILE" the raw measurement trace is written as JSON for offline
+//     model fitting (the trace-driven pipeline's interchange format).
+//
+// Usage:
+//
+//	characterize [-fig 2|3] [-power] [-workload name] [-trace file] [-noise s] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"heteromix/internal/experiments"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/perfcounter"
+	"heteromix/internal/power"
+	"heteromix/internal/profile"
+	"heteromix/internal/trace"
+	"heteromix/internal/workloads"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate figure 2 or 3")
+	showPower := flag.Bool("power", false, "print power characterizations")
+	workload := flag.String("workload", "", "characterize one workload end to end")
+	traceOut := flag.String("trace", "", "write the raw measurement trace as JSON to this file")
+	modelOut := flag.String("savemodel", "", "write fitted models as JSON to <prefix>-<node>.json")
+	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*fig, *showPower, *workload, *traceOut, *modelOut, *noise, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, showPower bool, workload, traceOut, modelOut string, noise float64, seed int64) error {
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: noise, Seed: seed})
+	did := false
+	switch fig {
+	case 0:
+	case 2:
+		did = true
+		r, err := s.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 2: WPI and SPIcore across problem size (max spread %.2f%%)\n", r.MaxRelSpread*100)
+		for _, p := range r.Points {
+			fmt.Printf("  %-16s class %s (%.3g units): WPI=%.3f SPIcore=%.3f\n",
+				p.Node, p.Class, p.Units, p.WPI, p.SPICore)
+		}
+	case 3:
+		did = true
+		r, err := s.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 3: SPImem vs core frequency (min r^2 = %.3f)\n", r.MinR2)
+		for _, series := range r.Series {
+			fmt.Printf("  %-16s cores=%d: r^2=%.3f slope=%.3f\n", series.Node, series.Cores, series.R2, series.Slope)
+			for i := range series.FreqGHz {
+				fmt.Printf("    %.1f GHz -> SPImem %.3f\n", series.FreqGHz[i], series.SPIMem[i])
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %d (want 2 or 3)", fig)
+	}
+
+	if showPower {
+		did = true
+		for _, spec := range []hwsim.NodeSpec{hwsim.AMDOpteronK10(), hwsim.ARMCortexA9()} {
+			c, err := power.Characterize(spec, power.Options{NoiseSigma: noise, Seed: seed})
+			if err != nil {
+				return err
+			}
+			printCharacterization(c, spec)
+		}
+	}
+
+	if workload != "" {
+		did = true
+		if err := characterizeWorkload(workload, traceOut, modelOut, noise, seed); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -fig, -power or -workload")
+	}
+	return nil
+}
+
+func printCharacterization(c power.Characterization, spec hwsim.NodeSpec) {
+	fmt.Printf("%s power characterization:\n", c.Node)
+	fmt.Printf("  idle: %v   mem active: %v   NIC active: %v\n", c.Idle, c.MemActive, c.NICActive)
+	var fs []float64
+	for f := range c.CoreActive {
+		fs = append(fs, float64(f))
+	}
+	sort.Float64s(fs)
+	for _, fv := range fs {
+		f := spec.Frequencies[0]
+		for _, have := range spec.Frequencies {
+			if float64(have) == fv {
+				f = have
+			}
+		}
+		fmt.Printf("  %v: core active %v, core stall %v\n", f, c.CoreActiveAt(f), c.CoreStallAt(f))
+	}
+}
+
+func characterizeWorkload(name, traceOut, modelOut string, noise float64, seed int64) error {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	full := &trace.Trace{}
+	for _, spec := range []hwsim.NodeSpec{hwsim.AMDOpteronK10(), hwsim.ARMCortexA9()} {
+		tr, err := perfcounter.Campaign{
+			Spec:        spec,
+			Demand:      w.Demand,
+			Units:       w.ValidationUnits / 1000,
+			Repetitions: 1,
+			NoiseSigma:  noise,
+			Seed:        seed,
+		}.Collect()
+		if err != nil {
+			return err
+		}
+		full.Records = append(full.Records, tr.Records...)
+		p, err := profile.Fit(tr, w.Name(), spec.Name)
+		if err != nil {
+			return err
+		}
+		p = p.WithArrivalGap(w.Demand.RequestRate)
+		fmt.Printf("%s on %s:\n", w.Name(), spec.Name)
+		fmt.Printf("  IPs=%.0f instructions/%s\n", p.InstructionsPerUnit, w.Demand.Unit)
+		fmt.Printf("  WPI=%.3f (spread %.2f%%)  SPIcore=%.3f (spread %.2f%%)\n",
+			p.WPI, p.WPISpread*100, p.SPICore, p.SPICoreSpread*100)
+		fmt.Printf("  SPImem fits: min r^2=%.3f across %d core counts\n", p.MinSPIMemR2(), len(p.SPIMemByCores))
+		if p.IOBytesPerUnit > 0 {
+			fmt.Printf("  I/O: %v per %s, transfer %v per unit\n",
+				p.IOBytesPerUnit, w.Demand.Unit, p.IOTransferPerUnit)
+		}
+		if modelOut != "" {
+			nm, err := model.Build(spec, w, model.BuildOptions{NoiseSigma: noise, Seed: seed})
+			if err != nil {
+				return err
+			}
+			path := fmt.Sprintf("%s-%s.json", modelOut, spec.Name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := model.Save(f, nm); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote fitted model to %s\n", path)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := full.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records to %s\n", len(full.Records), traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromix/internal/model"
+	"heteromix/internal/trace"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run(9, false, "", "", "", 0, 1); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run(0, false, "", "", "", 0, 1); err == nil {
+		t.Error("nothing-to-do should error")
+	}
+	if err := run(0, false, "fortran", "", "", 0, 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestRunFig3AndPower(t *testing.T) {
+	if err := run(3, true, "", "", "", 0, 1); err != nil {
+		t.Errorf("fig 3 + power: %v", err)
+	}
+}
+
+func TestCharacterizeWorkloadWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	modelPrefix := filepath.Join(dir, "model")
+	if err := run(0, false, "rsa2048", tracePath, modelPrefix, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The trace file parses and carries both node types.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]bool{}
+	for _, r := range tr.Records {
+		nodes[r.Node] = true
+	}
+	if !nodes["arm-cortex-a9"] || !nodes["amd-opteron-k10"] {
+		t.Errorf("trace missing node types: %v", nodes)
+	}
+	// The persisted models load and validate.
+	for _, node := range []string{"arm-cortex-a9", "amd-opteron-k10"} {
+		mf, err := os.Open(modelPrefix + "-" + node + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm, err := model.Load(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		if nm.Profile.Workload != "rsa2048" {
+			t.Errorf("%s: workload %q", node, nm.Profile.Workload)
+		}
+	}
+}

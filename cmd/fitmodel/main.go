@@ -1,0 +1,112 @@
+// Command fitmodel completes the offline half of the trace-driven
+// pipeline: it reads a measurement trace produced by `characterize
+// -trace` (JSON) or exported as CSV, fits the analytical model's workload
+// profile for one (workload, node) pair, combines it with a power
+// characterization, and writes the fitted model as JSON for later use
+// with model.Load. This is the workflow a deployment would follow:
+// measure once on one node of each type, fit offline, ship the model.
+//
+// Usage:
+//
+//	fitmodel -in trace.json [-csv] -workload ep -node arm-cortex-a9 [-o model.json] [-rate r]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/power"
+	"heteromix/internal/profile"
+	"heteromix/internal/trace"
+	"heteromix/internal/workloads"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file (required)")
+	csvIn := flag.Bool("csv", false, "input is CSV instead of JSON")
+	workload := flag.String("workload", "", "workload name to fit (required)")
+	node := flag.String("node", "", "node type to fit (required)")
+	out := flag.String("o", "", "output model file (default: print a summary only)")
+	rate := flag.Float64("rate", -1, "request arrival rate for lambda_I/O; -1 takes it from the workload registry")
+	noise := flag.Float64("noise", 0.03, "power characterization noise sigma")
+	seed := flag.Int64("seed", 1, "power characterization seed")
+	flag.Parse()
+
+	if err := run(*in, *csvIn, *workload, *node, *out, *rate, *noise, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "fitmodel: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, csvIn bool, workload, node, out string, rate, noise float64, seed int64) error {
+	if in == "" || workload == "" || node == "" {
+		return fmt.Errorf("-in, -workload and -node are required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if csvIn {
+		tr, err = trace.ReadCSV(f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	prof, err := profile.Fit(tr, workload, node)
+	if err != nil {
+		return err
+	}
+	if rate < 0 {
+		if w, err := workloads.ByName(workload); err == nil {
+			rate = w.Demand.RequestRate
+		} else {
+			rate = 0
+		}
+	}
+	prof = prof.WithArrivalGap(rate)
+
+	spec, err := hwsim.ByName(node)
+	if err != nil {
+		return err
+	}
+	chars, err := power.Characterize(spec, power.Options{NoiseSigma: noise, Seed: seed})
+	if err != nil {
+		return err
+	}
+	nm := model.NodeModel{Spec: spec, Profile: prof, Power: chars}
+	if err := nm.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("fitted %s on %s from %d records:\n", workload, node, len(tr.Records))
+	fmt.Printf("  IPs=%.0f  WPI=%.3f (spread %.2f%%)  SPIcore=%.3f\n",
+		prof.InstructionsPerUnit, prof.WPI, prof.WPISpread*100, prof.SPICore)
+	fmt.Printf("  SPImem fits: %d core counts, min r^2=%.3f\n", len(prof.SPIMemByCores), prof.MinSPIMemR2())
+	cfg, pred, err := nm.MostEfficientConfig()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  most efficient config: c%d@%v (%v per unit, %v avg)\n",
+		cfg.Cores, cfg.Frequency, pred.Time, pred.AvgPower)
+
+	if out != "" {
+		of, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := model.Save(of, nm); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/perfcounter"
+	"heteromix/internal/workloads"
+)
+
+// writeTrace collects a small campaign and writes it in the given format.
+func writeTrace(t *testing.T, path string, asCSV bool) {
+	t.Helper()
+	w, err := workloads.ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := perfcounter.Campaign{
+		Spec:        hwsim.ARMCortexA9(),
+		Demand:      w.Demand,
+		Units:       1e4,
+		Repetitions: 1,
+		Seed:        1,
+	}.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if asCSV {
+		err = tr.WriteCSV(f)
+	} else {
+		err = tr.Write(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFitsFromJSONAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	for _, csvIn := range []bool{false, true} {
+		in := filepath.Join(dir, "trace.json")
+		if csvIn {
+			in = filepath.Join(dir, "trace.csv")
+		}
+		writeTrace(t, in, csvIn)
+		out := filepath.Join(dir, "model.json")
+		if err := run(in, csvIn, "ep", "arm-cortex-a9", out, -1, 0, 1); err != nil {
+			t.Fatalf("csv=%v: %v", csvIn, err)
+		}
+		mf, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm, err := model.Load(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nm.Profile.Workload != "ep" || nm.Spec.Name != "arm-cortex-a9" {
+			t.Errorf("loaded model identity wrong: %s/%s", nm.Profile.Workload, nm.Spec.Name)
+		}
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	if err := run("", false, "ep", "arm-cortex-a9", "", -1, 0, 1); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run("/nonexistent", false, "ep", "arm-cortex-a9", "", -1, 0, 1); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "trace.json")
+	writeTrace(t, in, false)
+	if err := run(in, false, "fortran", "arm-cortex-a9", "", -1, 0, 1); err == nil {
+		t.Error("workload not in trace should error")
+	}
+	if err := run(in, false, "ep", "pdp-11", "", -1, 0, 1); err == nil {
+		t.Error("unknown node should error")
+	}
+	if err := run(in, true, "ep", "arm-cortex-a9", "", -1, 0, 1); err == nil {
+		t.Error("JSON parsed as CSV should error")
+	}
+}

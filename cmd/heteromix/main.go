@@ -1,0 +1,237 @@
+// Command heteromix runs the full heterogeneous-cluster energy-efficiency
+// analysis: validation tables, performance-to-power ratios, Pareto
+// frontiers, power-budget mix series, cluster scaling and the M/D/1
+// queueing analysis — every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	heteromix [-noise s] [-seed n] [-dir d] <command>
+//
+// Commands:
+//
+//	table3     single-node validation (Table 3)
+//	table4     cluster validation (Table 4)
+//	ppr        performance-to-power ratios (Table 5)
+//	fig2       WPI/SPIcore constancy (Figure 2)
+//	fig3       SPImem regression (Figure 3)
+//	fig4       EP Pareto frontier (Figure 4)
+//	fig5       memcached Pareto frontier (Figure 5)
+//	fig6       memcached budget mixes (Figure 6)
+//	fig7       EP budget mixes (Figure 7)
+//	fig8       memcached scaling (Figure 8)
+//	fig9       EP scaling (Figure 9)
+//	fig10      queueing analysis (Figure 10)
+//	headline   energy reduction vs homogeneous AMD (paper §VI)
+//	ablation   split/DVFS/pruning ablation studies (extensions)
+//	report     write report.md + SVG figures to -dir
+//	all        everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteromix/internal/experiments"
+	"heteromix/internal/report"
+)
+
+func main() {
+	noise := flag.Float64("noise", 0.03, "measurement noise sigma for baseline runs")
+	seed := flag.Int64("seed", 1, "random seed for the whole pipeline")
+	dir := flag.String("dir", "report", "output directory for the report command")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: heteromix [-noise s] [-seed n] [-dir d] <command>\n\ncommands: table3 table4 ppr fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline ablation report all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
+	if flag.Arg(0) == "report" {
+		path, err := report.Generate(s, *dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (figures alongside)\n", path)
+		return
+	}
+	if err := run(s, flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *experiments.Suite, cmd string) error {
+	switch cmd {
+	case "table3":
+		rows, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+	case "table4":
+		rows, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+	case "ppr":
+		rows, err := s.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable5(rows))
+	case "fig2":
+		r, err := s.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 2: max relative spread of WPI/SPIcore across problem sizes: %.2f%%\n", r.MaxRelSpread*100)
+		for _, p := range r.Points {
+			fmt.Printf("  %-16s class %s (%.3g units): WPI=%.3f SPIcore=%.3f\n",
+				p.Node, p.Class, p.Units, p.WPI, p.SPICore)
+		}
+	case "fig3":
+		r, err := s.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 3: SPImem linear in frequency, min r^2 = %.3f\n", r.MinR2)
+		for _, series := range r.Series {
+			fmt.Printf("  %-16s cores=%d: slope=%.3f SPImem/GHz, r^2=%.3f\n",
+				series.Node, series.Cores, series.Slope, series.R2)
+		}
+	case "fig4":
+		return frontier(s, "ep")
+	case "fig5":
+		return frontier(s, "memcached")
+	case "fig6":
+		return mixSeries(s.Figure6())
+	case "fig7":
+		return mixSeries(s.Figure7())
+	case "fig8":
+		return mixSeries(s.Figure8())
+	case "fig9":
+		return mixSeries(s.Figure9())
+	case "fig10":
+		r, err := s.Figure10()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		ascii, err := r.Chart().RenderASCII(72, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ascii)
+	case "headline":
+		for _, w := range []string{"ep", "memcached"} {
+			h, err := s.Headline(w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(h.Format())
+		}
+	case "ablation":
+		for _, w := range []string{"ep", "memcached"} {
+			split, err := s.SplitAblation(w)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSplitAblation(w, split))
+		}
+		dvfs, err := s.DVFSAblation("ep", 6, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(dvfs.Format())
+		for _, w := range []string{"ep", "memcached"} {
+			pr, err := s.Pruning(w, 6, 6)
+			if err != nil {
+				return err
+			}
+			fmt.Print(pr.Format())
+		}
+		qv, err := s.QueueModelValidation(0.026, []float64{0.05, 0.25, 0.5, 0.8}, 200000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatQueueValidation(qv))
+		prop, err := s.Proportionality()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatProportionality(prop))
+		e2e, err := s.EndToEndValidation(0.25, 500)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatEndToEnd(e2e))
+		bt, err := s.BottleneckClassification()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBottlenecks(bt))
+		for _, w := range []string{"ep", "memcached"} {
+			ad, err := s.AdaptiveScheduling(w, 0.05, 0.5, 0.2)
+			if err != nil {
+				return err
+			}
+			fmt.Print(ad.Format())
+		}
+		for _, w := range []string{"ep", "rsa2048"} {
+			sens, err := s.Sensitivity(w, 0.10, 12)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sens.Format())
+		}
+		wq, err := s.WorkQueue("ep", 1.4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(wq.Format())
+	case "all":
+		for _, c := range []string{"table3", "table4", "ppr", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablation"} {
+			fmt.Printf("==== %s ====\n", c)
+			if err := run(s, c); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func frontier(s *experiments.Suite, workload string) error {
+	r, err := s.FrontierAnalysis(workload, 10, 10, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.FormatFrontier())
+	ascii, err := r.Chart().RenderASCII(72, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ascii)
+	return nil
+}
+
+func mixSeries(r experiments.MixSeriesResult, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	ascii, err := r.Chart().RenderASCII(72, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ascii)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"heteromix/internal/experiments"
+)
+
+func testSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: 0.03, Seed: 1})
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run(testSuite(), "make-coffee"); err == nil {
+		t.Error("unknown command should error")
+	}
+}
+
+func TestRunPPR(t *testing.T) {
+	if err := run(testSuite(), "ppr"); err != nil {
+		t.Errorf("ppr: %v", err)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	if err := run(testSuite(), "fig3"); err != nil {
+		t.Errorf("fig3: %v", err)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	if err := run(testSuite(), "fig2"); err != nil {
+		t.Errorf("fig2: %v", err)
+	}
+}
+
+func TestRunHeadline(t *testing.T) {
+	if err := run(testSuite(), "headline"); err != nil {
+		t.Errorf("headline: %v", err)
+	}
+}

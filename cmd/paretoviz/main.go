@@ -1,0 +1,114 @@
+// Command paretoviz renders the paper's figures (2 through 10)
+// as SVG documents or ASCII charts: the energy-deadline configuration
+// spaces and Pareto frontiers (Figures 4-5), the 1 kW power-budget mix
+// series (Figures 6-7), the constant-ratio scaling series (Figures 8-9)
+// and the M/D/1 queueing analysis (Figure 10).
+//
+// Usage:
+//
+//	paretoviz -fig N [-o out.svg] [-noise s] [-seed n]
+//
+// Without -o the ASCII rendering is printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteromix/internal/experiments"
+	"heteromix/internal/plot"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to render (2-10)")
+	out := flag.String("o", "", "write an SVG to this file instead of ASCII to stdout")
+	width := flag.Int("w", 900, "SVG width in pixels (ASCII columns / 10)")
+	height := flag.Int("h", 620, "SVG height in pixels (ASCII rows / 20)")
+	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
+	chart, summary, err := buildChart(s, *fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(summary)
+	if *out == "" {
+		ascii, err := chart.RenderASCII(*width/10, *height/20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(ascii)
+		return
+	}
+	svg, err := chart.RenderSVG(*width, *height)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func buildChart(s *experiments.Suite, fig int) (*plot.Chart, string, error) {
+	switch fig {
+	case 2:
+		r, err := s.Figure2()
+		if err != nil {
+			return nil, "", err
+		}
+		summary := fmt.Sprintf("Figure 2: max WPI/SPIcore spread %.2f%% across problem sizes\n", r.MaxRelSpread*100)
+		return r.Chart(), summary, nil
+	case 3:
+		r, err := s.Figure3()
+		if err != nil {
+			return nil, "", err
+		}
+		summary := fmt.Sprintf("Figure 3: SPImem linear in frequency, min r^2 = %.3f\n", r.MinR2)
+		return r.Chart(), summary, nil
+	case 4, 5:
+		workload := "ep"
+		if fig == 5 {
+			workload = "memcached"
+		}
+		r, err := s.FrontierAnalysis(workload, 10, 10, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		return r.Chart(), r.FormatFrontier(), nil
+	case 6:
+		r, err := s.Figure6()
+		return chartOf(r, err)
+	case 7:
+		r, err := s.Figure7()
+		return chartOf(r, err)
+	case 8:
+		r, err := s.Figure8()
+		return chartOf(r, err)
+	case 9:
+		r, err := s.Figure9()
+		return chartOf(r, err)
+	case 10:
+		r, err := s.Figure10()
+		if err != nil {
+			return nil, "", err
+		}
+		return r.Chart(), r.Format(), nil
+	default:
+		return nil, "", fmt.Errorf("unknown figure %d (want 2-10)", fig)
+	}
+}
+
+func chartOf(r experiments.MixSeriesResult, err error) (*plot.Chart, string, error) {
+	if err != nil {
+		return nil, "", err
+	}
+	return r.Chart(), r.Format(), nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"heteromix/internal/experiments"
+)
+
+func testSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: 0.03, Seed: 1})
+}
+
+func TestBuildChartUnknownFigure(t *testing.T) {
+	if _, _, err := buildChart(testSuite(), 1); err == nil {
+		t.Error("figure 1 should error")
+	}
+	if _, _, err := buildChart(testSuite(), 11); err == nil {
+		t.Error("figure 11 should error")
+	}
+}
+
+func TestBuildChartFigure3(t *testing.T) {
+	chart, summary, err := buildChart(testSuite(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "r^2") {
+		t.Errorf("summary = %q", summary)
+	}
+	if _, err := chart.RenderSVG(640, 480); err != nil {
+		t.Errorf("SVG render: %v", err)
+	}
+	if _, err := chart.RenderASCII(60, 15); err != nil {
+		t.Errorf("ASCII render: %v", err)
+	}
+}
+
+func TestBuildChartFigure6(t *testing.T) {
+	chart, summary, err := buildChart(testSuite(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "ARM 0:AMD 16") {
+		t.Errorf("summary missing series: %q", summary)
+	}
+	if len(chart.Series) != 7 {
+		t.Errorf("chart has %d series, want 7", len(chart.Series))
+	}
+}

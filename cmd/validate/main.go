@@ -1,0 +1,56 @@
+// Command validate reproduces the paper's validation tables: Table 3
+// (single-node, every workload across all per-node configurations on one
+// ARM and one AMD node) and Table 4 (clusters of eight ARM nodes with
+// zero or one AMD node). Model predictions are compared against noisy
+// runs on the simulated testbed, and the relative errors are summarized
+// exactly as the paper reports them.
+//
+// Usage:
+//
+//	validate [-table 3|4|all] [-noise s] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteromix/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 3, 4 or all")
+	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
+	if err := run(s, *table); err != nil {
+		fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *experiments.Suite, table string) error {
+	want3 := table == "3" || table == "all"
+	want4 := table == "4" || table == "all"
+	if !want3 && !want4 {
+		return fmt.Errorf("unknown table %q (want 3, 4 or all)", table)
+	}
+	if want3 {
+		rows, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		fmt.Println()
+	}
+	if want4 {
+		rows, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+	}
+	return nil
+}

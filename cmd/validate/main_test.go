@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"heteromix/internal/experiments"
+)
+
+func TestRunUnknownTable(t *testing.T) {
+	s := experiments.NewSuite(experiments.SuiteOptions{Seed: 1})
+	if err := run(s, "7"); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	s := experiments.NewSuite(experiments.SuiteOptions{Seed: 1})
+	if err := run(s, "4"); err != nil {
+		t.Errorf("table 4: %v", err)
+	}
+}

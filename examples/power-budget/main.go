@@ -1,0 +1,72 @@
+// Power-budget reproduces the paper's §IV-C decision problem as a
+// planning tool: a datacenter rack has a fixed peak-power budget (1 kW
+// here), and the operator chooses how many 60 W AMD nodes to replace
+// with 5 W ARM nodes at the 8:1 substitution ratio (8 ARM plus their
+// share of a 20 W switch draw exactly one AMD's peak).
+//
+// For a compute-bound workload (EP) the example prints, for each mix in
+// the budget series, the fastest achievable deadline and the minimum
+// job energy, then recommends the mix for a target deadline.
+//
+// Run with:
+//
+//	go run ./examples/power-budget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromix/internal/budget"
+	"heteromix/internal/cluster"
+	"heteromix/internal/experiments"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+)
+
+func main() {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	const budgetW = 1000
+
+	ratio := budget.SubstitutionRatio(arm, amd)
+	fmt.Printf("substitution ratio: %d ARM per AMD (AMD peak %v, ARM peak %v + %v switch per %d nodes)\n\n",
+		ratio, amd.PeakPower(), arm.PeakPower(), cluster.SwitchPower, cluster.ARMPortsPerSwitch)
+
+	mixes, err := budget.ConstantBudgetMixes(arm, amd, budgetW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d mixes fit the %d W budget, all drawing the same peak:\n", len(mixes), budgetW)
+	for _, m := range mixes {
+		fmt.Printf("  %-16s peak %v\n", m, budget.PeakPower(m, arm, amd))
+	}
+	fmt.Println()
+
+	// Evaluate the paper's plotted subset on EP.
+	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: 0.03, Seed: 21})
+	series, err := suite.MixSeries("ep", budget.PaperBudgetSeries(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(series.Format())
+
+	// Recommend the most ARM-heavy mix that still meets the deadline.
+	for _, deadline := range []units.Seconds{0.020, 0.050, 0.200} {
+		best := -1
+		var bestE units.Joule
+		for i, mf := range series.Series {
+			if e, ok := mf.EnergyAt(deadline); ok {
+				if best == -1 || e < bestE {
+					best, bestE = i, e
+				}
+			}
+		}
+		if best == -1 {
+			fmt.Printf("\ndeadline %v: no mix in the budget can meet it\n", deadline)
+			continue
+		}
+		mf := series.Series[best]
+		fmt.Printf("\ndeadline %v: use %s (%v per job; pool peak stays within %d W)\n",
+			deadline, mf.Mix, bestE, budgetW)
+	}
+}

@@ -1,0 +1,100 @@
+// Quickstart walks the full heteromix pipeline on one workload:
+//
+//  1. run the EP kernel natively (the actual NAS-style computation),
+//  2. build the trace-driven model for EP on both node types
+//     (baseline measurement campaign -> profile fit -> power
+//     characterization),
+//  3. predict execution time and energy for a few configurations and
+//     compare against the simulated testbed,
+//  4. find the energy-deadline Pareto frontier of a small heterogeneous
+//     cluster and pick the cheapest configuration that meets a deadline.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/pareto"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+func main() {
+	// 1. The workload is real code: generate 10 million random numbers
+	// and tally Gaussian deviates, NAS EP style.
+	ep, err := workloads.ByName("ep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ep.Kernel.Run(10_000_000, 271828183)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EP kernel: %s\n\n", res.Detail)
+
+	// 2. Build the fitted models: measurement campaign on the simulated
+	// ARM Cortex-A9 and AMD Opteron K10 testbeds, then profile fitting
+	// and power characterization.
+	arm, err := model.Build(hwsim.ARMCortexA9(), ep, model.BuildOptions{NoiseSigma: 0.03, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	amd, err := model.Build(hwsim.AMDOpteronK10(), ep, model.BuildOptions{NoiseSigma: 0.03, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted profiles: ARM IPs=%.0f WPI=%.2f | AMD IPs=%.0f WPI=%.2f\n\n",
+		arm.Profile.InstructionsPerUnit, arm.Profile.WPI,
+		amd.Profile.InstructionsPerUnit, amd.Profile.WPI)
+
+	// 3. Predict one node's behaviour and check it against the testbed.
+	const job = 50e6 // the paper's analysis job: 50 million random numbers
+	cfg := hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	pred, err := arm.Predict(cfg, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas, err := hwsim.Run(hwsim.ARMCortexA9(), cfg, ep.Demand, job, hwsim.Options{Seed: 7, NoiseSigma: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one ARM node, 4 cores @ 1.4 GHz, %g random numbers:\n", job)
+	fmt.Printf("  model:    T=%v  E=%v  (%v avg)\n", pred.Time, pred.Energy, pred.AvgPower)
+	fmt.Printf("  measured: T=%v  E=%v\n\n", meas.Record.Elapsed, meas.Record.Energy)
+
+	// 4. Mix and match: enumerate a 4 ARM x 2 AMD space, derive the
+	// Pareto frontier, and answer "cheapest way to finish in 400 ms".
+	space := cluster.Space{ARM: arm, AMD: amd}
+	points, err := space.Enumerate(4, 2, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tes := make([]pareto.TE, len(points))
+	for i, p := range points {
+		tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
+	}
+	frontier, err := pareto.Frontier(tes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster space: %d configurations, %d on the Pareto frontier\n",
+		len(points), len(frontier))
+
+	deadline := 0.4 // seconds
+	te, ok := pareto.EnergyAtDeadline(frontier, deadline)
+	if !ok {
+		log.Fatalf("no configuration meets %vs", deadline)
+	}
+	best := points[te.Index]
+	fmt.Printf("cheapest configuration finishing within %v:\n", units.Seconds(deadline))
+	fmt.Printf("  %s\n", best.Config)
+	fmt.Printf("  T=%v E=%v, %.0f%% of the work on ARM nodes\n",
+		best.Time, best.Energy, best.WorkARM*100)
+}

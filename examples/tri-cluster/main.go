@@ -1,0 +1,105 @@
+// Tri-cluster extends the paper's two-type analysis to three node types,
+// exercising the model's claim of generality ("a generic mix of
+// heterogeneous nodes"): the paper's ARM Cortex-A9 (slow, extremely
+// efficient) and AMD Opteron K10 (fast, power-hungry) plus an ARM
+// Cortex-A15 that sits between them.
+//
+// For the compute-bound EP workload the example enumerates the full
+// three-type configuration space, derives the energy-deadline Pareto
+// frontier, and shows which types the optimizer picks as the deadline
+// tightens — the A15 earns a place on the frontier exactly in the
+// deadline band where A9s are too slow and K10s too costly.
+//
+// Run with:
+//
+//	go run ./examples/tri-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/pareto"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+func main() {
+	ep, err := workloads.ByName("ep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := []hwsim.NodeSpec{hwsim.ARMCortexA9(), hwsim.ARMCortexA15(), hwsim.AMDOpteronK10()}
+	names := []string{"a9", "a15", "k10"}
+
+	var types []cluster.GroupType
+	for i, spec := range specs {
+		nm, err := model.Build(spec, ep, model.BuildOptions{NoiseSigma: 0.03, Seed: int64(41 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppr, cfg, err := nm.PPR()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s best-efficiency config c%d@%v: %.3g random numbers per joule\n",
+			names[i], cfg.Cores, cfg.Frequency, ppr)
+		// The low-power enclosures (both ARM types) hang off switches;
+		// the AMD servers have on-board GbE counted in their own draw.
+		types = append(types, cluster.GroupType{
+			Model:       nm,
+			MaxNodes:    4,
+			NeedsSwitch: spec.Name != "amd-opteron-k10",
+		})
+	}
+	fmt.Println()
+
+	const job = 50e6
+	points, err := cluster.EnumerateGroups(types, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tes := make([]pareto.TE, len(points))
+	for i, p := range points {
+		tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
+	}
+	frontier, err := pareto.Frontier(tes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three-type space: %d configurations, %d on the frontier\n\n",
+		len(points), len(frontier))
+
+	fmt.Printf("%-12s %-24s %10s %10s\n", "deadline", "mix on frontier", "time", "energy")
+	for _, deadlineMs := range []float64{60, 100, 150, 250, 400, 800} {
+		te, ok := pareto.EnergyAtDeadline(frontier, deadlineMs/1e3)
+		if !ok {
+			fmt.Printf("%-12s infeasible\n", fmt.Sprintf("%.0f ms", deadlineMs))
+			continue
+		}
+		p := points[te.Index]
+		fmt.Printf("%-12s %-24s %10v %10v\n",
+			fmt.Sprintf("%.0f ms", deadlineMs), p.Label(names),
+			p.Time, units.Joule(te.Energy))
+	}
+
+	// Which types appear anywhere on the frontier?
+	used := make([]bool, len(types))
+	for _, te := range frontier {
+		for i, n := range points[te.Index].Counts {
+			if n > 0 {
+				used[i] = true
+			}
+		}
+	}
+	fmt.Print("\ntypes appearing on the Pareto frontier:")
+	for i, u := range used {
+		if u {
+			fmt.Printf(" %s", names[i])
+		}
+	}
+	fmt.Println()
+}

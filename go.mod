@@ -1,0 +1,3 @@
+module heteromix
+
+go 1.22

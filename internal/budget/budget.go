@@ -1,0 +1,120 @@
+// Package budget implements the paper's power-budget analysis (§IV-C and
+// §IV-D). Datacenters cap peak power; within a budget, high-performance
+// nodes can be swapped for low-power nodes at the substitution ratio set
+// by peak draws: one 60 W AMD node buys twelve 5 W ARM nodes, but every
+// eight ARM nodes also need a 20 W switch, so the effective ratio is 8:1
+// (8 x 5 W + 20 W = 60 W). The package generates
+//
+//   - the constant-budget mix series of Figures 6 and 7
+//     (ARM 0:AMD 16, 16:14, 32:12, ..., 128:0 under 1 kW), and
+//   - the constant-ratio scaling series of Figures 8 and 9
+//     (ARM 8:AMD 1 doubling up to ARM 128:AMD 16).
+package budget
+
+import (
+	"fmt"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+)
+
+// Mix is a node-count pair.
+type Mix struct {
+	ARM int
+	AMD int
+}
+
+// String renders the mix as the paper labels its series.
+func (m Mix) String() string { return fmt.Sprintf("ARM %d:AMD %d", m.ARM, m.AMD) }
+
+// SubstitutionRatio returns how many low-power nodes replace one
+// high-performance node under equal peak power, accounting for the switch
+// overhead amortized over a full switch group:
+//
+//	ratio = floor( peakHigh / (peakLow + switch/portsPerSwitch) )
+//
+// For the paper's nodes: 60 / (5 + 20/8) = 8.
+func SubstitutionRatio(low, high hwsim.NodeSpec) int {
+	perLow := float64(low.PeakPower()) + float64(cluster.SwitchPower)/float64(cluster.ARMPortsPerSwitch)
+	if perLow <= 0 {
+		return 0
+	}
+	return int(float64(high.PeakPower()) / perLow)
+}
+
+// PeakPower returns the peak draw of a mix: all nodes at full tilt plus
+// the ARM-side switches.
+func PeakPower(m Mix, low, high hwsim.NodeSpec) units.Watt {
+	switches := 0
+	if m.ARM > 0 {
+		switches = (m.ARM + cluster.ARMPortsPerSwitch - 1) / cluster.ARMPortsPerSwitch
+	}
+	return units.Watt(float64(low.PeakPower())*float64(m.ARM)) +
+		units.Watt(float64(high.PeakPower())*float64(m.AMD)) +
+		units.Watt(float64(cluster.SwitchPower)*float64(switches))
+}
+
+// Fits reports whether the mix's peak power stays within the budget.
+func Fits(m Mix, low, high hwsim.NodeSpec, budget units.Watt) bool {
+	return PeakPower(m, low, high) <= budget
+}
+
+// ConstantBudgetMixes generates the §IV-C series: starting from the
+// largest AMD-only cluster within the budget, repeatedly replace one AMD
+// node with substitution-ratio ARM nodes. All generated mixes draw the
+// same peak power, ending at an ARM-only cluster.
+func ConstantBudgetMixes(low, high hwsim.NodeSpec, budget units.Watt) ([]Mix, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("budget: non-positive budget %v", budget)
+	}
+	ratio := SubstitutionRatio(low, high)
+	if ratio < 1 {
+		return nil, fmt.Errorf("budget: substitution ratio %d < 1", ratio)
+	}
+	maxAMD := int(float64(budget) / float64(high.PeakPower()))
+	if maxAMD < 1 {
+		return nil, fmt.Errorf("budget: %v does not fit one %s node", budget, high.Name)
+	}
+	mixes := make([]Mix, 0, maxAMD+1)
+	for k := 0; k <= maxAMD; k++ {
+		m := Mix{ARM: ratio * k, AMD: maxAMD - k}
+		if !Fits(m, low, high, budget) {
+			return nil, fmt.Errorf("budget: generated mix %v exceeds budget %v (peak %v)",
+				m, budget, PeakPower(m, low, high))
+		}
+		mixes = append(mixes, m)
+	}
+	return mixes, nil
+}
+
+// PaperBudgetSeries returns the subset of 1 kW mixes the paper plots in
+// Figures 6 and 7: ARM 0:AMD 16, 16:14, 32:12, 48:10, 88:5, 112:2 and
+// 128:0.
+func PaperBudgetSeries() []Mix {
+	return []Mix{
+		{ARM: 0, AMD: 16},
+		{ARM: 16, AMD: 14},
+		{ARM: 32, AMD: 12},
+		{ARM: 48, AMD: 10},
+		{ARM: 88, AMD: 5},
+		{ARM: 112, AMD: 2},
+		{ARM: 128, AMD: 0},
+	}
+}
+
+// ScalingSeries returns the §IV-D series: the substitution-ratio mix
+// doubled from (ratio:1) for the given number of steps — the paper's
+// ARM 8:AMD 1 through ARM 128:AMD 16 (5 steps at ratio 8).
+func ScalingSeries(ratio, steps int) ([]Mix, error) {
+	if ratio < 1 || steps < 1 {
+		return nil, fmt.Errorf("budget: invalid scaling series ratio=%d steps=%d", ratio, steps)
+	}
+	out := make([]Mix, steps)
+	amd := 1
+	for i := range out {
+		out[i] = Mix{ARM: ratio * amd, AMD: amd}
+		amd *= 2
+	}
+	return out, nil
+}

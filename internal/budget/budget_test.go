@@ -1,0 +1,130 @@
+package budget
+
+import (
+	"testing"
+
+	"heteromix/internal/hwsim"
+)
+
+func TestSubstitutionRatioIs8(t *testing.T) {
+	// Paper §IV-C footnote: 60 W AMD vs 5 W ARM with a 20 W switch per 8
+	// ARM nodes gives an 8:1 substitution ratio.
+	got := SubstitutionRatio(hwsim.ARMCortexA9(), hwsim.AMDOpteronK10())
+	if got != 8 {
+		t.Errorf("substitution ratio = %d, want 8", got)
+	}
+}
+
+func TestPeakPowerOfPaperMixes(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	// Every mix in the paper's 1 kW series draws the same 960 W peak.
+	for _, m := range PaperBudgetSeries() {
+		p := PeakPower(m, arm, amd)
+		if p < 955 || p > 965 {
+			t.Errorf("%v peak = %v, want ~960 W", m, p)
+		}
+		if !Fits(m, arm, amd, 1000) {
+			t.Errorf("%v should fit the 1 kW budget", m)
+		}
+	}
+}
+
+func TestConstantBudgetMixes(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	mixes, err := ConstantBudgetMixes(arm, amd, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 AMD nodes fit in 1 kW, so the series has 17 entries from
+	// ARM 0:AMD 16 to ARM 128:AMD 0.
+	if len(mixes) != 17 {
+		t.Fatalf("got %d mixes, want 17", len(mixes))
+	}
+	if (mixes[0] != Mix{ARM: 0, AMD: 16}) {
+		t.Errorf("first mix = %v", mixes[0])
+	}
+	if (mixes[16] != Mix{ARM: 128, AMD: 0}) {
+		t.Errorf("last mix = %v", mixes[16])
+	}
+	// The paper's plotted series is a subset of the generated one.
+	set := map[Mix]bool{}
+	for _, m := range mixes {
+		set[m] = true
+	}
+	for _, m := range PaperBudgetSeries() {
+		if !set[m] {
+			t.Errorf("paper mix %v not generated", m)
+		}
+	}
+}
+
+func TestConstantBudgetMixesErrors(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	if _, err := ConstantBudgetMixes(arm, amd, 0); err == nil {
+		t.Error("zero budget should error")
+	}
+	if _, err := ConstantBudgetMixes(arm, amd, 30); err == nil {
+		t.Error("budget below one AMD node should error")
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	// Paper §IV-D: ARM 8:AMD 1 doubling to ARM 128:AMD 16.
+	mixes, err := ScalingSeries(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Mix{{8, 1}, {16, 2}, {32, 4}, {64, 8}, {128, 16}}
+	if len(mixes) != len(want) {
+		t.Fatalf("got %v", mixes)
+	}
+	for i := range want {
+		if mixes[i] != want[i] {
+			t.Errorf("step %d = %v, want %v", i, mixes[i], want[i])
+		}
+	}
+	if _, err := ScalingSeries(0, 5); err == nil {
+		t.Error("zero ratio should error")
+	}
+	if _, err := ScalingSeries(8, 0); err == nil {
+		t.Error("zero steps should error")
+	}
+}
+
+func TestScalingSeriesKeepsRatio(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	mixes, _ := ScalingSeries(8, 5)
+	for _, m := range mixes {
+		if m.ARM != 8*m.AMD {
+			t.Errorf("%v breaks the 8:1 ratio", m)
+		}
+		// Peak power doubles along the series; each mix's ARM half and
+		// AMD half draw equal peaks.
+		armPeak := float64(PeakPower(Mix{ARM: m.ARM}, arm, amd))
+		amdPeak := float64(PeakPower(Mix{AMD: m.AMD}, arm, amd))
+		if rel := (armPeak - amdPeak) / amdPeak; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("%v: ARM side %v != AMD side %v", m, armPeak, amdPeak)
+		}
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if got := (Mix{ARM: 16, AMD: 14}).String(); got != "ARM 16:AMD 14" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFitsBoundary(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	m := Mix{ARM: 8, AMD: 0}
+	peak := PeakPower(m, arm, amd) // 8*5 + 20 = 60 W
+	if float64(peak) < 59.99 || float64(peak) > 60.01 {
+		t.Fatalf("peak = %v, want ~60 W", peak)
+	}
+	if !Fits(m, arm, amd, peak) {
+		t.Error("exact budget should fit")
+	}
+	if Fits(m, arm, amd, peak-1) {
+		t.Error("budget below peak should not fit")
+	}
+}

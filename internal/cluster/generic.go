@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/units"
+)
+
+// This file generalizes the two-type configuration space to any number
+// of node types, realizing the paper's claim that the methodology
+// "determine[s] a generic mix of heterogeneous nodes" (§II-A). Evaluate
+// already accepts arbitrary group lists; what follows adds enumeration
+// over N-type count/configuration cartesian products.
+
+// GroupType describes one node type available to a generic cluster.
+type GroupType struct {
+	// Model is the workload's fitted model on this node type.
+	Model model.NodeModel
+	// MaxNodes bounds the enumeration for this type.
+	MaxNodes int
+	// NeedsSwitch marks types whose nodes hang off dedicated switches.
+	NeedsSwitch bool
+}
+
+// GenericPoint is one evaluated N-type configuration.
+type GenericPoint struct {
+	// Counts and Configs hold each type's node count and per-node
+	// setting, indexed like the GroupType slice (Configs[i] is zero
+	// when Counts[i] is 0).
+	Counts  []int
+	Configs []hwsim.Config
+	Time    units.Seconds
+	Energy  units.Joule
+	// Work is each type's absolute share of the job.
+	Work []float64
+}
+
+// Label renders the point's mix like "a9 8 : a15 4 : k10 2".
+func (p GenericPoint) Label(names []string) string {
+	parts := make([]string, 0, len(p.Counts))
+	for i, n := range p.Counts {
+		name := fmt.Sprintf("type%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		parts = append(parts, fmt.Sprintf("%s %d", name, n))
+	}
+	return strings.Join(parts, " : ")
+}
+
+// EnumerateGroups evaluates every configuration of the generic space:
+// all node-count vectors (0..MaxNodes per type, not all zero) crossed
+// with all per-node configurations of the used types. The space grows
+// quickly with type count and bounds — callers should keep MaxNodes
+// small or pre-prune per-type configurations with PrunedNodeConfigs.
+func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("cluster: no node types")
+	}
+	for i, gt := range types {
+		if gt.MaxNodes < 0 {
+			return nil, fmt.Errorf("cluster: type %d has MaxNodes %d", i, gt.MaxNodes)
+		}
+	}
+
+	// Per-type option lists: (count, config) pairs including the absent
+	// option (count 0).
+	type option struct {
+		count int
+		cfg   hwsim.Config
+	}
+	options := make([][]option, len(types))
+	for i, gt := range types {
+		opts := []option{{count: 0}}
+		if gt.MaxNodes > 0 {
+			cfgs := hwsim.Configs(gt.Model.Spec)
+			for n := 1; n <= gt.MaxNodes; n++ {
+				for _, c := range cfgs {
+					opts = append(opts, option{count: n, cfg: c})
+				}
+			}
+		}
+		options[i] = opts
+	}
+
+	var out []GenericPoint
+	pick := make([]int, len(types))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(types) {
+			groups := make([]Group, len(types))
+			counts := make([]int, len(types))
+			configs := make([]hwsim.Config, len(types))
+			total := 0
+			for i, oi := range pick {
+				opt := options[i][oi]
+				counts[i] = opt.count
+				configs[i] = opt.cfg
+				total += opt.count
+				groups[i] = Group{
+					Model:       types[i].Model,
+					Nodes:       opt.count,
+					Config:      opt.cfg,
+					NeedsSwitch: types[i].NeedsSwitch,
+				}
+			}
+			if total == 0 {
+				return nil
+			}
+			ev, err := Evaluate(groups, w)
+			if err != nil {
+				return err
+			}
+			out = append(out, GenericPoint{
+				Counts:  counts,
+				Configs: configs,
+				Time:    ev.Time,
+				Energy:  ev.Energy,
+				Work:    ev.Work,
+			})
+			return nil
+		}
+		for oi := range options[depth] {
+			pick[depth] = oi
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	return out, nil
+}
+
+// GenericSpaceSize returns the number of points EnumerateGroups yields.
+func GenericSpaceSize(types []GroupType) int {
+	prod := 1
+	for _, gt := range types {
+		per := 1 // the absent option
+		if gt.MaxNodes > 0 {
+			per += gt.MaxNodes * len(hwsim.Configs(gt.Model.Spec))
+		}
+		prod *= per
+	}
+	return prod - 1 // minus the all-absent vector
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/pareto"
+)
+
+func triTypes(t testing.TB, maxA9, maxA15, maxK10 int) []GroupType {
+	return []GroupType{
+		{Model: nodeModel(t, hwsim.ARMCortexA9(), "ep"), MaxNodes: maxA9, NeedsSwitch: true},
+		{Model: nodeModel(t, hwsim.ARMCortexA15(), "ep"), MaxNodes: maxA15, NeedsSwitch: true},
+		{Model: nodeModel(t, hwsim.AMDOpteronK10(), "ep"), MaxNodes: maxK10},
+	}
+}
+
+func TestA15SpecValid(t *testing.T) {
+	a15 := hwsim.ARMCortexA15()
+	if err := a15.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a9 := hwsim.ARMCortexA9()
+	amd := hwsim.AMDOpteronK10()
+	// The A15 slots between the paper's poles: faster core than the A9,
+	// lower power than the AMD.
+	if a15.FMax() <= a9.FMax() {
+		t.Error("A15 should clock above the A9")
+	}
+	if a15.PeakPower() <= a9.PeakPower() {
+		t.Error("A15 should draw more than the A9")
+	}
+	if a15.PeakPower() >= amd.PeakPower()/2 {
+		t.Error("A15 should draw far less than the K10")
+	}
+	if a15.ISA != a9.ISA {
+		t.Error("A15 shares the ARMv7-A ISA")
+	}
+}
+
+func TestA15ModelBuildsAndOrdersSanely(t *testing.T) {
+	a9 := nodeModel(t, hwsim.ARMCortexA9(), "ep")
+	a15 := nodeModel(t, hwsim.ARMCortexA15(), "ep")
+	amd := nodeModel(t, hwsim.AMDOpteronK10(), "ep")
+
+	k9, _ := a9.TimePerUnit(maxCfg(a9.Spec))
+	k15, _ := a15.TimePerUnit(maxCfg(a15.Spec))
+	kAMD, _ := amd.TimePerUnit(maxCfg(amd.Spec))
+	// Per-node speed: AMD > A15 > A9.
+	if !(kAMD < k15 && k15 < k9) {
+		t.Errorf("per-unit times should order AMD < A15 < A9: %v %v %v", kAMD, k15, k9)
+	}
+	// Energy efficiency: A9 > A15 > AMD.
+	ppr9, _, _ := a9.PPR()
+	ppr15, _, _ := a15.PPR()
+	pprAMD, _, _ := amd.PPR()
+	if !(ppr9 > ppr15 && ppr15 > pprAMD) {
+		t.Errorf("PPR should order A9 > A15 > AMD: %v %v %v", ppr9, ppr15, pprAMD)
+	}
+}
+
+func TestGenericSpaceSizeAndEnumeration(t *testing.T) {
+	types := triTypes(t, 1, 1, 1)
+	want := GenericSpaceSize(types)
+	// (1*20+1)*(1*16+1)*(1*18+1) - 1 = 21*17*19 - 1 = 6782.
+	if want != 6782 {
+		t.Fatalf("GenericSpaceSize = %d, want 6782", want)
+	}
+	points, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != want {
+		t.Fatalf("enumerated %d points, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Time <= 0 || p.Energy <= 0 {
+			t.Fatalf("invalid point %+v", p)
+		}
+		total := 0
+		for _, n := range p.Counts {
+			total += n
+		}
+		if total == 0 {
+			t.Fatal("all-absent configuration leaked into the output")
+		}
+		sum := 0.0
+		for _, w := range p.Work {
+			sum += w
+		}
+		if math.Abs(sum-50e6) > 1 {
+			t.Fatalf("work not conserved: %v", sum)
+		}
+	}
+}
+
+func TestGenericTwoTypeMatchesSpace(t *testing.T) {
+	// With the A15 absent, the generic enumeration reproduces the
+	// two-type Space results point for point (as sets).
+	s := epSpace(t)
+	types := []GroupType{
+		{Model: s.ARM, MaxNodes: 2, NeedsSwitch: true},
+		{Model: s.AMD, MaxNodes: 2},
+	}
+	generic, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoType, err := s.Enumerate(2, 2, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(generic) != len(twoType) {
+		t.Fatalf("sizes differ: generic %d, two-type %d", len(generic), len(twoType))
+	}
+	// Compare as multisets of (time, energy).
+	type te struct{ t, e float64 }
+	count := map[te]int{}
+	for _, p := range twoType {
+		count[te{float64(p.Time), float64(p.Energy)}]++
+	}
+	for _, p := range generic {
+		key := te{float64(p.Time), float64(p.Energy)}
+		if count[key] == 0 {
+			t.Fatalf("generic point (%v, %v) missing from two-type space", p.Time, p.Energy)
+		}
+		count[key]--
+	}
+}
+
+// The tri-type frontier weakly dominates both two-type frontiers built
+// from its subsets: adding a node type can only improve the tradeoff.
+func TestTriTypeFrontierDominatesTwoType(t *testing.T) {
+	types := triTypes(t, 2, 2, 2)
+	tri, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noA15 := []GroupType{types[0], {Model: types[1].Model, MaxNodes: 0}, types[2]}
+	duo, err := EnumerateGroups(noA15, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triFr, err := pareto.Frontier(genericTE(tri))
+	if err != nil {
+		t.Fatal(err)
+	}
+	duoFr, err := pareto.Frontier(genericTE(duo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range duoFr {
+		te, ok := pareto.EnergyAtDeadline(triFr, d.Time)
+		if !ok {
+			t.Fatalf("tri-type space cannot meet deadline %v reachable by two-type", d.Time)
+		}
+		if te.Energy > d.Energy*(1+1e-9) {
+			t.Errorf("tri-type frontier worse at deadline %v: %v vs %v", d.Time, te.Energy, d.Energy)
+		}
+	}
+}
+
+func TestGenericLabel(t *testing.T) {
+	p := GenericPoint{Counts: []int{8, 4, 2}}
+	got := p.Label([]string{"a9", "a15", "k10"})
+	if got != "a9 8 : a15 4 : k10 2" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := p.Label(nil); got != "type0 8 : type1 4 : type2 2" {
+		t.Errorf("unnamed Label = %q", got)
+	}
+}
+
+func TestEnumerateGroupsErrors(t *testing.T) {
+	if _, err := EnumerateGroups(nil, 1e6); err == nil {
+		t.Error("no types should error")
+	}
+	s := epSpace(t)
+	if _, err := EnumerateGroups([]GroupType{{Model: s.ARM, MaxNodes: -1}}, 1e6); err == nil {
+		t.Error("negative MaxNodes should error")
+	}
+	if _, err := EnumerateGroups([]GroupType{{Model: s.ARM, MaxNodes: 0}}, 1e6); err == nil {
+		t.Error("all-zero space should error")
+	}
+}
+
+func genericTE(points []GenericPoint) []pareto.TE {
+	tes := make([]pareto.TE, len(points))
+	for i, p := range points {
+		tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
+	}
+	return tes
+}

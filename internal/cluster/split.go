@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"heteromix/internal/units"
+)
+
+// This file implements alternative workload splits, for quantifying what
+// the paper's matching technique actually buys (the ablation behind
+// BenchmarkSplitAblation). The paper's argument: "By finishing at the
+// same time, the energy incurred by idling in the cluster is minimized."
+// EvaluateSplit makes the idling explicit — groups that finish early sit
+// at idle power until the last group completes — so the matching split
+// can be compared against naive alternatives.
+
+// Split names a workload-division policy.
+type Split int
+
+// Split policies.
+const (
+	// SplitMatching is the paper's mix and match: every group finishes
+	// simultaneously (work proportional to group throughput).
+	SplitMatching Split = iota
+	// SplitProportionalNodes divides work by node count, ignoring that
+	// node types differ in speed (a natural naive baseline).
+	SplitProportionalNodes
+	// SplitEqualGroups divides work equally among groups with nodes.
+	SplitEqualGroups
+)
+
+// String names the split.
+func (s Split) String() string {
+	switch s {
+	case SplitMatching:
+		return "matching"
+	case SplitProportionalNodes:
+		return "proportional-to-nodes"
+	case SplitEqualGroups:
+		return "equal-groups"
+	default:
+		return fmt.Sprintf("split(%d)", int(s))
+	}
+}
+
+// Fractions returns the split's work fractions for the given groups.
+func (s Split) Fractions(groups []Group) ([]float64, error) {
+	n := len(groups)
+	fr := make([]float64, n)
+	switch s {
+	case SplitMatching:
+		total := 0.0
+		for i, g := range groups {
+			if g.Nodes == 0 {
+				continue
+			}
+			k, err := g.Model.TimePerUnit(g.Config)
+			if err != nil {
+				return nil, err
+			}
+			fr[i] = float64(g.Nodes) / float64(k)
+			total += fr[i]
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("cluster: no throughput to split over")
+		}
+		for i := range fr {
+			fr[i] /= total
+		}
+	case SplitProportionalNodes:
+		total := 0
+		for _, g := range groups {
+			total += g.Nodes
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("cluster: no nodes to split over")
+		}
+		for i, g := range groups {
+			fr[i] = float64(g.Nodes) / float64(total)
+		}
+	case SplitEqualGroups:
+		active := 0
+		for _, g := range groups {
+			if g.Nodes > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			return nil, fmt.Errorf("cluster: no groups to split over")
+		}
+		for i, g := range groups {
+			if g.Nodes > 0 {
+				fr[i] = 1 / float64(active)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown split %d", int(s))
+	}
+	return fr, nil
+}
+
+// EvaluateSplit services w work units with an explicit work division:
+// fractions[i] of w goes to groups[i] (fractions must be non-negative
+// and sum to 1; groups without nodes must get 0). The job completes when
+// the slowest group finishes; groups that finish earlier idle at their
+// nodes' idle power until then — the energy wastage the matching split
+// eliminates.
+func EvaluateSplit(groups []Group, w float64, fractions []float64) (Evaluation, error) {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return Evaluation{}, fmt.Errorf("cluster: work must be positive and finite, got %v", w)
+	}
+	if len(fractions) != len(groups) {
+		return Evaluation{}, fmt.Errorf("cluster: %d fractions for %d groups", len(fractions), len(groups))
+	}
+	sum := 0.0
+	for i, f := range fractions {
+		if f < 0 || math.IsNaN(f) {
+			return Evaluation{}, fmt.Errorf("cluster: invalid fraction %v", f)
+		}
+		if f > 0 && groups[i].Nodes == 0 {
+			return Evaluation{}, fmt.Errorf("cluster: group %d has work but no nodes", i)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Evaluation{}, fmt.Errorf("cluster: fractions sum to %v", sum)
+	}
+	for i, g := range groups {
+		if err := g.Validate(); err != nil {
+			return Evaluation{}, fmt.Errorf("cluster: group %d: %w", i, err)
+		}
+	}
+
+	// First pass: each group's own finish time.
+	finish := make([]units.Seconds, len(groups))
+	var t units.Seconds
+	for i, g := range groups {
+		if g.Nodes == 0 || fractions[i] == 0 {
+			continue
+		}
+		perNode := w * fractions[i] / float64(g.Nodes)
+		pred, err := g.Model.Predict(g.Config, perNode)
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("cluster: group %d: %w", i, err)
+		}
+		finish[i] = pred.Time
+		if pred.Time > t {
+			t = pred.Time
+		}
+	}
+	if t <= 0 {
+		return Evaluation{}, fmt.Errorf("cluster: no work assigned")
+	}
+
+	// Second pass: energy = service energy + idle-wait energy + switch.
+	ev := Evaluation{
+		Time:        t,
+		Work:        make([]float64, len(groups)),
+		GroupEnergy: make([]units.Joule, len(groups)),
+	}
+	for i, g := range groups {
+		if g.Nodes == 0 {
+			continue
+		}
+		var e units.Joule
+		if fractions[i] > 0 {
+			perNode := w * fractions[i] / float64(g.Nodes)
+			pred, err := g.Model.Predict(g.Config, perNode)
+			if err != nil {
+				return Evaluation{}, err
+			}
+			e = units.Joule(float64(pred.Energy) * float64(g.Nodes))
+		}
+		// Idle-wait: the group's nodes stay powered until the job ends.
+		wait := t - finish[i]
+		e += units.Watt(float64(g.Model.Power.Idle) * float64(g.Nodes)).Times(wait)
+		e += units.Watt(float64(SwitchPower) * float64(g.Switches())).Times(t)
+		ev.Work[i] = w * fractions[i]
+		ev.GroupEnergy[i] = e
+		ev.Energy += e
+	}
+	return ev, nil
+}
+
+// CompareSplits evaluates w under each policy and returns the results
+// keyed by policy, for ablation reporting.
+func CompareSplits(groups []Group, w float64) (map[Split]Evaluation, error) {
+	out := make(map[Split]Evaluation, 3)
+	for _, policy := range []Split{SplitMatching, SplitProportionalNodes, SplitEqualGroups} {
+		fr, err := policy.Fractions(groups)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %v: %w", policy, err)
+		}
+		ev, err := EvaluateSplit(groups, w, fr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %v: %w", policy, err)
+		}
+		out[policy] = ev
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package dispatcher
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/units"
+)
+
+// A tiny frontier: fast/expensive, medium, slow/cheap.
+func frontierChoices() []ConfigChoice {
+	return []ConfigChoice{
+		{Service: 0.03, Energy: 30},
+		{Service: 0.10, Energy: 20},
+		{Service: 0.40, Energy: 13},
+	}
+}
+
+func TestCompareAdaptiveSavesOnMixedDeadlines(t *testing.T) {
+	classes := []JobClass{
+		{Deadline: 0.05, Weight: 0.2}, // tight: needs the 30 J config
+		{Deadline: 0.50, Weight: 0.8}, // relaxed: happy with 13 J
+	}
+	res, err := CompareAdaptive(frontierChoices(), classes, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticChoice != 0 {
+		t.Errorf("static choice %d, want 0 (only the fast config meets 50 ms)", res.StaticChoice)
+	}
+	// Static pays 30 J per job; adaptive pays 30 J for ~20% and 13 J for
+	// ~80%: expected ~16.4 J/job, a ~45% saving.
+	if res.SavingsPercent < 35 || res.SavingsPercent > 55 {
+		t.Errorf("savings = %.1f%%, want ~45%%", res.SavingsPercent)
+	}
+	if res.AdaptiveEnergy >= res.StaticEnergy {
+		t.Error("adaptive should never cost more than static")
+	}
+}
+
+func TestCompareAdaptiveUniformDeadlinesNoSavings(t *testing.T) {
+	classes := []JobClass{{Deadline: 0.05, Weight: 1}}
+	res, err := CompareAdaptive(frontierChoices(), classes, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SavingsPercent != 0 {
+		t.Errorf("single-class traffic should save nothing, got %.1f%%", res.SavingsPercent)
+	}
+}
+
+// Adaptive never exceeds static for any class mixture.
+func TestCompareAdaptiveNeverWorse(t *testing.T) {
+	f := func(seed int64, w1, w2 uint8, d1, d2 uint16) bool {
+		classes := []JobClass{
+			{Deadline: units.Seconds(0.03 + float64(d1%500)/1000), Weight: float64(w1%10) + 1},
+			{Deadline: units.Seconds(0.03 + float64(d2%500)/1000), Weight: float64(w2%10) + 1},
+		}
+		res, err := CompareAdaptive(frontierChoices(), classes, 500, seed)
+		if err != nil {
+			return true // some deadlines below 30 ms are infeasible
+		}
+		return res.AdaptiveEnergy <= res.StaticEnergy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAdaptiveErrors(t *testing.T) {
+	good := frontierChoices()
+	classes := []JobClass{{Deadline: 0.1, Weight: 1}}
+	if _, err := CompareAdaptive(nil, classes, 100, 1); err == nil {
+		t.Error("no choices should error")
+	}
+	if _, err := CompareAdaptive(good, nil, 100, 1); err == nil {
+		t.Error("no classes should error")
+	}
+	if _, err := CompareAdaptive(good, classes, 0, 1); err == nil {
+		t.Error("zero jobs should error")
+	}
+	if _, err := CompareAdaptive(good, []JobClass{{Deadline: 0.001, Weight: 1}}, 100, 1); err == nil {
+		t.Error("infeasible deadline should error")
+	}
+	if _, err := CompareAdaptive(good, []JobClass{{Deadline: 0.1, Weight: -1}}, 100, 1); err == nil {
+		t.Error("negative weight should error")
+	}
+	bad := []ConfigChoice{{Service: 0, Energy: 1}}
+	if _, err := CompareAdaptive(bad, classes, 100, 1); err == nil {
+		t.Error("invalid choice should error")
+	}
+}
+
+func TestCompareAdaptiveDeterministic(t *testing.T) {
+	classes := []JobClass{
+		{Deadline: 0.05, Weight: 1},
+		{Deadline: 0.50, Weight: 1},
+	}
+	a, err := CompareAdaptive(frontierChoices(), classes, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareAdaptive(frontierChoices(), classes, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+}

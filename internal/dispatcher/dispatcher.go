@@ -1,0 +1,188 @@
+// Package dispatcher closes the loop on the paper's §IV-E analysis with
+// an end-to-end discrete-event simulation of a datacenter serving tier:
+// jobs arrive as a Poisson stream at a dispatcher, queue FIFO, and are
+// serviced by a cluster configuration chosen from the energy-deadline
+// Pareto frontier; job energy and inter-job idle energy are integrated
+// over the observation window.
+//
+// Where internal/queueing validates the M/D/1 *formulas*, this package
+// validates the *provisioning decision*: pick a configuration with the
+// analytical model, simulate a day of traffic against it, and check that
+// the measured response times and energy match what the closed forms
+// promised (see experiments.EndToEndValidation).
+package dispatcher
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"heteromix/internal/units"
+)
+
+// Cluster abstracts the serving tier as the three quantities the
+// analytical model predicts for a configuration: deterministic per-job
+// service time, energy per serviced job (including the nodes' idle draw
+// during service), and the powered nodes' idle power between jobs.
+type Cluster struct {
+	Service   units.Seconds
+	PerJob    units.Joule
+	IdlePower units.Watt
+}
+
+// Validate checks the cluster parameters.
+func (c Cluster) Validate() error {
+	if c.Service <= 0 {
+		return fmt.Errorf("dispatcher: service time %v", c.Service)
+	}
+	if c.PerJob < 0 || c.IdlePower < 0 {
+		return fmt.Errorf("dispatcher: negative energy or power")
+	}
+	return nil
+}
+
+// Options controls a simulation.
+type Options struct {
+	// Window is the observation period.
+	Window units.Seconds
+	// Seed drives the Poisson arrivals.
+	Seed int64
+}
+
+// Result summarizes one simulated window.
+type Result struct {
+	// JobsArrived counts arrivals inside the window; JobsCompleted those
+	// whose service finished inside it.
+	JobsArrived   int
+	JobsCompleted int
+	// MeanResponse and P95Response summarize completed jobs' response
+	// times (queueing wait plus service).
+	MeanResponse units.Seconds
+	P95Response  units.Seconds
+	// Energy is the integrated window energy: service energy (prorated
+	// for jobs straddling the window edge) plus idle energy.
+	Energy units.Joule
+	// BusyFraction is the server's utilization over the window.
+	BusyFraction float64
+	// MaxBacklog is the deepest queue observed.
+	MaxBacklog int
+}
+
+// Run simulates the cluster serving a Poisson stream at arrivalRate jobs
+// per second for the window.
+func Run(c Cluster, arrivalRate float64, opts Options) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if arrivalRate <= 0 || math.IsNaN(arrivalRate) || math.IsInf(arrivalRate, 0) {
+		return Result{}, fmt.Errorf("dispatcher: arrival rate %v", arrivalRate)
+	}
+	if opts.Window <= 0 {
+		return Result{}, fmt.Errorf("dispatcher: window %v", opts.Window)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	window := float64(opts.Window)
+	t := float64(c.Service)
+	perJobPower := float64(c.PerJob) / t // draw while serving
+
+	var (
+		clock      float64
+		serverFree float64
+		responses  []float64
+		busySec    float64
+		res        Result
+	)
+	// Pending departure times for backlog tracking.
+	var departures []float64
+
+	for {
+		clock += rng.ExpFloat64() / arrivalRate
+		if clock >= window {
+			break
+		}
+		res.JobsArrived++
+		start := clock
+		if serverFree > start {
+			start = serverFree
+		}
+		finish := start + t
+		serverFree = finish
+
+		live := departures[:0]
+		for _, d := range departures {
+			if d > clock {
+				live = append(live, d)
+			}
+		}
+		departures = append(live, finish)
+		if backlog := len(departures) - 1; backlog > res.MaxBacklog {
+			res.MaxBacklog = backlog
+		}
+
+		// Busy time and service energy inside the window, prorated for
+		// jobs that straddle the window edge.
+		servedInWindow := math.Min(finish, window) - math.Min(start, window)
+		if servedInWindow > 0 {
+			busySec += servedInWindow
+		}
+		if finish <= window {
+			res.JobsCompleted++
+			responses = append(responses, finish-clock)
+		}
+	}
+
+	res.BusyFraction = busySec / window
+	idleSec := window - busySec
+	if idleSec < 0 {
+		idleSec = 0
+	}
+	res.Energy = units.Joule(perJobPower*busySec + float64(c.IdlePower)*idleSec)
+
+	if len(responses) > 0 {
+		sum := 0.0
+		for _, r := range responses {
+			sum += r
+		}
+		res.MeanResponse = units.Seconds(sum / float64(len(responses)))
+		sort.Float64s(responses)
+		idx := int(0.95 * float64(len(responses)-1))
+		res.P95Response = units.Seconds(responses[idx])
+	}
+	return res, nil
+}
+
+// Provision selects, from candidate clusters, the one meeting a mean-
+// response SLO at the lowest expected window energy under M/D/1, and
+// returns its index. It mirrors the provisioning loop a downstream user
+// would write over the model's configuration points; Simulate then
+// verifies the choice empirically.
+func Provision(candidates []Cluster, arrivalRate float64, slo units.Seconds, window units.Seconds) (int, error) {
+	if len(candidates) == 0 {
+		return -1, fmt.Errorf("dispatcher: no candidates")
+	}
+	best := -1
+	var bestEnergy float64
+	for i, c := range candidates {
+		if err := c.Validate(); err != nil {
+			return -1, fmt.Errorf("dispatcher: candidate %d: %w", i, err)
+		}
+		rho := arrivalRate * float64(c.Service)
+		if rho >= 1 {
+			continue
+		}
+		wq := rho * float64(c.Service) / (2 * (1 - rho))
+		if units.Seconds(wq)+c.Service > slo {
+			continue
+		}
+		jobs := arrivalRate * float64(window)
+		energy := jobs*float64(c.PerJob) + float64(c.IdlePower)*float64(window)*(1-rho)
+		if best == -1 || energy < bestEnergy {
+			best, bestEnergy = i, energy
+		}
+	}
+	if best == -1 {
+		return -1, fmt.Errorf("dispatcher: no candidate meets the SLO %v at %v jobs/s", slo, arrivalRate)
+	}
+	return best, nil
+}

@@ -1,0 +1,167 @@
+package dispatcher
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/queueing"
+	"heteromix/internal/units"
+)
+
+func testCluster() Cluster {
+	return Cluster{Service: 0.05, PerJob: 2, IdlePower: 10}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := testCluster()
+	if _, err := Run(Cluster{}, 1, Options{Window: 10}); err == nil {
+		t.Error("invalid cluster should error")
+	}
+	if _, err := Run(Cluster{Service: 1, PerJob: -1}, 1, Options{Window: 10}); err == nil {
+		t.Error("negative energy should error")
+	}
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Run(c, rate, Options{Window: 10}); err == nil {
+			t.Errorf("rate %v should error", rate)
+		}
+	}
+	if _, err := Run(c, 1, Options{Window: 0}); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := testCluster()
+	a, err := Run(c, 5, Options{Window: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, 5, Options{Window: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+}
+
+// The simulated mean response converges to the M/D/1 closed form, and
+// the simulated energy to the analytic window energy.
+func TestRunMatchesMD1(t *testing.T) {
+	c := testCluster()
+	for _, rho := range []float64{0.1, 0.5, 0.8} {
+		rate := rho / float64(c.Service)
+		q := queueing.MD1{ArrivalRate: rate, ServiceTime: c.Service}
+		window := units.Seconds(5000) // long window for tight statistics
+		sim, err := Run(c, rate, Options{Window: window, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantResp := float64(q.MeanResponse())
+		if rel := math.Abs(float64(sim.MeanResponse)-wantResp) / wantResp; rel > 0.1 {
+			t.Errorf("rho=%v: response %v vs analytic %v (rel %v)",
+				rho, sim.MeanResponse, q.MeanResponse(), rel)
+		}
+		wantE, err := q.EnergyOverWindow(window, c.PerJob, c.IdlePower)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(float64(sim.Energy-wantE)) / float64(wantE); rel > 0.05 {
+			t.Errorf("rho=%v: energy %v vs analytic %v (rel %v)", rho, sim.Energy, wantE, rel)
+		}
+		if math.Abs(sim.BusyFraction-rho) > 0.05 {
+			t.Errorf("rho=%v: busy fraction %v", rho, sim.BusyFraction)
+		}
+	}
+}
+
+func TestRunP95AboveMean(t *testing.T) {
+	c := testCluster()
+	sim, err := Run(c, 16, Options{Window: 1000, Seed: 1}) // rho = 0.8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.P95Response < sim.MeanResponse {
+		t.Errorf("p95 %v below mean %v", sim.P95Response, sim.MeanResponse)
+	}
+	if sim.MaxBacklog < 2 {
+		t.Errorf("max backlog %d, want queue buildup at rho 0.8", sim.MaxBacklog)
+	}
+}
+
+func TestRunCountsStraddlingJobs(t *testing.T) {
+	// With service longer than the window, arrived != completed and the
+	// busy fraction still stays within [0, 1].
+	c := Cluster{Service: 30, PerJob: 60, IdlePower: 1}
+	sim, err := Run(c, 0.5, Options{Window: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.JobsCompleted != 0 {
+		t.Errorf("no job should complete inside a 10s window with 30s service, got %d", sim.JobsCompleted)
+	}
+	if sim.BusyFraction < 0 || sim.BusyFraction > 1 {
+		t.Errorf("busy fraction %v out of range", sim.BusyFraction)
+	}
+}
+
+func TestProvisionPicksCheapestFeasible(t *testing.T) {
+	// Candidate 0: fast and hungry; 1: meets SLO cheaply; 2: too slow.
+	candidates := []Cluster{
+		{Service: 0.02, PerJob: 10, IdlePower: 100},
+		{Service: 0.08, PerJob: 3, IdlePower: 10},
+		{Service: 0.50, PerJob: 1, IdlePower: 1},
+	}
+	idx, err := Provision(candidates, 2, 0.15, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("provisioned candidate %d, want 1", idx)
+	}
+}
+
+func TestProvisionErrors(t *testing.T) {
+	if _, err := Provision(nil, 1, 0.1, 100); err == nil {
+		t.Error("no candidates should error")
+	}
+	slow := []Cluster{{Service: 10, PerJob: 1, IdlePower: 1}}
+	if _, err := Provision(slow, 1, 0.1, 100); err == nil {
+		t.Error("infeasible SLO should error")
+	}
+	bad := []Cluster{{Service: 0}}
+	if _, err := Provision(bad, 1, 0.1, 100); err == nil {
+		t.Error("invalid candidate should error")
+	}
+}
+
+// Provisioned choices hold up empirically: simulate the chosen cluster
+// and verify the SLO is met.
+func TestProvisionThenSimulate(t *testing.T) {
+	candidates := []Cluster{
+		{Service: 0.02, PerJob: 10, IdlePower: 100},
+		{Service: 0.08, PerJob: 3, IdlePower: 10},
+	}
+	rate := 4.0
+	slo := units.Seconds(0.2)
+	idx, err := Provision(candidates, rate, slo, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Run(candidates[idx], rate, Options{Window: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.MeanResponse > slo {
+		t.Errorf("simulated mean response %v violates SLO %v", sim.MeanResponse, slo)
+	}
+}
+
+func BenchmarkDispatcherRun(b *testing.B) {
+	c := testCluster()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, 10, Options{Window: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

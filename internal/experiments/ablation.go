@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/pareto"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// This file holds ablation studies of the design choices DESIGN.md calls
+// out. They go beyond the paper's evaluation but use only its machinery:
+//
+//   - SplitAblation quantifies what the matching split buys over naive
+//     divisions (the paper's central scheduling idea);
+//   - DVFSAblation quantifies how much of the Pareto frontier comes from
+//     per-node configuration (cores, frequency) versus node-count mixing;
+//   - PruningReport measures the configuration-space reduction of the
+//     per-node domination pruning (the problem the paper leaves open).
+
+// SplitResult is one policy's outcome in the split ablation.
+type SplitResult struct {
+	Policy cluster.Split
+	Time   units.Seconds
+	Energy units.Joule
+	// TimePenalty and EnergyPenalty are relative to the matching split,
+	// in percent (zero for matching itself).
+	TimePenalty   float64
+	EnergyPenalty float64
+}
+
+// SplitAblation compares workload-split policies on a 16 ARM + 14 AMD
+// cluster at maximum per-node settings.
+func (s *Suite) SplitAblation(workload string) ([]SplitResult, error) {
+	space, err := s.Space(workload)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	groups := space.Groups(cluster.Configuration{
+		ARM: cluster.TypeConfig{Nodes: 16, Config: maxConfig(s.ARM)},
+		AMD: cluster.TypeConfig{Nodes: 14, Config: maxConfig(s.AMD)},
+	})
+	results, err := cluster.CompareSplits(groups, w.AnalysisUnits)
+	if err != nil {
+		return nil, err
+	}
+	matched := results[cluster.SplitMatching]
+	out := make([]SplitResult, 0, len(results))
+	for _, policy := range []cluster.Split{
+		cluster.SplitMatching, cluster.SplitProportionalNodes, cluster.SplitEqualGroups,
+	} {
+		ev := results[policy]
+		out = append(out, SplitResult{
+			Policy:        policy,
+			Time:          ev.Time,
+			Energy:        ev.Energy,
+			TimePenalty:   (float64(ev.Time)/float64(matched.Time) - 1) * 100,
+			EnergyPenalty: (float64(ev.Energy)/float64(matched.Energy) - 1) * 100,
+		})
+	}
+	return out, nil
+}
+
+// FormatSplitAblation renders the comparison.
+func FormatSplitAblation(workload string, results []SplitResult) string {
+	out := fmt.Sprintf("Split ablation, %s, 16 ARM + 14 AMD at max settings:\n", workload)
+	for _, r := range results {
+		out += fmt.Sprintf("  %-22s T=%10v (+%5.1f%%)  E=%10v (+%5.1f%%)\n",
+			r.Policy, r.Time, r.TimePenalty, r.Energy, r.EnergyPenalty)
+	}
+	return out
+}
+
+// DVFSAblationResult compares the full configuration space against
+// spaces with per-node dimensions frozen.
+type DVFSAblationResult struct {
+	Workload string
+	// Full, NoDVFS (frequency pinned to fmax), NoCoreScaling (cores
+	// pinned to max) and NodesOnly (both pinned) describe each space's
+	// frontier.
+	Full, NoDVFS, NoCoreScaling, NodesOnly FrontierSummary
+}
+
+// FrontierSummary condenses one space's frontier.
+type FrontierSummary struct {
+	SpacePoints    int
+	FrontierPoints int
+	MinTime        units.Seconds
+	MinEnergy      units.Joule
+}
+
+// DVFSAblation evaluates the EP-style ablation over a maxARM x maxAMD
+// space.
+func (s *Suite) DVFSAblation(workload string, maxARM, maxAMD int) (DVFSAblationResult, error) {
+	space, err := s.Space(workload)
+	if err != nil {
+		return DVFSAblationResult{}, err
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return DVFSAblationResult{}, err
+	}
+	job := w.AnalysisUnits
+
+	fmaxARM := s.ARM.FMax()
+	fmaxAMD := s.AMD.FMax()
+	allCoresARM := s.ARM.Cores
+	allCoresAMD := s.AMD.Cores
+
+	summarize := func(keepARM, keepAMD func(hwsim.Config) bool) (FrontierSummary, error) {
+		pts, err := space.EnumerateFiltered(maxARM, maxAMD, job, keepARM, keepAMD)
+		if err != nil {
+			return FrontierSummary{}, err
+		}
+		tes := make([]pareto.TE, len(pts))
+		for i, p := range pts {
+			tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
+		}
+		fr, err := pareto.Frontier(tes)
+		if err != nil {
+			return FrontierSummary{}, err
+		}
+		return FrontierSummary{
+			SpacePoints:    len(pts),
+			FrontierPoints: len(fr),
+			MinTime:        units.Seconds(pareto.MinTime(fr)),
+			MinEnergy:      units.Joule(pareto.MinEnergy(fr)),
+		}, nil
+	}
+
+	res := DVFSAblationResult{Workload: workload}
+	if res.Full, err = summarize(nil, nil); err != nil {
+		return DVFSAblationResult{}, err
+	}
+	if res.NoDVFS, err = summarize(
+		func(c hwsim.Config) bool { return c.Frequency == fmaxARM },
+		func(c hwsim.Config) bool { return c.Frequency == fmaxAMD },
+	); err != nil {
+		return DVFSAblationResult{}, err
+	}
+	if res.NoCoreScaling, err = summarize(
+		func(c hwsim.Config) bool { return c.Cores == allCoresARM },
+		func(c hwsim.Config) bool { return c.Cores == allCoresAMD },
+	); err != nil {
+		return DVFSAblationResult{}, err
+	}
+	if res.NodesOnly, err = summarize(
+		func(c hwsim.Config) bool { return c.Frequency == fmaxARM && c.Cores == allCoresARM },
+		func(c hwsim.Config) bool { return c.Frequency == fmaxAMD && c.Cores == allCoresAMD },
+	); err != nil {
+		return DVFSAblationResult{}, err
+	}
+	return res, nil
+}
+
+// Format renders the ablation.
+func (r DVFSAblationResult) Format() string {
+	row := func(name string, s FrontierSummary) string {
+		return fmt.Sprintf("  %-16s %8d points  %4d on frontier  fastest %10v  min energy %10v\n",
+			name, s.SpacePoints, s.FrontierPoints, s.MinTime, s.MinEnergy)
+	}
+	return fmt.Sprintf("DVFS/core ablation, %s:\n", r.Workload) +
+		row("full space", r.Full) +
+		row("no DVFS", r.NoDVFS) +
+		row("no core scaling", r.NoCoreScaling) +
+		row("nodes only", r.NodesOnly)
+}
+
+// PruningReport runs the domination pruning over a maxARM x maxAMD space
+// and verifies frontier equality with the full space.
+type PruningReport struct {
+	Workload string
+	Stats    cluster.PruneStats
+	// FrontierIntact is true when the pruned frontier equals the full
+	// one point for point.
+	FrontierIntact bool
+}
+
+// Pruning computes the report.
+func (s *Suite) Pruning(workload string, maxARM, maxAMD int) (PruningReport, error) {
+	space, err := s.Space(workload)
+	if err != nil {
+		return PruningReport{}, err
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return PruningReport{}, err
+	}
+	job := w.AnalysisUnits
+
+	full, err := space.Enumerate(maxARM, maxAMD, job)
+	if err != nil {
+		return PruningReport{}, err
+	}
+	prunedPts, stats, err := space.EnumeratePruned(maxARM, maxAMD, job)
+	if err != nil {
+		return PruningReport{}, err
+	}
+	frFull, err := pareto.Frontier(pointsTE(full))
+	if err != nil {
+		return PruningReport{}, err
+	}
+	frPruned, err := pareto.Frontier(pointsTE(prunedPts))
+	if err != nil {
+		return PruningReport{}, err
+	}
+	intact := len(frFull) == len(frPruned)
+	if intact {
+		for i := range frFull {
+			if !closeRel(frFull[i].Time, frPruned[i].Time) || !closeRel(frFull[i].Energy, frPruned[i].Energy) {
+				intact = false
+				break
+			}
+		}
+	}
+	return PruningReport{Workload: workload, Stats: stats, FrontierIntact: intact}, nil
+}
+
+// Format renders the report.
+func (r PruningReport) Format() string {
+	return fmt.Sprintf("Pruning, %s: %d->%d ARM configs, %d->%d AMD configs, space %d->%d (%.1fx), frontier intact: %v\n",
+		r.Workload,
+		20, r.Stats.ARMConfigs, 18, r.Stats.AMDConfigs,
+		r.Stats.FullSpace, r.Stats.PrunedSpace, r.Stats.Reduction(), r.FrontierIntact)
+}
+
+func pointsTE(points []cluster.Point) []pareto.TE {
+	tes := make([]pareto.TE, len(points))
+	for i, p := range points {
+		tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
+	}
+	return tes
+}
+
+func closeRel(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-12*m
+}

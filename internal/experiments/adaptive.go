@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/dispatcher"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// AdaptiveSchedulingResult quantifies what per-job reconfiguration buys
+// over static provisioning when traffic mixes tight and relaxed
+// deadlines — an extension the paper's sweet region makes possible: an
+// adaptive dispatcher serves each job from the Pareto-frontier
+// configuration its own deadline demands.
+type AdaptiveSchedulingResult struct {
+	Workload string
+	// TightDeadline/RelaxedDeadline and TightShare describe the traffic.
+	TightDeadline   units.Seconds
+	RelaxedDeadline units.Seconds
+	TightShare      float64
+	// Result is the policy comparison.
+	Result dispatcher.AdaptiveResult
+}
+
+// AdaptiveScheduling compares the policies over the workload's
+// 16 ARM + 14 AMD frontier for a traffic mix with tightShare of jobs at
+// tight and the rest at relaxed service-time deadlines.
+func (s *Suite) AdaptiveScheduling(workload string, tight, relaxed units.Seconds, tightShare float64) (AdaptiveSchedulingResult, error) {
+	if tight <= 0 || relaxed <= tight {
+		return AdaptiveSchedulingResult{}, fmt.Errorf("experiments: deadlines must satisfy 0 < tight < relaxed")
+	}
+	if tightShare <= 0 || tightShare >= 1 {
+		return AdaptiveSchedulingResult{}, fmt.Errorf("experiments: tight share %v outside (0,1)", tightShare)
+	}
+	if _, err := workloads.ByName(workload); err != nil {
+		return AdaptiveSchedulingResult{}, err
+	}
+	fr, err := s.FrontierAnalysis(workload, 16, 14, 0)
+	if err != nil {
+		return AdaptiveSchedulingResult{}, err
+	}
+	choices := make([]dispatcher.ConfigChoice, 0, len(fr.Frontier))
+	for _, te := range fr.Frontier {
+		choices = append(choices, dispatcher.ConfigChoice{
+			Service: units.Seconds(te.Time),
+			Energy:  units.Joule(te.Energy),
+		})
+	}
+	classes := []dispatcher.JobClass{
+		{Deadline: tight, Weight: tightShare},
+		{Deadline: relaxed, Weight: 1 - tightShare},
+	}
+	res, err := dispatcher.CompareAdaptive(choices, classes, 20000, s.Opts.Seed)
+	if err != nil {
+		return AdaptiveSchedulingResult{}, err
+	}
+	return AdaptiveSchedulingResult{
+		Workload:        workload,
+		TightDeadline:   tight,
+		RelaxedDeadline: relaxed,
+		TightShare:      tightShare,
+		Result:          res,
+	}, nil
+}
+
+// Format renders the comparison.
+func (r AdaptiveSchedulingResult) Format() string {
+	return fmt.Sprintf("Adaptive scheduling, %s: %.0f%% jobs at %v + %.0f%% at %v -> adaptive saves %.0f%% energy over static (%.1fkJ vs %.1fkJ over %d jobs)\n",
+		r.Workload, r.TightShare*100, r.TightDeadline, (1-r.TightShare)*100, r.RelaxedDeadline,
+		r.Result.SavingsPercent,
+		float64(r.Result.AdaptiveEnergy)/1e3, float64(r.Result.StaticEnergy)/1e3, r.Result.Jobs)
+}

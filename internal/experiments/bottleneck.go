@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/workloads"
+)
+
+// BottleneckRow is the model's own diagnosis of what limits a workload on
+// a node type, derived from the predicted response-time components: the
+// job is I/O-bound when T = T_I/O, else memory-bound when T_mem > T_core,
+// else CPU-bound. Table 3's "Bottleneck" column should fall out of the
+// model rather than be asserted — this experiment checks that it does.
+type BottleneckRow struct {
+	Program string
+	Node    string
+	// Diagnosed is the model's classification.
+	Diagnosed workloads.Bottleneck
+	// Expected is Table 3's column.
+	Expected workloads.Bottleneck
+	// Shares give the diagnostic detail: the ratio of each component to
+	// the total predicted time.
+	IOShare  float64
+	MemShare float64
+}
+
+// BottleneckClassification diagnoses every workload on both node types at
+// their maximum configuration.
+func (s *Suite) BottleneckClassification() ([]BottleneckRow, error) {
+	var rows []BottleneckRow
+	for _, w := range workloads.All() {
+		for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+			nm, err := s.Model(w.Name(), spec)
+			if err != nil {
+				return nil, err
+			}
+			row, err := classify(nm, w, spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func classify(nm model.NodeModel, w workloads.Spec, spec hwsim.NodeSpec) (BottleneckRow, error) {
+	pred, err := nm.Predict(maxConfig(spec), w.AnalysisUnits)
+	if err != nil {
+		return BottleneckRow{}, err
+	}
+	// For I/O-bound workloads the measured U_CPU equilibrates so that
+	// T_CPU tracks T_I/O; classify as I/O-bound whenever the I/O path
+	// accounts for (nearly) the whole predicted time, then split the
+	// CPU-bound cases by which stall component dominates.
+	diagnosed := workloads.BottleneckCPU
+	switch {
+	case float64(pred.TIO) >= 0.9*float64(pred.Time):
+		diagnosed = workloads.BottleneckIO
+	case float64(pred.TMem) > 1.02*float64(pred.TCore):
+		diagnosed = workloads.BottleneckMemory
+	}
+	return BottleneckRow{
+		Program:   w.Name(),
+		Node:      spec.Name,
+		Diagnosed: diagnosed,
+		Expected:  w.Bottleneck,
+		IOShare:   float64(pred.TIO) / float64(pred.Time),
+		MemShare:  float64(pred.TMem) / float64(pred.TCPU),
+	}, nil
+}
+
+// FormatBottlenecks renders the rows.
+func FormatBottlenecks(rows []BottleneckRow) string {
+	out := "Bottleneck classification (model-diagnosed vs Table 3):\n"
+	for _, r := range rows {
+		mark := "ok"
+		if r.Diagnosed != r.Expected {
+			mark = "MISMATCH"
+		}
+		out += fmt.Sprintf("  %-13s %-16s diagnosed %-7s expected %-7s (IO share %.2f, mem/core %.2f) %s\n",
+			r.Program, r.Node, r.Diagnosed, r.Expected, r.IOShare, r.MemShare, mark)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBottleneckClassificationMatchesTable3(t *testing.T) {
+	rows, err := sharedSuite().BottleneckClassification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Diagnosed != r.Expected {
+			t.Errorf("%s on %s: diagnosed %v, Table 3 says %v (IO %.2f, mem/core %.2f)",
+				r.Program, r.Node, r.Diagnosed, r.Expected, r.IOShare, r.MemShare)
+		}
+	}
+	if !strings.Contains(FormatBottlenecks(rows), "diagnosed") {
+		t.Error("format broken")
+	}
+}

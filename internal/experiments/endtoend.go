@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/dispatcher"
+	"heteromix/internal/queueing"
+	"heteromix/internal/stats"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// EndToEndRow compares, for one cluster configuration under job
+// arrivals, the analytical pipeline's predictions (matching-split model
+// for service time and energy, M/D/1 for waiting, closed-form window
+// energy) against a discrete-event dispatcher simulation of the same
+// configuration — the reproduction's final, whole-stack validation.
+type EndToEndRow struct {
+	Config      cluster.Configuration
+	ArrivalRate float64
+	// Analytic and simulated mean response.
+	AnalyticResponse  units.Seconds
+	SimulatedResponse units.Seconds
+	ResponseErr       float64 // percent
+	// Analytic and simulated window energy.
+	AnalyticEnergy  units.Joule
+	SimulatedEnergy units.Joule
+	EnergyErr       float64 // percent
+}
+
+// EndToEndValidation provisions the paper's 16 ARM + 14 AMD memcached
+// pool at the given utilization, then simulates a window of Poisson
+// traffic against a spread of frontier configurations and reports
+// analytic-versus-simulated errors.
+func (s *Suite) EndToEndValidation(utilization float64, window units.Seconds) ([]EndToEndRow, error) {
+	if utilization <= 0 || utilization >= 1 {
+		return nil, fmt.Errorf("experiments: utilization %v outside (0,1)", utilization)
+	}
+	if window <= 0 {
+		window = 200
+	}
+	fig10, err := s.QueueingAnalysis("memcached", 16, 14, 0, []float64{utilization})
+	if err != nil {
+		return nil, err
+	}
+	prof := fig10.Profiles[0]
+
+	w, err := workloads.ByName("memcached")
+	if err != nil {
+		return nil, err
+	}
+	space, err := s.Space(w.Name())
+	if err != nil {
+		return nil, err
+	}
+	space.NoSwitchEnergy = true
+
+	// Sample a spread of frontier points: fastest, middle, cheapest.
+	picks := []int{0, len(prof.Frontier) / 2, len(prof.Frontier) - 1}
+	var rows []EndToEndRow
+	for i, fi := range picks {
+		te := prof.Frontier[fi]
+		qp := prof.Points[te.Index]
+
+		rate, err := queueing.RateForUtilization(utilization, qp.Service)
+		if err != nil {
+			return nil, err
+		}
+		q := queueing.MD1{ArrivalRate: rate, ServiceTime: qp.Service}
+
+		// Reconstruct the cluster abstraction from the model.
+		ev, err := cluster.Evaluate(space.Groups(qp.Config), w.AnalysisUnits)
+		if err != nil {
+			return nil, err
+		}
+		idle := units.Watt(float64(space.ARM.Power.Idle)*float64(qp.Config.ARM.Nodes) +
+			float64(space.AMD.Power.Idle)*float64(qp.Config.AMD.Nodes))
+		c := dispatcher.Cluster{Service: ev.Time, PerJob: ev.Energy, IdlePower: idle}
+
+		sim, err := dispatcher.Run(c, rate, dispatcher.Options{
+			Window: window,
+			Seed:   s.Opts.Seed + int64(100+i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		analyticE, err := q.EnergyOverWindow(window, ev.Energy, idle)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EndToEndRow{
+			Config:            qp.Config,
+			ArrivalRate:       rate,
+			AnalyticResponse:  q.MeanResponse(),
+			SimulatedResponse: sim.MeanResponse,
+			ResponseErr:       stats.RelativeError(float64(q.MeanResponse()), float64(sim.MeanResponse)),
+			AnalyticEnergy:    analyticE,
+			SimulatedEnergy:   sim.Energy,
+			EnergyErr:         stats.RelativeError(float64(analyticE), float64(sim.Energy)),
+		})
+	}
+	return rows, nil
+}
+
+// FormatEndToEnd renders the rows.
+func FormatEndToEnd(rows []EndToEndRow) string {
+	out := "End-to-end validation (analytic pipeline vs dispatcher simulation):\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-46s R: %v vs %v (%.1f%%)  E: %v vs %v (%.1f%%)\n",
+			r.Config.String(),
+			r.AnalyticResponse, r.SimulatedResponse, r.ResponseErr,
+			r.AnalyticEnergy, r.SimulatedEnergy, r.EnergyErr)
+	}
+	return out
+}

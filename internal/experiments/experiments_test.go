@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"heteromix/internal/pareto"
+	"heteromix/internal/units"
+)
+
+// The suite is expensive to build; share one across tests.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+func sharedSuite() *Suite {
+	suiteOnce.Do(func() {
+		suite = NewSuite(SuiteOptions{NoiseSigma: 0.03, Seed: 1})
+	})
+	return suite
+}
+
+func TestTable3ErrorsWithinPaperBand(t *testing.T) {
+	rows, err := sharedSuite().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 3 has %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Paper: "the model error is less than 15%".
+		for name, s := range map[string]float64{
+			"time AMD":   r.TimeErrAMD.Mean,
+			"time ARM":   r.TimeErrARM.Mean,
+			"energy AMD": r.EnergyErrAMD.Mean,
+			"energy ARM": r.EnergyErrARM.Mean,
+		} {
+			if s > 15 {
+				t.Errorf("%s %s mean error %.1f%% exceeds the paper's 15%% band", r.Program, name, s)
+			}
+			if s < 0 {
+				t.Errorf("%s %s mean error negative", r.Program, name)
+			}
+		}
+	}
+	text := FormatTable3(rows)
+	if !strings.Contains(text, "memcached") || !strings.Contains(text, "Bottleneck") {
+		t.Errorf("formatted table missing content:\n%s", text)
+	}
+}
+
+func TestTable4ErrorsWithinPaperBand(t *testing.T) {
+	rows, err := sharedSuite().Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 workloads x {8+1, 8+0}
+		t.Fatalf("Table 4 has %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimeErr > 15 || r.EnergyErr > 15 {
+			t.Errorf("%s %d:%d errors %.1f%%/%.1f%% exceed 15%%",
+				r.Program, r.ARMNodes, r.AMDNodes, r.TimeErr, r.EnergyErr)
+		}
+	}
+	if !strings.Contains(FormatTable4(rows), "ARM nodes") {
+		t.Error("formatted Table 4 missing header")
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	rows, err := sharedSuite().Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := map[string]struct{ amd, arm float64 }{
+		"ep":           {1414922, 6048057},
+		"memcached":    {2628, 5220},
+		"x264":         {1, 0.7},
+		"blackscholes": {2902, 11413},
+		"julius":       {21390, 69654},
+		"rsa2048":      {9346, 6877},
+	}
+	for _, r := range rows {
+		want, ok := paper[r.Program]
+		if !ok {
+			t.Fatalf("unexpected program %q", r.Program)
+		}
+		// Calibration target: within 2x of the paper's absolute PPR.
+		if r.AMD < want.amd/2 || r.AMD > want.amd*2 {
+			t.Errorf("%s AMD PPR %.1f outside 2x of paper %.1f", r.Program, r.AMD, want.amd)
+		}
+		if r.ARM < want.arm/2 || r.ARM > want.arm*2 {
+			t.Errorf("%s ARM PPR %.1f outside 2x of paper %.1f", r.Program, r.ARM, want.arm)
+		}
+		// Orderings: ARM wins except RSA-2048 and x264.
+		wantAMDWin := r.Program == "rsa2048" || r.Program == "x264"
+		if wantAMDWin && r.AMD <= r.ARM {
+			t.Errorf("%s: AMD should win PPR (%v vs %v)", r.Program, r.AMD, r.ARM)
+		}
+		if !wantAMDWin && r.ARM <= r.AMD {
+			t.Errorf("%s: ARM should win PPR (%v vs %v)", r.Program, r.ARM, r.AMD)
+		}
+	}
+	if !strings.Contains(FormatTable5(rows), "PPR metric") {
+		t.Error("formatted Table 5 missing header")
+	}
+}
+
+func TestFigure2ConstancyHypothesis(t *testing.T) {
+	r, err := sharedSuite().Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 classes x 2 nodes.
+	if len(r.Points) != 6 {
+		t.Fatalf("Figure 2 has %d points, want 6", len(r.Points))
+	}
+	if r.MaxRelSpread > 0.02 {
+		t.Errorf("WPI/SPIcore spread %.3f should be <2%% across problem sizes", r.MaxRelSpread)
+	}
+	// AMD executes leaner: its WPI is below ARM's (Figure 2 shows AMD
+	// WPI ~0.6 vs ARM ~1.0).
+	var amdWPI, armWPI float64
+	for _, p := range r.Points {
+		if p.Node == "amd-opteron-k10" {
+			amdWPI = p.WPI
+		} else {
+			armWPI = p.WPI
+		}
+	}
+	if amdWPI >= armWPI {
+		t.Errorf("AMD WPI %v should be below ARM WPI %v", amdWPI, armWPI)
+	}
+	if chart := r.Chart(); len(chart.Series) != 4 {
+		t.Errorf("Figure 2 chart has %d series, want 4", len(chart.Series))
+	}
+}
+
+func TestFigure3LinearRegression(t *testing.T) {
+	r, err := sharedSuite().Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes x {1 core, all cores}.
+	if len(r.Series) != 4 {
+		t.Fatalf("Figure 3 has %d series, want 4", len(r.Series))
+	}
+	// Paper: r^2 >= 0.94 for every sweep.
+	if r.MinR2 < 0.94 {
+		t.Errorf("min r^2 = %.3f, want >= 0.94", r.MinR2)
+	}
+	for _, s := range r.Series {
+		if s.Slope <= 0 {
+			t.Errorf("%s cores=%d: slope %v should be positive", s.Node, s.Cores, s.Slope)
+		}
+	}
+	// More cores stall harder: the all-cores sweep lies above the
+	// 1-core sweep at max frequency for each node.
+	byNode := map[string]map[int]Figure3Series{}
+	for _, s := range r.Series {
+		if byNode[s.Node] == nil {
+			byNode[s.Node] = map[int]Figure3Series{}
+		}
+		byNode[s.Node][s.Cores] = s
+	}
+	for node, by := range byNode {
+		var one, all Figure3Series
+		for c, s := range by {
+			if c == 1 {
+				one = s
+			} else {
+				all = s
+			}
+		}
+		if len(one.SPIMem) == 0 || len(all.SPIMem) == 0 {
+			t.Fatalf("%s missing sweeps", node)
+		}
+		if all.SPIMem[len(all.SPIMem)-1] <= one.SPIMem[len(one.SPIMem)-1] {
+			t.Errorf("%s: all-cores SPImem should exceed 1-core at fmax", node)
+		}
+	}
+	if chart := r.Chart(); len(chart.Series) != 4 {
+		t.Error("Figure 3 chart wrong")
+	}
+}
+
+// Observation 1: heterogeneity allows larger energy savings than
+// homogeneous systems at the same deadline; the frontier of EP has a
+// linear heterogeneous sweet region and an ARM-only overlap region.
+func TestFigure4EPFrontierStructure(t *testing.T) {
+	r, err := sharedSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 36380 {
+		t.Fatalf("EP space has %d configurations, want 36380 (footnote 2)", len(r.Points))
+	}
+	if !r.HasSweet {
+		t.Fatal("EP frontier should have a sweet region")
+	}
+	if r.Sweet.Points() < 5 {
+		t.Errorf("sweet region has %d points, want several", r.Sweet.Points())
+	}
+	// Sweet region: energy falls linearly as deadline relaxes.
+	if r.Sweet.LinearR2 < 0.9 {
+		t.Errorf("sweet region linear r^2 = %.3f, want >= 0.9", r.Sweet.LinearR2)
+	}
+	// Overlap region: ARM-only points extend the frontier (compute-bound).
+	if !r.HasOverlap || r.Overlap.Points() < 2 {
+		t.Error("EP should have an ARM-only overlap region (compute-bound)")
+	}
+	// The sweet region is bounded by the homogeneous envelopes: ARM-only
+	// min energy below, AMD-only above.
+	armMin := pareto.MinEnergy(r.ARMOnlyEnvelope)
+	amdMin := pareto.MinEnergy(r.AMDOnlyEnvelope)
+	if !(armMin < r.Sweet.EnergyHi && r.Sweet.EnergyLo < amdMin*1.05) {
+		t.Errorf("sweet region [%v, %v] not bounded by ARM %v / AMD %v",
+			r.Sweet.EnergyLo, r.Sweet.EnergyHi, armMin, amdMin)
+	}
+	// Observation 1 proper: some deadline exists where the frontier
+	// (heterogeneous) beats both homogeneous envelopes.
+	found := false
+	for _, te := range r.Frontier {
+		_, okARM := pareto.EnergyAtDeadline(r.ARMOnlyEnvelope, te.Time)
+		amdTE, okAMD := pareto.EnergyAtDeadline(r.AMDOnlyEnvelope, te.Time)
+		if !okARM && okAMD && te.Energy < amdTE.Energy*0.99 {
+			found = true // deadline ARM-only cannot meet; mix beats AMD-only
+			break
+		}
+	}
+	if !found {
+		t.Error("no deadline where the mix beats homogeneous options (Observation 1)")
+	}
+}
+
+// Figure 5: memcached (I/O bound) has a sweet region but no meaningful
+// overlap region, and homogeneous energy is flat as the deadline relaxes.
+func TestFigure5MemcachedFrontierStructure(t *testing.T) {
+	r, err := sharedSuite().Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasSweet {
+		t.Fatal("memcached frontier should have a sweet region")
+	}
+	if r.HasOverlap && r.Overlap.Points() >= 2 {
+		t.Errorf("memcached should not have an overlap region (I/O bound), got %d points",
+			r.Overlap.Points())
+	}
+	// Homogeneous energy flat: for a fixed node count, relaxing the
+	// deadline does not reduce energy (paper: "energy incurred by
+	// memcached on homogeneous systems is constant even as deadline is
+	// relaxed").
+	if !r.HomogeneousEnergyFlat(r.AMDOnlyEnvelope, 0.1) {
+		t.Error("AMD-only memcached energy should be flat in deadline at fixed node count")
+	}
+}
+
+func TestFigure5EPContrastOverlap(t *testing.T) {
+	// For compute-bound EP the ARM-only envelope genuinely trades time
+	// for energy (the overlap mechanism): its energy span exceeds 5%.
+	r, err := sharedSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ARMOnlyEnvelope) < 2 {
+		t.Fatal("EP ARM-only envelope should have multiple tradeoff points")
+	}
+	hi := r.ARMOnlyEnvelope[0].Energy
+	lo := pareto.MinEnergy(r.ARMOnlyEnvelope)
+	if (hi-lo)/hi < 0.05 {
+		t.Errorf("EP ARM-only energy span %.1f%% too flat (overlap mechanism)", (hi-lo)/hi*100)
+	}
+}
+
+func TestFrontierChartRenders(t *testing.T) {
+	r, err := sharedSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Chart().RenderASCII(70, 20); err != nil {
+		t.Errorf("ASCII render: %v", err)
+	}
+	if _, err := r.Chart().RenderSVG(800, 600); err != nil {
+		t.Errorf("SVG render: %v", err)
+	}
+	if txt := r.FormatFrontier(); !strings.Contains(txt, "sweet region") {
+		t.Errorf("format missing sweet region:\n%s", txt)
+	}
+}
+
+// Observation 2: replacing even a few AMD nodes with ARM nodes at the
+// substitution ratio opens a sweet region, and ARM-only pools cannot meet
+// the tightest deadlines.
+func TestFigure6BudgetMixesMemcached(t *testing.T) {
+	r, err := sharedSuite().Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 7 {
+		t.Fatalf("Figure 6 has %d series, want 7", len(r.Series))
+	}
+	amdOnly := r.Series[0]
+	armOnly := r.Series[len(r.Series)-1]
+	// ARM-only cannot meet deadlines below ~30 ms (Figure 6's floor).
+	if ms := armOnly.MinTime.Millis(); ms < 28 || ms > 40 {
+		t.Errorf("ARM-only fastest = %vms, want ~32ms", ms)
+	}
+	if amdOnly.MinTime >= armOnly.MinTime {
+		t.Error("AMD-only should meet tighter deadlines than ARM-only")
+	}
+	// Mixes reach lower energy than the AMD-only pool.
+	mix := r.Series[1] // ARM 16:AMD 14
+	if mix.MinEnergy >= amdOnly.MinEnergy {
+		t.Errorf("mix min energy %v should beat AMD-only %v", mix.MinEnergy, amdOnly.MinEnergy)
+	}
+	// Replacing a few AMD nodes opens a sweet region: the mix's frontier
+	// has more points than the AMD-only pool's.
+	if len(mix.Frontier) <= len(amdOnly.Frontier) {
+		t.Errorf("mix frontier (%d pts) should have more tradeoff points than AMD-only (%d)",
+			len(mix.Frontier), len(amdOnly.Frontier))
+	}
+}
+
+func TestFigure7BudgetMixesEP(t *testing.T) {
+	r, err := sharedSuite().Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For compute-bound EP, the most energy-efficient pool is ARM-only,
+	// and more ARM nodes also mean faster execution (8 ARM outrun 1 AMD).
+	armOnly := r.Series[len(r.Series)-1]
+	amdOnly := r.Series[0]
+	if armOnly.MinEnergy >= amdOnly.MinEnergy {
+		t.Error("ARM-heavy pools should be more energy-efficient for EP")
+	}
+	if armOnly.MinTime >= amdOnly.MinTime {
+		t.Error("128 ARM nodes should outrun 16 AMD nodes on EP (8 ARM > 1 AMD)")
+	}
+}
+
+// Observation 3: scaling the pool at a fixed ratio shifts the frontier
+// left (faster) without changing its energy bounds, and adds
+// configurations to the sweet region.
+func TestFigures89Scaling(t *testing.T) {
+	for _, workload := range []string{"memcached", "ep"} {
+		var r MixSeriesResult
+		var err error
+		if workload == "memcached" {
+			r, err = sharedSuite().Figure8()
+		} else {
+			r, err = sharedSuite().Figure9()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Series) != 5 {
+			t.Fatalf("%s scaling has %d series, want 5", workload, len(r.Series))
+		}
+		for i := 1; i < len(r.Series); i++ {
+			prev, cur := r.Series[i-1], r.Series[i]
+			// Frontier shifts left: the doubled pool is ~2x faster.
+			ratio := float64(prev.MinTime) / float64(cur.MinTime)
+			if ratio < 1.8 || ratio > 2.2 {
+				t.Errorf("%s %v -> %v: speedup %v, want ~2x", workload, prev.Mix, cur.Mix, ratio)
+			}
+			// Energy bounds unchanged: min energy equal within 1%.
+			rel := math.Abs(float64(cur.MinEnergy-prev.MinEnergy)) / float64(prev.MinEnergy)
+			if rel > 0.01 {
+				t.Errorf("%s %v min energy %v differs from %v's %v (Observation 3)",
+					workload, cur.Mix, cur.MinEnergy, prev.Mix, prev.MinEnergy)
+			}
+			// More configurations on the sweet region.
+			if len(cur.Frontier) < len(prev.Frontier) {
+				t.Errorf("%s %v frontier smaller than %v's", workload, cur.Mix, prev.Mix)
+			}
+		}
+	}
+}
+
+// The paper's Figure 8 example: on the ARM 16:AMD 2 pool a 165 ms
+// deadline is feasible, and on the ARM 64:AMD 8 pool a 4x tighter 41 ms
+// deadline is feasible at nearly the same energy per job — so one big
+// cluster beats four quarter-size clusters.
+func TestFigure8ConsolidationExample(t *testing.T) {
+	r, err := sharedSuite().Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, big MixFrontier
+	for _, mf := range r.Series {
+		switch {
+		case mf.Mix.ARM == 16 && mf.Mix.AMD == 2:
+			small = mf
+		case mf.Mix.ARM == 64 && mf.Mix.AMD == 8:
+			big = mf
+		}
+	}
+	eSmall, ok := small.EnergyAt(units.Seconds(0.165))
+	if !ok {
+		t.Fatal("16:2 pool cannot meet 165 ms")
+	}
+	eBig, ok := big.EnergyAt(units.Seconds(0.165 / 4))
+	if !ok {
+		t.Fatal("64:8 pool cannot meet 41 ms")
+	}
+	rel := math.Abs(float64(eBig-eSmall)) / float64(eSmall)
+	if rel > 0.05 {
+		t.Errorf("4x faster deadline on 4x pool costs %v vs %v per job (%.1f%% apart), want near-equal",
+			eBig, eSmall, rel*100)
+	}
+}
+
+// Observation 4: energy savings amplify as utilization grows, and the
+// sweet region persists at all utilizations.
+func TestFigure10Queueing(t *testing.T) {
+	r, err := sharedSuite().Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) != 3 {
+		t.Fatalf("Figure 10 has %d profiles, want 3", len(r.Profiles))
+	}
+	// Arrival rate grows tenfold from U=5% to U=50%.
+	if ratio := r.Profiles[2].ReferenceRate / r.Profiles[0].ReferenceRate; math.Abs(ratio-10) > 0.01 {
+		t.Errorf("arrival rate ratio = %v, want 10", ratio)
+	}
+	for i, p := range r.Profiles {
+		if len(p.Frontier) < 5 {
+			t.Errorf("profile %d frontier has %d points", i, len(p.Frontier))
+		}
+		// The fast end of the frontier uses AMD nodes; the low-energy end
+		// is ARM-only (the two linear regions of the paper's Figure 10).
+		left, right := p.FrontierSplit()
+		if left < 0.5 {
+			t.Errorf("profile %d: fast end should be AMD-bearing (share %v)", i, left)
+		}
+		if right > 0.2 {
+			t.Errorf("profile %d: low-energy end should be ARM-only (AMD share %v)", i, right)
+		}
+		// A sharp drop separates the two regions; consecutive frontier
+		// steps near the last-AMD boundary shed nearly the whole idle
+		// draw of an AMD node at once.
+		if drop := p.SharpDrop(); drop < 1.5 {
+			t.Errorf("profile %d: largest consecutive energy drop %vx, want >= 1.5x", i, drop)
+		}
+		// The frontier spans well over an order of magnitude in energy
+		// (paper: "spanning almost two orders of magnitude").
+		span := p.Frontier[0].Energy / p.Frontier[len(p.Frontier)-1].Energy
+		if span < 10 {
+			t.Errorf("profile %d: frontier energy span %.1fx, want >= 10x", i, span)
+		}
+	}
+	// Energy to meet the same response time grows close to an order of
+	// magnitude from U=5% to U=50% (paper: "almost by an order of
+	// magnitude"). The growth peaks at responses inside the sharp-drop
+	// zone, where the 50% profile still needs AMD nodes but the 5%
+	// profile has already crossed to ARM-only configurations; scan
+	// responses for the maximum ratio.
+	maxRatio := 0.0
+	for resp := 0.03; resp < 10; resp *= 1.2 {
+		e5, ok5 := pareto.EnergyAtDeadline(r.Profiles[0].Frontier, resp)
+		e50, ok50 := pareto.EnergyAtDeadline(r.Profiles[2].Frontier, resp)
+		if !ok5 || !ok50 {
+			continue
+		}
+		if ratio := e50.Energy / e5.Energy; ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	// The paper reports ~10x under its accounting; our per-configuration
+	// utilization convention (the one under which ARM-only points exist
+	// at every profile) yields a smaller but clearly amplified factor.
+	if maxRatio < 2 {
+		t.Errorf("peak energy growth from U=5%% to 50%% is %.1fx, want >= 2x", maxRatio)
+	}
+	// The minimum response time achievable rises with utilization
+	// (queueing wait is added on top of the same fastest service time).
+	if !(r.Profiles[0].Frontier[0].Time < r.Profiles[2].Frontier[0].Time) {
+		t.Error("higher utilization should increase the minimal achievable response")
+	}
+	if _, err := r.Chart().RenderASCII(70, 20); err != nil {
+		t.Errorf("chart render: %v", err)
+	}
+	if !strings.Contains(r.Format(), "U=50%") {
+		t.Error("format missing profiles")
+	}
+}
+
+// Paper §VI headline: up to 58% (EP) / 44% (memcached) energy reduction
+// for 16 ARM + 14 AMD versus homogeneous AMD. Our two switch-energy
+// conventions bracket the paper's numbers.
+func TestHeadlineEnergyReduction(t *testing.T) {
+	ep, err := sharedSuite().Headline("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.MaxReduction < 50 {
+		t.Errorf("EP reduction %.0f%%, want >= 50%% (paper: 58%%)", ep.MaxReduction)
+	}
+	mc, err := sharedSuite().Headline("memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.MaxReductionNoSwitch < 35 {
+		t.Errorf("memcached reduction (no switch) %.0f%%, want >= 35%% (paper: 44%%)",
+			mc.MaxReductionNoSwitch)
+	}
+	if mc.MaxReduction <= 0 {
+		t.Errorf("memcached reduction with switch energy should still be positive, got %.1f%%",
+			mc.MaxReduction)
+	}
+	if !strings.Contains(ep.Format(), "%") {
+		t.Error("headline format broken")
+	}
+}
+
+func TestEnergyAtDeadlineOnResult(t *testing.T) {
+	r, err := sharedSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.EnergyAtDeadline(units.Seconds(1e-6)); ok {
+		t.Error("microsecond deadline should be infeasible")
+	}
+	e, p, ok := r.EnergyAtDeadline(units.Seconds(10))
+	if !ok {
+		t.Fatal("10 s deadline should be feasible")
+	}
+	if e <= 0 || p.Time <= 0 {
+		t.Error("invalid deadline answer")
+	}
+	if float64(p.Time) > 10 {
+		t.Error("returned configuration misses the deadline")
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/pareto"
+	"heteromix/internal/plot"
+	"heteromix/internal/queueing"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// Figure 10 parameters (paper §IV-E): a pool of 16 ARM and 14 AMD nodes
+// services memcached jobs of 50,000 requests over a 20-second observation
+// window; arrivals are Poisson and service deterministic (M/D/1).
+const (
+	fig10PoolARM               = 16
+	fig10PoolAMD               = 14
+	fig10Window  units.Seconds = 20
+)
+
+// fig10Utilizations are the three profiles of the paper's Figure 10; the
+// arrival rate grows tenfold from the first to the last.
+var fig10Utilizations = []float64{0.05, 0.25, 0.50}
+
+// QueuePoint is one configuration's outcome under job arrivals: mean
+// response time per job and total energy over the observation window.
+type QueuePoint struct {
+	Config cluster.Configuration
+	// Service is the per-job service time of the configuration.
+	Service units.Seconds
+	// Response is queueing wait plus service.
+	Response units.Seconds
+	// Utilization is this configuration's rho at the profile's rate.
+	Utilization float64
+	// WindowEnergy is the energy over the 20 s window: arriving jobs'
+	// active energy plus the powered (used) nodes idling between jobs.
+	// Unused pool nodes are off.
+	WindowEnergy units.Joule
+}
+
+// QueueProfile is one utilization profile's point cloud and frontier.
+// Within a profile every configuration runs at the same utilization
+// U = lambda * T (the paper's definition), so each configuration's
+// arrival rate is U / T: moving from the 5% to the 50% profile is the
+// paper's "tenfold increase in arrival rate" for any given
+// configuration.
+type QueueProfile struct {
+	// TargetUtilization is the profile's rho, shared by every point.
+	TargetUtilization float64
+	// ReferenceRate is the arrival rate of the pool's fastest
+	// configuration at this utilization, for reporting.
+	ReferenceRate float64
+	Points        []QueuePoint
+	// Frontier is the energy-response Pareto frontier.
+	Frontier []pareto.TE
+}
+
+// Figure10Result holds the queueing experiment.
+type Figure10Result struct {
+	Workload string
+	JobUnits float64
+	Profiles []QueueProfile
+}
+
+// Figure10 regenerates the paper's Figure 10: the effect of job queueing
+// delay on the energy-response tradeoff for a 16 ARM + 14 AMD pool
+// servicing memcached jobs, at utilizations 5%, 25% and 50%.
+func (s *Suite) Figure10() (Figure10Result, error) {
+	return s.QueueingAnalysis("memcached", fig10PoolARM, fig10PoolAMD, 0, fig10Utilizations)
+}
+
+// QueueingAnalysis evaluates every sub-cluster configuration of the pool
+// under M/D/1 arrivals at each target utilization. The arrival rate of a
+// profile is chosen so the pool's fastest configuration runs at the
+// target utilization; slower configurations see proportionally higher
+// rho, and configurations with rho >= 1 are infeasible and dropped.
+func (s *Suite) QueueingAnalysis(workload string, poolARM, poolAMD int, jobUnits float64, utilizations []float64) (Figure10Result, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+	if jobUnits <= 0 {
+		jobUnits = w.AnalysisUnits
+	}
+	space, err := s.Space(workload)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+	// §IV-E convention: unused equipment is powered off, and the
+	// analysis accounts node energy only (the enclosure switch is shared
+	// infrastructure outside the per-configuration comparison). This is
+	// what produces the paper's two-region structure: AMD-bearing
+	// configurations on the fast left, ARM-only on the efficient right,
+	// separated by a sharp drop when the last 45 W-idle AMD node leaves.
+	space.NoSwitchEnergy = true
+	points, err := space.Enumerate(poolARM, poolAMD, jobUnits)
+	if err != nil {
+		return Figure10Result{}, err
+	}
+
+	// The reference service time is the pool's fastest configuration.
+	fastest := points[0].Time
+	for _, p := range points {
+		if p.Time < fastest {
+			fastest = p.Time
+		}
+	}
+
+	armIdle := float64(space.ARM.Power.Idle)
+	amdIdle := float64(space.AMD.Power.Idle)
+
+	res := Figure10Result{Workload: workload, JobUnits: jobUnits}
+	for _, target := range utilizations {
+		refRate, err := queueing.RateForUtilization(target, fastest)
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		prof := QueueProfile{TargetUtilization: target, ReferenceRate: refRate}
+		for _, p := range points {
+			rate, err := queueing.RateForUtilization(target, p.Time)
+			if err != nil {
+				return Figure10Result{}, err
+			}
+			q := queueing.MD1{ArrivalRate: rate, ServiceTime: p.Time}
+			// Idle power of the powered subset of nodes; unused pool
+			// nodes are off (paper §IV-E).
+			idle := units.Watt(armIdle*float64(p.Config.ARM.Nodes) +
+				amdIdle*float64(p.Config.AMD.Nodes))
+			e, err := q.EnergyOverWindow(fig10Window, p.Energy, idle)
+			if err != nil {
+				return Figure10Result{}, err
+			}
+			prof.Points = append(prof.Points, QueuePoint{
+				Config:       p.Config,
+				Service:      p.Time,
+				Response:     q.MeanResponse(),
+				Utilization:  q.Utilization(),
+				WindowEnergy: e,
+			})
+		}
+		if len(prof.Points) == 0 {
+			return Figure10Result{}, fmt.Errorf("experiments: no configuration at utilization %v", target)
+		}
+		tes := make([]pareto.TE, len(prof.Points))
+		for i, qp := range prof.Points {
+			tes[i] = pareto.TE{Time: float64(qp.Response), Energy: float64(qp.WindowEnergy), Index: i}
+		}
+		fr, err := pareto.Frontier(tes)
+		if err != nil {
+			return Figure10Result{}, err
+		}
+		prof.Frontier = fr
+		res.Profiles = append(res.Profiles, prof)
+	}
+	return res, nil
+}
+
+// Chart renders Figure 10 in the paper's log-log axes.
+func (r Figure10Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Effect of job queueing delay (%s)", r.Workload),
+		XLabel: "Response time per job [ms]",
+		YLabel: fmt.Sprintf("Energy for %vs [J]", float64(fig10Window)),
+		LogX:   true,
+		LogY:   true,
+	}
+	for _, p := range r.Profiles {
+		var xs, ys []float64
+		for _, te := range p.Frontier {
+			xs = append(xs, te.Time*1e3)
+			ys = append(ys, te.Energy)
+		}
+		c.Add(fmt.Sprintf("Utilization=%.0f%%", p.TargetUtilization*100), xs, ys)
+	}
+	return c
+}
+
+// Format summarizes the profiles.
+func (r Figure10Result) Format() string {
+	out := fmt.Sprintf("Queueing analysis, %s, pool %d ARM + %d AMD, %v window:\n",
+		r.Workload, fig10PoolARM, fig10PoolAMD, fig10Window)
+	for _, p := range r.Profiles {
+		fr := p.Frontier
+		out += fmt.Sprintf("  U=%2.0f%% (lambda=%.2f/s): %5d stable configs, response %v..%v, energy %.0fJ..%.0fJ\n",
+			p.TargetUtilization*100, p.ReferenceRate, len(p.Points),
+			units.Seconds(fr[0].Time), units.Seconds(fr[len(fr)-1].Time),
+			fr[len(fr)-1].Energy, fr[0].Energy)
+	}
+	return out
+}
+
+// FrontierSplit reports the fraction of AMD-bearing configurations among
+// the profile's fastest frontier points (left end) and among its
+// lowest-energy frontier points (right end) — the paper's observation
+// that the leftmost part of the sweet region always includes
+// high-performance nodes while the rightmost consists of ARM-only
+// configurations. Each end considers up to ten points.
+func (p QueueProfile) FrontierSplit() (leftAMDShare, rightAMDShare float64) {
+	n := len(p.Frontier)
+	if n == 0 {
+		return 0, 0
+	}
+	k := 10
+	if k > n {
+		k = n
+	}
+	count := func(tes []pareto.TE) float64 {
+		amd := 0
+		for _, te := range tes {
+			if p.Points[te.Index].Config.AMD.Nodes > 0 {
+				amd++
+			}
+		}
+		return float64(amd) / float64(len(tes))
+	}
+	return count(p.Frontier[:k]), count(p.Frontier[n-k:])
+}
+
+// SharpDrop returns the largest energy ratio between consecutive frontier
+// points — the paper's "sharp drop in the energy used" that separates the
+// AMD-bearing and ARM-only linear regions.
+func (p QueueProfile) SharpDrop() float64 {
+	max := 1.0
+	for i := 1; i < len(p.Frontier); i++ {
+		if r := p.Frontier[i-1].Energy / p.Frontier[i].Energy; r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/perfcounter"
+	"heteromix/internal/plot"
+	"heteromix/internal/profile"
+	"heteromix/internal/stats"
+	"heteromix/internal/workloads"
+)
+
+// Figure2Point is one problem-size observation of WPI and SPIcore.
+type Figure2Point struct {
+	Node    string
+	Class   string // NAS problem class label (A, B, C)
+	Units   float64
+	WPI     float64
+	SPICore float64
+}
+
+// Figure2Result holds the WPI/SPIcore constancy experiment.
+type Figure2Result struct {
+	Points []Figure2Point
+	// MaxRelSpread is the largest relative spread of WPI or SPIcore
+	// across problem sizes on any node; the paper's hypothesis is that
+	// both are constant as the problem scales.
+	MaxRelSpread float64
+}
+
+// epClasses are the NAS problem classes the paper's Figure 2 sweeps: EP
+// class A (2^28 random numbers), B (2^30) and C (2^32).
+var epClasses = []struct {
+	Label string
+	Units float64
+}{
+	{"A", 1 << 28},
+	{"B", 1 << 30},
+	{"C", 1 << 32},
+}
+
+// Figure2 regenerates the paper's Figure 2: WPI and SPIcore measured for
+// EP at problem classes A, B and C on both node types, demonstrating that
+// both ratios are constant as the workload scales from Ps to P.
+func (s *Suite) Figure2() (Figure2Result, error) {
+	ep, err := workloads.ByName("ep")
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	var res Figure2Result
+	for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+		cfg := maxConfig(spec)
+		var sizes []float64
+		for _, c := range epClasses {
+			sizes = append(sizes, c.Units)
+		}
+		tr, err := perfcounter.CollectAcrossSizes(spec, cfg, ep.Demand, sizes, s.Opts.NoiseSigma, s.Opts.Seed+100)
+		if err != nil {
+			return Figure2Result{}, err
+		}
+		var wpis, spis []float64
+		for i, r := range tr.Records {
+			res.Points = append(res.Points, Figure2Point{
+				Node:    spec.Name,
+				Class:   epClasses[i].Label,
+				Units:   r.WorkUnits,
+				WPI:     r.WPI(),
+				SPICore: r.SPICore(),
+			})
+			wpis = append(wpis, r.WPI())
+			spis = append(spis, r.SPICore())
+		}
+		for _, vals := range [][]float64{wpis, spis} {
+			if m := stats.Mean(vals); m > 0 {
+				if spread := stats.StdDev(vals) / m; spread > res.MaxRelSpread {
+					res.MaxRelSpread = spread
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Chart renders Figure 2 as two series per node.
+func (r Figure2Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Figure 2: WPI and SPIcore across problem size (EP)",
+		XLabel: "problem class (1=A, 2=B, 3=C)",
+		YLabel: "cycles per instruction",
+	}
+	byKey := map[string][][2]float64{}
+	for _, p := range r.Points {
+		idx := float64(classIndex(p.Class))
+		byKey[p.Node+" WPI"] = append(byKey[p.Node+" WPI"], [2]float64{idx, p.WPI})
+		byKey[p.Node+" SPIcore"] = append(byKey[p.Node+" SPIcore"], [2]float64{idx, p.SPICore})
+	}
+	for _, name := range []string{
+		"amd-opteron-k10 WPI", "amd-opteron-k10 SPIcore",
+		"arm-cortex-a9 WPI", "arm-cortex-a9 SPIcore",
+	} {
+		pts := byKey[name]
+		if len(pts) == 0 {
+			continue
+		}
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		c.Add(name, xs, ys)
+	}
+	return c
+}
+
+func classIndex(label string) int {
+	for i, c := range epClasses {
+		if c.Label == label {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Figure3Series is one (node, cores) SPImem-vs-frequency sweep.
+type Figure3Series struct {
+	Node  string
+	Cores int
+	// FreqGHz and SPIMem are the sweep points.
+	FreqGHz []float64
+	SPIMem  []float64
+	// R2 is the Pearson r^2 of the linear fit, which the paper reports
+	// as >= 0.94 for every sweep.
+	R2 float64
+	// Slope is the fitted slope in stall cycles per instruction per GHz.
+	Slope float64
+}
+
+// Figure3Result holds the SPImem regression experiment.
+type Figure3Result struct {
+	Series []Figure3Series
+	// MinR2 is the weakest fit across all sweeps.
+	MinR2 float64
+}
+
+// Figure3 regenerates the paper's Figure 3: SPImem measured across core
+// frequencies for 1 core and for all cores, on both node types, with the
+// stall micro-benchmark; SPImem grows linearly with frequency.
+func (s *Suite) Figure3() (Figure3Result, error) {
+	micro := workloads.MicroStallStream()
+	res := Figure3Result{MinR2: 1}
+	for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+		tr, err := perfcounter.Campaign{
+			Spec:        spec,
+			Demand:      micro.Demand,
+			Units:       1e4,
+			Repetitions: 1,
+			NoiseSigma:  s.Opts.NoiseSigma,
+			Seed:        s.Opts.Seed + 200,
+		}.Collect()
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		prof, err := profile.Fit(tr, micro.Name(), spec.Name)
+		if err != nil {
+			return Figure3Result{}, err
+		}
+		for _, cores := range []int{1, spec.Cores} {
+			var fs, ys []float64
+			for _, rec := range tr.Records {
+				if rec.Cores != cores {
+					continue
+				}
+				fs = append(fs, rec.Frequency.GHzValue())
+				ys = append(ys, rec.SPIMem())
+			}
+			fit := prof.SPIMemByCores[cores]
+			series := Figure3Series{
+				Node: spec.Name, Cores: cores,
+				FreqGHz: fs, SPIMem: ys,
+				R2: fit.R2, Slope: fit.Slope,
+			}
+			res.Series = append(res.Series, series)
+			if fit.R2 < res.MinR2 {
+				res.MinR2 = fit.R2
+			}
+		}
+	}
+	return res, nil
+}
+
+// Chart renders Figure 3.
+func (r Figure3Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Figure 3: SPImem vs core frequency",
+		XLabel: "core frequency [GHz]",
+		YLabel: "SPImem",
+	}
+	for _, s := range r.Series {
+		c.Add(fmt.Sprintf("%s cores=%d (r2=%.2f)", s.Node, s.Cores, s.R2), s.FreqGHz, s.SPIMem)
+	}
+	return c
+}

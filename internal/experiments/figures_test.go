@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"heteromix/internal/budget"
+	"heteromix/internal/units"
+)
+
+// Additional coverage for the figure helpers beyond the headline
+// structural tests in experiments_test.go.
+
+func TestMixFrontierEnergyAt(t *testing.T) {
+	r, err := sharedSuite().Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := r.Series[1] // ARM 16:AMD 14
+	if _, ok := mix.EnergyAt(units.Seconds(1e-6)); ok {
+		t.Error("microsecond deadline should be infeasible")
+	}
+	e, ok := mix.EnergyAt(units.Seconds(10))
+	if !ok {
+		t.Fatal("10 s deadline should be feasible")
+	}
+	if e != mix.MinEnergy {
+		t.Errorf("relaxed deadline energy %v != min energy %v", e, mix.MinEnergy)
+	}
+	// Energy at the fastest deadline is the frontier's top.
+	eFast, ok := mix.EnergyAt(mix.MinTime)
+	if !ok {
+		t.Fatal("fastest deadline should be feasible at its own time")
+	}
+	if float64(eFast) < float64(mix.MinEnergy) {
+		t.Error("fastest config cannot be cheaper than the minimum")
+	}
+}
+
+func TestMixSeriesChartUsesLogAxis(t *testing.T) {
+	r, err := sharedSuite().Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Chart()
+	if !c.LogX {
+		t.Error("mix series charts use the paper's log deadline axis")
+	}
+	if _, err := c.RenderASCII(70, 18); err != nil {
+		t.Errorf("render: %v", err)
+	}
+	if _, err := c.RenderSVG(800, 600); err != nil {
+		t.Errorf("svg: %v", err)
+	}
+}
+
+func TestMixSeriesCustomJobUnits(t *testing.T) {
+	// Doubling the job size doubles every frontier time and energy
+	// (model linearity propagated through the whole mix analysis).
+	base, err := sharedSuite().MixSeries("ep", paperMixesForTest(), 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := sharedSuite().MixSeries("ep", paperMixesForTest(), 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Series {
+		tRatio := float64(doubled.Series[i].MinTime) / float64(base.Series[i].MinTime)
+		eRatio := float64(doubled.Series[i].MinEnergy) / float64(base.Series[i].MinEnergy)
+		if math.Abs(tRatio-2) > 1e-9 || math.Abs(eRatio-2) > 1e-9 {
+			t.Errorf("series %d: ratios %v/%v, want 2/2", i, tRatio, eRatio)
+		}
+	}
+}
+
+func TestFrontierAnalysisCustomJob(t *testing.T) {
+	r, err := sharedSuite().FrontierAnalysis("ep", 2, 2, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.JobUnits != 1e6 {
+		t.Errorf("job units = %v", r.JobUnits)
+	}
+	if len(r.Points) != 1516 { // 2*20*2*18 + 2*20 + 2*18
+		t.Errorf("space size = %d, want 1516", len(r.Points))
+	}
+}
+
+func TestSortedByTime(t *testing.T) {
+	r, err := sharedSuite().FrontierAnalysis("ep", 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := r.SortedByTime()
+	if len(idx) != len(r.Points) {
+		t.Fatalf("index size %d", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		a, b := r.Points[idx[i-1]], r.Points[idx[i]]
+		if a.Time > b.Time {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if a.Time == b.Time && a.Energy > b.Energy {
+			t.Fatalf("tie not broken by energy at %d", i)
+		}
+	}
+}
+
+func TestFigure10FrontierSplitEnds(t *testing.T) {
+	r, err := sharedSuite().Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Profiles[0]
+	left, right := p.FrontierSplit()
+	if left <= right {
+		t.Errorf("fast end AMD share %v should exceed low-energy end %v", left, right)
+	}
+	if p.SharpDrop() <= 1 {
+		t.Error("frontier should have decreasing energy steps")
+	}
+}
+
+func TestQueueValidationFormats(t *testing.T) {
+	rows, err := sharedSuite().QueueModelValidation(0.05, []float64{0.1}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(FormatQueueValidation(rows), "rho=0.10") {
+		t.Error("format broken")
+	}
+}
+
+func TestEnergyAtDeadlineConsistentWithFrontier(t *testing.T) {
+	r, err := sharedSuite().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At each frontier knot, EnergyAtDeadline returns exactly that knot.
+	for _, te := range r.Frontier {
+		e, p, ok := r.EnergyAtDeadline(units.Seconds(te.Time))
+		if !ok {
+			t.Fatalf("knot %v infeasible", te.Time)
+		}
+		if float64(e) != te.Energy {
+			t.Errorf("knot %v: energy %v != %v", te.Time, e, te.Energy)
+		}
+		if float64(p.Time) > te.Time {
+			t.Errorf("knot %v: returned config misses its own deadline", te.Time)
+		}
+	}
+}
+
+func paperMixesForTest() []budget.Mix {
+	return []budget.Mix{{ARM: 8, AMD: 1}, {ARM: 16, AMD: 2}}
+}

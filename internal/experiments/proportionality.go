@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// ProportionalityRow characterizes one node type's energy
+// proportionality: how closely its power tracks its load. This is the
+// mechanism behind the paper's Figure 10 structure — the AMD node idles
+// at 75% of its peak draw (the "energy proportionality wall" of the
+// KnightShift work the paper cites), so any configuration keeping an AMD
+// node powered pays most of its peak power regardless of load, while the
+// ARM node idles at ~36% of peak.
+type ProportionalityRow struct {
+	Node string
+	Idle units.Watt
+	Peak units.Watt
+	// DynamicRange is 1 - idle/peak: the fraction of peak power that
+	// actually responds to load (1 = perfectly proportional hardware).
+	DynamicRange float64
+	// LoadLevels and PowerAtLoad sample the measured load-power curve:
+	// the cpu-max micro-benchmark run on 1..N cores at fmax.
+	LoadLevels  []float64
+	PowerAtLoad []units.Watt
+	// MeanGap is the mean excess of measured power over the ideal
+	// proportional line (load x peak), as a fraction of peak. Zero for
+	// ideal hardware; large for idle-dominated servers.
+	MeanGap float64
+}
+
+// Proportionality measures the load-power curve of every calibrated node
+// type.
+func (s *Suite) Proportionality() ([]ProportionalityRow, error) {
+	cpuMax := workloads.MicroCPUMax().Demand
+	specs := []hwsim.NodeSpec{s.ARM, hwsim.ARMCortexA15(), s.AMD}
+	var rows []ProportionalityRow
+	for _, spec := range specs {
+		row := ProportionalityRow{Node: spec.Name, Idle: spec.IdlePower()}
+		fmax := spec.FMax()
+		var peak float64
+		for c := 1; c <= spec.Cores; c++ {
+			m, err := hwsim.Run(spec, hwsim.Config{Cores: c, Frequency: fmax}, cpuMax,
+				2e4*float64(c), hwsim.Options{Seed: s.Opts.Seed, NoiseSigma: s.Opts.NoiseSigma})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: proportionality of %s: %w", spec.Name, err)
+			}
+			row.LoadLevels = append(row.LoadLevels, float64(c)/float64(spec.Cores))
+			p := m.Record.AveragePower()
+			row.PowerAtLoad = append(row.PowerAtLoad, p)
+			if float64(p) > peak {
+				peak = float64(p)
+			}
+		}
+		row.Peak = units.Watt(peak)
+		row.DynamicRange = 1 - float64(row.Idle)/peak
+		gap := 0.0
+		for i, load := range row.LoadLevels {
+			ideal := load * peak
+			gap += (float64(row.PowerAtLoad[i]) - ideal) / peak
+		}
+		row.MeanGap = gap / float64(len(row.LoadLevels))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatProportionality renders the rows.
+func FormatProportionality(rows []ProportionalityRow) string {
+	out := "Energy proportionality (cpu-max load sweep at fmax):\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-16s idle %v, peak %v, dynamic range %.0f%%, mean gap over ideal %.0f%% of peak\n",
+			r.Node, r.Idle, r.Peak, r.DynamicRange*100, r.MeanGap*100)
+	}
+	return out
+}

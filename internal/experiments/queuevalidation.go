@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/queueing"
+	"heteromix/internal/units"
+)
+
+// QueueValidationRow compares the M/D/1 closed form against the
+// discrete-event queue simulation at one utilization — the queueing
+// analogue of Table 3's model-vs-measurement validation, covering the
+// §IV-E layer the paper introduces without validating.
+type QueueValidationRow struct {
+	Utilization float64
+	// AnalyticWait and SimulatedWait are the mean queueing delays.
+	AnalyticWait  units.Seconds
+	SimulatedWait units.Seconds
+	// RelError is their relative difference.
+	RelError float64
+}
+
+// QueueModelValidation simulates jobs at each utilization with the given
+// deterministic service time and compares mean waits against
+// Pollaczek-Khinchine.
+func (s *Suite) QueueModelValidation(serviceTime units.Seconds, utilizations []float64, jobs int) ([]QueueValidationRow, error) {
+	if serviceTime <= 0 {
+		return nil, fmt.Errorf("experiments: service time %v", serviceTime)
+	}
+	if jobs < 1000 {
+		jobs = 100000
+	}
+	var rows []QueueValidationRow
+	for i, u := range utilizations {
+		rate, err := queueing.RateForUtilization(u, serviceTime)
+		if err != nil {
+			return nil, err
+		}
+		q := queueing.MD1{ArrivalRate: rate, ServiceTime: serviceTime}
+		rel, sim, err := q.ValidateAgainstSimulation(jobs, s.Opts.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QueueValidationRow{
+			Utilization:   u,
+			AnalyticWait:  q.MeanWait(),
+			SimulatedWait: sim.MeanWait,
+			RelError:      rel,
+		})
+	}
+	return rows, nil
+}
+
+// FormatQueueValidation renders the rows.
+func FormatQueueValidation(rows []QueueValidationRow) string {
+	out := "M/D/1 validation (closed form vs discrete-event simulation):\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  rho=%.2f: analytic Wq=%v, simulated Wq=%v (rel err %.1f%%)\n",
+			r.Utilization, r.AnalyticWait, r.SimulatedWait, r.RelError*100)
+	}
+	return out
+}

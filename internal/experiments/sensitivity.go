@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/isa"
+	"heteromix/internal/model"
+	"heteromix/internal/workloads"
+)
+
+// SensitivityResult reports how robust the reproduction's qualitative
+// conclusions are to the calibrated demand constants. Because this
+// repository calibrates workload demands to the paper's measurements,
+// a fair question is whether its conclusions are artifacts of exact
+// constants; the sensitivity sweep perturbs every per-ISA demand
+// parameter by up to the given fraction and re-checks the orderings.
+type SensitivityResult struct {
+	Workload string
+	// Perturbation is the maximum relative perturbation applied.
+	Perturbation float64
+	// Trials is the number of perturbed calibrations evaluated.
+	Trials int
+	// PPROrderingHeld counts trials where the Table 5 PPR winner was
+	// unchanged.
+	PPROrderingHeld int
+	// MixBeatsAMDHeld counts trials where a 4 ARM + 4 AMD mix still
+	// reached lower minimum energy than AMD-only within its pool.
+	MixBeatsAMDHeld int
+}
+
+// Sensitivity perturbs the workload's demand constants `trials` times and
+// re-evaluates the key orderings. It uses small node bounds to keep the
+// sweep fast; the orderings are scale-invariant.
+func (s *Suite) Sensitivity(workload string, perturbation float64, trials int) (SensitivityResult, error) {
+	if perturbation <= 0 || perturbation >= 0.5 {
+		return SensitivityResult{}, fmt.Errorf("experiments: perturbation %v outside (0, 0.5)", perturbation)
+	}
+	if trials < 1 {
+		trials = 10
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	armWins := w.Name() != "rsa2048" && w.Name() != "x264"
+
+	res := SensitivityResult{Workload: workload, Perturbation: perturbation, Trials: trials}
+	rng := rand.New(rand.NewSource(s.Opts.Seed + 9000))
+	for trial := 0; trial < trials; trial++ {
+		pw := perturbSpec(w, perturbation, rng)
+		arm, err := model.Build(hwsim.ARMCortexA9(), pw, model.BuildOptions{
+			NoiseSigma: s.Opts.NoiseSigma, Seed: s.Opts.Seed + int64(trial),
+		})
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		amd, err := model.Build(hwsim.AMDOpteronK10(), pw, model.BuildOptions{
+			NoiseSigma: s.Opts.NoiseSigma, Seed: s.Opts.Seed + int64(trial) + 500,
+		})
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+
+		pprARM, _, err := arm.PPR()
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		pprAMD, _, err := amd.PPR()
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		if (armWins && pprARM > pprAMD) || (!armWins && pprAMD > pprARM) {
+			res.PPROrderingHeld++
+		}
+
+		space := cluster.Space{ARM: arm, AMD: amd}
+		mixed, err := space.Enumerate(4, 4, pw.AnalysisUnits)
+		if err != nil {
+			return SensitivityResult{}, err
+		}
+		minMix, minAMD := -1.0, -1.0
+		for _, p := range mixed {
+			e := float64(p.Energy)
+			if p.Config.ARM.Nodes > 0 {
+				if minMix < 0 || e < minMix {
+					minMix = e
+				}
+			} else if minAMD < 0 || e < minAMD {
+				minAMD = e
+			}
+		}
+		if minMix > 0 && minAMD > 0 && minMix < minAMD {
+			res.MixBeatsAMDHeld++
+		}
+	}
+	return res, nil
+}
+
+// perturbSpec returns a deep-copied Spec whose demand constants are each
+// scaled by an independent uniform factor in [1-p, 1+p].
+func perturbSpec(w workloads.Spec, p float64, rng *rand.Rand) workloads.Spec {
+	jitter := func(v float64) float64 { return v * (1 + p*(2*rng.Float64()-1)) }
+	d := w.Demand
+	d.Translation = isa.Translation{}
+	d.DRAMMissesPerKiloInstr = map[isa.ISA]float64{}
+	d.DependencyStallsPerInstr = map[isa.ISA]float64{}
+	for _, i := range isa.All() {
+		st := w.Demand.Translation[i]
+		st.PerUnit = jitter(st.PerUnit)
+		d.Translation[i] = st
+		d.DRAMMissesPerKiloInstr[i] = jitter(w.Demand.DRAMMissesPerKiloInstr[i])
+		d.DependencyStallsPerInstr[i] = jitter(w.Demand.DependencyStallsPerInstr[i])
+	}
+	out := w
+	out.Demand = d
+	return out
+}
+
+// Format renders the result.
+func (r SensitivityResult) Format() string {
+	return fmt.Sprintf("Sensitivity, %s (+/-%.0f%% on demand constants, %d trials): PPR ordering held %d/%d, mix-beats-AMD held %d/%d\n",
+		r.Workload, r.Perturbation*100, r.Trials,
+		r.PPROrderingHeld, r.Trials, r.MixBeatsAMDHeld, r.Trials)
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 3-5, Figures 2-10) plus the §VI headline numbers,
+// using the full reproduction pipeline: workload demands -> baseline
+// measurement campaigns on the simulated testbed -> profile fitting and
+// power characterization -> the analytical model -> configuration-space
+// enumeration, Pareto frontiers, power-budget mixes and M/D/1 queueing.
+//
+// Each experiment returns a structured result plus helpers that format it
+// the way the paper presents it; cmd/validate, cmd/characterize,
+// cmd/paretoviz and cmd/heteromix expose them on the command line, and
+// the repository-root benchmarks regenerate each artifact as a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/workloads"
+)
+
+// SuiteOptions configures the shared experiment pipeline.
+type SuiteOptions struct {
+	// NoiseSigma is the measurement noise used in baseline campaigns and
+	// validation runs (default 0.03, matching the few-percent run-to-run
+	// irregularity the paper reports).
+	NoiseSigma float64
+	// Seed makes the whole suite reproducible.
+	Seed int64
+}
+
+// Suite carries the fitted models for every workload on both node types.
+type Suite struct {
+	ARM  hwsim.NodeSpec
+	AMD  hwsim.NodeSpec
+	Opts SuiteOptions
+
+	mu     sync.Mutex
+	models map[string]model.NodeModel // key: workload + "/" + node name
+}
+
+// NewSuite creates a Suite with the paper's two node types.
+func NewSuite(opts SuiteOptions) *Suite {
+	if opts.NoiseSigma == 0 {
+		opts.NoiseSigma = 0.03
+	}
+	return &Suite{
+		ARM:    hwsim.ARMCortexA9(),
+		AMD:    hwsim.AMDOpteronK10(),
+		Opts:   opts,
+		models: make(map[string]model.NodeModel),
+	}
+}
+
+// Model returns (building and caching on first use) the fitted model of a
+// workload on a node type.
+func (s *Suite) Model(workload string, spec hwsim.NodeSpec) (model.NodeModel, error) {
+	key := workload + "/" + spec.Name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nm, ok := s.models[key]; ok {
+		return nm, nil
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return model.NodeModel{}, err
+	}
+	nm, err := model.Build(spec, w, model.BuildOptions{
+		NoiseSigma: s.Opts.NoiseSigma,
+		Seed:       s.Opts.Seed + int64(len(s.models)),
+	})
+	if err != nil {
+		return model.NodeModel{}, fmt.Errorf("experiments: building %s: %w", key, err)
+	}
+	s.models[key] = nm
+	return nm, nil
+}
+
+// Space returns the two-type configuration space for a workload.
+func (s *Suite) Space(workload string) (cluster.Space, error) {
+	arm, err := s.Model(workload, s.ARM)
+	if err != nil {
+		return cluster.Space{}, err
+	}
+	amd, err := s.Model(workload, s.AMD)
+	if err != nil {
+		return cluster.Space{}, err
+	}
+	return cluster.Space{ARM: arm, AMD: amd}, nil
+}
+
+// maxConfig returns a node type's all-cores, max-frequency setting.
+func maxConfig(spec hwsim.NodeSpec) hwsim.Config {
+	return hwsim.Config{Cores: spec.Cores, Frequency: spec.FMax()}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/stats"
+	"heteromix/internal/workloads"
+)
+
+// Table3Row is one workload's single-node validation result: the mean and
+// standard deviation of the model-vs-measurement relative error across
+// all (cores, frequency) configurations, for execution time and energy on
+// each node type — exactly the columns of the paper's Table 3.
+type Table3Row struct {
+	Domain      string
+	Program     string
+	ProblemSize float64
+	Unit        string
+	Bottleneck  workloads.Bottleneck
+
+	TimeErrAMD   stats.ErrorSummary
+	TimeErrARM   stats.ErrorSummary
+	EnergyErrAMD stats.ErrorSummary
+	EnergyErrARM stats.ErrorSummary
+}
+
+// validationReps is how many noisy measurement runs each configuration
+// contributes to the error statistics.
+const validationReps = 3
+
+// Table3 regenerates the paper's Table 3: single-node validation of
+// predicted execution time and energy for all six workloads across every
+// per-node configuration on one ARM and one AMD node.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, w := range workloads.All() {
+		row := Table3Row{
+			Domain:      w.Domain,
+			Program:     w.Name(),
+			ProblemSize: w.ValidationUnits,
+			Unit:        w.Demand.Unit,
+			Bottleneck:  w.Bottleneck,
+		}
+		for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+			terr, eerr, err := s.validateSingleNode(w, spec)
+			if err != nil {
+				return nil, err
+			}
+			if spec.Name == s.AMD.Name {
+				row.TimeErrAMD, row.EnergyErrAMD = terr, eerr
+			} else {
+				row.TimeErrARM, row.EnergyErrARM = terr, eerr
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (s *Suite) validateSingleNode(w workloads.Spec, spec hwsim.NodeSpec) (timeErr, energyErr stats.ErrorSummary, err error) {
+	nm, err := s.Model(w.Name(), spec)
+	if err != nil {
+		return stats.ErrorSummary{}, stats.ErrorSummary{}, err
+	}
+	var predT, measT, predE, measE []float64
+	seed := s.Opts.Seed + 1000
+	for _, cfg := range hwsim.Configs(spec) {
+		pred, err := nm.Predict(cfg, w.ValidationUnits)
+		if err != nil {
+			return stats.ErrorSummary{}, stats.ErrorSummary{}, err
+		}
+		for rep := 0; rep < validationReps; rep++ {
+			seed++
+			m, err := hwsim.Run(spec, cfg, w.Demand, w.ValidationUnits, hwsim.Options{
+				Seed:       seed,
+				NoiseSigma: s.Opts.NoiseSigma,
+			})
+			if err != nil {
+				return stats.ErrorSummary{}, stats.ErrorSummary{}, err
+			}
+			predT = append(predT, float64(pred.Time))
+			measT = append(measT, float64(m.Record.Elapsed))
+			predE = append(predE, float64(pred.Energy))
+			measE = append(measE, float64(m.Record.Energy))
+		}
+	}
+	timeErr, err = stats.SummarizeErrors(predT, measT)
+	if err != nil {
+		return stats.ErrorSummary{}, stats.ErrorSummary{}, err
+	}
+	energyErr, err = stats.SummarizeErrors(predE, measE)
+	return timeErr, energyErr, err
+}
+
+// FormatTable3 renders rows the way the paper's Table 3 lays them out.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Single-node validation (relative error %, mean/std over all configs)\n")
+	fmt.Fprintf(&b, "%-18s %-13s %-28s %-10s %-11s %-11s %-11s %-11s\n",
+		"Domain", "Program", "Problem Size", "Bottleneck",
+		"T err AMD", "T err ARM", "E err AMD", "E err ARM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-13s %-28s %-10s %5.1f/%-5.1f %5.1f/%-5.1f %5.1f/%-5.1f %5.1f/%-5.1f\n",
+			r.Domain, r.Program,
+			fmt.Sprintf("%.0f %ss", r.ProblemSize, r.Unit),
+			r.Bottleneck,
+			r.TimeErrAMD.Mean, r.TimeErrAMD.StdDev,
+			r.TimeErrARM.Mean, r.TimeErrARM.StdDev,
+			r.EnergyErrAMD.Mean, r.EnergyErrAMD.StdDev,
+			r.EnergyErrARM.Mean, r.EnergyErrARM.StdDev)
+	}
+	return b.String()
+}
+
+// Table4Row is one cluster validation entry: predicted-vs-simulated time
+// and energy error for a fixed cluster of eight ARM nodes and zero or one
+// AMD node, as in the paper's Table 4.
+type Table4Row struct {
+	Program  string
+	ARMNodes int
+	AMDNodes int
+	// TimeErr and EnergyErr are relative errors in percent.
+	TimeErr   float64
+	EnergyErr float64
+}
+
+// Table4 regenerates the paper's Table 4: cluster validation on 8 ARM + 1
+// AMD and 8 ARM + 0 AMD, per workload. The "measured" cluster outcome
+// applies the model's matching split (as the paper's real runs did) and
+// then executes each side on the simulated testbed with measurement
+// noise; cluster time is the latest finisher and energy the sum plus the
+// ARM switch.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, w := range workloads.All() {
+		for _, mix := range []struct{ arm, amd int }{{8, 1}, {8, 0}} {
+			row, err := s.validateCluster(w, mix.arm, mix.amd)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (s *Suite) validateCluster(w workloads.Spec, nARM, nAMD int) (Table4Row, error) {
+	space, err := s.Space(w.Name())
+	if err != nil {
+		return Table4Row{}, err
+	}
+	cfg := cluster.Configuration{
+		ARM: cluster.TypeConfig{Nodes: nARM, Config: maxConfig(s.ARM)},
+		AMD: cluster.TypeConfig{Nodes: nAMD, Config: maxConfig(s.AMD)},
+	}
+	jobUnits := w.ValidationUnits
+	pred, err := space.Evaluate(cfg, jobUnits)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	ev, err := cluster.Evaluate(space.Groups(cfg), jobUnits)
+	if err != nil {
+		return Table4Row{}, err
+	}
+
+	// "Measure": run each side's share on the simulated testbed.
+	seed := s.Opts.Seed + 5000 + int64(nAMD)
+	var measT float64
+	var measE float64
+	if nARM > 0 && ev.Work[0] > 0 {
+		m, err := hwsim.Run(s.ARM, cfg.ARM.Config, w.Demand, ev.Work[0]/float64(nARM), hwsim.Options{
+			Seed: seed, NoiseSigma: s.Opts.NoiseSigma,
+		})
+		if err != nil {
+			return Table4Row{}, err
+		}
+		if t := float64(m.Record.Elapsed); t > measT {
+			measT = t
+		}
+		measE += float64(m.Record.Energy) * float64(nARM)
+	}
+	if nAMD > 0 && ev.Work[1] > 0 {
+		m, err := hwsim.Run(s.AMD, cfg.AMD.Config, w.Demand, ev.Work[1]/float64(nAMD), hwsim.Options{
+			Seed: seed + 1, NoiseSigma: s.Opts.NoiseSigma,
+		})
+		if err != nil {
+			return Table4Row{}, err
+		}
+		if t := float64(m.Record.Elapsed); t > measT {
+			measT = t
+		}
+		measE += float64(m.Record.Energy) * float64(nAMD)
+	}
+	// Switch energy for the ARM enclosure over the measured duration.
+	switches := (nARM + cluster.ARMPortsPerSwitch - 1) / cluster.ARMPortsPerSwitch
+	measE += float64(cluster.SwitchPower) * float64(switches) * measT
+
+	return Table4Row{
+		Program:   w.Name(),
+		ARMNodes:  nARM,
+		AMDNodes:  nAMD,
+		TimeErr:   stats.RelativeError(float64(pred.Time), measT),
+		EnergyErr: stats.RelativeError(float64(pred.Energy), measE),
+	}, nil
+}
+
+// FormatTable4 renders rows the way the paper's Table 4 lays them out.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Cluster validation\n")
+	fmt.Fprintf(&b, "%-13s %-10s %-10s %-14s %-14s\n",
+		"Program", "ARM nodes", "AMD nodes", "Time error[%]", "Energy error[%]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %-10d %-10d %-14.1f %-14.1f\n",
+			r.Program, r.ARMNodes, r.AMDNodes, r.TimeErr, r.EnergyErr)
+	}
+	return b.String()
+}
+
+// Table5Row is one workload's performance-to-power ratio on both node
+// types, at each type's most energy-efficient configuration.
+type Table5Row struct {
+	Program string
+	// Metric names the performance-per-watt unit, as in Table 5.
+	Metric string
+	// AMD and ARM are the PPR values.
+	AMD float64
+	ARM float64
+	// AMDConfig and ARMConfig are the most efficient configurations.
+	AMDConfig hwsim.Config
+	ARMConfig hwsim.Config
+}
+
+// Table5 regenerates the paper's Table 5: PPR per workload per node type.
+// PPR is work done per unit energy; for memcached the work metric is the
+// kilobytes served rather than raw requests, matching the paper's
+// "(kbytes/s)/W".
+func (s *Suite) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, w := range workloads.All() {
+		row := Table5Row{Program: w.Name(), Metric: w.PPRUnit}
+		// Work-unit to metric-unit conversion: memcached requests carry
+		// 1 KiB = 1.024 kbytes each.
+		factor := 1.0
+		if w.Demand.IOBytesPerUnit > 0 && strings.Contains(w.PPRUnit, "kbytes") {
+			factor = float64(w.Demand.IOBytesPerUnit) / 1000
+		}
+		for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+			nm, err := s.Model(w.Name(), spec)
+			if err != nil {
+				return nil, err
+			}
+			ppr, cfg, err := nm.PPR()
+			if err != nil {
+				return nil, err
+			}
+			if spec.Name == s.AMD.Name {
+				row.AMD, row.AMDConfig = ppr*factor, cfg
+			} else {
+				row.ARM, row.ARMConfig = ppr*factor, cfg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders rows the way the paper's Table 5 lays them out.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: Performance-to-power ratio (most energy-efficient config)\n")
+	fmt.Fprintf(&b, "%-13s %-22s %14s %14s\n", "Program", "PPR metric", "AMD Node", "ARM Node")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %-22s %14.1f %14.1f\n", r.Program, r.Metric, r.AMD, r.ARM)
+	}
+	return b.String()
+}

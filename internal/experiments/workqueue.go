@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+	"heteromix/internal/workqueue"
+)
+
+// WorkQueueStudy compares the paper's up-front matching split against a
+// runtime pull scheduler on a model-derived 16 ARM + 14 AMD cluster:
+// with perfect speed estimates the two coincide (the matching property),
+// and when the planner's estimate of AMD speed is off by the given
+// factor, the static split's idle-tail energy grows while the pull
+// scheduler self-corrects.
+type WorkQueueStudy struct {
+	Workload string
+	// PerfectStatic/Pull are the outcomes with correct estimates.
+	PerfectStatic workqueue.Result
+	Pull          workqueue.Result
+	// MisStatic is the static outcome when the planner believed the ARM
+	// nodes to be MisFactor faster than they are.
+	MisFactor float64
+	MisStatic workqueue.Result
+}
+
+// WorkQueue runs the study for one workload.
+func (s *Suite) WorkQueue(workload string, misFactor float64) (WorkQueueStudy, error) {
+	if misFactor <= 0 {
+		return WorkQueueStudy{}, fmt.Errorf("experiments: mis-estimation factor %v", misFactor)
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+	armM, err := s.Model(workload, s.ARM)
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+	amdM, err := s.Model(workload, s.AMD)
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+
+	build := func() ([]workqueue.Node, []units.Seconds, error) {
+		var nodes []workqueue.Node
+		var est []units.Seconds
+		for i := 0; i < 16; i++ {
+			pred, err := armM.Predict(maxConfig(s.ARM), 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			nodes = append(nodes, workqueue.Node{
+				Name: "arm", PerUnit: pred.Time, Jitter: 0.03,
+				ActivePower: pred.AvgPower, IdlePower: armM.Power.Idle,
+			})
+			est = append(est, pred.Time)
+		}
+		for i := 0; i < 14; i++ {
+			pred, err := amdM.Predict(maxConfig(s.AMD), 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			nodes = append(nodes, workqueue.Node{
+				Name: "amd", PerUnit: pred.Time, Jitter: 0.03,
+				ActivePower: pred.AvgPower, IdlePower: amdM.Power.Idle,
+			})
+			est = append(est, pred.Time)
+		}
+		return nodes, est, nil
+	}
+
+	nodes, est, err := build()
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+	jobUnits := w.AnalysisUnits
+	opts := workqueue.Options{
+		// Fine pull granularity: ~500 chunks per node keeps the pull
+		// scheduler's residual skew well under the mis-estimation effects
+		// being measured.
+		ChunkUnits: jobUnits / (float64(len(nodes)) * 500),
+		Seed:       s.Opts.Seed,
+	}
+
+	study := WorkQueueStudy{Workload: workload, MisFactor: misFactor}
+	fr, err := workqueue.MatchingFractions(est)
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+	if study.PerfectStatic, err = workqueue.RunStatic(nodes, jobUnits, fr, opts); err != nil {
+		return WorkQueueStudy{}, err
+	}
+	if study.Pull, err = workqueue.Run(nodes, jobUnits, opts); err != nil {
+		return WorkQueueStudy{}, err
+	}
+
+	// Mis-estimate the ARM nodes as misFactor faster than they are (say,
+	// profiled unloaded): the static split then overloads the cheap ARM
+	// side, and the 45 W-idle AMD nodes burn the wait — the costly
+	// failure mode an up-front split risks.
+	misEst := append([]units.Seconds(nil), est...)
+	for i := 0; i < 16; i++ {
+		misEst[i] = units.Seconds(float64(misEst[i]) / misFactor)
+	}
+	misFr, err := workqueue.MatchingFractions(misEst)
+	if err != nil {
+		return WorkQueueStudy{}, err
+	}
+	if study.MisStatic, err = workqueue.RunStatic(nodes, jobUnits, misFr, opts); err != nil {
+		return WorkQueueStudy{}, err
+	}
+	return study, nil
+}
+
+// Format renders the study.
+func (r WorkQueueStudy) Format() string {
+	return fmt.Sprintf("Work queue study, %s (16 ARM + 14 AMD):\n"+
+		"  static (perfect estimates): makespan %v, idle tail %v\n"+
+		"  pull scheduler:             makespan %v, idle tail %v\n"+
+		"  static (ARM speed mis-estimated %.1fx): makespan %v, idle tail %v\n",
+		r.Workload,
+		r.PerfectStatic.Makespan, r.PerfectStatic.IdleTail,
+		r.Pull.Makespan, r.Pull.IdleTail,
+		r.MisFactor, r.MisStatic.Makespan, r.MisStatic.IdleTail)
+}

@@ -1,0 +1,59 @@
+package hwsim
+
+import (
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+// ARMCortexA15 returns a third calibrated node type, demonstrating that
+// the methodology generalizes beyond the paper's two-type instantiation
+// ("This methodology is used to determine a generic mix of heterogeneous
+// nodes", §II-A; the paper itself lists the Cortex-A15 among the systems
+// its execution model covers).
+//
+// The A15 is a wider out-of-order ARMv7-A core: roughly 1.3x the A9's
+// IPC and up to 2 GHz, at ~2x the power — faster but less
+// energy-efficient than the A9, slower but far more efficient than the
+// AMD K10. It slots between the paper's two poles, which makes tri-type
+// mixes a meaningful exercise (see examples/tri-cluster).
+//
+// One modeling simplification: workload demands carry dependency-stall
+// and miss-rate parameters per ISA, so the A15 inherits the A9's ARMv7-A
+// values even though its deeper out-of-order window would hide somewhat
+// more latency. The effect is conservative (the A15 is modeled slightly
+// slower than real silicon).
+func ARMCortexA15() NodeSpec {
+	var cpi [isa.NumClasses]float64
+	cpi[isa.IntALU] = 0.6
+	cpi[isa.FP] = 1.0
+	cpi[isa.Mem] = 0.7
+	cpi[isa.Branch] = 0.8
+	cpi[isa.Crypto] = 3.0 // still a 32-bit datapath
+	return NodeSpec{
+		Name:  "arm-cortex-a15",
+		ISA:   isa.ARMv7A,
+		Cores: 4,
+		Frequencies: []units.Hertz{
+			0.6 * units.GHz, 1.0 * units.GHz, 1.5 * units.GHz, 2.0 * units.GHz,
+		},
+		ClassCPI: cpi,
+		Mem: MemorySpec{
+			BaseLatencyNs:       90,
+			ContentionNsPerCore: 15,
+			PeakBandwidth:       units.BytesPerSecond(3.2e9), // LP-DDR3
+			LineBytes:           64,
+		},
+		NIC: NICSpec{Bandwidth: units.Mbps(1000)},
+		Power: PowerSpec{
+			CoreIdle:      0.15,
+			CoreActiveMax: 2.1,
+			CoreStallMax:  1.35,
+			FreqExponent:  2.3,
+			MemIdle:       0.15,
+			MemActive:     0.5,
+			NICIdle:       0.2,
+			NICActive:     0.4,
+			Rest:          1.5,
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package hwsim
+
+import "container/heap"
+
+// eventKind distinguishes the simulator's event types.
+type eventKind int
+
+const (
+	// evCoreDone fires when a core finishes its current chunk of work.
+	evCoreDone eventKind = iota
+	// evNICDone fires when the NIC completes the transfer at the head of
+	// its DMA queue.
+	evNICDone
+	// evArrival fires when the load generator delivers the next chunk of
+	// requests to the node.
+	evArrival
+)
+
+// event is one scheduled occurrence in simulated time.
+type event struct {
+	at   float64 // simulated seconds
+	kind eventKind
+	core int // for evCoreDone
+	seq  uint64
+}
+
+// eventQueue is a min-heap of events ordered by time, with a sequence
+// number tie-breaker so simulation order is deterministic.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler wraps the heap with a monotonically increasing sequence.
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{}
+	heap.Init(&s.q)
+	return s
+}
+
+// schedule enqueues an event at time at.
+func (s *scheduler) schedule(at float64, kind eventKind, core int) {
+	s.seq++
+	heap.Push(&s.q, event{at: at, kind: kind, core: core, seq: s.seq})
+}
+
+// next pops the earliest event; ok is false when the queue is empty.
+func (s *scheduler) next() (event, bool) {
+	if s.q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&s.q).(event), true
+}
+
+// empty reports whether any events remain.
+func (s *scheduler) empty() bool { return s.q.Len() == 0 }

@@ -1,0 +1,114 @@
+package hwsim
+
+import (
+	"math"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+// MemoryOperatingPoint is the steady-state solution of the memory system
+// for one (node, config, workload) combination: the effective per-miss
+// latency after contention and queueing, the resulting memory stall
+// cycles per instruction, and the bandwidth utilization.
+type MemoryOperatingPoint struct {
+	// EffectiveLatencyNs is the per-miss DRAM latency including
+	// multi-core contention and bandwidth queueing.
+	EffectiveLatencyNs float64
+	// SPIMem is the resulting memory stall cycles per instruction at the
+	// configured core frequency. This is the simulator-side ground truth
+	// for the quantity the paper regresses linearly against f (Figure 3).
+	SPIMem float64
+	// Rho is the DRAM bandwidth utilization in [0, RhoCap].
+	Rho float64
+	// TrafficBytesPerSec is the steady-state miss traffic.
+	TrafficBytesPerSec float64
+}
+
+// RhoCap bounds bandwidth utilization in the queueing term: beyond it the
+// open-system approximation would diverge, while a real closed system
+// (cores stop issuing while stalled) self-limits. 0.95 keeps the model
+// stable and saturating.
+const RhoCap = 0.95
+
+// memIterations bounds the fixed-point iteration; convergence is
+// geometric because the update is a damped contraction.
+const memIterations = 60
+
+// SolveMemory computes the steady-state memory operating point for a
+// workload demand on spec at config cfg, assuming cact cores actively
+// issue the workload's instruction stream.
+//
+// The model: each DRAM miss costs
+//
+//	lat(cact, rho) = (Base + Contention*(cact-1)) / (1 - rho)
+//
+// where rho is the bandwidth utilization, itself determined by the
+// instruction rate, which depends on the latency — a fixed point solved
+// by damped iteration. The 1/(1-rho) factor is the M/M/1 waiting-time
+// inflation of the shared controller; the linear term is per-core
+// contention following Tudor et al. (paper reference [36]).
+//
+// SPImem = misses/instr * lat_ns * f converts the fixed nanosecond cost
+// into core cycles — the mechanism that makes SPImem linear in f.
+func SolveMemory(spec NodeSpec, cfg Config, mix isa.Mix, mpki, depStallPerInstr float64, cact float64) MemoryOperatingPoint {
+	if cact <= 0 {
+		cact = float64(cfg.Cores)
+	}
+	if cact > float64(cfg.Cores) {
+		cact = float64(cfg.Cores)
+	}
+	baseLat := spec.Mem.BaseLatencyNs + spec.Mem.ContentionNsPerCore*(cact-1)
+	missPerInstr := mpki / 1000
+	wpi := spec.WPI(mix)
+	f := float64(cfg.Frequency)
+
+	rho := 0.0
+	lat := baseLat
+	for i := 0; i < memIterations; i++ {
+		spiMem := missPerInstr * lat * 1e-9 * f
+		// Per-core instruction rate: work cycles plus the larger of the
+		// two overlapping stall components (paper Eq. 3 structure).
+		cpi := wpi + math.Max(depStallPerInstr, spiMem)
+		instrRate := cact * f / cpi
+		traffic := instrRate * missPerInstr * spec.Mem.LineBytes
+		target := traffic / float64(spec.Mem.PeakBandwidth)
+		if target > RhoCap {
+			target = RhoCap
+		}
+		// Damped update for stability.
+		rho = 0.5*rho + 0.5*target
+		lat = baseLat / (1 - rho)
+	}
+	spiMem := missPerInstr * lat * 1e-9 * f
+	cpi := wpi + math.Max(depStallPerInstr, spiMem)
+	instrRate := cact * f / cpi
+	return MemoryOperatingPoint{
+		EffectiveLatencyNs: lat,
+		SPIMem:             spiMem,
+		Rho:                rho,
+		TrafficBytesPerSec: instrRate * missPerInstr * spec.Mem.LineBytes,
+	}
+}
+
+// MemoryActiveShare estimates the fraction of wall-clock time the DRAM
+// subsystem draws active power: the per-core memory-stall share of
+// execution, saturating at 1 when several cores keep the controller busy.
+func MemoryActiveShare(wpi, depStallPerInstr, spiMem, cact float64) float64 {
+	cpi := wpi + math.Max(depStallPerInstr, spiMem)
+	if cpi <= 0 {
+		return 0
+	}
+	perCore := spiMem / cpi
+	share := perCore * cact
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// SaturationBandwidth returns the highest miss traffic the memory system
+// admits, units.BytesPerSecond scaled by RhoCap.
+func (m MemorySpec) SaturationBandwidth() units.BytesPerSecond {
+	return units.BytesPerSecond(float64(m.PeakBandwidth) * RhoCap)
+}

@@ -1,0 +1,148 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/stats"
+	"heteromix/internal/units"
+)
+
+var memMix = isa.MustMix(map[isa.Class]float64{isa.Mem: 0.9, isa.IntALU: 0.1})
+
+func TestSolveMemoryUnloaded(t *testing.T) {
+	// With negligible miss rate the latency stays at the contention-free
+	// base and rho is ~0.
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 1, Frequency: 1.4 * units.GHz}
+	op := SolveMemory(arm, cfg, memMix, 0.001, 0.05, 1)
+	if math.Abs(op.EffectiveLatencyNs-arm.Mem.BaseLatencyNs) > 1 {
+		t.Errorf("unloaded latency = %v, want ~%v", op.EffectiveLatencyNs, arm.Mem.BaseLatencyNs)
+	}
+	if op.Rho > 0.01 {
+		t.Errorf("unloaded rho = %v", op.Rho)
+	}
+}
+
+func TestSolveMemoryContentionGrowsWithCores(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg1 := Config{Cores: 1, Frequency: 1.4 * units.GHz}
+	cfg4 := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	op1 := SolveMemory(arm, cfg1, memMix, 5, 0.05, 1)
+	op4 := SolveMemory(arm, cfg4, memMix, 5, 0.05, 4)
+	if op4.EffectiveLatencyNs <= op1.EffectiveLatencyNs {
+		t.Errorf("4-core latency %v should exceed 1-core %v",
+			op4.EffectiveLatencyNs, op1.EffectiveLatencyNs)
+	}
+	if op4.SPIMem <= op1.SPIMem {
+		t.Errorf("4-core SPImem %v should exceed 1-core %v (Figure 3 behaviour)",
+			op4.SPIMem, op1.SPIMem)
+	}
+}
+
+// Figure 3: SPImem regresses linearly on core frequency with r^2 >= 0.94.
+// At low bandwidth pressure our model is exactly linear; under pressure
+// queueing adds curvature but the correlation stays overwhelming.
+func TestSPIMemLinearInFrequency(t *testing.T) {
+	for _, spec := range []NodeSpec{ARMCortexA9(), AMDOpteronK10()} {
+		for _, cores := range []int{1, spec.Cores} {
+			var fs, spis []float64
+			for _, f := range spec.Frequencies {
+				op := SolveMemory(spec, Config{Cores: cores, Frequency: f}, memMix, 25, 0.05, float64(cores))
+				fs = append(fs, f.GHzValue())
+				spis = append(spis, op.SPIMem)
+			}
+			fit, err := stats.LinearFit(fs, spis)
+			if err != nil {
+				t.Fatalf("%s cores=%d: %v", spec.Name, cores, err)
+			}
+			if fit.R2 < 0.94 {
+				t.Errorf("%s cores=%d: r^2 = %v, want >= 0.94 (Figure 3)", spec.Name, cores, fit.R2)
+			}
+			if fit.Slope <= 0 {
+				t.Errorf("%s cores=%d: slope = %v, want positive", spec.Name, cores, fit.Slope)
+			}
+		}
+	}
+}
+
+func TestSolveMemoryRhoCapped(t *testing.T) {
+	// An absurdly miss-heavy workload saturates but never exceeds RhoCap.
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	op := SolveMemory(arm, cfg, memMix, 200, 0.05, 4)
+	if op.Rho > RhoCap+1e-9 {
+		t.Errorf("rho = %v exceeds cap %v", op.Rho, RhoCap)
+	}
+	// With blocking cores (one outstanding miss each), the closed-system
+	// fixed point self-limits near cact*line/(baseLat*peakBW) pressure —
+	// about 0.48 on this node — rather than saturating the open-system cap.
+	if op.Rho < 0.4 {
+		t.Errorf("rho = %v, want >= 0.4 (latency-bound fixed point)", op.Rho)
+	}
+	// Traffic at the fixed point must respect the bandwidth cap.
+	if op.TrafficBytesPerSec > float64(arm.Mem.PeakBandwidth)*(RhoCap+0.02) {
+		t.Errorf("traffic %v exceeds admissible bandwidth", op.TrafficBytesPerSec)
+	}
+}
+
+func TestSolveMemoryClampsActiveCores(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 2, Frequency: 1.4 * units.GHz}
+	// cact above the configured cores is clamped; non-positive defaults
+	// to all configured cores.
+	a := SolveMemory(arm, cfg, memMix, 5, 0.05, 10)
+	b := SolveMemory(arm, cfg, memMix, 5, 0.05, 2)
+	if a != b {
+		t.Errorf("cact clamp failed: %+v vs %+v", a, b)
+	}
+	c := SolveMemory(arm, cfg, memMix, 5, 0.05, 0)
+	if c != b {
+		t.Errorf("cact default failed: %+v vs %+v", c, b)
+	}
+}
+
+// The fixed point is self-consistent: recomputing rho from the returned
+// traffic reproduces the returned rho (within the cap).
+func TestSolveMemoryFixedPointConsistency(t *testing.T) {
+	f := func(seedMPKI, seedCores uint8) bool {
+		spec := ARMCortexA9()
+		mpki := 0.1 + float64(seedMPKI%50)
+		cores := 1 + int(seedCores)%spec.Cores
+		cfg := Config{Cores: cores, Frequency: 1.4 * units.GHz}
+		op := SolveMemory(spec, cfg, memMix, mpki, 0.05, float64(cores))
+		impliedRho := op.TrafficBytesPerSec / float64(spec.Mem.PeakBandwidth)
+		if impliedRho > RhoCap {
+			impliedRho = RhoCap
+		}
+		return math.Abs(impliedRho-op.Rho) < 0.02
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryActiveShare(t *testing.T) {
+	if got := MemoryActiveShare(1, 0.1, 0, 4); got != 0 {
+		t.Errorf("no memory stalls should give share 0, got %v", got)
+	}
+	if got := MemoryActiveShare(1, 0.05, 10, 4); got != 1 {
+		t.Errorf("stall-dominated multi-core share should saturate at 1, got %v", got)
+	}
+	if got := MemoryActiveShare(0, 0, 0, 4); got != 0 {
+		t.Errorf("degenerate inputs should give 0, got %v", got)
+	}
+	got := MemoryActiveShare(1, 0, 1, 1)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("one core half-stalled gives share 0.5, got %v", got)
+	}
+}
+
+func TestSaturationBandwidth(t *testing.T) {
+	m := MemorySpec{BaseLatencyNs: 100, PeakBandwidth: 1e9, LineBytes: 64}
+	if got := m.SaturationBandwidth(); got != units.BytesPerSecond(RhoCap*1e9) {
+		t.Errorf("saturation bandwidth = %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package hwsim
+
+import (
+	"sort"
+
+	"heteromix/internal/units"
+)
+
+// PowerStep is one step of a node's piecewise-constant power draw during
+// a simulated run: the node draws Power from At until the next step (or
+// the end of the run). This is what a wattmeter attached to the node
+// would record, and what the paper's Yokogawa WT210 produced for the
+// authors.
+type PowerStep struct {
+	At    units.Seconds
+	Power units.Watt
+}
+
+// powerEvent is an internal delta in some component's draw.
+type powerEvent struct {
+	at    float64
+	delta float64
+}
+
+// powerRecorder accumulates component on/off deltas during a run and
+// assembles the step trace afterwards.
+type powerRecorder struct {
+	events []powerEvent
+}
+
+// add records a power delta at a simulated time.
+func (r *powerRecorder) add(at, delta float64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, powerEvent{at: at, delta: delta})
+}
+
+// steps assembles the piecewise-constant trace: base idle power plus the
+// accumulated deltas, scaled by the meter bias, with the constant
+// memory-share contribution folded in.
+func (r *powerRecorder) steps(base, memConstant, bias float64, end float64) []PowerStep {
+	if r == nil {
+		return nil
+	}
+	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].at < r.events[j].at })
+	cur := base + memConstant
+	out := []PowerStep{{At: 0, Power: units.Watt(cur * bias)}}
+	i := 0
+	for i < len(r.events) {
+		at := r.events[i].at
+		for i < len(r.events) && r.events[i].at == at {
+			cur += r.events[i].delta
+			i++
+		}
+		if at >= end {
+			break
+		}
+		// Merge with the previous step when the power is unchanged.
+		p := units.Watt(cur * bias)
+		if out[len(out)-1].Power == p {
+			continue
+		}
+		if out[len(out)-1].At == units.Seconds(at) {
+			out[len(out)-1].Power = p
+			continue
+		}
+		out = append(out, PowerStep{At: units.Seconds(at), Power: p})
+	}
+	return out
+}
+
+// IntegrateTrace returns the energy of a step trace over [0, end]: the
+// sum of each step's power times its duration. For traces produced by
+// Run with RecordPowerTrace, this equals the run's Energy within
+// floating-point tolerance (asserted by tests).
+func IntegrateTrace(steps []PowerStep, end units.Seconds) units.Joule {
+	if len(steps) == 0 || end <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i, s := range steps {
+		hi := float64(end)
+		if i+1 < len(steps) {
+			hi = float64(steps[i+1].At)
+		}
+		if hi > float64(end) {
+			hi = float64(end)
+		}
+		lo := float64(s.At)
+		if hi > lo {
+			total += float64(s.Power) * (hi - lo)
+		}
+	}
+	return units.Joule(total)
+}
+
+// PeakPowerOf returns the largest step in the trace.
+func PeakPowerOf(steps []PowerStep) units.Watt {
+	var max units.Watt
+	for _, s := range steps {
+		if s.Power > max {
+			max = s.Power
+		}
+	}
+	return max
+}
+
+// SampleTrace resamples the step trace at a fixed interval, averaging
+// power within each bucket — the form a fixed-rate meter reports.
+func SampleTrace(steps []PowerStep, end units.Seconds, interval units.Seconds) []PowerStep {
+	if len(steps) == 0 || interval <= 0 || end <= 0 {
+		return nil
+	}
+	var out []PowerStep
+	for lo := 0.0; lo < float64(end); lo += float64(interval) {
+		hi := lo + float64(interval)
+		if hi > float64(end) {
+			hi = float64(end)
+		}
+		e := IntegrateTrace(steps, units.Seconds(hi)) - IntegrateTrace(steps, units.Seconds(lo))
+		out = append(out, PowerStep{
+			At:    units.Seconds(lo),
+			Power: units.Watt(float64(e) / (hi - lo)),
+		})
+	}
+	return out
+}

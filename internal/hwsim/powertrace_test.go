@@ -1,0 +1,157 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+func traceRun(t *testing.T, workload string, cfg Config, w float64, seed int64, sigma float64) Measurement {
+	t.Helper()
+	spec := ARMCortexA9()
+	s, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(spec, cfg, s.Demand, w, Options{
+		Seed: seed, NoiseSigma: sigma, RecordPowerTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The wattmeter trace integrates exactly to the run's metered energy —
+// the conservation law tying the two measurement views together.
+func TestPowerTraceIntegratesToEnergy(t *testing.T) {
+	cases := []struct {
+		workload string
+		cfg      Config
+		w        float64
+	}{
+		{"ep", Config{Cores: 4, Frequency: 1.4 * units.GHz}, 1e6},
+		{"ep", Config{Cores: 1, Frequency: 0.2 * units.GHz}, 1e5},
+		{"memcached", Config{Cores: 4, Frequency: 1.4 * units.GHz}, 2e4},
+		{"julius", Config{Cores: 2, Frequency: 0.8 * units.GHz}, 1e5},
+	}
+	for _, c := range cases {
+		for _, sigma := range []float64{0, 0.03} {
+			m := traceRun(t, c.workload, c.cfg, c.w, 5, sigma)
+			if len(m.PowerTrace) == 0 {
+				t.Fatalf("%s: no trace recorded", c.workload)
+			}
+			got := IntegrateTrace(m.PowerTrace, m.Record.Elapsed)
+			want := m.Record.Energy
+			if rel := math.Abs(float64(got-want)) / float64(want); rel > 1e-6 {
+				t.Errorf("%s sigma=%v: trace integral %v vs energy %v (rel %v)",
+					c.workload, sigma, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestPowerTraceAbsentByDefault(t *testing.T) {
+	spec := ARMCortexA9()
+	s, _ := workloads.ByName("ep")
+	m, err := Run(spec, Config{Cores: 4, Frequency: 1.4 * units.GHz}, s.Demand, 1e5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerTrace != nil {
+		t.Error("trace should not be recorded unless requested")
+	}
+}
+
+func TestPowerTraceWithinPhysicalBounds(t *testing.T) {
+	spec := ARMCortexA9()
+	m := traceRun(t, "ep", Config{Cores: 4, Frequency: 1.4 * units.GHz}, 1e6, 1, 0)
+	peak := PeakPowerOf(m.PowerTrace)
+	if peak > spec.PeakPower()*1.01 {
+		t.Errorf("trace peak %v exceeds node peak %v", peak, spec.PeakPower())
+	}
+	for _, s := range m.PowerTrace {
+		if s.Power < spec.IdlePower()*0.99 {
+			t.Errorf("trace dips below idle: %v at %v", s.Power, s.At)
+		}
+	}
+	// Steps are strictly time-ordered.
+	for i := 1; i < len(m.PowerTrace); i++ {
+		if m.PowerTrace[i].At <= m.PowerTrace[i-1].At {
+			t.Fatalf("steps not ordered at %d", i)
+		}
+	}
+}
+
+func TestPowerTraceShowsLoadTransitions(t *testing.T) {
+	// A compute run's trace starts at full draw (all cores busy from
+	// t=0) and the first step must exceed idle substantially.
+	m := traceRun(t, "ep", Config{Cores: 4, Frequency: 1.4 * units.GHz}, 1e6, 1, 0)
+	first := m.PowerTrace[0]
+	if first.At != 0 {
+		t.Errorf("first step at %v, want 0", first.At)
+	}
+	idle := ARMCortexA9().IdlePower()
+	if first.Power < idle+2 {
+		t.Errorf("initial power %v should be well above idle %v (4 cores busy)", first.Power, idle)
+	}
+}
+
+func TestIntegrateTraceEdgeCases(t *testing.T) {
+	if IntegrateTrace(nil, 1) != 0 {
+		t.Error("empty trace should integrate to 0")
+	}
+	steps := []PowerStep{{At: 0, Power: 10}, {At: 1, Power: 20}}
+	if got := IntegrateTrace(steps, 0); got != 0 {
+		t.Errorf("zero window = %v", got)
+	}
+	// 10 W for 1 s + 20 W for 1 s = 30 J.
+	if got := IntegrateTrace(steps, 2); math.Abs(float64(got)-30) > 1e-12 {
+		t.Errorf("integral = %v, want 30", got)
+	}
+	// Truncated at end: 10 W x 0.5 s.
+	if got := IntegrateTrace(steps, 0.5); math.Abs(float64(got)-5) > 1e-12 {
+		t.Errorf("truncated integral = %v, want 5", got)
+	}
+}
+
+func TestSampleTrace(t *testing.T) {
+	steps := []PowerStep{{At: 0, Power: 10}, {At: 1, Power: 20}}
+	samples := SampleTrace(steps, 2, 0.5)
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	if samples[0].Power != 10 || samples[3].Power != 20 {
+		t.Errorf("sample values wrong: %+v", samples)
+	}
+	// Bucket straddling the transition averages the two levels.
+	if samples[1].Power != 10 || samples[2].Power != 20 {
+		t.Errorf("bucket averaging wrong: %+v", samples)
+	}
+	// Resampling conserves energy.
+	var e float64
+	for _, s := range samples {
+		e += float64(s.Power) * 0.5
+	}
+	if math.Abs(e-30) > 1e-9 {
+		t.Errorf("resampled energy %v, want 30", e)
+	}
+	if SampleTrace(nil, 1, 0.1) != nil {
+		t.Error("empty trace should sample to nil")
+	}
+	if SampleTrace(steps, 0, 0.1) != nil {
+		t.Error("zero window should sample to nil")
+	}
+}
+
+func TestPeakPowerOf(t *testing.T) {
+	if PeakPowerOf(nil) != 0 {
+		t.Error("empty trace peak should be 0")
+	}
+	steps := []PowerStep{{At: 0, Power: 3}, {At: 1, Power: 7}, {At: 2, Power: 5}}
+	if got := PeakPowerOf(steps); got != 7 {
+		t.Errorf("peak = %v, want 7", got)
+	}
+}

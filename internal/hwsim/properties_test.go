@@ -1,0 +1,167 @@
+package hwsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/workloads"
+)
+
+// randomConfig draws a valid configuration for spec.
+func randomConfig(rng *rand.Rand, spec NodeSpec) Config {
+	return Config{
+		Cores:     1 + rng.Intn(spec.Cores),
+		Frequency: spec.Frequencies[rng.Intn(len(spec.Frequencies))],
+	}
+}
+
+// Conservation laws that must hold for every run, any workload, any
+// configuration, with or without noise:
+//
+//	instructions = IPs * w
+//	work cycles  = instructions * WPI
+//	energy       = breakdown total, within the clamped meter bias
+//	CPU busy     <= cores * elapsed
+//	all counters >= 0
+func TestRunConservationLaws(t *testing.T) {
+	specs := []NodeSpec{ARMCortexA9(), AMDOpteronK10(), ARMCortexA15()}
+	names := workloads.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := specs[rng.Intn(len(specs))]
+		w, err := workloads.ByName(names[rng.Intn(len(names))])
+		if err != nil {
+			return false
+		}
+		cfg := randomConfig(rng, spec)
+		units := math.Pow(10, 3+3*rng.Float64()) // 1e3..1e6 work units
+		sigma := 0.0
+		if rng.Intn(2) == 1 {
+			sigma = 0.03
+		}
+		m, err := Run(spec, cfg, w.Demand, units, Options{Seed: seed, NoiseSigma: sigma})
+		if err != nil {
+			return false
+		}
+		r := m.Record
+		stream := w.Demand.Translation[spec.ISA]
+		if math.Abs(r.Instructions-stream.PerUnit*units) > 1e-6*r.Instructions {
+			return false
+		}
+		wantWPI := spec.WPI(stream.Mix)
+		if math.Abs(r.WPI()-wantWPI) > 1e-9 {
+			return false
+		}
+		// The metered energy differs from the true breakdown only by
+		// the meter bias (clamped at 3 sigma).
+		ratio := float64(r.Energy) / float64(m.Breakdown.Total())
+		if ratio < 1-3.5*sigma-1e-9 || ratio > 1+3.5*sigma+1e-9 {
+			return false
+		}
+		if float64(r.CPUBusy) > float64(r.Elapsed)*float64(r.Cores)*(1+1e-9) {
+			return false
+		}
+		return r.WorkCycles >= 0 && r.CoreStallCycles >= 0 && r.MemStallCycles >= 0 &&
+			r.Elapsed > 0 && r.Energy > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Average power always lies between the node's idle and peak draw.
+func TestRunPowerBounds(t *testing.T) {
+	specs := []NodeSpec{ARMCortexA9(), AMDOpteronK10(), ARMCortexA15()}
+	names := workloads.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := specs[rng.Intn(len(specs))]
+		w, err := workloads.ByName(names[rng.Intn(len(names))])
+		if err != nil {
+			return false
+		}
+		cfg := randomConfig(rng, spec)
+		m, err := Run(spec, cfg, w.Demand, 1e4, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		p := float64(m.Record.AveragePower())
+		return p >= float64(spec.IdlePower())*(1-1e-9) &&
+			p <= float64(spec.PeakPower())*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More cores or higher frequency never slows a run down (noiseless).
+func TestRunMonotoneInResources(t *testing.T) {
+	specs := []NodeSpec{ARMCortexA9(), AMDOpteronK10()}
+	names := workloads.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := specs[rng.Intn(len(specs))]
+		w, err := workloads.ByName(names[rng.Intn(len(names))])
+		if err != nil {
+			return false
+		}
+		cfg := randomConfig(rng, spec)
+		base, err := Run(spec, cfg, w.Demand, 1e4, Options{})
+		if err != nil {
+			return false
+		}
+		// Add a core if possible.
+		if cfg.Cores < spec.Cores {
+			up := cfg
+			up.Cores++
+			m, err := Run(spec, up, w.Demand, 1e4, Options{})
+			if err != nil || m.Record.Elapsed > base.Record.Elapsed*(1+1e-9) {
+				return false
+			}
+		}
+		// Raise the frequency if possible.
+		for i, fq := range spec.Frequencies {
+			if fq == cfg.Frequency && i+1 < len(spec.Frequencies) {
+				up := cfg
+				up.Frequency = spec.Frequencies[i+1]
+				m, err := Run(spec, up, w.Demand, 1e4, Options{})
+				if err != nil || m.Record.Elapsed > base.Record.Elapsed*(1+1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The power trace's integral equals the metered energy for arbitrary
+// runs — the wattmeter conservation law under randomization.
+func TestPowerTraceConservationProperty(t *testing.T) {
+	specs := []NodeSpec{ARMCortexA9(), AMDOpteronK10()}
+	names := workloads.Names()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := specs[rng.Intn(len(specs))]
+		w, err := workloads.ByName(names[rng.Intn(len(names))])
+		if err != nil {
+			return false
+		}
+		cfg := randomConfig(rng, spec)
+		m, err := Run(spec, cfg, w.Demand, 1e4, Options{
+			Seed: seed, NoiseSigma: 0.03, RecordPowerTrace: true,
+		})
+		if err != nil {
+			return false
+		}
+		got := IntegrateTrace(m.PowerTrace, m.Record.Elapsed)
+		return math.Abs(float64(got-m.Record.Energy)) <= 1e-6*float64(m.Record.Energy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

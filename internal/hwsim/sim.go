@@ -1,0 +1,371 @@
+package hwsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+)
+
+// Options controls a simulated run.
+type Options struct {
+	// Seed drives the run's pseudo-randomness. Runs with equal inputs and
+	// seeds are identical.
+	Seed int64
+	// NoiseSigma is the relative magnitude of run-to-run variation
+	// (timing irregularity and power-meter noise). Zero gives a
+	// deterministic "ideal" run; the validation experiments use ~0.03,
+	// matching the few-percent irregularity the paper reports.
+	NoiseSigma float64
+	// ChunksPerCore sets scheduling granularity: each active core's work
+	// is split into this many chunks. Zero selects the default (50).
+	ChunksPerCore int
+	// RecordPowerTrace captures the node's piecewise-constant power draw
+	// over the run (what an attached wattmeter would log). The trace
+	// integrates exactly to the run's Energy.
+	RecordPowerTrace bool
+}
+
+const defaultChunksPerCore = 50
+
+// EnergyBreakdown decomposes a run's energy by component, mirroring the
+// paper's four-way split (Eq. 13).
+type EnergyBreakdown struct {
+	// CoreActive is the extra energy of cores executing work cycles.
+	CoreActive units.Joule
+	// CoreStall is the extra energy of cores stalled on memory or
+	// dependencies.
+	CoreStall units.Joule
+	// Memory is the extra energy of the DRAM subsystem servicing misses.
+	Memory units.Joule
+	// NIC is the extra energy of DMA transfers.
+	NIC units.Joule
+	// Idle is the baseline energy: the node's full idle power integrated
+	// over the run (cores in C-state 0, memory and NIC idle floors, rest
+	// of system).
+	Idle units.Joule
+}
+
+// Total sums the components.
+func (b EnergyBreakdown) Total() units.Joule {
+	return b.CoreActive + b.CoreStall + b.Memory + b.NIC + b.Idle
+}
+
+// Measurement is the complete result of one simulated run: the event-
+// counter record a perf-plus-power-meter setup would produce, the energy
+// breakdown, and the memory operating point.
+type Measurement struct {
+	Record    trace.Record
+	Breakdown EnergyBreakdown
+	Mem       MemoryOperatingPoint
+	// PowerTrace is the wattmeter log, present when
+	// Options.RecordPowerTrace was set.
+	PowerTrace []PowerStep
+}
+
+// Run executes w work units of demand on a node of type spec configured
+// as cfg, returning the Measurement. It is the reproduction's equivalent
+// of one baseline run on the physical testbed.
+func Run(spec NodeSpec, cfg Config, demand trace.Demand, w float64, opts Options) (Measurement, error) {
+	if err := spec.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if err := cfg.ValidateFor(spec); err != nil {
+		return Measurement{}, err
+	}
+	if err := demand.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return Measurement{}, fmt.Errorf("hwsim: work units must be positive and finite, got %v", w)
+	}
+	stream, ok := demand.Translation[spec.ISA]
+	if !ok {
+		return Measurement{}, fmt.Errorf("hwsim: demand %q has no translation for %v", demand.Name, spec.ISA)
+	}
+
+	chunksPerCore := opts.ChunksPerCore
+	if chunksPerCore <= 0 {
+		chunksPerCore = defaultChunksPerCore
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Run-level bias models the irregularity between repeated runs of the
+	// same program; chunk-level jitter models scheduling noise within one.
+	runBias := noiseFactor(rng, opts.NoiseSigma)
+	powerBias := noiseFactor(rng, opts.NoiseSigma)
+
+	mpki := demand.DRAMMissesPerKiloInstr[spec.ISA]
+	depStall := demand.DependencyStallsPerInstr[spec.ISA]
+	mem := SolveMemory(spec, cfg, stream.Mix, mpki, depStall, float64(cfg.Cores))
+	wpi := spec.WPI(stream.Mix)
+	f := float64(cfg.Frequency)
+
+	// Per-unit cycle accounting (fixed across chunks; noise is temporal).
+	instrPerUnit := stream.PerUnit
+	workCycPerUnit := instrPerUnit * wpi
+	depCycPerUnit := instrPerUnit * depStall
+	memCycPerUnit := instrPerUnit * mem.SPIMem
+	stallCycPerUnit := math.Max(depCycPerUnit, memCycPerUnit)
+	computeSecPerUnit := (workCycPerUnit + stallCycPerUnit) / f * runBias
+
+	chunkUnits := w / float64(cfg.Cores*chunksPerCore)
+	if chunkUnits < 1 {
+		chunkUnits = math.Min(1, w)
+	}
+	bytesPerUnit := float64(demand.IOBytesPerUnit)
+	nicSecPerByte := 1 / float64(spec.NIC.Bandwidth)
+
+	// Average per-core draw during a chunk: active and stall power
+	// weighted by the cycle split. Used for both the energy breakdown
+	// and the power trace.
+	actShare := 0.0
+	if tot := workCycPerUnit + stallCycPerUnit; tot > 0 {
+		actShare = workCycPerUnit / tot
+	}
+	corePowerAvg := float64(spec.CoreActivePower(cfg.Frequency))*actShare +
+		float64(spec.CoreStallPower(cfg.Frequency))*(1-actShare)
+	nicPower := float64(spec.Power.NICActive)
+
+	st := &simState{
+		sched:      newScheduler(),
+		rng:        rng,
+		sigma:      opts.NoiseSigma / 2,
+		remaining:  w,
+		coreOfWork: make([]float64, cfg.Cores),
+		coreDur:    make([]float64, cfg.Cores),
+		corePower:  corePowerAvg,
+		nicPower:   nicPower,
+	}
+	if opts.RecordPowerTrace {
+		st.rec = &powerRecorder{}
+	}
+
+	// Request-response work becomes available as the generator delivers
+	// it; other work is available immediately.
+	paced := demand.IO == trace.IORequestResponse && demand.RequestRate > 0
+	if paced {
+		st.toArrive = w
+		st.arrivalChunk = chunkUnits
+		st.arrivalGap = chunkUnits / demand.RequestRate
+		st.sched.schedule(st.arrivalGap, evArrival, -1)
+	} else {
+		st.available = w
+	}
+
+	startCore := func(core int, now float64) {
+		take := math.Min(chunkUnits, st.available)
+		if take <= 0 {
+			st.coreIdle(core)
+			return
+		}
+		st.available -= take
+		st.coreOfWork[core] = take
+		d := take * computeSecPerUnit * st.jitter()
+		st.coreDur[core] = d
+		st.sched.schedule(now+d, evCoreDone, core)
+		st.coreBusyFrom(core, now)
+		st.rec.add(now, st.corePower)
+	}
+
+	for core := 0; core < cfg.Cores; core++ {
+		startCore(core, 0)
+	}
+
+	for {
+		ev, ok := st.sched.next()
+		if !ok {
+			break
+		}
+		st.clock = ev.at
+		switch ev.kind {
+		case evArrival:
+			batch := math.Min(st.arrivalChunk, st.toArrive)
+			st.toArrive -= batch
+			st.available += batch
+			if st.toArrive > 0 {
+				st.sched.schedule(ev.at+st.arrivalGap, evArrival, -1)
+			}
+			// Wake idle cores.
+			for core := 0; core < cfg.Cores; core++ {
+				if !st.coreBusy(core) && st.available > 0 {
+					startCore(core, ev.at)
+				}
+			}
+		case evCoreDone:
+			unitsDone := st.coreOfWork[ev.core]
+			chunkSec := st.coreDur[ev.core] // jittered actual duration
+			st.coreDone(ev.core, ev.at)
+			st.rec.add(ev.at, -st.corePower)
+			st.remaining -= unitsDone
+			st.instructions += unitsDone * instrPerUnit
+			st.workCycles += unitsDone * workCycPerUnit
+			st.depCycles += unitsDone * depCycPerUnit
+			st.memCycles += unitsDone * memCycPerUnit
+			// The energy of the chunk splits between active and stall
+			// power in proportion to work vs stall cycles.
+			st.coreActiveSec += chunkSec * actShare
+			st.coreStallSec += chunkSec * (1 - actShare)
+			if demand.IO != trace.IONone && bytesPerUnit > 0 {
+				st.nicEnqueue(unitsDone*bytesPerUnit, nicSecPerByte, ev.at)
+			}
+			startCore(ev.core, ev.at)
+		case evNICDone:
+			st.nicComplete(ev.at, nicSecPerByte)
+		}
+	}
+
+	elapsed := st.clock
+	if elapsed <= 0 {
+		return Measurement{}, fmt.Errorf("hwsim: run of %q produced no simulated time", demand.Name)
+	}
+
+	memShare := MemoryActiveShare(wpi, depStall, mem.SPIMem, float64(cfg.Cores))
+	breakdown := EnergyBreakdown{
+		CoreActive: spec.CoreActivePower(cfg.Frequency).Times(units.Seconds(st.coreActiveSec)),
+		CoreStall:  spec.CoreStallPower(cfg.Frequency).Times(units.Seconds(st.coreStallSec)),
+		Memory:     spec.Power.MemActive.Times(units.Seconds(memShare * elapsed)),
+		NIC:        spec.Power.NICActive.Times(units.Seconds(st.nicBusySec)),
+		Idle:       spec.IdlePower().Times(units.Seconds(elapsed)),
+	}
+	energy := units.Joule(float64(breakdown.Total()) * powerBias)
+
+	rec := trace.Record{
+		Workload:        demand.Name,
+		Node:            spec.Name,
+		ISA:             spec.ISA,
+		Cores:           cfg.Cores,
+		Frequency:       cfg.Frequency,
+		WorkUnits:       w,
+		Instructions:    st.instructions,
+		WorkCycles:      st.workCycles,
+		CoreStallCycles: st.depCycles,
+		MemStallCycles:  st.memCycles,
+		CPUBusy:         units.Seconds(st.cpuBusySec),
+		IOBytes:         units.Bytes(st.ioBytes),
+		IOTransferTime:  units.Seconds(st.nicBusySec),
+		Elapsed:         units.Seconds(elapsed),
+		Energy:          energy,
+	}
+	if err := rec.Validate(); err != nil {
+		return Measurement{}, fmt.Errorf("hwsim: internal error, invalid record: %w", err)
+	}
+	m := Measurement{Record: rec, Breakdown: breakdown, Mem: mem}
+	if st.rec != nil {
+		m.PowerTrace = st.rec.steps(float64(spec.IdlePower()),
+			memShare*float64(spec.Power.MemActive), powerBias, elapsed)
+	}
+	return m, nil
+}
+
+// noiseFactor draws a multiplicative factor 1 + sigma*N(0,1), clamped to
+// [1-3sigma, 1+3sigma] and floored at 0.5.
+func noiseFactor(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	n := rng.NormFloat64()
+	if n > 3 {
+		n = 3
+	}
+	if n < -3 {
+		n = -3
+	}
+	f := 1 + sigma*n
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// simState carries the event-driven run's mutable state and accumulators.
+type simState struct {
+	sched *scheduler
+	rng   *rand.Rand
+	sigma float64
+	clock float64
+
+	// Work bookkeeping (in work units).
+	remaining    float64
+	available    float64
+	toArrive     float64
+	arrivalChunk float64
+	arrivalGap   float64
+
+	// Core state.
+	coreOfWork []float64 // units in flight per core; 0 = idle
+	coreDur    []float64 // scheduled (jittered) duration of the chunk in flight
+	coreStart  []float64 // busy-since timestamps (lazily allocated)
+
+	// NIC state.
+	nicQueueBytes []float64
+	nicBusy       bool
+	nicBusySec    float64
+	ioBytes       float64
+
+	// Power tracing.
+	rec       *powerRecorder // nil unless requested
+	corePower float64        // avg per-core draw while executing a chunk
+	nicPower  float64        // NIC draw while transferring
+
+	// Counters.
+	instructions  float64
+	workCycles    float64
+	depCycles     float64
+	memCycles     float64
+	cpuBusySec    float64
+	coreActiveSec float64
+	coreStallSec  float64
+}
+
+func (st *simState) jitter() float64 { return noiseFactor(st.rng, st.sigma) }
+
+func (st *simState) coreBusy(core int) bool { return st.coreOfWork[core] > 0 }
+
+func (st *simState) coreBusyFrom(core int, now float64) {
+	if st.coreStart == nil {
+		st.coreStart = make([]float64, len(st.coreOfWork))
+	}
+	st.coreStart[core] = now
+}
+
+func (st *simState) coreDone(core int, now float64) {
+	if st.coreStart != nil {
+		st.cpuBusySec += now - st.coreStart[core]
+	}
+	st.coreOfWork[core] = 0
+}
+
+func (st *simState) coreIdle(core int) { st.coreOfWork[core] = 0 }
+
+// nicEnqueue appends a DMA transfer and starts the NIC if it is idle.
+func (st *simState) nicEnqueue(bytes, secPerByte, now float64) {
+	st.nicQueueBytes = append(st.nicQueueBytes, bytes)
+	if !st.nicBusy {
+		st.rec.add(now, st.nicPower)
+		st.nicStart(now, secPerByte)
+	}
+}
+
+// nicStart begins the head-of-queue transfer.
+func (st *simState) nicStart(now, secPerByte float64) {
+	bytes := st.nicQueueBytes[0]
+	d := bytes * secPerByte * st.jitter()
+	st.nicBusy = true
+	st.nicBusySec += d
+	st.ioBytes += bytes
+	st.sched.schedule(now+d, evNICDone, -1)
+}
+
+// nicComplete finishes the head transfer and starts the next, if any;
+// the NIC's power drops only when its queue drains.
+func (st *simState) nicComplete(now, secPerByte float64) {
+	st.nicQueueBytes = st.nicQueueBytes[1:]
+	st.nicBusy = false
+	if len(st.nicQueueBytes) > 0 {
+		st.nicStart(now, secPerByte)
+		return
+	}
+	st.rec.add(now, -st.nicPower)
+}

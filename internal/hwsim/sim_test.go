@@ -1,0 +1,375 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+func mustDemand(t *testing.T, name string) trace.Demand {
+	t.Helper()
+	s, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Demand
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "ep")
+
+	if _, err := Run(arm, Config{Cores: 9, Frequency: 1.4 * units.GHz}, d, 1000, Options{}); err == nil {
+		t.Error("bad config should error")
+	}
+	if _, err := Run(arm, cfg, trace.Demand{}, 1000, Options{}); err == nil {
+		t.Error("bad demand should error")
+	}
+	for _, w := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := Run(arm, cfg, d, w, Options{}); err == nil {
+			t.Errorf("work %v should error", w)
+		}
+	}
+	bad := arm
+	bad.Cores = 0
+	if _, err := Run(bad, cfg, d, 1000, Options{}); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "ep")
+	m1, err := Run(arm, cfg, d, 1e6, Options{Seed: 7, NoiseSigma: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(arm, cfg, d, 1e6, Options{Seed: 7, NoiseSigma: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Record != m2.Record {
+		t.Error("equal seeds should give identical runs")
+	}
+	m3, err := Run(arm, cfg, d, 1e6, Options{Seed: 8, NoiseSigma: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Record.Elapsed == m3.Record.Elapsed {
+		t.Error("different seeds should perturb the run")
+	}
+}
+
+func TestRunNoiselessIsIdeal(t *testing.T) {
+	// Without noise, elapsed time must match the closed-form cycle
+	// accounting for a pure-CPU workload.
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "ep")
+	w := 1e6
+	m, err := Run(arm, cfg, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := d.Translation[arm.ISA]
+	op := SolveMemory(arm, cfg, stream.Mix, d.DRAMMissesPerKiloInstr[arm.ISA],
+		d.DependencyStallsPerInstr[arm.ISA], 4)
+	perUnitCycles := stream.PerUnit * (arm.WPI(stream.Mix) +
+		math.Max(d.DependencyStallsPerInstr[arm.ISA], op.SPIMem))
+	want := w / 4 * perUnitCycles / float64(cfg.Frequency)
+	if rel := math.Abs(float64(m.Record.Elapsed)-want) / want; rel > 0.01 {
+		t.Errorf("elapsed = %v, closed form %v (rel err %v)", m.Record.Elapsed, want, rel)
+	}
+}
+
+func TestRunCounterConservation(t *testing.T) {
+	// Counters must account for exactly the work units executed.
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 3, Frequency: 0.8 * units.GHz}
+	d := mustDemand(t, "blackscholes")
+	w := 5e4
+	m, err := Run(arm, cfg, d, w, Options{Seed: 3, NoiseSigma: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstr := d.Translation[arm.ISA].PerUnit * w
+	if rel := math.Abs(m.Record.Instructions-wantInstr) / wantInstr; rel > 1e-9 {
+		t.Errorf("instructions = %v, want %v", m.Record.Instructions, wantInstr)
+	}
+	if m.Record.WorkUnits != w {
+		t.Errorf("work units = %v, want %v", m.Record.WorkUnits, w)
+	}
+	// WPI and SPIcore derived from counters must equal the model inputs
+	// (they are noise-free by construction; noise only shifts time).
+	wantWPI := arm.WPI(d.Translation[arm.ISA].Mix)
+	if got := m.Record.WPI(); math.Abs(got-wantWPI) > 1e-9 {
+		t.Errorf("WPI = %v, want %v", got, wantWPI)
+	}
+	wantSPI := d.DependencyStallsPerInstr[arm.ISA]
+	if got := m.Record.SPICore(); math.Abs(got-wantSPI) > 1e-9 {
+		t.Errorf("SPIcore = %v, want %v", got, wantSPI)
+	}
+}
+
+// Figure 2: WPI and SPIcore are constant as the problem scales.
+func TestWPIConstantAcrossProblemSizes(t *testing.T) {
+	amd := AMDOpteronK10()
+	cfg := Config{Cores: 6, Frequency: 2.1 * units.GHz}
+	d := mustDemand(t, "ep")
+	var prevWPI, prevSPI float64
+	for i, w := range []float64{1e5, 1e6, 1e7} {
+		m, err := Run(amd, cfg, d, w, Options{Seed: int64(i), NoiseSigma: 0.03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if math.Abs(m.Record.WPI()-prevWPI) > 0.001*prevWPI {
+				t.Errorf("WPI drifted across sizes: %v vs %v", m.Record.WPI(), prevWPI)
+			}
+			if math.Abs(m.Record.SPICore()-prevSPI) > 0.001*prevSPI {
+				t.Errorf("SPIcore drifted across sizes: %v vs %v", m.Record.SPICore(), prevSPI)
+			}
+		}
+		prevWPI, prevSPI = m.Record.WPI(), m.Record.SPICore()
+	}
+}
+
+func TestMoreCoresRunFaster(t *testing.T) {
+	arm := ARMCortexA9()
+	d := mustDemand(t, "julius")
+	w := 2e5
+	t1, err := Run(arm, Config{Cores: 1, Frequency: 1.1 * units.GHz}, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Run(arm, Config{Cores: 4, Frequency: 1.1 * units.GHz}, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(t1.Record.Elapsed) / float64(t4.Record.Elapsed)
+	if speedup < 3 || speedup > 4.05 {
+		t.Errorf("4-core speedup = %v, want in (3, 4.05]", speedup)
+	}
+}
+
+func TestHigherFrequencyRunsFaster(t *testing.T) {
+	amd := AMDOpteronK10()
+	d := mustDemand(t, "blackscholes")
+	w := 5e4
+	slow, err := Run(amd, Config{Cores: 6, Frequency: 0.8 * units.GHz}, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(amd, Config{Cores: 6, Frequency: 2.1 * units.GHz}, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Record.Elapsed >= slow.Record.Elapsed {
+		t.Errorf("2.1 GHz (%v) should beat 0.8 GHz (%v)", fast.Record.Elapsed, slow.Record.Elapsed)
+	}
+	// Faster clock draws more power.
+	if fast.Record.AveragePower() <= slow.Record.AveragePower() {
+		t.Errorf("power at 2.1 GHz (%v) should exceed 0.8 GHz (%v)",
+			fast.Record.AveragePower(), slow.Record.AveragePower())
+	}
+}
+
+func TestEnergyEqualsBreakdownAndPowerBounds(t *testing.T) {
+	arm := ARMCortexA9()
+	d := mustDemand(t, "ep")
+	for _, cfg := range Configs(arm) {
+		m, err := Run(arm, cfg, d, 1e5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(m.Record.Energy-m.Breakdown.Total())) > 1e-9*float64(m.Record.Energy) {
+			t.Errorf("cfg %+v: energy %v != breakdown %v", cfg, m.Record.Energy, m.Breakdown.Total())
+		}
+		p := m.Record.AveragePower()
+		if p < arm.IdlePower() || p > arm.PeakPower()*1.01 {
+			t.Errorf("cfg %+v: power %v outside [idle %v, peak %v]",
+				cfg, p, arm.IdlePower(), arm.PeakPower())
+		}
+	}
+}
+
+func TestMemcachedIsIOBound(t *testing.T) {
+	// On both nodes, memcached elapsed time must track the NIC transfer
+	// time, not the CPU time, and CPU utilization must be far below 1.
+	d := mustDemand(t, "memcached")
+	w := 5e4
+	for _, spec := range []NodeSpec{ARMCortexA9(), AMDOpteronK10()} {
+		cfg := Config{Cores: spec.Cores, Frequency: spec.FMax()}
+		m, err := Run(spec, cfg, d, w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transfer := float64(spec.NIC.Bandwidth.TransferTime(units.Bytes(w * 1024)))
+		if rel := math.Abs(float64(m.Record.Elapsed)-transfer) / transfer; rel > 0.15 {
+			t.Errorf("%s: elapsed %v vs pure transfer %v (rel %v)", spec.Name, m.Record.Elapsed, transfer, rel)
+		}
+		if u := m.Record.CPUUtilization(); u > 0.5 {
+			t.Errorf("%s: memcached CPU utilization = %v, want low (I/O bound)", spec.Name, u)
+		}
+		if m.Record.IOBytes != units.Bytes(w*1024) {
+			t.Errorf("%s: IO bytes = %v, want %v", spec.Name, m.Record.IOBytes, w*1024)
+		}
+	}
+}
+
+func TestStreamingIOOverlapsCompute(t *testing.T) {
+	// Julius streams 2 bytes per sample; its elapsed time must equal the
+	// CPU-bound time (transfers hide behind compute).
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "julius")
+	w := 2e5
+	m, err := Run(arm, cfg, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Record.IOBytes != units.Bytes(2*w) {
+		t.Errorf("streamed bytes = %v, want %v", m.Record.IOBytes, 2*w)
+	}
+	if float64(m.Record.IOTransferTime) > 0.05*float64(m.Record.Elapsed) {
+		t.Errorf("transfer time %v should be negligible vs elapsed %v",
+			m.Record.IOTransferTime, m.Record.Elapsed)
+	}
+}
+
+func TestArrivalPacingLimitsThroughput(t *testing.T) {
+	// With a request rate far below NIC capacity, elapsed time is set by
+	// arrivals (the 1/lambda branch of paper Eq. 11).
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 2, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "memcached")
+	d.RequestRate = 1000 // 1k req/s << NIC's ~12.2k req/s at 1 KiB
+	w := 1e4
+	m, err := Run(arm, cfg, d, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w / d.RequestRate
+	if rel := math.Abs(float64(m.Record.Elapsed)-want) / want; rel > 0.1 {
+		t.Errorf("arrival-paced elapsed = %v, want ~%v", m.Record.Elapsed, want)
+	}
+}
+
+func TestRhoVisibleInMeasurement(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	stall := workloads.MicroStallStream().Demand
+	m, err := Run(arm, cfg, stall, 1e5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem.Rho < 0.4 {
+		t.Errorf("stall stream should pressure memory bandwidth, rho = %v", m.Mem.Rho)
+	}
+}
+
+// Energy and elapsed time scale linearly with problem size (the paper
+// notes input size does not change any conclusion for this reason).
+func TestLinearScalingInWork(t *testing.T) {
+	f := func(mult uint8) bool {
+		k := 1 + int(mult)%8
+		arm := ARMCortexA9()
+		cfg := Config{Cores: 4, Frequency: 1.1 * units.GHz}
+		d, err := workloads.ByName("ep")
+		if err != nil {
+			return false
+		}
+		base, err := Run(arm, cfg, d.Demand, 1e5, Options{})
+		if err != nil {
+			return false
+		}
+		scaled, err := Run(arm, cfg, d.Demand, 1e5*float64(k), Options{})
+		if err != nil {
+			return false
+		}
+		tRatio := float64(scaled.Record.Elapsed) / float64(base.Record.Elapsed)
+		eRatio := float64(scaled.Record.Energy) / float64(base.Record.Energy)
+		return math.Abs(tRatio-float64(k)) < 0.02*float64(k) &&
+			math.Abs(eRatio-float64(k)) < 0.02*float64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseMagnitudeIsBounded(t *testing.T) {
+	// With sigma = 0.03, elapsed times across seeds stay within ~10% of
+	// the noiseless run (3-sigma clamp).
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "ep")
+	ideal, err := Run(arm, cfg, d, 1e5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		m, err := Run(arm, cfg, d, 1e5, Options{Seed: seed, NoiseSigma: 0.03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(float64(m.Record.Elapsed-ideal.Record.Elapsed)) / float64(ideal.Record.Elapsed)
+		if rel > 0.12 {
+			t.Errorf("seed %d: noise moved elapsed by %v", seed, rel)
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	s := newScheduler()
+	s.schedule(3, evCoreDone, 0)
+	s.schedule(1, evNICDone, -1)
+	s.schedule(2, evArrival, -1)
+	s.schedule(1, evArrival, -1) // tie at t=1: FIFO by sequence
+	var got []float64
+	var kinds []eventKind
+	for {
+		e, ok := s.next()
+		if !ok {
+			break
+		}
+		got = append(got, e.at)
+		kinds = append(kinds, e.kind)
+	}
+	want := []float64{1, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if kinds[0] != evNICDone || kinds[1] != evArrival {
+		t.Errorf("tie-break order wrong: %v", kinds)
+	}
+	if !s.empty() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestChunksPerCoreOverride(t *testing.T) {
+	arm := ARMCortexA9()
+	cfg := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	d := mustDemand(t, "ep")
+	coarse, err := Run(arm, cfg, d, 1e5, Options{ChunksPerCore: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Run(arm, cfg, d, 1e5, Options{ChunksPerCore: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Granularity must not change noiseless totals materially.
+	rel := math.Abs(float64(coarse.Record.Elapsed-fine.Record.Elapsed)) / float64(fine.Record.Elapsed)
+	if rel > 0.02 {
+		t.Errorf("chunking changed elapsed by %v", rel)
+	}
+}

@@ -1,0 +1,365 @@
+// Package hwsim simulates the execution of scale-out workloads on single
+// cluster nodes. It is the reproduction's stand-in for the paper's
+// physical testbed: where the authors ran programs on real ARM Cortex-A9
+// and AMD Opteron K10 machines instrumented with perf and a Yokogawa WT210
+// power meter, we run workload service demands through a discrete-event
+// node simulator that models
+//
+//   - super-scalar out-of-order cores with per-instruction-class issue
+//     costs, whose non-memory stalls overlap with memory stalls (the
+//     max(Tcore, Tmem) behaviour of paper Eq. 3),
+//
+//   - a single shared memory controller (UMA) whose effective latency
+//     grows with the number of active cores and with bandwidth pressure —
+//     producing SPImem that rises linearly with core frequency exactly as
+//     Figure 3 measures, since a DRAM access costs fixed nanoseconds and
+//     therefore f-proportional core cycles,
+//
+//   - a DMA-driven network device whose transfers fully overlap with CPU
+//     activity (paper §II-A), and
+//
+//   - a four-component power model (cores, memory, network I/O, rest of
+//     system) with frequency-dependent active and stall core power and
+//     C-state-0 idling (cores never sleep, paper §II-A).
+//
+// Runs include seeded run-to-run variation so that validating the
+// analytical model against the simulator exercises the same ±few-percent
+// irregularity the paper reports as its main error source.
+package hwsim
+
+import (
+	"fmt"
+	"math"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+// MemorySpec describes the node's shared memory system.
+type MemorySpec struct {
+	// BaseLatency is the unloaded DRAM access latency.
+	BaseLatencyNs float64
+	// ContentionNsPerCore is the extra latency added per additional
+	// active core sharing the single memory controller (the off-chip
+	// contention effect of Tudor et al. the paper builds on).
+	ContentionNsPerCore float64
+	// PeakBandwidth is the sustainable DRAM bandwidth.
+	PeakBandwidth units.BytesPerSecond
+	// LineBytes is the cache-line transfer size per miss.
+	LineBytes float64
+}
+
+// Validate checks the MemorySpec invariants.
+func (m MemorySpec) Validate() error {
+	if m.BaseLatencyNs <= 0 || m.ContentionNsPerCore < 0 || m.PeakBandwidth <= 0 || m.LineBytes <= 0 {
+		return fmt.Errorf("hwsim: invalid memory spec %+v", m)
+	}
+	return nil
+}
+
+// NICSpec describes the node's network device.
+type NICSpec struct {
+	// Bandwidth is the line rate (1 Gbps for AMD, 100 Mbps for ARM).
+	Bandwidth units.BytesPerSecond
+}
+
+// Validate checks the NICSpec invariants.
+func (n NICSpec) Validate() error {
+	if n.Bandwidth <= 0 {
+		return fmt.Errorf("hwsim: invalid NIC bandwidth %v", n.Bandwidth)
+	}
+	return nil
+}
+
+// PowerSpec is the node's power model. Core, memory and NIC figures are
+// *additional* power over their idle draw; the complete idle power of the
+// node (paper's Pidle) is Rest + Cores*CoreIdle + MemIdle + NICIdle,
+// matching the paper's convention that idle power already includes every
+// component's floor.
+type PowerSpec struct {
+	// CoreIdle is one core's draw when idling in C-state 0.
+	CoreIdle units.Watt
+	// CoreActiveMax is the extra draw of a core executing work cycles at
+	// maximum frequency; it scales as (f/fmax)^FreqExponent.
+	CoreActiveMax units.Watt
+	// CoreStallMax is the extra draw of a core that is stalled waiting
+	// (clocking but not retiring), at maximum frequency.
+	CoreStallMax units.Watt
+	// FreqExponent models DVFS: dynamic power ~ f^FreqExponent.
+	FreqExponent float64
+	// MemIdle and MemActive are the DRAM subsystem's idle draw and the
+	// extra draw while servicing misses.
+	MemIdle, MemActive units.Watt
+	// NICIdle and NICActive are the network device's idle draw and the
+	// extra draw during DMA transfers.
+	NICIdle, NICActive units.Watt
+	// Rest is the fixed draw of everything else (paper §II-A: disks,
+	// power supply, motherboard circuitry).
+	Rest units.Watt
+}
+
+// Validate checks the PowerSpec invariants.
+func (p PowerSpec) Validate() error {
+	vals := []units.Watt{p.CoreIdle, p.CoreActiveMax, p.CoreStallMax, p.MemIdle, p.MemActive, p.NICIdle, p.NICActive, p.Rest}
+	for _, v := range vals {
+		if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return fmt.Errorf("hwsim: negative or non-finite power in %+v", p)
+		}
+	}
+	if p.FreqExponent < 1 || p.FreqExponent > 3.5 {
+		return fmt.Errorf("hwsim: implausible frequency exponent %v", p.FreqExponent)
+	}
+	if p.CoreStallMax > p.CoreActiveMax {
+		return fmt.Errorf("hwsim: stall power %v exceeds active power %v", p.CoreStallMax, p.CoreActiveMax)
+	}
+	return nil
+}
+
+// NodeSpec fully describes one node type.
+type NodeSpec struct {
+	// Name identifies the node type ("arm-cortex-a9", "amd-opteron-k10").
+	Name string
+	// ISA is the node's instruction set.
+	ISA isa.ISA
+	// Cores is the core count (Table 1: 4 on ARM, 6 on AMD).
+	Cores int
+	// Frequencies are the selectable P-states, ascending (Table 1 plus
+	// the paper's footnote 2: 5 frequencies on ARM, 3 on AMD).
+	Frequencies []units.Hertz
+	// ClassCPI is the issue cost in cycles of one instruction of each
+	// class when its operands are ready (work cycles per instruction).
+	ClassCPI [isa.NumClasses]float64
+	// Mem is the memory system.
+	Mem MemorySpec
+	// NIC is the network device.
+	NIC NICSpec
+	// Power is the power model.
+	Power PowerSpec
+}
+
+// Validate checks the NodeSpec invariants.
+func (s NodeSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("hwsim: node spec with empty name")
+	}
+	if !s.ISA.Valid() {
+		return fmt.Errorf("hwsim: node %q has invalid ISA", s.Name)
+	}
+	if s.Cores <= 0 {
+		return fmt.Errorf("hwsim: node %q has %d cores", s.Name, s.Cores)
+	}
+	if len(s.Frequencies) == 0 {
+		return fmt.Errorf("hwsim: node %q has no frequencies", s.Name)
+	}
+	for i, f := range s.Frequencies {
+		if f <= 0 {
+			return fmt.Errorf("hwsim: node %q frequency %d is %v", s.Name, i, f)
+		}
+		if i > 0 && f <= s.Frequencies[i-1] {
+			return fmt.Errorf("hwsim: node %q frequencies not ascending", s.Name)
+		}
+	}
+	for c, cpi := range s.ClassCPI {
+		if cpi <= 0 {
+			return fmt.Errorf("hwsim: node %q has CPI %v for class %v", s.Name, cpi, isa.Class(c))
+		}
+	}
+	if err := s.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := s.NIC.Validate(); err != nil {
+		return err
+	}
+	return s.Power.Validate()
+}
+
+// FMax returns the highest P-state frequency.
+func (s NodeSpec) FMax() units.Hertz { return s.Frequencies[len(s.Frequencies)-1] }
+
+// FMin returns the lowest P-state frequency.
+func (s NodeSpec) FMin() units.Hertz { return s.Frequencies[0] }
+
+// HasFrequency reports whether f is a selectable P-state.
+func (s NodeSpec) HasFrequency(f units.Hertz) bool {
+	for _, have := range s.Frequencies {
+		if have == f {
+			return true
+		}
+	}
+	return false
+}
+
+// WPI returns the work cycles per instruction for the given mix on this
+// node: the mix-weighted issue cost. This is the quantity the paper
+// measures as WPI and finds constant across problem sizes (Figure 2).
+func (s NodeSpec) WPI(m isa.Mix) float64 {
+	w := 0.0
+	for _, c := range isa.Classes() {
+		w += m.Fraction(c) * s.ClassCPI[c]
+	}
+	return w
+}
+
+// IdlePower returns the node's complete idle power, the paper's Pidle.
+func (s NodeSpec) IdlePower() units.Watt {
+	return s.Power.Rest +
+		units.Watt(float64(s.Power.CoreIdle)*float64(s.Cores)) +
+		s.Power.MemIdle + s.Power.NICIdle
+}
+
+// PeakPower returns the node's maximum draw: all cores active at fmax
+// with memory and NIC active. For the calibrated nodes this reproduces
+// the paper's §IV-C figures (AMD ~60 W, ARM ~5 W).
+func (s NodeSpec) PeakPower() units.Watt {
+	return s.IdlePower() +
+		units.Watt(float64(s.Power.CoreActiveMax)*float64(s.Cores)) +
+		s.Power.MemActive + s.Power.NICActive
+}
+
+// CoreActivePower returns one core's extra draw when executing work
+// cycles at frequency f.
+func (s NodeSpec) CoreActivePower(f units.Hertz) units.Watt {
+	return scalePower(s.Power.CoreActiveMax, f, s.FMax(), s.Power.FreqExponent)
+}
+
+// CoreStallPower returns one core's extra draw when stalled at frequency f.
+func (s NodeSpec) CoreStallPower(f units.Hertz) units.Watt {
+	return scalePower(s.Power.CoreStallMax, f, s.FMax(), s.Power.FreqExponent)
+}
+
+func scalePower(max units.Watt, f, fmax units.Hertz, exp float64) units.Watt {
+	if f <= 0 || fmax <= 0 {
+		return 0
+	}
+	return units.Watt(float64(max) * math.Pow(float64(f)/float64(fmax), exp))
+}
+
+// ConfigCount returns the number of (cores, frequency) configurations of
+// a single node, used by the paper's footnote-2 configuration arithmetic.
+func (s NodeSpec) ConfigCount() int { return s.Cores * len(s.Frequencies) }
+
+// ARMCortexA9 returns the calibrated low-power node of Table 1:
+// 4 cores at 0.2-1.4 GHz, 1 GB LP-DDR2 behind one controller, 100 Mbps
+// NIC, idle power 1.8 W and peak 5 W (paper §IV-C: "each ARM node draws a
+// peak power of 5 W", idling "at less than 2 watts").
+func ARMCortexA9() NodeSpec {
+	var cpi [isa.NumClasses]float64
+	cpi[isa.IntALU] = 0.9
+	cpi[isa.FP] = 1.4
+	cpi[isa.Mem] = 1.0
+	cpi[isa.Branch] = 1.1
+	cpi[isa.Crypto] = 4.0 // 32-bit datapath synthesizes wide multiplies
+	return NodeSpec{
+		Name:  "arm-cortex-a9",
+		ISA:   isa.ARMv7A,
+		Cores: 4,
+		Frequencies: []units.Hertz{
+			0.2 * units.GHz, 0.5 * units.GHz, 0.8 * units.GHz, 1.1 * units.GHz, 1.4 * units.GHz,
+		},
+		ClassCPI: cpi,
+		Mem: MemorySpec{
+			BaseLatencyNs:       110,
+			ContentionNsPerCore: 20,
+			PeakBandwidth:       units.BytesPerSecond(0.8e9), // LP-DDR2 sustainable
+			LineBytes:           32,                          // Cortex-A9 line size
+		},
+		NIC: NICSpec{Bandwidth: units.Mbps(100)},
+		Power: PowerSpec{
+			CoreIdle:      0.1,
+			CoreActiveMax: 0.7,
+			CoreStallMax:  0.45,
+			FreqExponent:  2.2,
+			MemIdle:       0.1,
+			MemActive:     0.3,
+			NICIdle:       0.1,
+			NICActive:     0.1,
+			Rest:          1.2,
+		},
+	}
+}
+
+// AMDOpteronK10 returns the calibrated high-performance node of Table 1:
+// 6 cores at 0.8-2.1 GHz, 8 GB DDR3, 1 Gbps NIC, idle power 45 W and peak
+// 60 W (paper §IV-C/§IV-E: 60 W peak, "AMD idle power is 45 watts").
+func AMDOpteronK10() NodeSpec {
+	var cpi [isa.NumClasses]float64
+	cpi[isa.IntALU] = 0.5
+	cpi[isa.FP] = 0.8
+	cpi[isa.Mem] = 0.6
+	cpi[isa.Branch] = 0.7
+	cpi[isa.Crypto] = 1.0 // 64-bit MUL pipeline
+	return NodeSpec{
+		Name:  "amd-opteron-k10",
+		ISA:   isa.X8664,
+		Cores: 6,
+		Frequencies: []units.Hertz{
+			0.8 * units.GHz, 1.4 * units.GHz, 2.1 * units.GHz,
+		},
+		ClassCPI: cpi,
+		Mem: MemorySpec{
+			BaseLatencyNs:       60,
+			ContentionNsPerCore: 6,
+			PeakBandwidth:       units.BytesPerSecond(6.4e9), // DDR3 sustainable
+			LineBytes:           64,
+		},
+		NIC: NICSpec{Bandwidth: units.Mbps(1000)},
+		Power: PowerSpec{
+			CoreIdle:      1.0,
+			CoreActiveMax: 2.0,
+			CoreStallMax:  1.3,
+			FreqExponent:  2.2,
+			MemIdle:       0.5,
+			MemActive:     2.0,
+			NICIdle:       0.5,
+			NICActive:     1.0,
+			Rest:          38,
+		},
+	}
+}
+
+// ByName returns a calibrated node spec by its Name, for reconstructing
+// persisted models. Known names: "arm-cortex-a9", "amd-opteron-k10",
+// "arm-cortex-a15".
+func ByName(name string) (NodeSpec, error) {
+	switch name {
+	case "arm-cortex-a9":
+		return ARMCortexA9(), nil
+	case "amd-opteron-k10":
+		return AMDOpteronK10(), nil
+	case "arm-cortex-a15":
+		return ARMCortexA15(), nil
+	default:
+		return NodeSpec{}, fmt.Errorf("hwsim: unknown node type %q", name)
+	}
+}
+
+// Config selects how a node runs a job: how many cores participate and at
+// which P-state they clock. This is the per-node configuration dimension
+// of the paper's search space.
+type Config struct {
+	Cores     int
+	Frequency units.Hertz
+}
+
+// ValidateFor checks that the config is realizable on spec.
+func (c Config) ValidateFor(spec NodeSpec) error {
+	if c.Cores < 1 || c.Cores > spec.Cores {
+		return fmt.Errorf("hwsim: %d cores outside 1..%d on %s", c.Cores, spec.Cores, spec.Name)
+	}
+	if !spec.HasFrequency(c.Frequency) {
+		return fmt.Errorf("hwsim: frequency %v not a P-state of %s", c.Frequency, spec.Name)
+	}
+	return nil
+}
+
+// Configs enumerates every (cores, frequency) configuration of spec,
+// cores-major then frequency.
+func Configs(spec NodeSpec) []Config {
+	out := make([]Config, 0, spec.ConfigCount())
+	for c := 1; c <= spec.Cores; c++ {
+		for _, f := range spec.Frequencies {
+			out = append(out, Config{Cores: c, Frequency: f})
+		}
+	}
+	return out
+}

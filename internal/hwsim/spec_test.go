@@ -1,0 +1,215 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+func TestCalibratedSpecsValidate(t *testing.T) {
+	for _, spec := range []NodeSpec{ARMCortexA9(), AMDOpteronK10()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+// Table 1 of the paper fixes the headline hardware parameters.
+func TestTable1Parameters(t *testing.T) {
+	arm := ARMCortexA9()
+	if arm.ISA != isa.ARMv7A {
+		t.Errorf("ARM ISA = %v", arm.ISA)
+	}
+	if arm.Cores != 4 {
+		t.Errorf("ARM cores = %d, want 4", arm.Cores)
+	}
+	if arm.FMin() != 0.2*units.GHz || arm.FMax() != 1.4*units.GHz {
+		t.Errorf("ARM frequency range = %v..%v, want 0.2..1.4 GHz", arm.FMin(), arm.FMax())
+	}
+	if len(arm.Frequencies) != 5 {
+		t.Errorf("ARM has %d P-states, want 5 (paper footnote 2)", len(arm.Frequencies))
+	}
+	if arm.NIC.Bandwidth != units.Mbps(100) {
+		t.Errorf("ARM NIC = %v, want 100 Mbps", arm.NIC.Bandwidth)
+	}
+
+	amd := AMDOpteronK10()
+	if amd.ISA != isa.X8664 {
+		t.Errorf("AMD ISA = %v", amd.ISA)
+	}
+	if amd.Cores != 6 {
+		t.Errorf("AMD cores = %d, want 6", amd.Cores)
+	}
+	if amd.FMin() != 0.8*units.GHz || amd.FMax() != 2.1*units.GHz {
+		t.Errorf("AMD frequency range = %v..%v, want 0.8..2.1 GHz", amd.FMin(), amd.FMax())
+	}
+	if len(amd.Frequencies) != 3 {
+		t.Errorf("AMD has %d P-states, want 3 (paper footnote 2)", len(amd.Frequencies))
+	}
+	if amd.NIC.Bandwidth != units.Mbps(1000) {
+		t.Errorf("AMD NIC = %v, want 1 Gbps", amd.NIC.Bandwidth)
+	}
+}
+
+// Section IV-C fixes the power corners: ARM idles under 2 W and peaks at
+// 5 W; AMD idles at 45 W and peaks at 60 W.
+func TestPaperPowerCorners(t *testing.T) {
+	arm := ARMCortexA9()
+	if p := arm.IdlePower(); p >= 2 {
+		t.Errorf("ARM idle = %v, want < 2 W", p)
+	}
+	if p := arm.PeakPower(); math.Abs(float64(p)-5) > 0.25 {
+		t.Errorf("ARM peak = %v, want ~5 W", p)
+	}
+	amd := AMDOpteronK10()
+	if p := amd.IdlePower(); math.Abs(float64(p)-45) > 1 {
+		t.Errorf("AMD idle = %v, want ~45 W", p)
+	}
+	if p := amd.PeakPower(); math.Abs(float64(p)-60) > 1 {
+		t.Errorf("AMD peak = %v, want ~60 W", p)
+	}
+}
+
+// Footnote 2: 10 ARM + 10 AMD nodes yield 36,380 configurations; the
+// per-node factors are 20 (ARM) and 18 (AMD).
+func TestConfigCountsMatchFootnote2(t *testing.T) {
+	arm, amd := ARMCortexA9(), AMDOpteronK10()
+	if got := arm.ConfigCount(); got != 20 {
+		t.Errorf("ARM config count = %d, want 20 (4 cores x 5 freqs)", got)
+	}
+	if got := amd.ConfigCount(); got != 18 {
+		t.Errorf("AMD config count = %d, want 18 (6 cores x 3 freqs)", got)
+	}
+	if got := len(Configs(arm)); got != 20 {
+		t.Errorf("Configs(arm) has %d entries", got)
+	}
+	// The full 36,380-point arithmetic is asserted in the cluster
+	// package, where node-count enumeration lives.
+}
+
+func TestNodeSpecValidateRejectsBadSpecs(t *testing.T) {
+	base := ARMCortexA9()
+	cases := []struct {
+		name   string
+		mutate func(*NodeSpec)
+	}{
+		{"empty name", func(s *NodeSpec) { s.Name = "" }},
+		{"bad isa", func(s *NodeSpec) { s.ISA = isa.ISA(9) }},
+		{"zero cores", func(s *NodeSpec) { s.Cores = 0 }},
+		{"no freqs", func(s *NodeSpec) { s.Frequencies = nil }},
+		{"zero freq", func(s *NodeSpec) { s.Frequencies = []units.Hertz{0} }},
+		{"descending freqs", func(s *NodeSpec) {
+			s.Frequencies = []units.Hertz{2 * units.GHz, 1 * units.GHz}
+		}},
+		{"zero class cpi", func(s *NodeSpec) { s.ClassCPI[isa.FP] = 0 }},
+		{"bad mem", func(s *NodeSpec) { s.Mem.BaseLatencyNs = 0 }},
+		{"bad nic", func(s *NodeSpec) { s.NIC.Bandwidth = 0 }},
+		{"negative power", func(s *NodeSpec) { s.Power.Rest = -1 }},
+		{"stall above active", func(s *NodeSpec) { s.Power.CoreStallMax = s.Power.CoreActiveMax + 1 }},
+		{"crazy exponent", func(s *NodeSpec) { s.Power.FreqExponent = 9 }},
+	}
+	for _, c := range cases {
+		s := base
+		s.Frequencies = append([]units.Hertz(nil), base.Frequencies...)
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestHasFrequency(t *testing.T) {
+	arm := ARMCortexA9()
+	if !arm.HasFrequency(1.4 * units.GHz) {
+		t.Error("1.4 GHz should be an ARM P-state")
+	}
+	if arm.HasFrequency(1.0 * units.GHz) {
+		t.Error("1.0 GHz should not be an ARM P-state")
+	}
+}
+
+func TestWPIWeightsClassCosts(t *testing.T) {
+	amd := AMDOpteronK10()
+	pureInt := isa.MustMix(map[isa.Class]float64{isa.IntALU: 1})
+	if got := amd.WPI(pureInt); got != amd.ClassCPI[isa.IntALU] {
+		t.Errorf("pure-int WPI = %v, want %v", got, amd.ClassCPI[isa.IntALU])
+	}
+	half := isa.MustMix(map[isa.Class]float64{isa.IntALU: 0.5, isa.Crypto: 0.5})
+	want := 0.5*amd.ClassCPI[isa.IntALU] + 0.5*amd.ClassCPI[isa.Crypto]
+	if got := amd.WPI(half); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed WPI = %v, want %v", got, want)
+	}
+}
+
+// The crypto class must issue much slower on ARM than on AMD — the
+// mechanism behind the paper's RSA-2048 PPR inversion.
+func TestCryptoCPIAsymmetry(t *testing.T) {
+	arm, amd := ARMCortexA9(), AMDOpteronK10()
+	if arm.ClassCPI[isa.Crypto] < 3*amd.ClassCPI[isa.Crypto] {
+		t.Errorf("ARM crypto CPI %v should be >= 3x AMD's %v",
+			arm.ClassCPI[isa.Crypto], amd.ClassCPI[isa.Crypto])
+	}
+}
+
+func TestCorePowerScalesWithFrequency(t *testing.T) {
+	arm := ARMCortexA9()
+	pMax := arm.CoreActivePower(arm.FMax())
+	pMin := arm.CoreActivePower(arm.FMin())
+	if pMax != arm.Power.CoreActiveMax {
+		t.Errorf("active power at fmax = %v, want %v", pMax, arm.Power.CoreActiveMax)
+	}
+	if pMin >= pMax {
+		t.Errorf("power should drop at lower frequency: %v >= %v", pMin, pMax)
+	}
+	want := float64(arm.Power.CoreActiveMax) * math.Pow(0.2/1.4, arm.Power.FreqExponent)
+	if math.Abs(float64(pMin)-want) > 1e-9 {
+		t.Errorf("fmin power = %v, want %v", pMin, want)
+	}
+	if got := arm.CoreStallPower(arm.FMax()); got >= pMax {
+		t.Errorf("stall power %v should be below active power %v", got, pMax)
+	}
+	if got := scalePower(1, 0, arm.FMax(), 2); got != 0 {
+		t.Errorf("zero frequency power = %v, want 0", got)
+	}
+}
+
+func TestConfigValidateFor(t *testing.T) {
+	arm := ARMCortexA9()
+	good := Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	if err := good.ValidateFor(arm); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{Cores: 0, Frequency: 1.4 * units.GHz},
+		{Cores: 5, Frequency: 1.4 * units.GHz},
+		{Cores: 2, Frequency: 1.0 * units.GHz},
+	} {
+		if err := bad.ValidateFor(arm); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestConfigsEnumerationOrder(t *testing.T) {
+	arm := ARMCortexA9()
+	cfgs := Configs(arm)
+	if cfgs[0].Cores != 1 || cfgs[0].Frequency != arm.FMin() {
+		t.Errorf("first config = %+v", cfgs[0])
+	}
+	last := cfgs[len(cfgs)-1]
+	if last.Cores != arm.Cores || last.Frequency != arm.FMax() {
+		t.Errorf("last config = %+v", last)
+	}
+	seen := map[Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Errorf("duplicate config %+v", c)
+		}
+		seen[c] = true
+		if err := c.ValidateFor(arm); err != nil {
+			t.Errorf("enumerated config invalid: %v", err)
+		}
+	}
+}

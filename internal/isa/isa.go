@@ -1,0 +1,263 @@
+// Package isa models the instruction-set-architecture abstraction of the
+// paper. The two node types have different ISAs (x86_64 on the AMD Opteron
+// K10, ARMv7-A on the ARM Cortex-A9), so the same representative phase Ps
+// of a scale-out workload translates into a different number and mix of
+// machine instructions on each (paper Eq. 5, I_Ps,ARM vs I_Ps,AMD).
+//
+// The abstraction is deliberately coarse: an instruction stream is
+// summarized by its total count and its mix over instruction classes.
+// This is exactly the granularity at which the paper's model operates —
+// it never looks at individual instructions, only at per-phase counts
+// obtained from hardware event counters.
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ISA identifies an instruction set architecture.
+type ISA int
+
+// The two ISAs of the paper's heterogeneous cluster (Table 1).
+const (
+	// ARMv7A is the ISA of the low-power ARM Cortex-A9 nodes.
+	ARMv7A ISA = iota
+	// X8664 is the ISA of the high-performance AMD Opteron K10 nodes.
+	X8664
+)
+
+// All lists every supported ISA.
+func All() []ISA { return []ISA{ARMv7A, X8664} }
+
+// String returns the conventional name of the ISA.
+func (i ISA) String() string {
+	switch i {
+	case ARMv7A:
+		return "armv7-a"
+	case X8664:
+		return "x86_64"
+	default:
+		return fmt.Sprintf("isa(%d)", int(i))
+	}
+}
+
+// Valid reports whether i is a known ISA.
+func (i ISA) Valid() bool { return i == ARMv7A || i == X8664 }
+
+// Class is a coarse instruction class. The paper's execution model assumes
+// super-scalar out-of-order cores that can issue at least one integer, one
+// floating-point and one memory instruction per cycle; the classes below
+// let node micro-architectures assign different issue costs per class, and
+// let the AMD node accelerate cryptography (the reason RSA-2048 is the one
+// workload where AMD beats ARM on performance-per-watt, Table 5).
+type Class int
+
+// Instruction classes.
+const (
+	// IntALU covers integer arithmetic, logic and address computation.
+	IntALU Class = iota
+	// FP covers floating-point arithmetic.
+	FP
+	// Mem covers loads and stores (the class that can miss in caches and
+	// stall on the shared memory controller).
+	Mem
+	// Branch covers control transfer.
+	Branch
+	// Crypto covers wide-word multiply/shift sequences typical of
+	// public-key cryptography; x86_64 executes these with fewer, wider
+	// operations than ARMv7-A.
+	Crypto
+	numClasses
+)
+
+// Classes lists every instruction class in declaration order.
+func Classes() []Class { return []Class{IntALU, FP, Mem, Branch, Crypto} }
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "int"
+	case FP:
+		return "fp"
+	case Mem:
+		return "mem"
+	case Branch:
+		return "branch"
+	case Crypto:
+		return "crypto"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c >= 0 && c < numClasses }
+
+// Mix is a distribution of an instruction stream over classes. Fractions
+// are non-negative and sum to 1 (within tolerance) for a valid Mix.
+type Mix [NumClasses]float64
+
+// NewMix builds a Mix from class fractions, validating that they are
+// non-negative and sum to 1 within 1e-6.
+func NewMix(fractions map[Class]float64) (Mix, error) {
+	var m Mix
+	sum := 0.0
+	for c, f := range fractions {
+		if !c.Valid() {
+			return Mix{}, fmt.Errorf("isa: invalid class %d", int(c))
+		}
+		if f < 0 {
+			return Mix{}, fmt.Errorf("isa: negative fraction %v for class %v", f, c)
+		}
+		m[c] = f
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return Mix{}, fmt.Errorf("isa: mix fractions sum to %v, want 1", sum)
+	}
+	return m, nil
+}
+
+// MustMix is NewMix that panics on error, for package-level workload
+// definitions whose literals are validated by tests.
+func MustMix(fractions map[Class]float64) Mix {
+	m, err := NewMix(fractions)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Fraction returns the fraction of instructions in class c.
+func (m Mix) Fraction(c Class) float64 {
+	if !c.Valid() {
+		return 0
+	}
+	return m[c]
+}
+
+// Validate checks the Mix invariants.
+func (m Mix) Validate() error {
+	sum := 0.0
+	for c, f := range m {
+		if f < 0 {
+			return fmt.Errorf("isa: negative fraction %v for class %v", f, Class(c))
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("isa: mix fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Reweigh returns a copy of m with class c's weight multiplied by k,
+// renormalized so fractions again sum to 1. It derives ISA-specific
+// variants of a canonical mix (for example, ARMv7-A needs more IntALU
+// instructions than x86_64 to synthesize the wide multiplies of RSA).
+func (m Mix) Reweigh(c Class, k float64) (Mix, error) {
+	if !c.Valid() {
+		return Mix{}, fmt.Errorf("isa: invalid class %d", int(c))
+	}
+	if k < 0 {
+		return Mix{}, errors.New("isa: negative reweigh factor")
+	}
+	out := m
+	out[c] *= k
+	sum := 0.0
+	for _, f := range out {
+		sum += f
+	}
+	if sum == 0 {
+		return Mix{}, errors.New("isa: reweigh produced empty mix")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// String renders the mix as "int:0.40 fp:0.20 ...", omitting zero classes,
+// in declaration order.
+func (m Mix) String() string {
+	var parts []string
+	for _, c := range Classes() {
+		if m[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%.2f", c, m[c]))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty mix)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Stream summarizes a machine-instruction stream for one ISA: how many
+// instructions a unit of work translates into, and their class mix. This
+// is the per-work-unit version of the paper's I_Ps.
+type Stream struct {
+	ISA ISA
+	// PerUnit is the number of machine instructions one work unit of the
+	// workload translates into on this ISA (instructions per random
+	// number for EP, per request for memcached, per frame for x264, ...).
+	PerUnit float64
+	Mix     Mix
+}
+
+// Validate checks the Stream invariants.
+func (s Stream) Validate() error {
+	if !s.ISA.Valid() {
+		return fmt.Errorf("isa: invalid ISA %d", int(s.ISA))
+	}
+	if s.PerUnit <= 0 || math.IsInf(s.PerUnit, 0) || math.IsNaN(s.PerUnit) {
+		return fmt.Errorf("isa: instructions per unit must be positive and finite, got %v", s.PerUnit)
+	}
+	return s.Mix.Validate()
+}
+
+// Instructions returns the total instruction count for w work units.
+func (s Stream) Instructions(w float64) float64 { return s.PerUnit * w }
+
+// ByClass returns the instruction count in class c for w work units.
+func (s Stream) ByClass(w float64, c Class) float64 {
+	return s.Instructions(w) * s.Mix.Fraction(c)
+}
+
+// Translation maps each ISA to the Stream a workload's representative
+// phase compiles to on that ISA.
+type Translation map[ISA]Stream
+
+// Validate checks that every supported ISA has a valid Stream.
+func (t Translation) Validate() error {
+	for _, i := range All() {
+		s, ok := t[i]
+		if !ok {
+			return fmt.Errorf("isa: translation missing ISA %v", i)
+		}
+		if s.ISA != i {
+			return fmt.Errorf("isa: translation for %v has stream ISA %v", i, s.ISA)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("isa: translation for %v: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ISAs returns the ISAs present in the translation, sorted.
+func (t Translation) ISAs() []ISA {
+	out := make([]ISA, 0, len(t))
+	for i := range t {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

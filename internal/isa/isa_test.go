@@ -1,0 +1,275 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestISAString(t *testing.T) {
+	if ARMv7A.String() != "armv7-a" || X8664.String() != "x86_64" {
+		t.Errorf("ISA names wrong: %v %v", ARMv7A, X8664)
+	}
+	if got := ISA(99).String(); got != "isa(99)" {
+		t.Errorf("unknown ISA string = %q", got)
+	}
+}
+
+func TestISAValid(t *testing.T) {
+	for _, i := range All() {
+		if !i.Valid() {
+			t.Errorf("%v should be valid", i)
+		}
+	}
+	if ISA(99).Valid() {
+		t.Error("ISA(99) should be invalid")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := []string{"int", "fp", "mem", "branch", "crypto"}
+	for i, c := range Classes() {
+		if c.String() != want[i] {
+			t.Errorf("class %d string = %q, want %q", i, c, want[i])
+		}
+	}
+	if got := Class(99).String(); got != "class(99)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+	if Class(-1).Valid() || Class(NumClasses).Valid() {
+		t.Error("out-of-range classes should be invalid")
+	}
+}
+
+func TestNewMix(t *testing.T) {
+	m, err := NewMix(map[Class]float64{IntALU: 0.5, Mem: 0.3, Branch: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fraction(IntALU); got != 0.5 {
+		t.Errorf("IntALU fraction = %v", got)
+	}
+	if got := m.Fraction(FP); got != 0 {
+		t.Errorf("FP fraction = %v, want 0", got)
+	}
+	if got := m.Fraction(Class(99)); got != 0 {
+		t.Errorf("invalid class fraction = %v, want 0", got)
+	}
+}
+
+func TestNewMixErrors(t *testing.T) {
+	if _, err := NewMix(map[Class]float64{IntALU: 0.5}); err == nil {
+		t.Error("sum != 1 should error")
+	}
+	if _, err := NewMix(map[Class]float64{IntALU: 1.5, Mem: -0.5}); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if _, err := NewMix(map[Class]float64{Class(99): 1}); err == nil {
+		t.Error("invalid class should error")
+	}
+}
+
+func TestMustMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMix with bad mix should panic")
+		}
+	}()
+	MustMix(map[Class]float64{IntALU: 0.1})
+}
+
+func TestMixValidate(t *testing.T) {
+	good := MustMix(map[Class]float64{IntALU: 1})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	var bad Mix
+	bad[IntALU] = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sum 0.5 should fail validation")
+	}
+	bad[IntALU] = -1
+	bad[Mem] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative fraction should fail validation")
+	}
+}
+
+func TestReweigh(t *testing.T) {
+	m := MustMix(map[Class]float64{IntALU: 0.5, Crypto: 0.5})
+	// Doubling crypto weight: 0.5 and 1.0 renormalize to 1/3 and 2/3.
+	out, err := m.Reweigh(Crypto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Fraction(Crypto)-2.0/3.0) > 1e-12 {
+		t.Errorf("crypto fraction = %v, want 2/3", out.Fraction(Crypto))
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("reweighed mix invalid: %v", err)
+	}
+}
+
+func TestReweighErrors(t *testing.T) {
+	m := MustMix(map[Class]float64{Crypto: 1})
+	if _, err := m.Reweigh(Class(99), 2); err == nil {
+		t.Error("invalid class should error")
+	}
+	if _, err := m.Reweigh(Crypto, -1); err == nil {
+		t.Error("negative factor should error")
+	}
+	if _, err := m.Reweigh(Crypto, 0); err == nil {
+		t.Error("zeroing the only class should error")
+	}
+}
+
+// Reweighing always yields a valid mix that sums to 1.
+func TestReweighPreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fr := make(map[Class]float64)
+		total := 0.0
+		for _, c := range Classes() {
+			v := rng.Float64()
+			fr[c] = v
+			total += v
+		}
+		for c := range fr {
+			fr[c] /= total
+		}
+		m, err := NewMix(fr)
+		if err != nil {
+			return false
+		}
+		c := Classes()[rng.Intn(NumClasses)]
+		out, err := m.Reweigh(c, rng.Float64()*5)
+		if err != nil {
+			return true // zeroing a dominant class can legitimately fail
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixString(t *testing.T) {
+	m := MustMix(map[Class]float64{IntALU: 0.5, Mem: 0.5})
+	s := m.String()
+	if !strings.Contains(s, "int:0.50") || !strings.Contains(s, "mem:0.50") {
+		t.Errorf("mix string = %q", s)
+	}
+	if strings.Contains(s, "fp") {
+		t.Errorf("zero classes should be omitted: %q", s)
+	}
+	var empty Mix
+	if empty.String() != "(empty mix)" {
+		t.Errorf("empty mix string = %q", empty.String())
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	good := Stream{ISA: ARMv7A, PerUnit: 100, Mix: MustMix(map[Class]float64{IntALU: 1})}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+	cases := []Stream{
+		{ISA: ISA(99), PerUnit: 100, Mix: good.Mix},
+		{ISA: ARMv7A, PerUnit: 0, Mix: good.Mix},
+		{ISA: ARMv7A, PerUnit: -5, Mix: good.Mix},
+		{ISA: ARMv7A, PerUnit: math.Inf(1), Mix: good.Mix},
+		{ISA: ARMv7A, PerUnit: math.NaN(), Mix: good.Mix},
+		{ISA: ARMv7A, PerUnit: 100}, // zero mix
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, s)
+		}
+	}
+}
+
+func TestStreamCounts(t *testing.T) {
+	s := Stream{
+		ISA:     X8664,
+		PerUnit: 200,
+		Mix:     MustMix(map[Class]float64{IntALU: 0.25, Mem: 0.75}),
+	}
+	if got := s.Instructions(10); got != 2000 {
+		t.Errorf("Instructions(10) = %v, want 2000", got)
+	}
+	if got := s.ByClass(10, Mem); got != 1500 {
+		t.Errorf("ByClass(10, Mem) = %v, want 1500", got)
+	}
+	if got := s.ByClass(10, Crypto); got != 0 {
+		t.Errorf("ByClass(10, Crypto) = %v, want 0", got)
+	}
+}
+
+// Per-class counts always sum to the total instruction count.
+func TestStreamByClassSumsToTotal(t *testing.T) {
+	f := func(seed int64, w float64) bool {
+		w = math.Abs(w)
+		if w > 1e12 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		fr := make(map[Class]float64)
+		total := 0.0
+		for _, c := range Classes() {
+			v := rng.Float64() + 0.01
+			fr[c] = v
+			total += v
+		}
+		for c := range fr {
+			fr[c] /= total
+		}
+		s := Stream{ISA: ARMv7A, PerUnit: 1 + rng.Float64()*1000, Mix: MustMix(fr)}
+		sum := 0.0
+		for _, c := range Classes() {
+			sum += s.ByClass(w, c)
+		}
+		want := s.Instructions(w)
+		return math.Abs(sum-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslationValidate(t *testing.T) {
+	mix := MustMix(map[Class]float64{IntALU: 1})
+	good := Translation{
+		ARMv7A: {ISA: ARMv7A, PerUnit: 120, Mix: mix},
+		X8664:  {ISA: X8664, PerUnit: 100, Mix: mix},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid translation rejected: %v", err)
+	}
+
+	missing := Translation{ARMv7A: {ISA: ARMv7A, PerUnit: 120, Mix: mix}}
+	if err := missing.Validate(); err == nil {
+		t.Error("missing ISA should fail validation")
+	}
+
+	mismatched := Translation{
+		ARMv7A: {ISA: X8664, PerUnit: 120, Mix: mix},
+		X8664:  {ISA: X8664, PerUnit: 100, Mix: mix},
+	}
+	if err := mismatched.Validate(); err == nil {
+		t.Error("mismatched stream ISA should fail validation")
+	}
+}
+
+func TestTranslationISAs(t *testing.T) {
+	mix := MustMix(map[Class]float64{IntALU: 1})
+	tr := Translation{
+		X8664:  {ISA: X8664, PerUnit: 100, Mix: mix},
+		ARMv7A: {ISA: ARMv7A, PerUnit: 120, Mix: mix},
+	}
+	got := tr.ISAs()
+	if len(got) != 2 || got[0] != ARMv7A || got[1] != X8664 {
+		t.Errorf("ISAs() = %v, want [armv7-a x86_64]", got)
+	}
+}

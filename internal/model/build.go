@@ -1,0 +1,82 @@
+package model
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/perfcounter"
+	"heteromix/internal/power"
+	"heteromix/internal/profile"
+	"heteromix/internal/workloads"
+)
+
+// BuildOptions controls the end-to-end model construction pipeline.
+type BuildOptions struct {
+	// BaselineUnits is the batch size of each baseline observation; zero
+	// selects a workload-appropriate default.
+	BaselineUnits float64
+	// Repetitions per configuration in the baseline campaign (default 1).
+	Repetitions int
+	// NoiseSigma is the measurement noise for baseline and power runs.
+	NoiseSigma float64
+	// Seed makes the whole pipeline reproducible.
+	Seed int64
+}
+
+// defaultBaselineUnits picks a batch size that keeps every configuration's
+// simulated run in a sensible wall-clock range for the workload.
+func defaultBaselineUnits(w workloads.Spec) float64 {
+	// A thousandth of the validation problem, floored at 100 units.
+	u := w.ValidationUnits / 1000
+	if u < 100 {
+		u = 100
+	}
+	return u
+}
+
+// Build runs the complete trace-driven pipeline for one workload on one
+// node type — baseline measurement campaign, profile fitting, and power
+// characterization — and returns the resulting NodeModel. This is the
+// programmatic equivalent of the paper's §II-D procedure.
+func Build(spec hwsim.NodeSpec, w workloads.Spec, opts BuildOptions) (NodeModel, error) {
+	units := opts.BaselineUnits
+	if units <= 0 {
+		units = defaultBaselineUnits(w)
+	}
+	reps := opts.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+
+	tr, err := perfcounter.Campaign{
+		Spec:        spec,
+		Demand:      w.Demand,
+		Units:       units,
+		Repetitions: reps,
+		NoiseSigma:  opts.NoiseSigma,
+		Seed:        opts.Seed,
+	}.Collect()
+	if err != nil {
+		return NodeModel{}, fmt.Errorf("model: baseline campaign for %q on %q: %w", w.Name(), spec.Name, err)
+	}
+
+	prof, err := profile.Fit(tr, w.Name(), spec.Name)
+	if err != nil {
+		return NodeModel{}, fmt.Errorf("model: fitting %q on %q: %w", w.Name(), spec.Name, err)
+	}
+	prof = prof.WithArrivalGap(w.Demand.RequestRate)
+
+	chars, err := power.Characterize(spec, power.Options{
+		NoiseSigma: opts.NoiseSigma,
+		Seed:       opts.Seed + 1,
+	})
+	if err != nil {
+		return NodeModel{}, fmt.Errorf("model: power characterization of %q: %w", spec.Name, err)
+	}
+
+	nm := NodeModel{Spec: spec, Profile: prof, Power: chars}
+	if err := nm.Validate(); err != nil {
+		return NodeModel{}, err
+	}
+	return nm, nil
+}

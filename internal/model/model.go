@@ -1,0 +1,222 @@
+// Package model implements the paper's primary contribution: the
+// trace-driven analytical model of execution time (§II-B, Eqs. 1-11) and
+// energy (§II-C, Eqs. 12-19) for scale-out workloads on heterogeneous
+// cluster nodes.
+//
+// A NodeModel combines three inputs:
+//
+//   - the node's datasheet facts (core count, P-states, NIC bandwidth)
+//     from hwsim.NodeSpec,
+//   - the workload's fitted service-demand profile (internal/profile),
+//   - the node's measured power characterization (internal/power).
+//
+// Predict then computes, for a work volume w on one node at configuration
+// (c, f):
+//
+//	T_core = I_core * (WPI + SPIcore) / f                      (Eqs. 6-8)
+//	T_mem  = I_core * (WPI + SPImem(f, c)) / f                 (Eqs. 9-10)
+//	T_CPU  = max(T_core, T_mem)                                (Eq. 3)
+//	T_I/O  = w * max(t_transfer, 1/lambda_I/O)                 (Eq. 11, n=1)
+//	T      = max(T_CPU, T_I/O)                                 (Eq. 2)
+//
+//	E_core = (P_act*T_act + P_stall*T_stall) * c_act           (Eq. 15)
+//	E_mem  = P_mem * T_mem                                     (Eq. 18)
+//	E_I/O  = P_I/O * T_busy,I/O                                (Eq. 19)
+//	E_idle = P_idle * T                                        (Eq. 14)
+//	E      = E_core + E_mem + E_I/O + E_idle                   (Eq. 13)
+//
+// with I_core = I_Ps * w / c_act and c_act = U_CPU * c (Eq. 6). One
+// deliberate refinement over the paper's text: T_stall uses the larger of
+// the overlapping stall components, max(SPIcore, SPImem), so that
+// T_act + T_stall = T_CPU and stall power covers memory-wait time too;
+// and E_I/O charges the NIC's active power only while it actually
+// transfers, not during arrival gaps.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/power"
+	"heteromix/internal/profile"
+	"heteromix/internal/units"
+)
+
+// NodeModel is the fitted model of one workload on one node type.
+type NodeModel struct {
+	// Spec supplies datasheet facts only: Cores, Frequencies, NIC
+	// bandwidth. The model never reads Spec's micro-architecture or
+	// power tables; those enter only via Profile and Power, which come
+	// from measurements.
+	Spec hwsim.NodeSpec
+	// Profile is the workload's fitted service demand on this node type.
+	Profile profile.Profile
+	// Power is the node type's measured power characterization.
+	Power power.Characterization
+}
+
+// Validate checks that the three inputs agree with each other.
+func (nm NodeModel) Validate() error {
+	if err := nm.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := nm.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := nm.Power.Validate(); err != nil {
+		return err
+	}
+	if nm.Profile.Node != nm.Spec.Name {
+		return fmt.Errorf("model: profile is for node %q, spec is %q", nm.Profile.Node, nm.Spec.Name)
+	}
+	if nm.Power.Node != nm.Spec.Name {
+		return fmt.Errorf("model: power characterization is for node %q, spec is %q", nm.Power.Node, nm.Spec.Name)
+	}
+	return nil
+}
+
+// Prediction is the model's output for one node and work volume.
+type Prediction struct {
+	// Time is the predicted execution time T.
+	Time units.Seconds
+	// Energy is the predicted total energy E.
+	Energy units.Joule
+
+	// Time components.
+	TCore units.Seconds
+	TMem  units.Seconds
+	TCPU  units.Seconds
+	TIO   units.Seconds
+
+	// Energy components (Eq. 13).
+	ECore units.Joule
+	EMem  units.Joule
+	EIO   units.Joule
+	EIdle units.Joule
+
+	// CAct is the average number of active cores (U_CPU * c).
+	CAct float64
+	// AvgPower is Energy / Time.
+	AvgPower units.Watt
+}
+
+// Predict computes the model for w work units on a single node at cfg.
+func (nm NodeModel) Predict(cfg hwsim.Config, w float64) (Prediction, error) {
+	if err := cfg.ValidateFor(nm.Spec); err != nil {
+		return Prediction{}, err
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return Prediction{}, fmt.Errorf("model: work must be positive and finite, got %v", w)
+	}
+
+	p := nm.Profile
+	f := float64(cfg.Frequency)
+
+	// Eq. 6: average active cores and instructions per active core.
+	ucpu := p.UCPUAt(cfg.Cores, cfg.Frequency)
+	if ucpu < 1e-3 {
+		ucpu = 1e-3 // guard against degenerate measured utilization
+	}
+	cact := ucpu * float64(cfg.Cores)
+	iCore := p.InstructionsPerUnit * w / cact
+
+	// Eqs. 7-10.
+	spiMem := p.SPIMemAt(cfg.Cores, cfg.Frequency)
+	tCore := units.Seconds(iCore * (p.WPI + p.SPICore) / f)
+	tMem := units.Seconds(iCore * (p.WPI + spiMem) / f)
+	tCPU := tCore
+	if tMem > tCPU {
+		tCPU = tMem
+	}
+
+	// Eq. 11 with n = 1: transfers overlap compute; arrivals overlap
+	// transfers; the slower of the two paces the I/O path.
+	perUnitIO := math.Max(float64(p.IOTransferPerUnit), float64(p.ArrivalGapPerUnit))
+	tIO := units.Seconds(w * perUnitIO)
+
+	// Eq. 2.
+	t := tCPU
+	if tIO > t {
+		t = tIO
+	}
+	if t <= 0 {
+		return Prediction{}, fmt.Errorf("model: predicted non-positive time for %q", p.Workload)
+	}
+
+	// Eqs. 15-17 with overlapped stalls.
+	tAct := iCore * p.WPI / f
+	tStall := iCore * math.Max(p.SPICore, spiMem) / f
+	pAct := float64(nm.Power.CoreActiveAt(cfg.Frequency))
+	pStall := float64(nm.Power.CoreStallAt(cfg.Frequency))
+	eCore := units.Joule((pAct*tAct + pStall*tStall) * cact)
+
+	// Eq. 18.
+	eMem := nm.Power.MemActive.Times(tMem)
+
+	// Eq. 19, charging only NIC busy time.
+	eIO := nm.Power.NICActive.Times(units.Seconds(w * float64(p.IOTransferPerUnit)))
+
+	// Eq. 14.
+	eIdle := nm.Power.Idle.Times(t)
+
+	energy := eCore + eMem + eIO + eIdle
+	return Prediction{
+		Time:   t,
+		Energy: energy,
+		TCore:  tCore, TMem: tMem, TCPU: tCPU, TIO: tIO,
+		ECore: eCore, EMem: eMem, EIO: eIO, EIdle: eIdle,
+		CAct:     cact,
+		AvgPower: energy.Over(t),
+	}, nil
+}
+
+// TimePerUnit returns the predicted seconds per work unit on one node at
+// cfg. The model's time is exactly linear in w (every term scales with
+// w), so TimePerUnit fully determines execution time — the property the
+// mix-and-match split exploits (internal/cluster).
+func (nm NodeModel) TimePerUnit(cfg hwsim.Config) (units.Seconds, error) {
+	p, err := nm.Predict(cfg, 1)
+	if err != nil {
+		return 0, err
+	}
+	return p.Time, nil
+}
+
+// MostEfficientConfig returns the (cores, frequency) configuration that
+// minimizes energy per work unit, together with its prediction for one
+// unit. This is the per-node optimum the paper uses for the Table 5
+// performance-to-power ratios ("the PPR computed for the most
+// energy-efficient configuration").
+func (nm NodeModel) MostEfficientConfig() (hwsim.Config, Prediction, error) {
+	var bestCfg hwsim.Config
+	var bestPred Prediction
+	best := math.Inf(1)
+	for _, cfg := range hwsim.Configs(nm.Spec) {
+		pr, err := nm.Predict(cfg, 1)
+		if err != nil {
+			return hwsim.Config{}, Prediction{}, err
+		}
+		if e := float64(pr.Energy); e < best {
+			best, bestCfg, bestPred = e, cfg, pr
+		}
+	}
+	if math.IsInf(best, 1) {
+		return hwsim.Config{}, Prediction{}, fmt.Errorf("model: no feasible configuration")
+	}
+	return bestCfg, bestPred, nil
+}
+
+// PPR returns the performance-to-power ratio at the most energy-efficient
+// configuration: work done per unit energy (Table 5). The perf function
+// maps one work unit's prediction to the workload's performance metric
+// numerator; passing nil uses work units per second.
+func (nm NodeModel) PPR() (float64, hwsim.Config, error) {
+	cfg, pred, err := nm.MostEfficientConfig()
+	if err != nil {
+		return 0, hwsim.Config{}, err
+	}
+	// Work per second over average power = work per joule.
+	ratePerSec := 1 / float64(pred.Time)
+	return ratePerSec / float64(pred.AvgPower), cfg, nil
+}

@@ -1,0 +1,288 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/stats"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// Model construction is the expensive part of these tests; cache per
+// (node, workload, noise) tuple.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]NodeModel{}
+)
+
+func buildModel(t *testing.T, spec hwsim.NodeSpec, workload string, sigma float64) NodeModel {
+	t.Helper()
+	key := spec.Name + "/" + workload + "/" + units.Watt(sigma).String()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if nm, ok := cache[key]; ok {
+		return nm
+	}
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := Build(spec, w, BuildOptions{NoiseSigma: sigma, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache[key] = nm
+	return nm
+}
+
+func TestBuildProducesValidModel(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0)
+	if err := nm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMismatchedInputs(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0)
+	bad := nm
+	bad.Profile.Node = "someone-else"
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched profile node should fail validation")
+	}
+	bad = nm
+	bad.Power.Node = "someone-else"
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched power node should fail validation")
+	}
+}
+
+func TestPredictValidatesInputs(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0)
+	if _, err := nm.Predict(hwsim.Config{Cores: 99, Frequency: 1.4 * units.GHz}, 1e6); err == nil {
+		t.Error("bad config should error")
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := nm.Predict(hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}, w); err == nil {
+			t.Errorf("work %v should error", w)
+		}
+	}
+}
+
+// The model predicts the simulator within the paper's error bands
+// (Table 3 reports <= 15% on every workload).
+func TestModelMatchesSimulatorSingleNode(t *testing.T) {
+	for _, spec := range []hwsim.NodeSpec{hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()} {
+		for _, name := range workloads.Names() {
+			spec, name := spec, name
+			t.Run(spec.Name+"/"+name, func(t *testing.T) {
+				nm := buildModel(t, spec, name, 0)
+				w, _ := workloads.ByName(name)
+				unitsW := w.AnalysisUnits
+				for _, cfg := range []hwsim.Config{
+					{Cores: 1, Frequency: spec.FMin()},
+					{Cores: spec.Cores, Frequency: spec.FMax()},
+					{Cores: spec.Cores / 2, Frequency: spec.Frequencies[len(spec.Frequencies)/2]},
+				} {
+					if cfg.Cores < 1 {
+						cfg.Cores = 1
+					}
+					pred, err := nm.Predict(cfg, unitsW)
+					if err != nil {
+						t.Fatal(err)
+					}
+					meas, err := hwsim.Run(spec, cfg, w.Demand, unitsW, hwsim.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					terr := stats.RelativeError(float64(pred.Time), float64(meas.Record.Elapsed))
+					eerr := stats.RelativeError(float64(pred.Energy), float64(meas.Record.Energy))
+					if terr > 15 {
+						t.Errorf("cfg %+v: time error %.1f%% (pred %v, meas %v)",
+							cfg, terr, pred.Time, meas.Record.Elapsed)
+					}
+					if eerr > 15 {
+						t.Errorf("cfg %+v: energy error %.1f%% (pred %v, meas %v)",
+							cfg, eerr, pred.Energy, meas.Record.Energy)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPredictionComponentsConsistent(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0)
+	pred, err := nm.Predict(hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pred.ECore + pred.EMem + pred.EIO + pred.EIdle; math.Abs(float64(got-pred.Energy)) > 1e-9 {
+		t.Errorf("components sum to %v, energy is %v", got, pred.Energy)
+	}
+	if pred.TCPU != pred.TCore && pred.TCPU != pred.TMem {
+		t.Error("TCPU must equal max(TCore, TMem)")
+	}
+	if pred.Time < pred.TCPU || pred.Time < pred.TIO {
+		t.Error("T must be >= both TCPU and TIO")
+	}
+	if pred.CAct <= 3.5 || pred.CAct > 4 {
+		t.Errorf("EP on 4 cores should keep ~4 active, got %v", pred.CAct)
+	}
+	wantP := pred.Energy.Over(pred.Time)
+	if pred.AvgPower != wantP {
+		t.Errorf("avg power = %v, want %v", pred.AvgPower, wantP)
+	}
+}
+
+// The model's time is exactly linear in work volume.
+func TestPredictionLinearInWork(t *testing.T) {
+	nm := buildModel(t, hwsim.AMDOpteronK10(), "blackscholes", 0)
+	cfg := hwsim.Config{Cores: 6, Frequency: 2.1 * units.GHz}
+	p1, err := nm.Predict(cfg, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := nm.Predict(cfg, 3e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p3.Time)/float64(p1.Time)-3) > 1e-9 {
+		t.Errorf("time not linear: %v vs 3x %v", p3.Time, p1.Time)
+	}
+	if math.Abs(float64(p3.Energy)/float64(p1.Energy)-3) > 1e-9 {
+		t.Errorf("energy not linear: %v vs 3x %v", p3.Energy, p1.Energy)
+	}
+	tpu, err := nm.TimePerUnit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(tpu)*1e4-float64(p1.Time)) > 1e-12*float64(p1.Time) {
+		t.Errorf("TimePerUnit inconsistent: %v * 1e4 != %v", tpu, p1.Time)
+	}
+}
+
+func TestIOBoundPredictionTracksNIC(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "memcached", 0)
+	cfg := hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	w := 5e4
+	pred, err := nm.Predict(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Time != pred.TIO {
+		t.Errorf("memcached should be I/O bound: T %v != TIO %v", pred.Time, pred.TIO)
+	}
+	// 50k requests * 1 KiB at 12.5 MB/s = 4.096 s.
+	want := w * 1024 / 12.5e6
+	if rel := math.Abs(float64(pred.Time)-want) / want; rel > 0.05 {
+		t.Errorf("TIO = %v, want ~%v", pred.Time, want)
+	}
+}
+
+// Lower frequency on a compute-bound workload trades time for energy —
+// the overlap-region mechanism of Figure 4.
+func TestFrequencyEnergyTimeTradeoffEP(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0)
+	full, err := nm.Predict(hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := nm.Predict(hwsim.Config{Cores: 4, Frequency: 0.8 * units.GHz}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Time <= full.Time {
+		t.Error("lower frequency must be slower")
+	}
+	if slow.AvgPower >= full.AvgPower {
+		t.Error("lower frequency must draw less power")
+	}
+}
+
+func TestMostEfficientConfigIsArgmin(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "julius", 0)
+	cfg, pred, err := nm.MostEfficientConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range hwsim.Configs(nm.Spec) {
+		p, err := nm.Predict(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(p.Energy) < float64(pred.Energy)*(1-1e-12) {
+			t.Errorf("config %+v beats reported optimum %+v (%v < %v)", c, cfg, p.Energy, pred.Energy)
+		}
+	}
+}
+
+// Table 5's orderings: ARM wins PPR on every workload except RSA-2048 and
+// x264, where AMD wins.
+func TestPPRTable5Orderings(t *testing.T) {
+	amdWins := map[string]bool{"rsa2048": true, "x264": true}
+	for _, name := range workloads.Names() {
+		arm := buildModel(t, hwsim.ARMCortexA9(), name, 0)
+		amd := buildModel(t, hwsim.AMDOpteronK10(), name, 0)
+		pprARM, _, err := arm.PPR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pprAMD, _, err := amd.PPR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if amdWins[name] {
+			if pprAMD <= pprARM {
+				t.Errorf("%s: AMD PPR %v should beat ARM %v (Table 5)", name, pprAMD, pprARM)
+			}
+		} else if pprARM <= pprAMD {
+			t.Errorf("%s: ARM PPR %v should beat AMD %v (Table 5)", name, pprARM, pprAMD)
+		}
+	}
+}
+
+// Table 5's magnitudes, within calibration tolerance (0.5x-2x band).
+func TestPPRTable5Magnitudes(t *testing.T) {
+	paper := map[string]struct{ amd, arm float64 }{
+		"ep":           {1414922, 6048057},
+		"blackscholes": {2902, 11413},
+		"julius":       {21390, 69654},
+		"rsa2048":      {9346, 6877},
+	}
+	for name, want := range paper {
+		arm := buildModel(t, hwsim.ARMCortexA9(), name, 0)
+		amd := buildModel(t, hwsim.AMDOpteronK10(), name, 0)
+		pprARM, _, _ := arm.PPR()
+		pprAMD, _, _ := amd.PPR()
+		if pprARM < want.arm*0.5 || pprARM > want.arm*2 {
+			t.Errorf("%s ARM PPR = %v, want within 2x of %v", name, pprARM, want.arm)
+		}
+		if pprAMD < want.amd*0.5 || pprAMD > want.amd*2 {
+			t.Errorf("%s AMD PPR = %v, want within 2x of %v", name, pprAMD, want.amd)
+		}
+	}
+}
+
+func TestBuildWithNoiseStillValidates(t *testing.T) {
+	nm := buildModel(t, hwsim.ARMCortexA9(), "ep", 0.03)
+	if err := nm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Noisy inputs should still predict the noiseless simulator well.
+	w, _ := workloads.ByName("ep")
+	cfg := hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	pred, err := nm.Predict(cfg, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := hwsim.Run(hwsim.ARMCortexA9(), cfg, w.Demand, 1e6, hwsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelativeError(float64(pred.Time), float64(meas.Record.Elapsed)); e > 15 {
+		t.Errorf("noisy-input model time error %.1f%%", e)
+	}
+}

@@ -1,0 +1,215 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/isa"
+	"heteromix/internal/power"
+	"heteromix/internal/profile"
+	"heteromix/internal/stats"
+	"heteromix/internal/units"
+)
+
+// This file persists fitted models as JSON so that the expensive
+// characterization pipeline (baseline campaigns + power measurement)
+// runs once and its results ship with a deployment — the trace-driven
+// workflow the paper's methodology implies. Node hardware facts are not
+// serialized; they are reconstructed from the node-type name via
+// hwsim.ByName, keeping persisted files small and datasheet truth in
+// one place.
+
+// persistedModel is the on-disk shape. Maps with float keys (frequency-
+// indexed tables) are flattened to entry lists.
+type persistedModel struct {
+	Version int              `json:"version"`
+	Node    string           `json:"node"`
+	Profile persistedProfile `json:"profile"`
+	Power   persistedPower   `json:"power"`
+}
+
+type persistedProfile struct {
+	Workload            string            `json:"workload"`
+	ISA                 int               `json:"isa"`
+	InstructionsPerUnit float64           `json:"instructions_per_unit"`
+	WPI                 float64           `json:"wpi"`
+	WPISpread           float64           `json:"wpi_spread"`
+	SPICore             float64           `json:"spi_core"`
+	SPICoreSpread       float64           `json:"spi_core_spread"`
+	SPIMem              []persistedSPIMem `json:"spi_mem"`
+	UCPU                []persistedUCPU   `json:"ucpu"`
+	IOBytesPerUnit      float64           `json:"io_bytes_per_unit"`
+	IOTransferPerUnit   float64           `json:"io_transfer_per_unit_s"`
+	ArrivalGapPerUnit   float64           `json:"arrival_gap_per_unit_s"`
+}
+
+type persistedSPIMem struct {
+	Cores     int     `json:"cores"`
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	R2        float64 `json:"r2"`
+}
+
+type persistedUCPU struct {
+	Cores   int     `json:"cores"`
+	FreqGHz float64 `json:"freq_ghz"`
+	UCPU    float64 `json:"ucpu"`
+}
+
+type persistedPower struct {
+	Idle       float64          `json:"idle_w"`
+	MemActive  float64          `json:"mem_active_w"`
+	NICActive  float64          `json:"nic_active_w"`
+	CoreTables []persistedPGate `json:"core_tables"`
+}
+
+type persistedPGate struct {
+	FreqGHz float64 `json:"freq_ghz"`
+	Active  float64 `json:"active_w"`
+	Stall   float64 `json:"stall_w"`
+}
+
+const persistVersion = 1
+
+// Save writes the model as JSON.
+func Save(w io.Writer, nm NodeModel) error {
+	if err := nm.Validate(); err != nil {
+		return fmt.Errorf("model: refusing to save invalid model: %w", err)
+	}
+	p := persistedModel{
+		Version: persistVersion,
+		Node:    nm.Spec.Name,
+		Profile: persistedProfile{
+			Workload:            nm.Profile.Workload,
+			ISA:                 int(nm.Profile.ISA),
+			InstructionsPerUnit: nm.Profile.InstructionsPerUnit,
+			WPI:                 nm.Profile.WPI,
+			WPISpread:           nm.Profile.WPISpread,
+			SPICore:             nm.Profile.SPICore,
+			SPICoreSpread:       nm.Profile.SPICoreSpread,
+			IOBytesPerUnit:      float64(nm.Profile.IOBytesPerUnit),
+			IOTransferPerUnit:   float64(nm.Profile.IOTransferPerUnit),
+			ArrivalGapPerUnit:   float64(nm.Profile.ArrivalGapPerUnit),
+		},
+		Power: persistedPower{
+			Idle:      float64(nm.Power.Idle),
+			MemActive: float64(nm.Power.MemActive),
+			NICActive: float64(nm.Power.NICActive),
+		},
+	}
+	for cores, fit := range nm.Profile.SPIMemByCores {
+		p.Profile.SPIMem = append(p.Profile.SPIMem, persistedSPIMem{
+			Cores: cores, Slope: fit.Slope, Intercept: fit.Intercept, R2: fit.R2,
+		})
+	}
+	sort.Slice(p.Profile.SPIMem, func(i, j int) bool {
+		return p.Profile.SPIMem[i].Cores < p.Profile.SPIMem[j].Cores
+	})
+	for cores, byFreq := range nm.Profile.UCPUByConfig {
+		for g, u := range byFreq {
+			p.Profile.UCPU = append(p.Profile.UCPU, persistedUCPU{Cores: cores, FreqGHz: g, UCPU: u})
+		}
+	}
+	sort.Slice(p.Profile.UCPU, func(i, j int) bool {
+		a, b := p.Profile.UCPU[i], p.Profile.UCPU[j]
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		return a.FreqGHz < b.FreqGHz
+	})
+	for f, act := range nm.Power.CoreActive {
+		p.Power.CoreTables = append(p.Power.CoreTables, persistedPGate{
+			FreqGHz: f.GHzValue(),
+			Active:  float64(act),
+			Stall:   float64(nm.Power.CoreStall[f]),
+		})
+	}
+	sort.Slice(p.Power.CoreTables, func(i, j int) bool {
+		return p.Power.CoreTables[i].FreqGHz < p.Power.CoreTables[j].FreqGHz
+	})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Load reads a model saved by Save, reconstructing the node's datasheet
+// facts from its type name.
+func Load(r io.Reader) (NodeModel, error) {
+	var p persistedModel
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return NodeModel{}, fmt.Errorf("model: decoding: %w", err)
+	}
+	if p.Version != persistVersion {
+		return NodeModel{}, fmt.Errorf("model: unsupported version %d", p.Version)
+	}
+	spec, err := hwsim.ByName(p.Node)
+	if err != nil {
+		return NodeModel{}, err
+	}
+	nm := NodeModel{Spec: spec}
+	nm.Profile = profile.Profile{
+		Workload:            p.Profile.Workload,
+		Node:                p.Node,
+		ISA:                 isaFromInt(p.Profile.ISA),
+		InstructionsPerUnit: p.Profile.InstructionsPerUnit,
+		WPI:                 p.Profile.WPI,
+		WPISpread:           p.Profile.WPISpread,
+		SPICore:             p.Profile.SPICore,
+		SPICoreSpread:       p.Profile.SPICoreSpread,
+		SPIMemByCores:       make(map[int]stats.Linear, len(p.Profile.SPIMem)),
+		UCPUByConfig:        make(map[int]map[float64]float64),
+		IOBytesPerUnit:      units.Bytes(p.Profile.IOBytesPerUnit),
+		IOTransferPerUnit:   units.Seconds(p.Profile.IOTransferPerUnit),
+		ArrivalGapPerUnit:   units.Seconds(p.Profile.ArrivalGapPerUnit),
+	}
+	for _, e := range p.Profile.SPIMem {
+		nm.Profile.SPIMemByCores[e.Cores] = stats.Linear{Slope: e.Slope, Intercept: e.Intercept, R2: e.R2}
+	}
+	for _, e := range p.Profile.UCPU {
+		if nm.Profile.UCPUByConfig[e.Cores] == nil {
+			nm.Profile.UCPUByConfig[e.Cores] = make(map[float64]float64)
+		}
+		nm.Profile.UCPUByConfig[e.Cores][e.FreqGHz] = e.UCPU
+	}
+	nm.Power = power.Characterization{
+		Node:       p.Node,
+		Idle:       units.Watt(p.Power.Idle),
+		MemActive:  units.Watt(p.Power.MemActive),
+		NICActive:  units.Watt(p.Power.NICActive),
+		CoreActive: make(map[units.Hertz]units.Watt, len(p.Power.CoreTables)),
+		CoreStall:  make(map[units.Hertz]units.Watt, len(p.Power.CoreTables)),
+	}
+	for _, e := range p.Power.CoreTables {
+		// Snap to the spec's P-states so float round-trips can never
+		// produce an off-by-epsilon frequency key.
+		f := snapFrequency(units.Hertz(e.FreqGHz*1e9), spec)
+		nm.Power.CoreActive[f] = units.Watt(e.Active)
+		nm.Power.CoreStall[f] = units.Watt(e.Stall)
+	}
+	if err := nm.Validate(); err != nil {
+		return NodeModel{}, fmt.Errorf("model: loaded model invalid: %w", err)
+	}
+	return nm, nil
+}
+
+// isaFromInt round-trips the ISA enum through its integer encoding.
+func isaFromInt(v int) isa.ISA { return isa.ISA(v) }
+
+// snapFrequency maps f to the nearest spec P-state when within 1 part
+// per million, and returns f unchanged otherwise.
+func snapFrequency(f units.Hertz, spec hwsim.NodeSpec) units.Hertz {
+	for _, p := range spec.Frequencies {
+		d := float64(f - p)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 1e-6*float64(p) {
+			return p
+		}
+	}
+	return f
+}

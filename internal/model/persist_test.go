@@ -1,0 +1,112 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		spec     hwsim.NodeSpec
+		workload string
+	}{
+		{hwsim.ARMCortexA9(), "ep"},
+		{hwsim.AMDOpteronK10(), "memcached"},
+	} {
+		nm := buildModel(t, tc.spec, tc.workload, 0.03)
+		var buf bytes.Buffer
+		if err := Save(&buf, nm); err != nil {
+			t.Fatalf("%s/%s: save: %v", tc.spec.Name, tc.workload, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s/%s: load: %v", tc.spec.Name, tc.workload, err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("loaded model invalid: %v", err)
+		}
+		// The loaded model must predict identically.
+		cfg := hwsim.Config{Cores: tc.spec.Cores, Frequency: tc.spec.FMax()}
+		orig, err := nm.Predict(cfg, 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Predict(cfg, 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(orig.Time-got.Time)) > 1e-12*float64(orig.Time) {
+			t.Errorf("%s/%s: time changed: %v vs %v", tc.spec.Name, tc.workload, orig.Time, got.Time)
+		}
+		if math.Abs(float64(orig.Energy-got.Energy)) > 1e-12*float64(orig.Energy) {
+			t.Errorf("%s/%s: energy changed: %v vs %v", tc.spec.Name, tc.workload, orig.Energy, got.Energy)
+		}
+		// Every P-state's power tables survive.
+		for _, f := range tc.spec.Frequencies {
+			if nm.Power.CoreActiveAt(f) != back.Power.CoreActiveAt(f) {
+				t.Errorf("%s: core active at %v changed", tc.spec.Name, f)
+			}
+			if nm.Power.CoreStallAt(f) != back.Power.CoreStallAt(f) {
+				t.Errorf("%s: core stall at %v changed", tc.spec.Name, f)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsInvalidModel(t *testing.T) {
+	var bad NodeModel
+	var buf bytes.Buffer
+	if err := Save(&buf, bad); err == nil {
+		t.Error("saving an invalid model should error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version should error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1, "node": "pdp-11"}`)); err == nil {
+		t.Error("unknown node type should error")
+	}
+	// Structurally valid but semantically empty: fails model validation.
+	if _, err := Load(strings.NewReader(`{"version": 1, "node": "arm-cortex-a9"}`)); err == nil {
+		t.Error("empty profile should fail validation")
+	}
+}
+
+func TestSnapFrequency(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	// Within a ppm: snapped.
+	f := snapFrequency(1.4*units.GHz+0.1, arm)
+	if f != 1.4*units.GHz {
+		t.Errorf("near-miss frequency not snapped: %v", f)
+	}
+	// Far away: untouched.
+	f = snapFrequency(3*units.GHz, arm)
+	if f != 3*units.GHz {
+		t.Errorf("distant frequency altered: %v", f)
+	}
+}
+
+func TestHwsimByName(t *testing.T) {
+	for _, name := range []string{"arm-cortex-a9", "amd-opteron-k10", "arm-cortex-a15"} {
+		spec, err := hwsim.ByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, spec.Name)
+		}
+	}
+	if _, err := hwsim.ByName("cray-1"); err == nil {
+		t.Error("unknown name should error")
+	}
+}

@@ -1,0 +1,162 @@
+// Package perfcounter orchestrates baseline measurement campaigns, the
+// reproduction's equivalent of the paper's §II-D/§III-A procedure: run a
+// representative batch of each workload on a single node of each type,
+// across combinations of active cores and core clock frequency, with
+// hardware event counters and the power meter attached, and collect the
+// observations into a trace.Trace for the model-fitting stage
+// (internal/profile).
+//
+// The authors used `perf` for counters and a Yokogawa WT210 for power;
+// here each observation is an internal/hwsim run. Repetitions with
+// different seeds capture the run-to-run irregularity the paper names as
+// its main source of model error.
+package perfcounter
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/trace"
+)
+
+// Campaign describes one measurement campaign: a workload demand measured
+// on one node type over a set of configurations.
+type Campaign struct {
+	// Spec is the node type under measurement.
+	Spec hwsim.NodeSpec
+	// Demand is the workload's representative phase.
+	Demand trace.Demand
+	// Units is the batch size of each observation (multiples of Ps).
+	Units float64
+	// Repetitions is the number of repeated runs per configuration;
+	// at least 1.
+	Repetitions int
+	// NoiseSigma is the run-to-run variation magnitude passed to hwsim.
+	NoiseSigma float64
+	// Seed derives per-run seeds; campaigns with equal seeds are
+	// reproducible.
+	Seed int64
+	// Configs restricts the campaign to specific configurations; nil
+	// measures every (cores, frequency) combination, as the paper's
+	// single-node validation does.
+	Configs []hwsim.Config
+}
+
+// Validate checks the campaign parameters.
+func (c Campaign) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := c.Demand.Validate(); err != nil {
+		return err
+	}
+	if c.Units <= 0 {
+		return fmt.Errorf("perfcounter: campaign batch size %v", c.Units)
+	}
+	if c.Repetitions < 1 {
+		return fmt.Errorf("perfcounter: campaign needs >= 1 repetition, got %d", c.Repetitions)
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("perfcounter: negative noise sigma %v", c.NoiseSigma)
+	}
+	for _, cfg := range c.Configs {
+		if err := cfg.ValidateFor(c.Spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect runs the campaign and returns the collected trace. Records are
+// ordered by configuration then repetition.
+func (c Campaign) Collect() (*trace.Trace, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	configs := c.Configs
+	if configs == nil {
+		configs = hwsim.Configs(c.Spec)
+	}
+	tr := &trace.Trace{}
+	seed := c.Seed
+	for _, cfg := range configs {
+		for rep := 0; rep < c.Repetitions; rep++ {
+			seed++
+			m, err := hwsim.Run(c.Spec, cfg, c.Demand, c.Units, hwsim.Options{
+				Seed:       seed,
+				NoiseSigma: c.NoiseSigma,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("perfcounter: config %+v rep %d: %w", cfg, rep, err)
+			}
+			if err := tr.Append(m.Record); err != nil {
+				return nil, fmt.Errorf("perfcounter: config %+v rep %d: %w", cfg, rep, err)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// CollectAcrossSizes measures the workload at several problem sizes on a
+// single configuration — the experiment behind Figure 2, which shows WPI
+// and SPIcore constant as the problem scales from class A to C.
+func CollectAcrossSizes(spec hwsim.NodeSpec, cfg hwsim.Config, demand trace.Demand, sizes []float64, noiseSigma float64, seed int64) (*trace.Trace, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("perfcounter: no problem sizes given")
+	}
+	tr := &trace.Trace{}
+	for i, w := range sizes {
+		m, err := hwsim.Run(spec, cfg, demand, w, hwsim.Options{
+			Seed:       seed + int64(i),
+			NoiseSigma: noiseSigma,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perfcounter: size %v: %w", w, err)
+		}
+		if err := tr.Append(m.Record); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// MeasureIdle reports the node's idle power as a power-meter reading with
+// measurement noise, the paper's "Pidle is measured without any workload".
+func MeasureIdle(spec hwsim.NodeSpec, noiseSigma float64, seed int64) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	// Reuse the hwsim noise model by running a negligible workload? No:
+	// idle needs no workload. Apply meter noise directly.
+	return float64(spec.IdlePower()) * meterNoise(noiseSigma, seed), nil
+}
+
+// meterNoise returns a deterministic multiplicative reading error for the
+// given seed, matching hwsim's clamped-Gaussian convention.
+func meterNoise(sigma float64, seed int64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	// A tiny xorshift keeps this free of package-level state.
+	x := uint64(seed)*2654435761 + 1
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	// Map two uniform draws to an approximate Gaussian via sum of 4
+	// uniforms (Irwin-Hall), good enough for meter noise.
+	sum := 0.0
+	for i := 0; i < 4; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		sum += float64(x%1000) / 1000
+	}
+	n := (sum - 2) * 1.73 // approx unit variance
+	if n > 3 {
+		n = 3
+	}
+	if n < -3 {
+		n = -3
+	}
+	return 1 + sigma*n
+}

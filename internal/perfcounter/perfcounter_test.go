@@ -1,0 +1,186 @@
+package perfcounter
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+func epDemand(t *testing.T) trace.Demand {
+	t.Helper()
+	s, err := workloads.ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Demand
+}
+
+func TestCampaignValidate(t *testing.T) {
+	good := Campaign{
+		Spec:        hwsim.ARMCortexA9(),
+		Demand:      epDemand(t),
+		Units:       1e5,
+		Repetitions: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Campaign)
+	}{
+		{"zero units", func(c *Campaign) { c.Units = 0 }},
+		{"zero reps", func(c *Campaign) { c.Repetitions = 0 }},
+		{"negative sigma", func(c *Campaign) { c.NoiseSigma = -1 }},
+		{"bad config", func(c *Campaign) {
+			c.Configs = []hwsim.Config{{Cores: 99, Frequency: 1.4 * units.GHz}}
+		}},
+		{"bad spec", func(c *Campaign) { c.Spec.Cores = 0 }},
+		{"bad demand", func(c *Campaign) { c.Demand = trace.Demand{} }},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestCollectCoversAllConfigs(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	c := Campaign{
+		Spec:        arm,
+		Demand:      epDemand(t),
+		Units:       1e4,
+		Repetitions: 2,
+		NoiseSigma:  0.02,
+		Seed:        1,
+	}
+	tr, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := arm.ConfigCount() * 2
+	if len(tr.Records) != want {
+		t.Fatalf("collected %d records, want %d", len(tr.Records), want)
+	}
+	seen := map[hwsim.Config]int{}
+	for _, r := range tr.Records {
+		seen[hwsim.Config{Cores: r.Cores, Frequency: r.Frequency}]++
+		if r.Workload != "ep" || r.Node != arm.Name {
+			t.Errorf("record identity wrong: %s/%s", r.Workload, r.Node)
+		}
+	}
+	for cfg, n := range seen {
+		if n != 2 {
+			t.Errorf("config %+v has %d records, want 2", cfg, n)
+		}
+	}
+}
+
+func TestCollectRestrictedConfigs(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	cfgs := []hwsim.Config{
+		{Cores: 1, Frequency: 1.4 * units.GHz},
+		{Cores: 4, Frequency: 1.4 * units.GHz},
+	}
+	c := Campaign{
+		Spec: arm, Demand: epDemand(t), Units: 1e4,
+		Repetitions: 1, Configs: cfgs,
+	}
+	tr, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("collected %d records, want 2", len(tr.Records))
+	}
+}
+
+func TestCollectReproducible(t *testing.T) {
+	c := Campaign{
+		Spec: hwsim.ARMCortexA9(), Demand: epDemand(t), Units: 1e4,
+		Repetitions: 1, NoiseSigma: 0.03, Seed: 42,
+		Configs: []hwsim.Config{{Cores: 4, Frequency: 1.4 * units.GHz}},
+	}
+	t1, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Records[0] != t2.Records[0] {
+		t.Error("same campaign should reproduce identical traces")
+	}
+}
+
+func TestCollectAcrossSizes(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	cfg := hwsim.Config{Cores: 4, Frequency: 1.4 * units.GHz}
+	sizes := []float64{1e4, 1e5, 1e6}
+	tr, err := CollectAcrossSizes(arm, cfg, epDemand(t), sizes, 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("got %d records", len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		if r.WorkUnits != sizes[i] {
+			t.Errorf("record %d units = %v, want %v", i, r.WorkUnits, sizes[i])
+		}
+	}
+	if _, err := CollectAcrossSizes(arm, cfg, epDemand(t), nil, 0, 0); err == nil {
+		t.Error("empty size list should error")
+	}
+}
+
+func TestMeasureIdle(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	ideal, err := MeasureIdle(arm, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal != float64(arm.IdlePower()) {
+		t.Errorf("noiseless idle = %v, want %v", ideal, arm.IdlePower())
+	}
+	noisy, err := MeasureIdle(arm, 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(noisy-ideal) / ideal
+	if rel > 0.1 {
+		t.Errorf("idle measurement noise too large: %v", rel)
+	}
+	again, err := MeasureIdle(arm, 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy != again {
+		t.Error("same seed should reproduce the same reading")
+	}
+	bad := arm
+	bad.Cores = 0
+	if _, err := MeasureIdle(bad, 0, 0); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestMeterNoiseBounded(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		f := meterNoise(0.03, seed)
+		if f < 0.9 || f > 1.1 {
+			t.Errorf("seed %d: noise factor %v outside clamp", seed, f)
+		}
+	}
+	if meterNoise(0, 1) != 1 {
+		t.Error("zero sigma should give exact reading")
+	}
+}

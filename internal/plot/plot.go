@@ -1,0 +1,323 @@
+// Package plot renders the paper's figures without third-party graphics
+// libraries: scatter/line charts as ASCII for terminals and as standalone
+// SVG documents for reports. Both renderers share scale computation and
+// support the log-scale axes the paper uses from Figure 6 onward
+// ("henceforth, each figure plots Pareto frontiers with x-axis in
+// log-scale").
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Validate checks the series.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+			return fmt.Errorf("plot: series %q has non-finite point %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Chart is a 2D chart with optional log axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, xs, ys []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: xs, Y: ys})
+}
+
+// Validate checks the chart and its series, including log-axis domains.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return errors.New("plot: chart has no series")
+	}
+	for _, s := range c.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				return fmt.Errorf("plot: series %q has x=%v on a log axis", s.Name, s.X[i])
+			}
+			if c.LogY && s.Y[i] <= 0 {
+				return fmt.Errorf("plot: series %q has y=%v on a log axis", s.Name, s.Y[i])
+			}
+		}
+	}
+	return nil
+}
+
+// bounds computes the data extents in (possibly log-transformed) space.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.tx(s.X[i])
+			y := c.ty(s.Y[i])
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-0.5, xmax+0.5
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-0.5, ymax+0.5
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func (c *Chart) tx(x float64) float64 {
+	if c.LogX {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c *Chart) ty(y float64) float64 {
+	if c.LogY {
+		return math.Log10(y)
+	}
+	return y
+}
+
+// untx inverts tx for tick labeling.
+func (c *Chart) untx(x float64) float64 {
+	if c.LogX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func (c *Chart) unty(y float64) float64 {
+	if c.LogY {
+		return math.Pow(10, y)
+	}
+	return y
+}
+
+// seriesMarkers cycle for ASCII rendering.
+var seriesMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+// RenderASCII draws the chart on a width x height character canvas (the
+// plotting area; axes and legend add a few rows/columns).
+func (c *Chart) RenderASCII(width, height int) (string, error) {
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			col := int(math.Round((c.tx(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((c.ty(s.Y[i]) - ymin) / (ymax - ymin) * float64(height-1)))
+			// Row 0 is the top of the canvas.
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				grid[r][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", center(c.Title, width+10))
+	}
+	yLo := formatTick(c.unty(ymin))
+	yHi := formatTick(c.unty(ymax))
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yHi, labelW)
+		case height - 1:
+			label = pad(yLo, labelW)
+		case height / 2:
+			mid := formatTick(c.unty((ymin + ymax) / 2))
+			if len(mid) <= labelW {
+				label = pad(mid, labelW)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xLo := formatTick(c.untx(xmin))
+	xHi := formatTick(c.untx(xmax))
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", gap), xHi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", labelW), seriesMarkers[si%len(seriesMarkers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.2g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// svgPalette holds the series colors for SVG output.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// RenderSVG produces a standalone SVG document of the given pixel size.
+// Series are drawn as polylines with point markers in drawing order.
+func (c *Chart) RenderSVG(width, height int) (string, error) {
+	if width < 100 || height < 80 {
+		return "", fmt.Errorf("plot: SVG canvas %dx%d too small", width, height)
+	}
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 60
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	xmin, xmax, ymin, ymax := c.bounds()
+	px := func(x float64) float64 { return float64(marginL) + (c.tx(x)-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(c.ty(y)-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Ticks: 5 per axis in transformed space.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		x := px(c.untx(fx))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-marginB, x, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x, height-marginB+18, formatTick(c.untx(fx)))
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		y := py(c.unty(fy))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL-8, y+4, formatTick(c.unty(fy)))
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			marginL+int(plotW)/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+int(plotH)/2, marginT+int(plotH)/2, escape(c.YLabel))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR-135, ly+9, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,174 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	c := &Chart{Title: "Pareto frontier", XLabel: "Deadline [ms]", YLabel: "Energy [J]"}
+	c.Add("mix", []float64{10, 20, 40, 80}, []float64{30, 25, 20, 16})
+	c.Add("arm-only", []float64{30, 60, 120}, []float64{18, 17, 16})
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleChart().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	empty := &Chart{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty chart should fail validation")
+	}
+	mismatched := &Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := mismatched.Validate(); err == nil {
+		t.Error("mismatched lengths should fail validation")
+	}
+	nan := &Chart{Series: []Series{{Name: "s", X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN should fail validation")
+	}
+	logNeg := &Chart{LogX: true, Series: []Series{{Name: "s", X: []float64{-1}, Y: []float64{1}}}}
+	if err := logNeg.Validate(); err == nil {
+		t.Error("negative x on log axis should fail validation")
+	}
+	logZeroY := &Chart{LogY: true, Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{0}}}}
+	if err := logZeroY.Validate(); err == nil {
+		t.Error("zero y on log axis should fail validation")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out, err := sampleChart().RenderASCII(60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Pareto frontier", "* mix", "+ arm-only", "Deadline [ms]", "Energy [J]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Markers for both series appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("ASCII output missing markers:\n%s", out)
+	}
+	// Canvas rows: every grid line starts with a label area and '|'.
+	lines := strings.Split(out, "\n")
+	gridRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridRows++
+		}
+	}
+	if gridRows != 15 {
+		t.Errorf("grid has %d rows, want 15", gridRows)
+	}
+}
+
+func TestRenderASCIITooSmall(t *testing.T) {
+	if _, err := sampleChart().RenderASCII(5, 2); err == nil {
+		t.Error("tiny canvas should error")
+	}
+}
+
+func TestRenderASCIIInvalidChart(t *testing.T) {
+	c := &Chart{}
+	if _, err := c.RenderASCII(60, 15); err == nil {
+		t.Error("invalid chart should error")
+	}
+}
+
+func TestRenderASCIILogScale(t *testing.T) {
+	c := &Chart{LogX: true, LogY: true}
+	c.Add("s", []float64{10, 100, 1000}, []float64{10, 100, 1000})
+	out, err := c.RenderASCII(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a log-log chart these three points are evenly spaced along the
+	// diagonal; the corners carry the untransformed labels.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1000") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderASCIISinglePoint(t *testing.T) {
+	c := &Chart{}
+	c.Add("dot", []float64{5}, []float64{7})
+	out, err := c.RenderASCII(30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	svg, err := sampleChart().RenderSVG(640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"Pareto frontier", "Deadline [ms]", "Energy [J]", "mix", "arm-only",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series, two colors.
+	if !strings.Contains(svg, svgPalette[0]) || !strings.Contains(svg, svgPalette[1]) {
+		t.Error("SVG missing series colors")
+	}
+}
+
+func TestRenderSVGTooSmall(t *testing.T) {
+	if _, err := sampleChart().RenderSVG(50, 50); err == nil {
+		t.Error("tiny SVG should error")
+	}
+}
+
+func TestRenderSVGEscapesText(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`}
+	c.Add("s<1>", []float64{1, 2}, []float64{1, 2})
+	svg, err := c.RenderSVG(400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "s<1>") {
+		t.Error("SVG text not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	// All points identical: bounds must expand, not collapse.
+	c := &Chart{}
+	c.Add("s", []float64{3, 3}, []float64{4, 4})
+	xmin, xmax, ymin, ymax := c.bounds()
+	if xmin >= xmax || ymin >= ymax {
+		t.Errorf("degenerate bounds not expanded: [%v,%v]x[%v,%v]", xmin, xmax, ymin, ymax)
+	}
+	if _, err := c.RenderASCII(30, 8); err != nil {
+		t.Errorf("degenerate chart should render: %v", err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.00123: "0.00123",
+		1.5:     "1.5",
+		150:     "150",
+		2.5e6:   "2.5e+06",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+)
+
+func TestCharacterizeARM(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	c, err := Characterize(arm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node != arm.Name {
+		t.Errorf("node = %q", c.Node)
+	}
+	// Noiseless characterization should land close to the true tables.
+	if rel := relErr(float64(c.Idle), float64(arm.IdlePower())); rel > 0.01 {
+		t.Errorf("idle = %v, want ~%v", c.Idle, arm.IdlePower())
+	}
+	for _, f := range arm.Frequencies {
+		got := float64(c.CoreActiveAt(f))
+		want := float64(arm.CoreActivePower(f))
+		// The cpu-max micro-benchmark has ~5% stall contamination, so
+		// the measured value sits slightly below truth.
+		if got > want*1.02 || got < want*0.85 {
+			t.Errorf("core active at %v = %v, want within [0.85, 1.02] of %v", f, got, want)
+		}
+		gotS := float64(c.CoreStallAt(f))
+		wantS := float64(arm.CoreStallPower(f))
+		if gotS > wantS*1.3 || gotS < wantS*0.6 {
+			t.Errorf("core stall at %v = %v, want near %v", f, gotS, wantS)
+		}
+		if c.CoreStallAt(f) > c.CoreActiveAt(f) {
+			t.Errorf("stall power above active power at %v", f)
+		}
+	}
+	if c.MemActive != arm.Power.MemActive {
+		t.Errorf("mem active = %v, want datasheet %v", c.MemActive, arm.Power.MemActive)
+	}
+	// NIC estimate should be within a factor ~3 of truth (it is the
+	// hardest parameter to isolate; the paper's I/O energies are small).
+	if rel := relErr(float64(c.NICActive), float64(arm.Power.NICActive)); rel > 2 {
+		t.Errorf("nic active = %v, want near %v", c.NICActive, arm.Power.NICActive)
+	}
+}
+
+func TestCharacterizeAMD(t *testing.T) {
+	amd := hwsim.AMDOpteronK10()
+	c, err := Characterize(amd, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := relErr(float64(c.Idle), 45); rel > 0.02 {
+		t.Errorf("AMD idle = %v, want ~45 W", c.Idle)
+	}
+	fmax := amd.FMax()
+	if got := c.CoreActiveAt(fmax); got < 1.5 || got > 2.1 {
+		t.Errorf("AMD per-core active at fmax = %v, want ~2 W", got)
+	}
+}
+
+func TestCharacterizeWithNoiseStaysClose(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	ideal, err := Characterize(arm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Characterize(arm, Options{NoiseSigma: 0.03, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := relErr(float64(noisy.Idle), float64(ideal.Idle)); rel > 0.12 {
+		t.Errorf("noisy idle off by %v", rel)
+	}
+	f := arm.FMax()
+	if rel := relErr(float64(noisy.CoreActiveAt(f)), float64(ideal.CoreActiveAt(f))); rel > 0.3 {
+		t.Errorf("noisy core active off by %v", rel)
+	}
+}
+
+func TestCharacterizeRejectsBadSpec(t *testing.T) {
+	bad := hwsim.ARMCortexA9()
+	bad.Cores = 0
+	if _, err := Characterize(bad, Options{}); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	c := Characterization{
+		Node: "n",
+		CoreActive: map[units.Hertz]units.Watt{
+			1 * units.GHz: 1.0,
+			2 * units.GHz: 3.0,
+		},
+		CoreStall: map[units.Hertz]units.Watt{
+			1 * units.GHz: 0.5,
+			2 * units.GHz: 1.5,
+		},
+		Idle: 2,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CoreActiveAt(1.5 * units.GHz); got != 2.0 {
+		t.Errorf("midpoint interpolation = %v, want 2.0", got)
+	}
+	if got := c.CoreActiveAt(0.5 * units.GHz); got != 1.0 {
+		t.Errorf("below-range clamp = %v, want 1.0", got)
+	}
+	if got := c.CoreActiveAt(9 * units.GHz); got != 3.0 {
+		t.Errorf("above-range clamp = %v, want 3.0", got)
+	}
+	if got := c.CoreActiveAt(2 * units.GHz); got != 3.0 {
+		t.Errorf("exact lookup = %v, want 3.0", got)
+	}
+	if got := c.CoreStallAt(1.25 * units.GHz); math.Abs(float64(got)-0.75) > 1e-12 {
+		t.Errorf("stall interpolation = %v, want 0.75", got)
+	}
+}
+
+func TestInterpolateEmptyTable(t *testing.T) {
+	var c Characterization
+	if got := c.CoreActiveAt(1 * units.GHz); got != 0 {
+		t.Errorf("empty table should give 0, got %v", got)
+	}
+}
+
+func TestValidateRejectsBadCharacterizations(t *testing.T) {
+	good := Characterization{
+		Node:       "n",
+		CoreActive: map[units.Hertz]units.Watt{1 * units.GHz: 1},
+		CoreStall:  map[units.Hertz]units.Watt{1 * units.GHz: 0.5},
+		Idle:       2,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Characterization)
+	}{
+		{"no node", func(c *Characterization) { c.Node = "" }},
+		{"no active table", func(c *Characterization) { c.CoreActive = nil }},
+		{"no stall table", func(c *Characterization) { c.CoreStall = nil }},
+		{"zero idle", func(c *Characterization) { c.Idle = 0 }},
+		{"negative active", func(c *Characterization) {
+			c.CoreActive = map[units.Hertz]units.Watt{1 * units.GHz: -1}
+		}},
+		{"negative stall", func(c *Characterization) {
+			c.CoreStall = map[units.Hertz]units.Watt{1 * units.GHz: -1}
+		}},
+		{"stall freq not in active", func(c *Characterization) {
+			c.CoreStall = map[units.Hertz]units.Watt{2 * units.GHz: 0.5}
+		}},
+		{"negative mem", func(c *Characterization) { c.MemActive = -1 }},
+		{"negative nic", func(c *Characterization) { c.NICActive = -1 }},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

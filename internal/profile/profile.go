@@ -1,0 +1,291 @@
+// Package profile fits the analytical model's workload inputs from
+// baseline measurement traces — the "+"-marked measured parameters of the
+// paper's Table 2. For one (workload, node type) pair it extracts:
+//
+//   - I_Ps: machine instructions per work unit on the node's ISA (Eq. 5),
+//   - WPI: work cycles per instruction, validated constant (Figure 2),
+//   - SPIcore: non-memory stall cycles per instruction, also constant,
+//   - SPImem(f, c): memory stall cycles per instruction, fitted as a
+//     linear function of core frequency for each active-core count
+//     (Figure 3; the paper reports r^2 >= 0.94),
+//   - U_CPU: average core utilization per configured core count,
+//   - per-unit I/O transfer time and the generator's request inter-arrival
+//     gap (lambda_I/O).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/stats"
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+)
+
+// Profile is the fitted model input for one workload on one node type.
+type Profile struct {
+	// Workload and Node identify the pair.
+	Workload string
+	Node     string
+	ISA      isa.ISA
+
+	// InstructionsPerUnit is the fitted I_Ps.
+	InstructionsPerUnit float64
+	// WPI is the fitted work cycles per instruction.
+	WPI float64
+	// WPISpread is the relative spread of WPI across observations, used
+	// to verify the Figure 2 constancy hypothesis.
+	WPISpread float64
+	// SPICore is the fitted non-memory stall cycles per instruction.
+	SPICore float64
+	// SPICoreSpread is its relative spread across observations.
+	SPICoreSpread float64
+	// SPIMemByCores maps an active-core count to the linear fit of
+	// SPImem over core frequency in GHz.
+	SPIMemByCores map[int]stats.Linear
+	// UCPUByConfig maps a configured core count, then core frequency in
+	// GHz, to the mean measured CPU utilization. Utilization of I/O-bound
+	// workloads depends strongly on frequency (slower cores stay busier
+	// for the same request stream), so U_CPU must be resolved per
+	// configuration.
+	UCPUByConfig map[int]map[float64]float64
+	// IOBytesPerUnit is the measured network transfer per work unit.
+	IOBytesPerUnit units.Bytes
+	// IOTransferPerUnit is the measured NIC occupancy per work unit.
+	IOTransferPerUnit units.Seconds
+	// ArrivalGapPerUnit is 1/lambda_I/O, the load generator's per-request
+	// inter-arrival time (taken from the generator configuration, which
+	// the experimenter controls); zero when arrivals never throttle.
+	ArrivalGapPerUnit units.Seconds
+}
+
+// Validate checks the Profile invariants.
+func (p Profile) Validate() error {
+	switch {
+	case p.Workload == "" || p.Node == "":
+		return fmt.Errorf("profile: missing identity (%q on %q)", p.Workload, p.Node)
+	case !p.ISA.Valid():
+		return fmt.Errorf("profile: invalid ISA")
+	case p.InstructionsPerUnit <= 0:
+		return fmt.Errorf("profile: IPs = %v", p.InstructionsPerUnit)
+	case p.WPI <= 0:
+		return fmt.Errorf("profile: WPI = %v", p.WPI)
+	case p.SPICore < 0:
+		return fmt.Errorf("profile: SPIcore = %v", p.SPICore)
+	case len(p.SPIMemByCores) == 0:
+		return fmt.Errorf("profile: no SPImem fits")
+	case len(p.UCPUByConfig) == 0:
+		return fmt.Errorf("profile: no UCPU observations")
+	case p.IOBytesPerUnit < 0 || p.IOTransferPerUnit < 0 || p.ArrivalGapPerUnit < 0:
+		return fmt.Errorf("profile: negative I/O parameters")
+	}
+	for c, byFreq := range p.UCPUByConfig {
+		if c <= 0 || len(byFreq) == 0 {
+			return fmt.Errorf("profile: UCPU for %d cores invalid", c)
+		}
+		for f, u := range byFreq {
+			if f <= 0 || u < 0 || u > 1 {
+				return fmt.Errorf("profile: UCPU[%d][%vGHz] = %v", c, f, u)
+			}
+		}
+	}
+	return nil
+}
+
+// SPIMemAt evaluates the fitted SPImem for the given core count and
+// frequency. Missing core counts fall back to the nearest fitted count.
+func (p Profile) SPIMemAt(cores int, f units.Hertz) float64 {
+	fit, ok := p.SPIMemByCores[cores]
+	if !ok {
+		fit = p.SPIMemByCores[p.nearestCores(cores)]
+	}
+	v := fit.At(f.GHzValue())
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// UCPUAt returns the measured utilization for the given configuration,
+// falling back to the nearest fitted core count and frequency.
+func (p Profile) UCPUAt(cores int, f units.Hertz) float64 {
+	byFreq, ok := p.UCPUByConfig[cores]
+	if !ok {
+		best, bestDist := 0, math.MaxInt
+		for c := range p.UCPUByConfig {
+			d := c - cores
+			if d < 0 {
+				d = -d
+			}
+			// Ties break toward the smaller core count so the fallback
+			// is deterministic regardless of map iteration order.
+			if d < bestDist || (d == bestDist && c < best) {
+				best, bestDist = c, d
+			}
+		}
+		byFreq = p.UCPUByConfig[best]
+	}
+	g := f.GHzValue()
+	if u, ok := byFreq[g]; ok {
+		return u
+	}
+	bestF, bestDist := 0.0, math.Inf(1)
+	for have := range byFreq {
+		d := math.Abs(have - g)
+		if d < bestDist || (d == bestDist && have < bestF) {
+			bestF, bestDist = have, d
+		}
+	}
+	return byFreq[bestF]
+}
+
+func (p Profile) nearestCores(cores int) int {
+	best, bestDist := 0, math.MaxInt
+	for c := range p.SPIMemByCores {
+		d := c - cores
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && c < best) {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// MinSPIMemR2 returns the weakest r^2 across the per-core-count SPImem
+// fits, the quantity the paper reports as >= 0.94 in Figure 3. Fits with
+// near-zero memory stalls return 1 (a flat line explains them fully).
+func (p Profile) MinSPIMemR2() float64 {
+	min := 1.0
+	for _, fit := range p.SPIMemByCores {
+		if fit.R2 < min {
+			min = fit.R2
+		}
+	}
+	return min
+}
+
+// Fit extracts a Profile from the trace records of one workload on one
+// node type. The trace must contain observations spanning at least two
+// frequencies for each core count (for the SPImem regression).
+func Fit(tr *trace.Trace, workload, node string) (Profile, error) {
+	recs := tr.ForWorkload(workload, node)
+	if len(recs) == 0 {
+		return Profile{}, fmt.Errorf("profile: no records for %q on %q", workload, node)
+	}
+
+	p := Profile{
+		Workload:      workload,
+		Node:          node,
+		ISA:           recs[0].ISA,
+		SPIMemByCores: make(map[int]stats.Linear),
+		UCPUByConfig:  make(map[int]map[float64]float64),
+	}
+
+	var ips, wpis, spics []float64
+	ucpu := make(map[int]map[float64][]float64)
+	byCores := make(map[int]map[float64][]float64) // cores -> fGHz -> SPImem samples
+	var ioTransferPerUnit, ioBytesPerUnit []float64
+
+	for _, r := range recs {
+		ips = append(ips, r.InstructionsPerUnit())
+		wpis = append(wpis, r.WPI())
+		spics = append(spics, r.SPICore())
+		if ucpu[r.Cores] == nil {
+			ucpu[r.Cores] = make(map[float64][]float64)
+		}
+		gu := r.Frequency.GHzValue()
+		ucpu[r.Cores][gu] = append(ucpu[r.Cores][gu], r.CPUUtilization())
+		if byCores[r.Cores] == nil {
+			byCores[r.Cores] = make(map[float64][]float64)
+		}
+		g := r.Frequency.GHzValue()
+		byCores[r.Cores][g] = append(byCores[r.Cores][g], r.SPIMem())
+		if r.IOBytes > 0 {
+			ioBytesPerUnit = append(ioBytesPerUnit, float64(r.IOBytes)/r.WorkUnits)
+			ioTransferPerUnit = append(ioTransferPerUnit, float64(r.IOTransferTime)/r.WorkUnits)
+		}
+	}
+
+	p.InstructionsPerUnit = stats.Mean(ips)
+	p.WPI = stats.Mean(wpis)
+	p.SPICore = stats.Mean(spics)
+	if p.WPI > 0 {
+		p.WPISpread = stats.StdDev(wpis) / p.WPI
+	}
+	if p.SPICore > 0 {
+		p.SPICoreSpread = stats.StdDev(spics) / p.SPICore
+	}
+	for c, byFreq := range ucpu {
+		p.UCPUByConfig[c] = make(map[float64]float64, len(byFreq))
+		for g, us := range byFreq {
+			p.UCPUByConfig[c][g] = clamp01(stats.Mean(us))
+		}
+	}
+	if len(ioBytesPerUnit) > 0 {
+		p.IOBytesPerUnit = units.Bytes(stats.Mean(ioBytesPerUnit))
+		p.IOTransferPerUnit = units.Seconds(stats.Mean(ioTransferPerUnit))
+	}
+
+	for c, byFreq := range byCores {
+		fit, err := fitSPIMem(byFreq)
+		if err != nil {
+			return Profile{}, fmt.Errorf("profile: SPImem fit for %q on %q cores=%d: %w", workload, node, c, err)
+		}
+		p.SPIMemByCores[c] = fit
+	}
+
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// WithArrivalGap returns a copy of p with the load generator's
+// inter-arrival gap set from the demand's configured request rate.
+func (p Profile) WithArrivalGap(requestRate float64) Profile {
+	if requestRate > 0 {
+		p.ArrivalGapPerUnit = units.Seconds(1 / requestRate)
+	} else {
+		p.ArrivalGapPerUnit = 0
+	}
+	return p
+}
+
+func fitSPIMem(byFreq map[float64][]float64) (stats.Linear, error) {
+	var fs, ys []float64
+	for f, samples := range byFreq {
+		fs = append(fs, f)
+		ys = append(ys, stats.Mean(samples))
+	}
+	// Sort for reproducibility (map iteration order is random).
+	idx := make([]int, len(fs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return fs[idx[a]] < fs[idx[b]] })
+	sf := make([]float64, len(fs))
+	sy := make([]float64, len(fs))
+	for i, j := range idx {
+		sf[i], sy[i] = fs[j], ys[j]
+	}
+	if len(sf) == 1 {
+		// A single frequency cannot support a regression; model it as a
+		// constant (slope through the origin would overstate growth).
+		return stats.Linear{Slope: 0, Intercept: sy[0], R2: 1}, nil
+	}
+	return stats.LinearFit(sf, sy)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/isa"
+	"heteromix/internal/perfcounter"
+	"heteromix/internal/stats"
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+	"heteromix/internal/workloads"
+)
+
+// collect runs a full single-node campaign for a workload on a node.
+func collect(t *testing.T, spec hwsim.NodeSpec, workload string, units float64, sigma float64) *trace.Trace {
+	t.Helper()
+	s, err := workloads.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := perfcounter.Campaign{
+		Spec:        spec,
+		Demand:      s.Demand,
+		Units:       units,
+		Repetitions: 1,
+		NoiseSigma:  sigma,
+		Seed:        1,
+	}.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFitEPOnARM(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	tr := collect(t, arm, "ep", 1e5, 0.02)
+	p, err := Fit(tr, "ep", arm.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ISA != isa.ARMv7A {
+		t.Errorf("ISA = %v", p.ISA)
+	}
+	// The fitted IPs must match the demand's ground truth (counters are
+	// noise-free; only time and power carry noise).
+	if math.Abs(p.InstructionsPerUnit-120) > 0.5 {
+		t.Errorf("IPs = %v, want ~120", p.InstructionsPerUnit)
+	}
+	// Figure 2 constancy: WPI and SPIcore spreads are tiny.
+	if p.WPISpread > 0.01 {
+		t.Errorf("WPI spread = %v, want ~0", p.WPISpread)
+	}
+	if p.SPICoreSpread > 0.01 {
+		t.Errorf("SPIcore spread = %v, want ~0", p.SPICoreSpread)
+	}
+	// WPI equals the node's mix-weighted class cost.
+	s, _ := workloads.ByName("ep")
+	want := arm.WPI(s.Demand.Translation[isa.ARMv7A].Mix)
+	if math.Abs(p.WPI-want) > 0.01 {
+		t.Errorf("WPI = %v, want %v", p.WPI, want)
+	}
+	// CPU-bound: utilization ~1 at every core count.
+	for c, byFreq := range p.UCPUByConfig {
+		for g, u := range byFreq {
+			if u < 0.95 {
+				t.Errorf("UCPU[%d][%vGHz] = %v, want ~1 for CPU-bound EP", c, g, u)
+			}
+		}
+	}
+	// All four core counts have SPImem fits with high r^2 (Figure 3).
+	if len(p.SPIMemByCores) != arm.Cores {
+		t.Errorf("SPImem fits for %d core counts, want %d", len(p.SPIMemByCores), arm.Cores)
+	}
+	if r2 := p.MinSPIMemR2(); r2 < 0.94 {
+		t.Errorf("min SPImem r^2 = %v, want >= 0.94", r2)
+	}
+}
+
+func TestFitMemcachedIOParameters(t *testing.T) {
+	arm := hwsim.ARMCortexA9()
+	tr := collect(t, arm, "memcached", 2e4, 0)
+	p, err := Fit(tr, "memcached", arm.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(p.IOBytesPerUnit)-1024) > 1 {
+		t.Errorf("IO bytes/unit = %v, want 1024", p.IOBytesPerUnit)
+	}
+	// Per-request transfer at 12.5 MB/s is 81.92 us.
+	want := 1024.0 / 12.5e6
+	if rel := math.Abs(float64(p.IOTransferPerUnit)-want) / want; rel > 0.05 {
+		t.Errorf("IO transfer/unit = %v, want ~%v", p.IOTransferPerUnit, want)
+	}
+	// I/O-bound: utilization well below 1.
+	for c, byFreq := range p.UCPUByConfig {
+		for g, u := range byFreq {
+			if c > 1 && g >= 0.8 && u > 0.6 {
+				t.Errorf("UCPU[%d][%vGHz] = %v, want low for I/O-bound memcached", c, g, u)
+			}
+		}
+	}
+	// Arrival gap comes from the generator configuration.
+	s, _ := workloads.ByName("memcached")
+	p = p.WithArrivalGap(s.Demand.RequestRate)
+	if math.Abs(float64(p.ArrivalGapPerUnit)-1/2e5) > 1e-12 {
+		t.Errorf("arrival gap = %v, want %v", p.ArrivalGapPerUnit, 1/2e5)
+	}
+	p = p.WithArrivalGap(0)
+	if p.ArrivalGapPerUnit != 0 {
+		t.Errorf("unthrottled arrival gap = %v, want 0", p.ArrivalGapPerUnit)
+	}
+}
+
+func TestFitSPIMemGrowsWithCoresAndFrequency(t *testing.T) {
+	// For the stall micro-benchmark, SPImem at max frequency grows with
+	// active cores, and each fit has positive slope (Figure 3).
+	arm := hwsim.ARMCortexA9()
+	micro := workloads.MicroStallStream()
+	tr, err := perfcounter.Campaign{
+		Spec: arm, Demand: micro.Demand, Units: 1e4, Repetitions: 1, Seed: 2,
+	}.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Fit(tr, micro.Name(), arm.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmax := arm.FMax()
+	prev := -1.0
+	for c := 1; c <= arm.Cores; c++ {
+		v := p.SPIMemAt(c, fmax)
+		if v <= prev {
+			t.Errorf("SPImem at %d cores = %v, want > %v", c, v, prev)
+		}
+		prev = v
+		if p.SPIMemByCores[c].Slope <= 0 {
+			t.Errorf("SPImem slope at %d cores = %v, want positive", c, p.SPIMemByCores[c].Slope)
+		}
+	}
+	// Linearity in frequency at fixed cores.
+	lo := p.SPIMemAt(4, 0.5*units.GHz)
+	hi := p.SPIMemAt(4, 1.0*units.GHz)
+	if hi <= lo {
+		t.Errorf("SPImem should grow with frequency: %v vs %v", lo, hi)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(&trace.Trace{}, "ep", "arm-cortex-a9"); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestSPIMemAtFallsBackToNearestCores(t *testing.T) {
+	p := Profile{
+		Workload: "w", Node: "n", ISA: isa.ARMv7A,
+		InstructionsPerUnit: 100, WPI: 1,
+		SPIMemByCores: map[int]stats.Linear{
+			2: {Slope: 1, Intercept: 0, R2: 1},
+			6: {Slope: 2, Intercept: 0, R2: 1},
+		},
+		UCPUByConfig: map[int]map[float64]float64{2: {1.0: 1}},
+	}
+	if got := p.SPIMemAt(3, 1*units.GHz); got != 1 {
+		t.Errorf("nearest-core fallback = %v, want fit for 2 cores (1)", got)
+	}
+	if got := p.SPIMemAt(6, 1*units.GHz); got != 2 {
+		t.Errorf("exact-core lookup = %v, want 2", got)
+	}
+	// Negative evaluations clamp to zero.
+	p.SPIMemByCores[2] = stats.Linear{Slope: -5, Intercept: 0}
+	if got := p.SPIMemAt(2, 1*units.GHz); got != 0 {
+		t.Errorf("negative SPImem should clamp to 0, got %v", got)
+	}
+}
+
+func TestUCPUAtFallsBack(t *testing.T) {
+	p := Profile{UCPUByConfig: map[int]map[float64]float64{
+		2: {0.5: 0.5, 1.0: 0.6},
+		4: {1.0: 0.25},
+	}}
+	if got := p.UCPUAt(2, 0.5*units.GHz); got != 0.5 {
+		t.Errorf("exact UCPU = %v", got)
+	}
+	if got := p.UCPUAt(2, 0.6*units.GHz); got != 0.5 {
+		t.Errorf("nearest-frequency UCPU = %v, want 0.5", got)
+	}
+	if got := p.UCPUAt(3, 1.0*units.GHz); got != 0.6 {
+		t.Errorf("fallback UCPU = %v, want nearest (2 cores at 1 GHz: 0.6)", got)
+	}
+	if got := p.UCPUAt(9, 1.0*units.GHz); got != 0.25 {
+		t.Errorf("fallback UCPU = %v, want nearest (4 cores: 0.25)", got)
+	}
+}
+
+func TestProfileValidateRejectsBadProfiles(t *testing.T) {
+	good := Profile{
+		Workload: "w", Node: "n", ISA: isa.ARMv7A,
+		InstructionsPerUnit: 100, WPI: 1, SPICore: 0.5,
+		SPIMemByCores: map[int]stats.Linear{1: {}},
+		UCPUByConfig:  map[int]map[float64]float64{1: {1.0: 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"no workload", func(p *Profile) { p.Workload = "" }},
+		{"bad isa", func(p *Profile) { p.ISA = isa.ISA(9) }},
+		{"zero ips", func(p *Profile) { p.InstructionsPerUnit = 0 }},
+		{"zero wpi", func(p *Profile) { p.WPI = 0 }},
+		{"negative spicore", func(p *Profile) { p.SPICore = -1 }},
+		{"no spimem", func(p *Profile) { p.SPIMemByCores = nil }},
+		{"no ucpu", func(p *Profile) { p.UCPUByConfig = nil }},
+		{"ucpu above 1", func(p *Profile) { p.UCPUByConfig = map[int]map[float64]float64{1: {1.0: 1.5}} }},
+		{"ucpu zero cores", func(p *Profile) { p.UCPUByConfig = map[int]map[float64]float64{0: {1.0: 0.5}} }},
+		{"ucpu zero freq", func(p *Profile) { p.UCPUByConfig = map[int]map[float64]float64{1: {0: 0.5}} }},
+		{"ucpu empty freqs", func(p *Profile) { p.UCPUByConfig = map[int]map[float64]float64{1: {}} }},
+		{"negative io", func(p *Profile) { p.IOBytesPerUnit = -1 }},
+	}
+	for _, tc := range cases {
+		p := good
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestFitSingleFrequencyIsConstantFit(t *testing.T) {
+	// A campaign restricted to one frequency cannot regress SPImem over
+	// f; the fit degrades to a constant with R2 = 1.
+	arm := hwsim.ARMCortexA9()
+	s, _ := workloads.ByName("x264")
+	tr, err := perfcounter.Campaign{
+		Spec: arm, Demand: s.Demand, Units: 4, Repetitions: 1, Seed: 9,
+		Configs: []hwsim.Config{{Cores: 4, Frequency: 1.4 * units.GHz}},
+	}.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Fit(tr, "x264", arm.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := p.SPIMemByCores[4]
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("single-frequency fit = %+v, want constant", fit)
+	}
+	if fit.Intercept <= 0 {
+		t.Errorf("x264 SPImem should be positive, got %v", fit.Intercept)
+	}
+}

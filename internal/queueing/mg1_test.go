@@ -1,0 +1,102 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"heteromix/internal/units"
+)
+
+func TestMG1Validate(t *testing.T) {
+	good := MG1{ArrivalRate: 5, MeanService: 0.05, SCV: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MG1{
+		{ArrivalRate: 0, MeanService: 0.05},
+		{ArrivalRate: 5, MeanService: 0},
+		{ArrivalRate: 5, MeanService: 0.05, SCV: -1},
+		{ArrivalRate: 5, MeanService: 0.05, SCV: math.NaN()},
+		{ArrivalRate: 30, MeanService: 0.05}, // rho = 1.5
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestMG1SpecialCases(t *testing.T) {
+	// SCV = 0 reproduces M/D/1 exactly.
+	g := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: 0}
+	d := g.AsMD1()
+	if math.Abs(float64(g.MeanWait()-d.MeanWait())) > 1e-12 {
+		t.Errorf("SCV=0 wait %v != M/D/1 %v", g.MeanWait(), d.MeanWait())
+	}
+	// SCV = 1 (M/M/1) doubles the M/D/1 wait: rho/(1-rho)*T.
+	m := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: 1}
+	if math.Abs(float64(m.MeanWait())-2*float64(d.MeanWait())) > 1e-12 {
+		t.Errorf("M/M/1 wait %v should be 2x M/D/1 %v", m.MeanWait(), d.MeanWait())
+	}
+	if got := m.MeanResponse(); math.Abs(float64(got)-(float64(m.MeanWait())+1)) > 1e-12 {
+		t.Errorf("response = %v", got)
+	}
+}
+
+// Wait grows monotonically with service variability at fixed load.
+func TestMG1WaitGrowsWithSCV(t *testing.T) {
+	prev := -1.0
+	for _, scv := range []float64{0, 0.5, 1, 2, 4} {
+		q := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: scv}
+		w := float64(q.MeanWait())
+		if w <= prev {
+			t.Errorf("wait at SCV %v is %v, not increasing", scv, w)
+		}
+		prev = w
+	}
+}
+
+func TestMG1SimulateMatchesPK(t *testing.T) {
+	for _, scv := range []float64{0, 0.5, 1} {
+		q := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: scv}
+		sim, err := q.Simulate(300000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(q.MeanWait())
+		rel := math.Abs(float64(sim.MeanWait)-want) / want
+		if rel > 0.12 {
+			t.Errorf("SCV=%v: simulated wait %v vs PK %v (rel %v)", scv, sim.MeanWait, want, rel)
+		}
+		if math.Abs(sim.BusyFraction-0.5) > 0.04 {
+			t.Errorf("SCV=%v: busy fraction %v, want ~0.5", scv, sim.BusyFraction)
+		}
+	}
+}
+
+func TestMG1SimulateErrors(t *testing.T) {
+	q := MG1{ArrivalRate: 0.5, MeanService: 1}
+	if _, err := q.Simulate(5, 1); err == nil {
+		t.Error("too few jobs should error")
+	}
+	unstable := MG1{ArrivalRate: 5, MeanService: 1}
+	if _, err := unstable.Simulate(1000, 1); err == nil {
+		t.Error("unstable queue should error")
+	}
+}
+
+func TestMG1DeadlineImplication(t *testing.T) {
+	// The extension's takeaway: at fixed load, variable job sizes demand
+	// a faster (more energetic) configuration for the same response SLO.
+	// Here the deterministic stream meets a 1.6s response at rho=0.5
+	// with T=1, but the SCV=1 stream does not.
+	det := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: 0}
+	varied := MG1{ArrivalRate: 0.5, MeanService: 1, SCV: 1}
+	slo := units.Seconds(1.6)
+	if det.MeanResponse() > slo {
+		t.Errorf("deterministic response %v should meet %v", det.MeanResponse(), slo)
+	}
+	if varied.MeanResponse() <= slo {
+		t.Errorf("variable response %v should violate %v", varied.MeanResponse(), slo)
+	}
+}

@@ -1,0 +1,103 @@
+// Package queueing implements the M/D/1 model the paper uses for job
+// arrivals (§IV-E): jobs arrive with exponentially distributed
+// inter-arrival times (rate lambda_job), queue at a dispatcher, and are
+// serviced one at a time with the fixed (deterministic) service time that
+// the matching scheduling policy produces for the chosen cluster
+// configuration. For M/D/1:
+//
+//	utilization      rho  = lambda * T
+//	mean queue wait  Wq   = rho * T / (2 * (1 - rho))        (Pollaczek-Khinchine)
+//	mean response    R    = Wq + T
+//
+// The package also computes the energy a cluster consumes over an
+// observation window: active energy for the jobs that arrive, plus the
+// idle energy of the powered nodes between jobs (unused nodes are turned
+// off, per the paper).
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"heteromix/internal/units"
+)
+
+// MD1 is an M/D/1 queue: Poisson arrivals, deterministic service.
+type MD1 struct {
+	// ArrivalRate is lambda_job, in jobs per second.
+	ArrivalRate float64
+	// ServiceTime is the fixed per-job service time T.
+	ServiceTime units.Seconds
+}
+
+// Validate checks that the queue parameters are meaningful and stable
+// (rho < 1; an unstable queue has unbounded waiting time).
+func (q MD1) Validate() error {
+	if q.ArrivalRate <= 0 || math.IsNaN(q.ArrivalRate) || math.IsInf(q.ArrivalRate, 0) {
+		return fmt.Errorf("queueing: arrival rate %v", q.ArrivalRate)
+	}
+	if q.ServiceTime <= 0 {
+		return fmt.Errorf("queueing: service time %v", q.ServiceTime)
+	}
+	if rho := q.Utilization(); rho >= 1 {
+		return fmt.Errorf("queueing: unstable queue (rho = %v >= 1)", rho)
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda * T.
+func (q MD1) Utilization() float64 {
+	return q.ArrivalRate * float64(q.ServiceTime)
+}
+
+// MeanWait returns the Pollaczek-Khinchine mean time a job spends in the
+// dispatcher queue before service begins.
+func (q MD1) MeanWait() units.Seconds {
+	rho := q.Utilization()
+	return units.Seconds(rho * float64(q.ServiceTime) / (2 * (1 - rho)))
+}
+
+// MeanResponse returns the mean response time: queueing wait plus
+// service.
+func (q MD1) MeanResponse() units.Seconds {
+	return q.MeanWait() + q.ServiceTime
+}
+
+// MeanQueueLength returns the mean number of jobs waiting (Little's law
+// applied to the wait): Lq = lambda * Wq.
+func (q MD1) MeanQueueLength() float64 {
+	return q.ArrivalRate * float64(q.MeanWait())
+}
+
+// EnergyOverWindow returns the expected energy a configuration consumes
+// during an observation window: each arriving job costs perJob (which
+// already includes the nodes' idle draw during service), and the powered
+// nodes idle at idlePower for the remaining (1 - rho) of the window.
+// Unused nodes are off and cost nothing (paper §IV-E).
+func (q MD1) EnergyOverWindow(window units.Seconds, perJob units.Joule, idlePower units.Watt) (units.Joule, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if window <= 0 {
+		return 0, fmt.Errorf("queueing: window %v", window)
+	}
+	if perJob < 0 || idlePower < 0 {
+		return 0, fmt.Errorf("queueing: negative energy or power")
+	}
+	jobs := q.ArrivalRate * float64(window)
+	active := jobs * float64(perJob)
+	idle := float64(idlePower) * float64(window) * (1 - q.Utilization())
+	return units.Joule(active + idle), nil
+}
+
+// RateForUtilization returns the arrival rate that would load a server
+// with service time t to the target utilization.
+func RateForUtilization(target float64, t units.Seconds) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("queueing: target utilization %v outside (0,1)", target)
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("queueing: service time %v", t)
+	}
+	return target / float64(t), nil
+}

@@ -1,0 +1,161 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	good := MD1{ArrivalRate: 10, ServiceTime: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid queue rejected: %v", err)
+	}
+	bad := []MD1{
+		{ArrivalRate: 0, ServiceTime: 0.05},
+		{ArrivalRate: -1, ServiceTime: 0.05},
+		{ArrivalRate: math.NaN(), ServiceTime: 0.05},
+		{ArrivalRate: 10, ServiceTime: 0},
+		{ArrivalRate: 10, ServiceTime: 0.2},  // rho = 2, unstable
+		{ArrivalRate: 20, ServiceTime: 0.05}, // rho = 1, boundary unstable
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d (%+v) should be invalid", i, q)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	q := MD1{ArrivalRate: 10, ServiceTime: 0.05}
+	if got := q.Utilization(); got != 0.5 {
+		t.Errorf("rho = %v, want 0.5", got)
+	}
+}
+
+func TestMeanWaitKnownValues(t *testing.T) {
+	// M/D/1 at rho = 0.5 with T = 1: Wq = 0.5*1/(2*0.5) = 0.5.
+	q := MD1{ArrivalRate: 0.5, ServiceTime: 1}
+	if got := q.MeanWait(); math.Abs(float64(got)-0.5) > 1e-12 {
+		t.Errorf("Wq = %v, want 0.5", got)
+	}
+	if got := q.MeanResponse(); math.Abs(float64(got)-1.5) > 1e-12 {
+		t.Errorf("R = %v, want 1.5", got)
+	}
+	// Lq = lambda * Wq = 0.25.
+	if got := q.MeanQueueLength(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Lq = %v, want 0.25", got)
+	}
+	// M/D/1 waits are half the M/M/1 waits: at rho=0.9, T=1,
+	// Wq = 0.9/(2*0.1) = 4.5.
+	q = MD1{ArrivalRate: 0.9, ServiceTime: 1}
+	if got := q.MeanWait(); math.Abs(float64(got)-4.5) > 1e-12 {
+		t.Errorf("Wq at rho 0.9 = %v, want 4.5", got)
+	}
+}
+
+// Waiting time is non-negative, increases with utilization, and diverges
+// as rho -> 1.
+func TestMeanWaitMonotoneInRho(t *testing.T) {
+	f := func(a, b uint8) bool {
+		r1 := 0.01 + float64(a%90)/100
+		r2 := 0.01 + float64(b%90)/100
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		if r1 == r2 {
+			return true
+		}
+		q1 := MD1{ArrivalRate: r1, ServiceTime: 1}
+		q2 := MD1{ArrivalRate: r2, ServiceTime: 1}
+		return q1.MeanWait() >= 0 && q2.MeanWait() > q1.MeanWait()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyOverWindow(t *testing.T) {
+	// 20 s window, 2 jobs/s at 0.1 s/job (rho 0.2), 5 J/job, 10 W idle:
+	// active = 40 * 5 = 200 J; idle = 10 * 20 * 0.8 = 160 J.
+	q := MD1{ArrivalRate: 2, ServiceTime: 0.1}
+	e, err := q.EnergyOverWindow(20, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-360) > 1e-9 {
+		t.Errorf("window energy = %v, want 360 J", e)
+	}
+}
+
+func TestEnergyOverWindowErrors(t *testing.T) {
+	q := MD1{ArrivalRate: 2, ServiceTime: 0.1}
+	if _, err := q.EnergyOverWindow(0, 5, 10); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := q.EnergyOverWindow(20, -1, 10); err == nil {
+		t.Error("negative per-job energy should error")
+	}
+	if _, err := q.EnergyOverWindow(20, 5, -1); err == nil {
+		t.Error("negative idle power should error")
+	}
+	unstable := MD1{ArrivalRate: 100, ServiceTime: 1}
+	if _, err := unstable.EnergyOverWindow(20, 5, 10); err == nil {
+		t.Error("unstable queue should error")
+	}
+}
+
+// Higher utilization shifts window energy from idle to active; with
+// per-job energy exceeding idle-for-the-same-time, total energy grows.
+func TestWindowEnergyGrowsWithArrivalRate(t *testing.T) {
+	prev := -1.0
+	for _, lam := range []float64{0.5, 1, 2, 4} {
+		q := MD1{ArrivalRate: lam, ServiceTime: 0.1}
+		e, err := q.EnergyOverWindow(20, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(e) <= prev {
+			t.Errorf("energy at lambda=%v is %v, not increasing", lam, e)
+		}
+		prev = float64(e)
+	}
+}
+
+func TestRateForUtilization(t *testing.T) {
+	r, err := RateForUtilization(0.5, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-20) > 1e-12 {
+		t.Errorf("rate = %v, want 20/s", r)
+	}
+	// Round trip: the queue at that rate has the target utilization.
+	q := MD1{ArrivalRate: r, ServiceTime: 0.025}
+	if math.Abs(q.Utilization()-0.5) > 1e-12 {
+		t.Errorf("round-trip utilization = %v", q.Utilization())
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := RateForUtilization(bad, 0.025); err == nil {
+			t.Errorf("target %v should error", bad)
+		}
+	}
+	if _, err := RateForUtilization(0.5, 0); err == nil {
+		t.Error("zero service time should error")
+	}
+}
+
+func TestEnergyWindowUnits(t *testing.T) {
+	// Spot-check the unit types compose: watts times seconds yield joules.
+	q := MD1{ArrivalRate: 1, ServiceTime: units.Seconds(0.5)}
+	e, err := q.EnergyOverWindow(units.Seconds(10), units.Joule(2), units.Watt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 jobs * 2 J + 1 W * 10 s * 0.5 = 25 J.
+	if math.Abs(float64(e)-25) > 1e-12 {
+		t.Errorf("energy = %v, want 25 J", e)
+	}
+}

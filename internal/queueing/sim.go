@@ -1,0 +1,114 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heteromix/internal/units"
+)
+
+// SimResult holds the empirical statistics of a discrete-event M/D/1
+// simulation, used to validate the closed-form Pollaczek-Khinchine
+// expressions the analysis relies on.
+type SimResult struct {
+	// Jobs is the number of simulated jobs (after warm-up discard).
+	Jobs int
+	// MeanWait is the empirical mean queueing delay.
+	MeanWait units.Seconds
+	// MeanResponse is the empirical mean response time.
+	MeanResponse units.Seconds
+	// MaxQueueLen is the largest number of jobs simultaneously waiting.
+	MaxQueueLen int
+	// BusyFraction is the server's empirical utilization.
+	BusyFraction float64
+}
+
+// Simulate runs a single-server FIFO queue with Poisson arrivals at
+// q.ArrivalRate and deterministic service q.ServiceTime for the given
+// number of jobs, discarding the first tenth as warm-up. It is the
+// discrete-event ground truth for MeanWait and MeanResponse; the
+// package's tests assert agreement with the closed forms.
+func (q MD1) Simulate(jobs int, seed int64) (SimResult, error) {
+	if err := q.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if jobs < 10 {
+		return SimResult{}, fmt.Errorf("queueing: need at least 10 jobs, got %d", jobs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := float64(q.ServiceTime)
+
+	warmup := jobs / 10
+	var (
+		clock      float64 // arrival clock
+		serverFree float64 // when the server next becomes idle
+		sumWait    float64
+		sumResp    float64
+		counted    int
+	)
+	// Track queue length via pending departures.
+	var departures []float64
+	maxQ := 0
+	busyUntilLast := 0.0
+
+	for i := 0; i < jobs; i++ {
+		clock += rng.ExpFloat64() / q.ArrivalRate
+		start := clock
+		if serverFree > start {
+			start = serverFree
+		}
+		wait := start - clock
+		finish := start + t
+		serverFree = finish
+		busyUntilLast = finish
+
+		// Queue length at this arrival: departures still in the future.
+		live := departures[:0]
+		for _, d := range departures {
+			if d > clock {
+				live = append(live, d)
+			}
+		}
+		departures = append(live, finish)
+		if len(departures)-1 > maxQ { // exclude the job in service
+			maxQ = len(departures) - 1
+		}
+
+		if i >= warmup {
+			sumWait += wait
+			sumResp += wait + t
+			counted++
+		}
+	}
+	if counted == 0 {
+		return SimResult{}, fmt.Errorf("queueing: no jobs counted")
+	}
+	busy := float64(jobs) * t / busyUntilLast
+	if busy > 1 {
+		busy = 1
+	}
+	return SimResult{
+		Jobs:         counted,
+		MeanWait:     units.Seconds(sumWait / float64(counted)),
+		MeanResponse: units.Seconds(sumResp / float64(counted)),
+		MaxQueueLen:  maxQ,
+		BusyFraction: busy,
+	}, nil
+}
+
+// ValidateAgainstSimulation compares the closed-form mean wait with a
+// simulation of the given length and returns the relative error. It is
+// exposed so experiments can report the M/D/1 model's own validity the
+// same way the execution-time model is validated against hwsim.
+func (q MD1) ValidateAgainstSimulation(jobs int, seed int64) (relErr float64, sim SimResult, err error) {
+	sim, err = q.Simulate(jobs, seed)
+	if err != nil {
+		return 0, SimResult{}, err
+	}
+	analytic := float64(q.MeanWait())
+	if analytic == 0 {
+		return math.Abs(float64(sim.MeanWait)), sim, nil
+	}
+	return math.Abs(float64(sim.MeanWait)-analytic) / analytic, sim, nil
+}

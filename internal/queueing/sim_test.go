@@ -1,0 +1,108 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateMatchesPollaczekKhinchine(t *testing.T) {
+	// At several utilizations, the empirical mean wait converges to the
+	// closed form rho*T/(2(1-rho)).
+	cases := []struct {
+		rho float64
+		tol float64
+	}{
+		{0.2, 0.10},
+		{0.5, 0.10},
+		{0.8, 0.15}, // heavier tails need looser tolerance
+	}
+	for _, c := range cases {
+		q := MD1{ArrivalRate: c.rho, ServiceTime: 1}
+		rel, sim, err := q.ValidateAgainstSimulation(200000, 42)
+		if err != nil {
+			t.Fatalf("rho=%v: %v", c.rho, err)
+		}
+		if rel > c.tol {
+			t.Errorf("rho=%v: simulated wait %v vs analytic %v (rel %v)",
+				c.rho, sim.MeanWait, q.MeanWait(), rel)
+		}
+		// Empirical utilization tracks rho.
+		if math.Abs(sim.BusyFraction-c.rho) > 0.03 {
+			t.Errorf("rho=%v: busy fraction %v", c.rho, sim.BusyFraction)
+		}
+		// Response = wait + deterministic service.
+		if math.Abs(float64(sim.MeanResponse-sim.MeanWait)-1) > 1e-9 {
+			t.Errorf("rho=%v: response-wait = %v, want 1", c.rho, sim.MeanResponse-sim.MeanWait)
+		}
+	}
+}
+
+func TestSimulateDeterministicForSeed(t *testing.T) {
+	q := MD1{ArrivalRate: 0.5, ServiceTime: 1}
+	a, err := q.Simulate(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Simulate(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed should reproduce the simulation")
+	}
+	c, err := q.Simulate(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanWait == c.MeanWait {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	q := MD1{ArrivalRate: 0.5, ServiceTime: 1}
+	if _, err := q.Simulate(5, 1); err == nil {
+		t.Error("too few jobs should error")
+	}
+	bad := MD1{ArrivalRate: 2, ServiceTime: 1} // rho = 2
+	if _, err := bad.Simulate(1000, 1); err == nil {
+		t.Error("unstable queue should error")
+	}
+}
+
+func TestSimulateLightLoadBarelyQueues(t *testing.T) {
+	q := MD1{ArrivalRate: 0.01, ServiceTime: 1}
+	sim, err := q.Simulate(20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sim.MeanWait) > 0.05 {
+		t.Errorf("mean wait at rho=0.01 is %v, want ~0", sim.MeanWait)
+	}
+	if sim.MaxQueueLen > 4 {
+		t.Errorf("max queue at rho=0.01 is %d", sim.MaxQueueLen)
+	}
+}
+
+func TestSimulateHeavyLoadQueues(t *testing.T) {
+	q := MD1{ArrivalRate: 0.9, ServiceTime: 1}
+	sim, err := q.Simulate(50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.MaxQueueLen < 5 {
+		t.Errorf("max queue at rho=0.9 is %d, want deep backlogs", sim.MaxQueueLen)
+	}
+	if float64(sim.MeanWait) < 2 {
+		t.Errorf("mean wait at rho=0.9 is %v, want several service times", sim.MeanWait)
+	}
+}
+
+func BenchmarkSimulateMD1(b *testing.B) {
+	q := MD1{ArrivalRate: 0.5, ServiceTime: 0.025}
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Simulate(10000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package report generates a complete reproduction report: every table
+// as markdown, every figure as an SVG file, the headline numbers and the
+// extension studies, in one self-contained directory. It is the
+// automation behind "regenerate the paper's evaluation and write it up",
+// exposed as `heteromix report -dir out/`.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heteromix/internal/experiments"
+	"heteromix/internal/plot"
+)
+
+// svgWidth/svgHeight are the rendered figure dimensions.
+const (
+	svgWidth  = 900
+	svgHeight = 620
+)
+
+// Generate runs the full evaluation and writes report.md plus one SVG
+// per figure into dir (created if absent). It returns the report path.
+func Generate(s *experiments.Suite, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("# heteromix reproduction report\n\n")
+	b.WriteString("Regenerated tables and figures for \"Modeling the Energy Efficiency of Heterogeneous Clusters\" (ICPP 2014).\n\n")
+
+	// Tables.
+	t3, err := s.Table3()
+	if err != nil {
+		return "", err
+	}
+	section(&b, "Table 3 — single-node validation", experiments.FormatTable3(t3))
+	t4, err := s.Table4()
+	if err != nil {
+		return "", err
+	}
+	section(&b, "Table 4 — cluster validation", experiments.FormatTable4(t4))
+	t5, err := s.Table5()
+	if err != nil {
+		return "", err
+	}
+	section(&b, "Table 5 — performance-to-power ratio", experiments.FormatTable5(t5))
+
+	// Figures.
+	type figure struct {
+		num     int
+		caption string
+		chart   *plot.Chart
+		summary string
+	}
+	var figures []figure
+
+	f2, err := s.Figure2()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{2, "WPI and SPIcore across problem size",
+		f2.Chart(), fmt.Sprintf("max relative spread %.2f%%", f2.MaxRelSpread*100)})
+
+	f3, err := s.Figure3()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{3, "SPImem vs core frequency",
+		f3.Chart(), fmt.Sprintf("min r² = %.3f", f3.MinR2)})
+
+	f4, err := s.Figure4()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{4, "Pareto frontier for EP", f4.Chart(), f4.FormatFrontier()})
+
+	f5, err := s.Figure5()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{5, "Pareto frontier for memcached", f5.Chart(), f5.FormatFrontier()})
+
+	f6, err := s.Figure6()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{6, "Heterogeneous mixes for memcached (1 kW budget)", f6.Chart(), f6.Format()})
+
+	f7, err := s.Figure7()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{7, "Heterogeneous mixes for EP (1 kW budget)", f7.Chart(), f7.Format()})
+
+	f8, err := s.Figure8()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{8, "Increasing cluster size for memcached", f8.Chart(), f8.Format()})
+
+	f9, err := s.Figure9()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{9, "Increasing cluster size for EP", f9.Chart(), f9.Format()})
+
+	f10, err := s.Figure10()
+	if err != nil {
+		return "", err
+	}
+	figures = append(figures, figure{10, "Effect of job queueing delay", f10.Chart(), f10.Format()})
+
+	for _, f := range figures {
+		svg, err := f.chart.RenderSVG(svgWidth, svgHeight)
+		if err != nil {
+			return "", fmt.Errorf("report: figure %d: %w", f.num, err)
+		}
+		name := fmt.Sprintf("fig%d.svg", f.num)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644); err != nil {
+			return "", fmt.Errorf("report: figure %d: %w", f.num, err)
+		}
+		fmt.Fprintf(&b, "## Figure %d — %s\n\n![Figure %d](%s)\n\n```\n%s\n```\n\n",
+			f.num, f.caption, f.num, name, strings.TrimRight(f.summary, "\n"))
+	}
+
+	// Headline and extensions.
+	var headlines []string
+	for _, w := range []string{"ep", "memcached"} {
+		h, err := s.Headline(w)
+		if err != nil {
+			return "", err
+		}
+		headlines = append(headlines, h.Format())
+	}
+	section(&b, "Headline (paper §VI)", strings.Join(headlines, "\n")+"\n")
+
+	var ext strings.Builder
+	for _, w := range []string{"ep", "memcached"} {
+		split, err := s.SplitAblation(w)
+		if err != nil {
+			return "", err
+		}
+		ext.WriteString(experiments.FormatSplitAblation(w, split))
+	}
+	prop, err := s.Proportionality()
+	if err != nil {
+		return "", err
+	}
+	ext.WriteString(experiments.FormatProportionality(prop))
+	bt, err := s.BottleneckClassification()
+	if err != nil {
+		return "", err
+	}
+	ext.WriteString(experiments.FormatBottlenecks(bt))
+	section(&b, "Extensions", ext.String())
+
+	path := filepath.Join(dir, "report.md")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return path, nil
+}
+
+func section(b *strings.Builder, title, body string) {
+	fmt.Fprintf(b, "## %s\n\n```\n%s```\n\n", title, body)
+}

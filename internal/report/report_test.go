@@ -1,0 +1,74 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heteromix/internal/experiments"
+)
+
+func TestGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation is slow")
+	}
+	dir := t.TempDir()
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: 0.03, Seed: 1})
+	path, err := Generate(s, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# heteromix reproduction report",
+		"Table 3 — single-node validation",
+		"Table 4 — cluster validation",
+		"Table 5 — performance-to-power ratio",
+		"Figure 2 —", "Figure 3 —", "Figure 4 —", "Figure 5 —",
+		"Figure 6 —", "Figure 7 —", "Figure 8 —", "Figure 9 —", "Figure 10 —",
+		"Headline (paper §VI)",
+		"Extensions",
+		"sweet region",
+		"dynamic range",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every figure file exists and is an SVG document.
+	for n := 2; n <= 10; n++ {
+		svgPath := filepath.Join(dir, "fig"+itoa(n)+".svg")
+		svg, err := os.ReadFile(svgPath)
+		if err != nil {
+			t.Errorf("figure %d: %v", n, err)
+			continue
+		}
+		if !strings.HasPrefix(string(svg), "<svg") {
+			t.Errorf("figure %d is not an SVG", n)
+		}
+	}
+}
+
+func TestGenerateBadDir(t *testing.T) {
+	s := experiments.NewSuite(experiments.SuiteOptions{Seed: 1})
+	// A path under a file cannot be created.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(s, filepath.Join(f, "sub")); err == nil {
+		t.Error("impossible directory should error")
+	}
+}
+
+func itoa(n int) string {
+	if n == 10 {
+		return "10"
+	}
+	return string(rune('0' + n))
+}

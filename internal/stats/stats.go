@@ -1,0 +1,212 @@
+// Package stats implements the small statistics toolkit the reproduction
+// needs: descriptive statistics for the validation error tables (Tables 3
+// and 4), ordinary least-squares regression and Pearson correlation for the
+// SPImem-versus-frequency fit (Figure 3), and percentile helpers for
+// summarizing distributions of configuration energies.
+//
+// Everything is implemented from scratch on float64 slices; no third-party
+// numeric libraries are used.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an operation needs more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns an error for an
+// empty slice or out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Linear holds the result of an ordinary least-squares fit y = Slope*x +
+// Intercept, together with the coefficient of determination R2. The paper
+// uses this fit for SPImem over core frequency, reporting r^2 >= 0.94.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// At evaluates the fitted line at x.
+func (l Linear) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// LinearFit computes the ordinary least-squares regression of ys on xs.
+// It requires at least two points and non-zero variance in xs.
+func LinearFit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy := 0.0, 0.0
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("stats: zero variance in x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// R^2 = 1 - SSres/SStot. A constant y vector fits perfectly.
+	ssTot, ssRes := 0.0, 0.0
+	for i := range xs {
+		dy := ys[i] - my
+		ssTot += dy * dy
+		r := ys[i] - (slope*xs[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Linear{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// xs and ys. It requires at least two points and non-zero variance in
+// both variables.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, syy, sxy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// RelativeError returns |predicted-measured|/|measured| expressed as a
+// percentage, the error metric of Tables 3 and 4. A zero measured value
+// with a non-zero prediction yields +Inf.
+func RelativeError(predicted, measured float64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-measured) / math.Abs(measured) * 100
+}
+
+// ErrorSummary aggregates relative errors the way Table 3 reports them:
+// mean and standard deviation, in percent.
+type ErrorSummary struct {
+	Mean   float64
+	StdDev float64
+	Count  int
+}
+
+// SummarizeErrors computes the ErrorSummary of paired predictions and
+// measurements. Pairs with zero measured values are skipped.
+func SummarizeErrors(predicted, measured []float64) (ErrorSummary, error) {
+	if len(predicted) != len(measured) {
+		return ErrorSummary{}, errors.New("stats: mismatched sample lengths")
+	}
+	var errs []float64
+	for i := range predicted {
+		if measured[i] == 0 {
+			continue
+		}
+		errs = append(errs, RelativeError(predicted[i], measured[i]))
+	}
+	if len(errs) == 0 {
+		return ErrorSummary{}, ErrInsufficientData
+	}
+	return ErrorSummary{Mean: Mean(errs), StdDev: StdDev(errs), Count: len(errs)}, nil
+}

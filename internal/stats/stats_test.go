@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got := Variance(xs); !close(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !close(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of one sample = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(nil); !math.IsInf(got, 1) {
+		t.Errorf("Min(nil) = %v, want +Inf", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Errorf("Max(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !close(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile(nil) should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+	if got, _ := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-sample percentile = %v, want 7", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v; want 5", got, err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 2x + 1, a perfect line: slope 2, intercept 1, R2 = 1.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(fit.Slope, 2, 1e-12) || !close(fit.Intercept, 1, 1e-12) || !close(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1 R2 1", fit)
+	}
+	if got := fit.At(10); !close(got, 21, 1e-12) {
+		t.Errorf("At(10) = %v, want 21", got)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	// A noisy but strongly linear relation, like SPImem vs frequency in
+	// Figure 3, should yield r^2 >= 0.94.
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for f := 0.2; f <= 2.2; f += 0.1 {
+		xs = append(xs, f)
+		ys = append(ys, 3*f+0.5+rng.NormFloat64()*0.1)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.94 {
+		t.Errorf("R2 = %v, want >= 0.94", fit.R2)
+	}
+	if fit.Slope < 2.5 || fit.Slope > 3.5 {
+		t.Errorf("slope = %v, want near 3", fit.Slope)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("one point should error")
+	}
+	if _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 4 || fit.R2 != 1 {
+		t.Errorf("constant fit = %+v", fit)
+	}
+}
+
+// Residuals of an OLS fit are orthogonal to the regressor: sum(r) = 0 and
+// sum(r*x) = 0. This is the defining property of least squares.
+func TestLinearFitResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.NormFloat64() * 5
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return true // degenerate draw
+		}
+		sumR, sumRX := 0.0, 0.0
+		for i := range xs {
+			r := ys[i] - fit.At(xs[i])
+			sumR += r
+			sumRX += r * xs[i]
+		}
+		return math.Abs(sumR) < 1e-8 && math.Abs(sumRX) < 1e-7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r, err := Pearson(xs, []float64{2, 4, 6, 8}); err != nil || !close(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation: r = %v, err = %v", r, err)
+	}
+	if r, err := Pearson(xs, []float64{8, 6, 4, 2}); err != nil || !close(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation: r = %v, err = %v", r, err)
+	}
+	if _, err := Pearson(xs, []float64{5, 5, 5, 5}); err == nil {
+		t.Error("zero variance should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("one point should error")
+	}
+}
+
+// Pearson r^2 equals the R2 of the univariate OLS fit.
+func TestPearsonMatchesR2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = 2*xs[i] + rng.NormFloat64()
+		}
+		fit, err1 := LinearFit(xs, ys)
+		r, err2 := Pearson(xs, ys)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return close(fit.R2, r*r, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); !close(got, 10, 1e-12) {
+		t.Errorf("RelativeError = %v, want 10", got)
+	}
+	if got := RelativeError(90, 100); !close(got, 10, 1e-12) {
+		t.Errorf("RelativeError = %v, want 10", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("0/0 error = %v, want 0", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("x/0 error = %v, want +Inf", got)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	pred := []float64{110, 95, 100}
+	meas := []float64{100, 100, 100}
+	s, err := SummarizeErrors(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(s.Mean, 5, 1e-12) {
+		t.Errorf("mean error = %v, want 5", s.Mean)
+	}
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+	if _, err := SummarizeErrors([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := SummarizeErrors([]float64{1}, []float64{0}); err != ErrInsufficientData {
+		t.Errorf("all-zero measured should give ErrInsufficientData, got %v", err)
+	}
+}

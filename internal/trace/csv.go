@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+// csvHeader is the column layout of the CSV interchange format, one
+// record per row. CSV exists alongside JSON for spreadsheet and R/pandas
+// analysis of measurement campaigns.
+var csvHeader = []string{
+	"workload", "node", "isa", "cores", "frequency_hz", "work_units",
+	"instructions", "work_cycles", "core_stall_cycles", "mem_stall_cycles",
+	"cpu_busy_s", "io_bytes", "io_transfer_s", "elapsed_s", "energy_j",
+}
+
+// WriteCSV serializes the trace as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i, r := range t.Records {
+		row := []string{
+			r.Workload,
+			r.Node,
+			strconv.Itoa(int(r.ISA)),
+			strconv.Itoa(r.Cores),
+			f(float64(r.Frequency)),
+			f(r.WorkUnits),
+			f(r.Instructions),
+			f(r.WorkCycles),
+			f(r.CoreStallCycles),
+			f(r.MemStallCycles),
+			f(float64(r.CPUBusy)),
+			f(float64(r.IOBytes)),
+			f(float64(r.IOTransferTime)),
+			f(float64(r.Elapsed)),
+			f(float64(r.Energy)),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: csv record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV, validating every record.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: csv header mismatch")
+	}
+	t := &Trace{}
+	for i, row := range rows[1:] {
+		rec, err := recordFromCSV(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+1, err)
+		}
+		if err := t.Append(rec); err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+1, err)
+		}
+	}
+	return t, nil
+}
+
+func recordFromCSV(row []string) (Record, error) {
+	if len(row) != len(csvHeader) {
+		return Record{}, fmt.Errorf("have %d columns, want %d", len(row), len(csvHeader))
+	}
+	var r Record
+	r.Workload = row[0]
+	r.Node = row[1]
+	vals := make([]float64, len(row))
+	for i := 2; i < len(row); i++ {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("column %s: %w", csvHeader[i], err)
+		}
+		vals[i] = v
+	}
+	r.ISA = isa.ISA(int(vals[2]))
+	r.Cores = int(vals[3])
+	r.Frequency = units.Hertz(vals[4])
+	r.WorkUnits = vals[5]
+	r.Instructions = vals[6]
+	r.WorkCycles = vals[7]
+	r.CoreStallCycles = vals[8]
+	r.MemStallCycles = vals[9]
+	r.CPUBusy = units.Seconds(vals[10])
+	r.IOBytes = units.Bytes(vals[11])
+	r.IOTransferTime = units.Seconds(vals[12])
+	r.Elapsed = units.Seconds(vals[13])
+	r.Energy = units.Joule(vals[14])
+	return r, nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	var tr Trace
+	r1 := validRecord()
+	if err := tr.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := r1
+	r2.Workload = "memcached"
+	r2.IOBytes = 4096
+	r2.IOTransferTime = 0.001
+	if err := tr.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "workload,node,isa,") {
+		t.Errorf("missing header: %s", out[:40])
+	}
+	back, err := ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("round trip lost records: %d", len(back.Records))
+	}
+	for i := range tr.Records {
+		if back.Records[i] != tr.Records[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, back.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("wrong header should error")
+	}
+	header := strings.Join(csvHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(header + "\nep,n,x,4,1e9,1,1,1,1,1,0,0,0,1,1\n")); err == nil {
+		t.Error("non-numeric column should error")
+	}
+	// Structurally fine but semantically invalid (zero cores).
+	if _, err := ReadCSV(strings.NewReader(header + "\nep,n,0,0,1e9,1,1,1,1,1,0,0,0,1,1\n")); err == nil {
+		t.Error("invalid record should be rejected")
+	}
+}
+
+func TestCSVPrecision(t *testing.T) {
+	// Full float64 precision survives the text round trip.
+	var tr Trace
+	r := validRecord()
+	r.Energy = 0.1234567890123456789
+	r.Elapsed = 1.0 / 3.0
+	if err := tr.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Records[0].Energy != r.Energy || back.Records[0].Elapsed != r.Elapsed {
+		t.Error("precision lost in CSV round trip")
+	}
+}

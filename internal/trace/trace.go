@@ -1,0 +1,299 @@
+// Package trace defines the two data shapes that connect the reproduction's
+// substrates:
+//
+//   - Demand describes a workload's service demand per unit of work — the
+//     intrinsic properties of the representative parallel phase Ps of a
+//     scale-out workload (paper §II-D1): how many machine instructions a
+//     work unit translates to on each ISA, how memory-intensive it is, and
+//     how much network I/O it generates.
+//
+//   - Record is one observation of executing a batch of work units on a
+//     simulated node with hardware event counters enabled — the output of
+//     a "baseline run" (paper §III-A). A sequence of Records is a Trace,
+//     the input of the trace-driven model.
+//
+// Records are what `perf` plus a Yokogawa power meter produced for the
+// authors; here they are produced by internal/hwsim + internal/perfcounter.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+// IOPattern describes how a workload exercises the network device.
+type IOPattern int
+
+const (
+	// IONone marks workloads with negligible network I/O (EP,
+	// blackscholes, RSA-2048: their inputs fit in memory).
+	IONone IOPattern = iota
+	// IORequestResponse marks request-driven workloads (memcached): each
+	// work unit is a request arriving over the NIC whose response is
+	// DMA-transferred back, so I/O time can dominate (paper Eq. 11).
+	IORequestResponse
+	// IOStreaming marks workloads that stream bulk data (x264 frames,
+	// Julius audio samples) whose transfers overlap compute via DMA.
+	IOStreaming
+)
+
+// String names the pattern.
+func (p IOPattern) String() string {
+	switch p {
+	case IONone:
+		return "none"
+	case IORequestResponse:
+		return "request-response"
+	case IOStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("iopattern(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a known pattern.
+func (p IOPattern) Valid() bool { return p >= IONone && p <= IOStreaming }
+
+// Demand is the per-work-unit service demand of a workload's
+// representative phase Ps. All fields are intrinsic to the workload (and,
+// where ISAs differ, to the ISA); node-specific behaviour such as cycle
+// counts and stall times emerges when a Demand meets a node in hwsim.
+type Demand struct {
+	// Name identifies the workload ("ep", "memcached", ...).
+	Name string
+	// Unit names one work unit ("random number", "request", "frame", ...).
+	Unit string
+	// Translation gives the machine-instruction stream per work unit on
+	// each ISA (paper Eq. 5: I_Ps differs between ARM and AMD).
+	Translation isa.Translation
+	// DRAMMissesPerKiloInstr is the number of last-level-cache misses that
+	// reach the memory controller, per thousand instructions, on each ISA
+	// (cache hierarchies differ between the node types, Table 1). This is
+	// what makes SPImem grow linearly with core frequency: a miss costs a
+	// fixed DRAM time, hence f-proportional cycles (Figure 3).
+	DRAMMissesPerKiloInstr map[isa.ISA]float64
+	// DependencyStallsPerInstr is the non-memory stall component SPIcore:
+	// pipeline hazards, branch mispredictions and issue limits, in stall
+	// cycles per instruction before micro-architecture scaling.
+	DependencyStallsPerInstr map[isa.ISA]float64
+	// IO describes the network behaviour.
+	IO IOPattern
+	// IOBytesPerUnit is the data moved over the NIC per work unit
+	// (request+response payload for memcached, compressed frame for x264).
+	IOBytesPerUnit units.Bytes
+	// RequestRate is the mean arrival rate of I/O requests per second
+	// offered by the load generator to a single node (the paper's λ_I/O).
+	// Zero means arrivals never throttle the node (saturating generator).
+	RequestRate float64
+}
+
+// Validate checks the Demand invariants.
+func (d Demand) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("trace: demand has empty name")
+	}
+	if d.Unit == "" {
+		return fmt.Errorf("trace: demand %q has empty unit", d.Name)
+	}
+	if err := d.Translation.Validate(); err != nil {
+		return fmt.Errorf("trace: demand %q: %w", d.Name, err)
+	}
+	for _, i := range isa.All() {
+		m, ok := d.DRAMMissesPerKiloInstr[i]
+		if !ok {
+			return fmt.Errorf("trace: demand %q missing DRAM misses for %v", d.Name, i)
+		}
+		if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("trace: demand %q has invalid DRAM misses %v for %v", d.Name, m, i)
+		}
+		s, ok := d.DependencyStallsPerInstr[i]
+		if !ok {
+			return fmt.Errorf("trace: demand %q missing dependency stalls for %v", d.Name, i)
+		}
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("trace: demand %q has invalid dependency stalls %v for %v", d.Name, s, i)
+		}
+	}
+	if !d.IO.Valid() {
+		return fmt.Errorf("trace: demand %q has invalid IO pattern %d", d.Name, int(d.IO))
+	}
+	if d.IO == IONone {
+		if d.IOBytesPerUnit != 0 {
+			return fmt.Errorf("trace: demand %q declares no IO but moves %v per unit", d.Name, d.IOBytesPerUnit)
+		}
+	} else if d.IOBytesPerUnit <= 0 {
+		return fmt.Errorf("trace: demand %q declares IO but moves %v per unit", d.Name, d.IOBytesPerUnit)
+	}
+	if d.RequestRate < 0 {
+		return fmt.Errorf("trace: demand %q has negative request rate", d.Name)
+	}
+	return nil
+}
+
+// Record is one measured observation: a batch of work units executed on
+// one node at one configuration, with event counters and the power meter
+// attached. Counter fields follow the paper's Table 2 notation.
+type Record struct {
+	// Workload and node identification.
+	Workload string  `json:"workload"`
+	Node     string  `json:"node"`
+	ISA      isa.ISA `json:"isa"`
+
+	// Configuration of the run.
+	Cores     int         `json:"cores"`
+	Frequency units.Hertz `json:"frequency_hz"`
+
+	// WorkUnits is the batch size of this observation.
+	WorkUnits float64 `json:"work_units"`
+
+	// Event counters, accumulated over all cores.
+	Instructions    float64 `json:"instructions"`
+	WorkCycles      float64 `json:"work_cycles"`
+	CoreStallCycles float64 `json:"core_stall_cycles"`
+	MemStallCycles  float64 `json:"mem_stall_cycles"`
+
+	// CPUBusy is the total core-busy time summed over cores, used to
+	// derive U_CPU (the average fraction of cores kept active).
+	CPUBusy units.Seconds `json:"cpu_busy_s"`
+
+	// I/O observations.
+	IOBytes        units.Bytes   `json:"io_bytes"`
+	IOTransferTime units.Seconds `json:"io_transfer_s"`
+
+	// Wall-clock time and metered energy of the batch.
+	Elapsed units.Seconds `json:"elapsed_s"`
+	Energy  units.Joule   `json:"energy_j"`
+}
+
+// Validate checks basic sanity of a Record.
+func (r Record) Validate() error {
+	switch {
+	case r.Workload == "":
+		return fmt.Errorf("trace: record has empty workload")
+	case r.Node == "":
+		return fmt.Errorf("trace: record has empty node")
+	case !r.ISA.Valid():
+		return fmt.Errorf("trace: record has invalid ISA %d", int(r.ISA))
+	case r.Cores <= 0:
+		return fmt.Errorf("trace: record has %d cores", r.Cores)
+	case r.Frequency <= 0:
+		return fmt.Errorf("trace: record has frequency %v", r.Frequency)
+	case r.WorkUnits <= 0:
+		return fmt.Errorf("trace: record has %v work units", r.WorkUnits)
+	case r.Instructions < 0 || r.WorkCycles < 0 || r.CoreStallCycles < 0 || r.MemStallCycles < 0:
+		return fmt.Errorf("trace: record has negative counters")
+	case r.Elapsed <= 0:
+		return fmt.Errorf("trace: record has elapsed %v", r.Elapsed)
+	case r.Energy < 0:
+		return fmt.Errorf("trace: record has negative energy")
+	case r.CPUBusy < 0:
+		return fmt.Errorf("trace: record has negative CPU busy time")
+	case float64(r.CPUBusy) > float64(r.Elapsed)*float64(r.Cores)*(1+1e-9):
+		return fmt.Errorf("trace: CPU busy %v exceeds cores x elapsed", r.CPUBusy)
+	}
+	return nil
+}
+
+// InstructionsPerUnit returns I_Ps for this observation.
+func (r Record) InstructionsPerUnit() float64 {
+	if r.WorkUnits == 0 {
+		return 0
+	}
+	return r.Instructions / r.WorkUnits
+}
+
+// WPI returns the measured work cycles per instruction.
+func (r Record) WPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.WorkCycles / r.Instructions
+}
+
+// SPICore returns the measured non-memory stall cycles per instruction.
+func (r Record) SPICore() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.CoreStallCycles / r.Instructions
+}
+
+// SPIMem returns the measured memory stall cycles per instruction.
+func (r Record) SPIMem() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.MemStallCycles / r.Instructions
+}
+
+// CPUUtilization returns U_CPU, the mean fraction of cores kept busy.
+func (r Record) CPUUtilization() float64 {
+	denom := float64(r.Elapsed) * float64(r.Cores)
+	if denom == 0 {
+		return 0
+	}
+	u := float64(r.CPUBusy) / denom
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AveragePower returns the mean power of the observation.
+func (r Record) AveragePower() units.Watt { return r.Energy.Over(r.Elapsed) }
+
+// Trace is a sequence of Records from baseline runs.
+type Trace struct {
+	Records []Record `json:"records"`
+}
+
+// Append adds r after validating it.
+func (t *Trace) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	t.Records = append(t.Records, r)
+	return nil
+}
+
+// Filter returns the records for which keep returns true.
+func (t *Trace) Filter(keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ForWorkload returns the records of one workload on one node type.
+func (t *Trace) ForWorkload(workload, node string) []Record {
+	return t.Filter(func(r Record) bool { return r.Workload == workload && r.Node == node })
+}
+
+// Write serializes the trace as JSON to w.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Read parses a JSON trace from r, validating every record.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	for i, rec := range t.Records {
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/units"
+)
+
+func validDemand() Demand {
+	mix := isa.MustMix(map[isa.Class]float64{isa.IntALU: 0.6, isa.Mem: 0.4})
+	return Demand{
+		Name: "ep",
+		Unit: "random number",
+		Translation: isa.Translation{
+			isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 120, Mix: mix},
+			isa.X8664:  {ISA: isa.X8664, PerUnit: 100, Mix: mix},
+		},
+		DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 1.5, isa.X8664: 1.0},
+		DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.7, isa.X8664: 0.5},
+		IO:                       IONone,
+	}
+}
+
+func validRecord() Record {
+	return Record{
+		Workload:        "ep",
+		Node:            "arm-cortex-a9",
+		ISA:             isa.ARMv7A,
+		Cores:           4,
+		Frequency:       1.4 * units.GHz,
+		WorkUnits:       1e6,
+		Instructions:    1.2e8,
+		WorkCycles:      1.14e8,
+		CoreStallCycles: 8.4e7,
+		MemStallCycles:  2.1e7,
+		CPUBusy:         0.15,
+		Elapsed:         0.04,
+		Energy:          0.2,
+	}
+}
+
+func TestIOPatternString(t *testing.T) {
+	cases := map[IOPattern]string{
+		IONone:            "none",
+		IORequestResponse: "request-response",
+		IOStreaming:       "streaming",
+		IOPattern(42):     "iopattern(42)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if IOPattern(42).Valid() {
+		t.Error("IOPattern(42) should be invalid")
+	}
+}
+
+func TestDemandValidate(t *testing.T) {
+	d := validDemand()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid demand rejected: %v", err)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(*Demand)
+	}{
+		{"empty name", func(d *Demand) { d.Name = "" }},
+		{"empty unit", func(d *Demand) { d.Unit = "" }},
+		{"missing translation", func(d *Demand) { delete(d.Translation, isa.X8664) }},
+		{"missing mpki", func(d *Demand) { delete(d.DRAMMissesPerKiloInstr, isa.ARMv7A) }},
+		{"negative mpki", func(d *Demand) { d.DRAMMissesPerKiloInstr[isa.ARMv7A] = -1 }},
+		{"nan mpki", func(d *Demand) { d.DRAMMissesPerKiloInstr[isa.ARMv7A] = math.NaN() }},
+		{"missing stalls", func(d *Demand) { delete(d.DependencyStallsPerInstr, isa.X8664) }},
+		{"negative stalls", func(d *Demand) { d.DependencyStallsPerInstr[isa.X8664] = -0.1 }},
+		{"invalid io", func(d *Demand) { d.IO = IOPattern(42) }},
+		{"io bytes without io", func(d *Demand) { d.IOBytesPerUnit = 100 }},
+		{"io without bytes", func(d *Demand) { d.IO = IORequestResponse }},
+		{"negative rate", func(d *Demand) { d.RequestRate = -1 }},
+	}
+	for _, m := range mutations {
+		d := validDemand()
+		// Deep-copy the maps the mutation may touch.
+		d.DRAMMissesPerKiloInstr = map[isa.ISA]float64{isa.ARMv7A: 1.5, isa.X8664: 1.0}
+		d.DependencyStallsPerInstr = map[isa.ISA]float64{isa.ARMv7A: 0.7, isa.X8664: 0.5}
+		d.Translation = isa.Translation{
+			isa.ARMv7A: d.Translation[isa.ARMv7A],
+			isa.X8664:  d.Translation[isa.X8664],
+		}
+		m.mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestDemandValidateIOOk(t *testing.T) {
+	d := validDemand()
+	d.IO = IORequestResponse
+	d.IOBytesPerUnit = 1024
+	d.RequestRate = 5e4
+	if err := d.Validate(); err != nil {
+		t.Errorf("request-response demand rejected: %v", err)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := validRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*Record)
+	}{
+		{"empty workload", func(r *Record) { r.Workload = "" }},
+		{"empty node", func(r *Record) { r.Node = "" }},
+		{"bad isa", func(r *Record) { r.ISA = isa.ISA(9) }},
+		{"zero cores", func(r *Record) { r.Cores = 0 }},
+		{"zero freq", func(r *Record) { r.Frequency = 0 }},
+		{"zero units", func(r *Record) { r.WorkUnits = 0 }},
+		{"negative counter", func(r *Record) { r.MemStallCycles = -1 }},
+		{"zero elapsed", func(r *Record) { r.Elapsed = 0 }},
+		{"negative energy", func(r *Record) { r.Energy = -1 }},
+		{"negative busy", func(r *Record) { r.CPUBusy = -1 }},
+		{"busy exceeds capacity", func(r *Record) { r.CPUBusy = 10 }},
+	}
+	for _, m := range mutations {
+		r := validRecord()
+		m.mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestRecordDerivedMetrics(t *testing.T) {
+	r := validRecord()
+	if got := r.InstructionsPerUnit(); got != 120 {
+		t.Errorf("InstructionsPerUnit = %v, want 120", got)
+	}
+	if got := r.WPI(); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("WPI = %v, want 0.95", got)
+	}
+	if got := r.SPICore(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("SPICore = %v, want 0.7", got)
+	}
+	if got := r.SPIMem(); math.Abs(got-0.175) > 1e-12 {
+		t.Errorf("SPIMem = %v, want 0.175", got)
+	}
+	// CPUBusy 0.15s over 4 cores x 0.04s = 0.9375 utilization.
+	if got := r.CPUUtilization(); math.Abs(got-0.9375) > 1e-12 {
+		t.Errorf("CPUUtilization = %v, want 0.9375", got)
+	}
+	if got := r.AveragePower(); math.Abs(float64(got)-5) > 1e-12 {
+		t.Errorf("AveragePower = %v, want 5W", got)
+	}
+}
+
+func TestRecordDerivedMetricsZeroDenominators(t *testing.T) {
+	var r Record
+	if r.InstructionsPerUnit() != 0 || r.WPI() != 0 || r.SPICore() != 0 || r.SPIMem() != 0 || r.CPUUtilization() != 0 {
+		t.Error("zero record should yield zero derived metrics")
+	}
+}
+
+func TestCPUUtilizationClamped(t *testing.T) {
+	r := validRecord()
+	r.CPUBusy = units.Seconds(float64(r.Elapsed) * float64(r.Cores)) // exactly full
+	if got := r.CPUUtilization(); got != 1 {
+		t.Errorf("full utilization = %v, want 1", got)
+	}
+}
+
+func TestTraceAppendAndFilter(t *testing.T) {
+	var tr Trace
+	r := validRecord()
+	if err := tr.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	r2 := r
+	r2.Workload = "memcached"
+	if err := tr.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	bad := r
+	bad.Cores = 0
+	if err := tr.Append(bad); err == nil {
+		t.Error("appending invalid record should error")
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("trace has %d records, want 2", len(tr.Records))
+	}
+	got := tr.ForWorkload("ep", "arm-cortex-a9")
+	if len(got) != 1 || got[0].Workload != "ep" {
+		t.Errorf("ForWorkload returned %v", got)
+	}
+	if got := tr.ForWorkload("nope", "arm-cortex-a9"); got != nil {
+		t.Errorf("missing workload should return nil, got %v", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var tr Trace
+	if err := tr.Append(validRecord()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 1 {
+		t.Fatalf("round trip lost records: %d", len(back.Records))
+	}
+	if back.Records[0] != tr.Records[0] {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back.Records[0], tr.Records[0])
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should error")
+	}
+	// A structurally valid JSON trace with an invalid record.
+	bad := `{"records":[{"workload":"","node":"n","isa":0,"cores":1,` +
+		`"frequency_hz":1e9,"work_units":1,"elapsed_s":1,"energy_j":1}]}`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("invalid record should be rejected on read")
+	}
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// blackscholesKernel implements the PARSEC blackscholes workload: pricing
+// a portfolio of European options with the closed-form Black-Scholes
+// formula. One work unit is one option priced, matching Table 3's
+// "500,000 stock options" problem size and Table 5's "(options/s)/W"
+// metric. Like the PARSEC original, it uses a polynomial approximation of
+// the cumulative normal distribution, making it floating-point bound with
+// a tiny working set (the paper classifies it as CPU-bottlenecked).
+type blackscholesKernel struct{}
+
+// Option describes one European option contract.
+type Option struct {
+	Spot       float64 // current underlying price S
+	Strike     float64 // strike price K
+	Rate       float64 // risk-free rate r
+	Volatility float64 // annualized volatility sigma
+	Expiry     float64 // time to expiry in years T
+	Call       bool    // call if true, put otherwise
+}
+
+// cndf is the cumulative normal distribution function approximation used
+// by PARSEC blackscholes (Abramowitz & Stegun 26.2.17, |error| < 7.5e-8).
+func cndf(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	w := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*poly
+	if neg {
+		return 1 - w
+	}
+	return w
+}
+
+// Price returns the Black-Scholes value of the option.
+func (o Option) Price() float64 {
+	sqrtT := math.Sqrt(o.Expiry)
+	d1 := (math.Log(o.Spot/o.Strike) + (o.Rate+o.Volatility*o.Volatility/2)*o.Expiry) /
+		(o.Volatility * sqrtT)
+	d2 := d1 - o.Volatility*sqrtT
+	discK := o.Strike * math.Exp(-o.Rate*o.Expiry)
+	if o.Call {
+		return o.Spot*cndf(d1) - discK*cndf(d2)
+	}
+	return discK*cndf(-d2) - o.Spot*cndf(-d1)
+}
+
+// randomOption draws a plausible contract, mirroring the value ranges of
+// the PARSEC input generator.
+func randomOption(rng *rand.Rand) Option {
+	return Option{
+		Spot:       50 + rng.Float64()*100,
+		Strike:     50 + rng.Float64()*100,
+		Rate:       0.01 + rng.Float64()*0.09,
+		Volatility: 0.05 + rng.Float64()*0.60,
+		Expiry:     0.1 + rng.Float64()*2.9,
+		Call:       rng.Intn(2) == 0,
+	}
+}
+
+// Run prices n randomly generated options; the checksum is the summed
+// portfolio value.
+func (blackscholesKernel) Run(n int, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("workloads: blackscholes requires a positive option count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	calls := 0
+	for i := 0; i < n; i++ {
+		o := randomOption(rng)
+		p := o.Price()
+		// The polynomial cndf has |error| < 7.5e-8, so deep out-of-the-money
+		// contracts can price epsilon-negative; clamp those to zero.
+		if p < 0 && p > -1e-6 {
+			p = 0
+		}
+		if p < 0 || math.IsNaN(p) {
+			return Result{}, fmt.Errorf("workloads: blackscholes produced invalid price %v for %+v", p, o)
+		}
+		sum += p
+		if o.Call {
+			calls++
+		}
+	}
+	return Result{
+		Units:    n,
+		Checksum: sum,
+		Detail:   fmt.Sprintf("options=%d calls=%d portfolio_value=%.2f", n, calls, sum),
+	}, nil
+}

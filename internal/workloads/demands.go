@@ -1,0 +1,340 @@
+package workloads
+
+import (
+	"heteromix/internal/isa"
+	"heteromix/internal/trace"
+	"heteromix/internal/units"
+)
+
+// This file holds the calibrated service-demand constants for the six
+// workloads. They play the role of the paper's baseline measurements: the
+// per-ISA instruction counts I_Ps, the instruction mixes that determine
+// WPI, the dependency-stall components SPIcore, the DRAM miss rates that
+// produce SPImem, and the network demand per work unit.
+//
+// Calibration method: with the node micro-architecture and power tables of
+// internal/hwsim fixed (Table 1 specs; AMD 45 W idle / ~60 W peak, ARM
+// <2 W idle / ~5 W peak, per paper §IV), each workload's constants were
+// fitted so the simulated performance-to-power ratios land on Table 5 of
+// the paper and the cycle-accounting ratios land in the bands of
+// Figures 2 and 3:
+//
+//	workload      paper PPR (AMD / ARM)        dominant resource
+//	ep            1,414,922 / 6,048,057        CPU (int+fp)
+//	memcached     2,628     / 5,220            network I/O
+//	x264          1         / 0.7              memory
+//	blackscholes  2,902     / 11,413           CPU (fp)
+//	julius        21,390    / 69,654           CPU (fp+int)
+//	rsa2048       9,346     / 6,877            CPU (crypto)
+//
+// Worked example (EP on ARM): the paper gives ARM EP PPR = 6.05M random
+// numbers per joule. At the ARM's most efficient configuration (4 cores,
+// 1.4 GHz, node power ~4.4 W) that implies ~26.7M numbers/s per node, i.e.
+// ~6.7M/s per core, i.e. ~210 cycles per number. With WPI ~1.05 (Figure 2
+// shows ARM WPI just under 1) and SPIcore ~0.70, cycles per instruction is
+// ~1.75, so I_Ps,ARM = 210/1.75 = ~120 instructions per random number.
+// The remaining constants are derived the same way; the calibration tests
+// in internal/experiments assert the resulting PPR values and orderings.
+
+// chainDepth is the pointer-chase ring size of the stall micro-benchmark,
+// sized far beyond any L2 so every hop misses to DRAM.
+const chainDepth = 1 << 21
+
+func init() {
+	register(Spec{
+		Domain:     "HPC",
+		Bottleneck: BottleneckCPU,
+		Demand: trace.Demand{
+			Name: "ep",
+			Unit: "random number",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 120, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.55, isa.FP: 0.25, isa.Mem: 0.10, isa.Branch: 0.10,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 135, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.55, isa.FP: 0.25, isa.Mem: 0.10, isa.Branch: 0.10,
+				})},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 0.3, isa.X8664: 0.2},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.70, isa.X8664: 0.55},
+			IO:                       trace.IONone,
+		},
+		ValidationUnits: 2147483648, // Table 3: 2^31 random numbers
+		AnalysisUnits:   50e6,       // §IV-B: 50 million random numbers
+		PPRUnit:         "(random no./s)/W",
+		Kernel:          epKernel{},
+	})
+
+	register(Spec{
+		Domain:     "Web Server",
+		Bottleneck: BottleneckIO,
+		Demand: trace.Demand{
+			Name: "memcached",
+			Unit: "request",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 4000, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.45, isa.Mem: 0.35, isa.Branch: 0.20,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 3400, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.45, isa.Mem: 0.35, isa.Branch: 0.20,
+				})},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 8, isa.X8664: 6},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.80, isa.X8664: 0.60},
+			IO:                       trace.IORequestResponse,
+			// memslap issues fixed 1 KiB key+value requests.
+			IOBytesPerUnit: 1 * units.KiB,
+			// The generator saturates well past per-NIC transfer rates.
+			RequestRate: 2e5,
+		},
+		ValidationUnits: 600000, // Table 3: 600,000 GET/SET operations
+		AnalysisUnits:   50000,  // §IV-B: 50,000 requests per job
+		PPRUnit:         "(kbytes/s)/W",
+		Kernel:          memcachedKernel{},
+	})
+
+	register(Spec{
+		Domain:     "Streaming video",
+		Bottleneck: BottleneckMemory,
+		Demand: trace.Demand{
+			Name: "x264",
+			Unit: "frame",
+			Translation: isa.Translation{
+				// The scalar ARMv7-A stream is ~4.8x the x86_64 one: the
+				// AMD build vectorizes SAD and DCT with SSE2 while the
+				// Cortex-A9 kernel is scalar — the ISA-level reason the
+				// paper finds x264 "performs much better on AMD".
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 720e6, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.35, isa.FP: 0.15, isa.Mem: 0.40, isa.Branch: 0.10,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 150e6, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.IntALU: 0.35, isa.FP: 0.15, isa.Mem: 0.40, isa.Branch: 0.10,
+				})},
+			},
+			// Small ARM caches (32 KB L1 + 1 MB shared L2) miss ~2x more
+			// often than AMD's 512 KB/core L2 + 6 MB L3 on frame-sized
+			// working sets (Table 1).
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 6, isa.X8664: 3.5},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.50, isa.X8664: 0.45},
+			IO:                       trace.IOStreaming,
+			IOBytesPerUnit:           24 * units.KiB, // coded frame out
+			RequestRate:              0,              // frames always available
+		},
+		ValidationUnits: 600, // Table 3: 600 frames 704x576
+		AnalysisUnits:   60,
+		PPRUnit:         "(frames/s)/W",
+		Kernel:          x264Kernel{},
+	})
+
+	register(Spec{
+		Domain:     "Financial",
+		Bottleneck: BottleneckCPU,
+		Demand: trace.Demand{
+			Name: "blackscholes",
+			Unit: "option",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 65000, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.FP: 0.50, isa.IntALU: 0.25, isa.Mem: 0.15, isa.Branch: 0.10,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 60000, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.FP: 0.50, isa.IntALU: 0.25, isa.Mem: 0.15, isa.Branch: 0.10,
+				})},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 0.5, isa.X8664: 0.3},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.50, isa.X8664: 0.45},
+			IO:                       trace.IONone,
+		},
+		ValidationUnits: 500000, // Table 3: 500,000 stock options
+		AnalysisUnits:   100000,
+		PPRUnit:         "(options/s)/W",
+		Kernel:          blackscholesKernel{},
+	})
+
+	register(Spec{
+		Domain:     "Speech recognition",
+		Bottleneck: BottleneckCPU,
+		Demand: trace.Demand{
+			Name: "julius",
+			Unit: "sample",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 10500, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.FP: 0.35, isa.IntALU: 0.35, isa.Mem: 0.20, isa.Branch: 0.10,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 8500, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.FP: 0.35, isa.IntALU: 0.35, isa.Mem: 0.20, isa.Branch: 0.10,
+				})},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 1.0, isa.X8664: 0.8},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.60, isa.X8664: 0.50},
+			IO:                       trace.IOStreaming,
+			IOBytesPerUnit:           2, // 16-bit PCM audio samples
+			RequestRate:              0,
+		},
+		ValidationUnits: 2310559, // Table 3: 2,310,559 samples
+		AnalysisUnits:   500000,
+		PPRUnit:         "(samples/s)/W",
+		Kernel:          juliusKernel{},
+	})
+
+	register(Spec{
+		Domain:     "Web security",
+		Bottleneck: BottleneckCPU,
+		Demand: trace.Demand{
+			Name: "rsa2048",
+			Unit: "verify",
+			Translation: isa.Translation{
+				// ARMv7-A synthesizes 2048-bit modular arithmetic from
+				// 32-bit multiplies, needing ~2.9x the instructions of
+				// x86_64's 64-bit MUL — and the Crypto class itself issues
+				// slower on the A9 (see hwsim class CPI tables). Together
+				// these reproduce the paper's one case of AMD winning PPR.
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 57000, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.Crypto: 0.55, isa.IntALU: 0.30, isa.Mem: 0.10, isa.Branch: 0.05,
+				})},
+				isa.X8664: {ISA: isa.X8664, PerUnit: 20000, Mix: isa.MustMix(map[isa.Class]float64{
+					isa.Crypto: 0.55, isa.IntALU: 0.30, isa.Mem: 0.10, isa.Branch: 0.05,
+				})},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 0.4, isa.X8664: 0.3},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.50, isa.X8664: 0.40},
+			IO:                       trace.IONone,
+		},
+		ValidationUnits: 5000, // Table 3: 5000 keys verifications
+		AnalysisUnits:   10000,
+		PPRUnit:         "(verify/s)/W",
+		Kernel:          rsaKernel{},
+	})
+}
+
+// MicroCPUMax is the power-characterization micro-benchmark that maximizes
+// CPU utilization (paper §II-D2): a pure register-resident integer/FP
+// kernel with essentially no stalls, used to measure P_CPU,act across
+// cores and frequencies.
+func MicroCPUMax() Spec {
+	mix := isa.MustMix(map[isa.Class]float64{isa.IntALU: 0.6, isa.FP: 0.4})
+	s := Spec{
+		Domain:     "micro-benchmark",
+		Bottleneck: BottleneckCPU,
+		Demand: trace.Demand{
+			Name: "micro-cpumax",
+			Unit: "iteration",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 1000, Mix: mix},
+				isa.X8664:  {ISA: isa.X8664, PerUnit: 1000, Mix: mix},
+			},
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 0, isa.X8664: 0},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.05, isa.X8664: 0.05},
+			IO:                       trace.IONone,
+		},
+		ValidationUnits: 1e6,
+		AnalysisUnits:   1e6,
+		PPRUnit:         "(iterations/s)/W",
+		Kernel:          cpuMaxKernel{},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MicroStallStream is the power-characterization micro-benchmark that
+// maximizes stall cycles (paper §II-D2): a pointer chase through a ring
+// far larger than any cache, so nearly every instruction waits on DRAM.
+// It is also the workload behind the Figure 3 SPImem regression.
+func MicroStallStream() Spec {
+	mix := isa.MustMix(map[isa.Class]float64{isa.Mem: 0.9, isa.IntALU: 0.1})
+	s := Spec{
+		Domain:     "micro-benchmark",
+		Bottleneck: BottleneckMemory,
+		Demand: trace.Demand{
+			Name: "micro-stallstream",
+			Unit: "iteration",
+			Translation: isa.Translation{
+				isa.ARMv7A: {ISA: isa.ARMv7A, PerUnit: 1000, Mix: mix},
+				isa.X8664:  {ISA: isa.X8664, PerUnit: 1000, Mix: mix},
+			},
+			// ~25 DRAM misses per kilo-instruction: every chase hop
+			// misses (the paper's "stream of cache misses").
+			DRAMMissesPerKiloInstr:   map[isa.ISA]float64{isa.ARMv7A: 25, isa.X8664: 25},
+			DependencyStallsPerInstr: map[isa.ISA]float64{isa.ARMv7A: 0.05, isa.X8664: 0.05},
+			IO:                       trace.IONone,
+		},
+		ValidationUnits: 1e5,
+		AnalysisUnits:   1e5,
+		PPRUnit:         "(iterations/s)/W",
+		Kernel:          stallStreamKernel{},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// cpuMaxKernel is a register-resident integer/FP spin kernel.
+type cpuMaxKernel struct{}
+
+// Run executes n iterations of a dependency-free arithmetic mix.
+func (cpuMaxKernel) Run(n int, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errInvalidCount
+	}
+	a := uint64(seed) | 1
+	f := 1.0001
+	for i := 0; i < n; i++ {
+		a = a*6364136223846793005 + 1442695040888963407
+		f = f*1.0000001 + float64(a&0xff)*1e-9
+	}
+	return Result{Units: n, Checksum: float64(a%1e9) + f}, nil
+}
+
+// stallStreamKernel chases pointers through a shuffled ring that defeats
+// caches and prefetchers.
+type stallStreamKernel struct{}
+
+// Run performs n dependent loads through the ring.
+func (stallStreamKernel) Run(n int, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errInvalidCount
+	}
+	ring := shuffledRing(chainDepth, seed)
+	pos := 0
+	sum := 0
+	for i := 0; i < n; i++ {
+		pos = ring[pos]
+		sum += pos & 1
+	}
+	return Result{Units: n, Checksum: float64(sum) + float64(pos)}, nil
+}
+
+// shuffledRing builds a single-cycle permutation of size m using Sattolo's
+// algorithm, guaranteeing the chase visits every slot before repeating.
+func shuffledRing(m int, seed int64) []int {
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := newSplitMix(uint64(seed))
+	for i := m - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	ring := make([]int, m)
+	for i := 0; i < m-1; i++ {
+		ring[idx[i]] = idx[i+1]
+	}
+	ring[idx[m-1]] = idx[0]
+	return ring
+}
+
+// splitMix is a tiny seedable generator for the ring shuffle.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// epKernel implements the NAS Parallel Benchmarks EP (embarrassingly
+// parallel) kernel: generate pairs of uniform pseudo-random numbers with
+// the NAS linear congruential generator, transform accepted pairs into
+// independent Gaussian deviates with the Marsaglia polar method, and tally
+// the deviates into ten concentric square annuli. One work unit is one
+// generated random number, matching the paper's "2,147,483,648 random
+// numbers" problem-size statement and the Table 5 "(random no./s)/W"
+// metric.
+type epKernel struct{}
+
+// NAS LCG constants: x_{k+1} = a*x_k mod 2^46 with a = 5^13.
+const (
+	epMultiplier = 1220703125 // 5^13
+	epModMask    = (1 << 46) - 1
+	epScale      = 1.0 / (1 << 46)
+)
+
+// epRNG is the NAS EP generator. The 46-bit state fits in a uint64, so the
+// classic double-double arithmetic of the Fortran original reduces to
+// 128-bit integer multiplication, which Go provides via math/bits-free
+// big-mul on uint64 (we use the low 64 bits only: a fits in 31 bits and
+// the state in 46, so a*x fits in 77 bits; we mask after multiplying the
+// low words, exploiting that 2^46 divides 2^64).
+type epRNG struct{ state uint64 }
+
+func newEPRNG(seed int64) *epRNG {
+	s := uint64(seed) & epModMask
+	if s == 0 {
+		s = 271828183 // NAS default seed
+	}
+	return &epRNG{state: s}
+}
+
+// next returns the next uniform deviate in (0, 1).
+func (r *epRNG) next() float64 {
+	// Multiplication overflow above bit 64 cannot affect bits 0..45,
+	// because 2^46 | 2^64: reduction mod 2^46 of the low 64 bits equals
+	// reduction of the full product.
+	r.state = (r.state * epMultiplier) & epModMask
+	return float64(r.state) * epScale
+}
+
+// Run generates n random numbers (n/2 pairs) and computes the Gaussian
+// deviate tallies. The checksum is sumX + sumY + count of accepted pairs,
+// which depends on every generated number.
+func (epKernel) Run(n int, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("workloads: ep requires a positive number of random numbers")
+	}
+	rng := newEPRNG(seed)
+	var (
+		sumX, sumY float64
+		counts     [10]int64
+		accepted   int64
+	)
+	pairs := n / 2
+	for i := 0; i < pairs; i++ {
+		x := 2*rng.next() - 1
+		y := 2*rng.next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		sumX += gx
+		sumY += gy
+		accepted++
+		if k := int(math.Max(math.Abs(gx), math.Abs(gy))); k < 10 {
+			counts[k]++
+		}
+	}
+	if n%2 == 1 {
+		rng.next() // consume the odd trailing number
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	return Result{
+		Units:    n,
+		Checksum: sumX + sumY + float64(accepted),
+		Detail: fmt.Sprintf("pairs=%d accepted=%d tallied=%d sumX=%.6f sumY=%.6f",
+			pairs, accepted, total, sumX, sumY),
+	}, nil
+}
+
+// EPAnnulusCounts exposes the per-annulus tallies for a run, used by the
+// quickstart example to print the classic EP output table.
+func EPAnnulusCounts(n int, seed int64) ([10]int64, error) {
+	if n <= 0 {
+		return [10]int64{}, errors.New("workloads: ep requires a positive number of random numbers")
+	}
+	rng := newEPRNG(seed)
+	var counts [10]int64
+	for i := 0; i < n/2; i++ {
+		x := 2*rng.next() - 1
+		y := 2*rng.next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		if k := int(math.Max(math.Abs(gx), math.Abs(gy))); k < 10 {
+			counts[k]++
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,7 @@
+package workloads
+
+import "errors"
+
+// errInvalidCount is returned by kernels asked for a non-positive number
+// of work units.
+var errInvalidCount = errors.New("workloads: work unit count must be positive")

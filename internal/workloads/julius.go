@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// juliusKernel implements the computational heart of a real-time speech
+// recognition engine in the style of Julius: framing an audio sample
+// stream, extracting log-energy filterbank features, and decoding the
+// frame sequence against a hidden Markov model with the Viterbi
+// algorithm using diagonal-covariance Gaussian emission densities. One
+// work unit is one audio sample, matching Table 3's "2,310,559 samples"
+// problem size and Table 5's "(samples/s)/W" metric.
+type juliusKernel struct{}
+
+// Acoustic front-end geometry: 16 kHz audio, 25 ms windows with 10 ms
+// hop, 12 filterbank channels; a 16-state left-to-right HMM.
+const (
+	juliusFrameLen  = 400 // 25 ms at 16 kHz
+	juliusFrameHop  = 160 // 10 ms at 16 kHz
+	juliusChannels  = 12
+	juliusStates    = 16
+	juliusFloorProb = -1e30
+)
+
+// hmm is a left-to-right hidden Markov model with Gaussian emissions.
+type hmm struct {
+	logTransStay float64
+	logTransNext float64
+	means        [juliusStates][juliusChannels]float64
+	invVars      [juliusStates][juliusChannels]float64
+	logGconst    [juliusStates]float64
+}
+
+// float64Source is the randomness the HMM constructor needs; both
+// *rand.Rand and test doubles satisfy it.
+type float64Source interface{ Float64() float64 }
+
+// newHMM builds a deterministic model whose state means sweep across the
+// feature space, so different frames genuinely prefer different states.
+func newHMM(rng float64Source) *hmm {
+	m := &hmm{
+		logTransStay: math.Log(0.6),
+		logTransNext: math.Log(0.4),
+	}
+	for s := 0; s < juliusStates; s++ {
+		g := 0.0
+		for c := 0; c < juliusChannels; c++ {
+			m.means[s][c] = float64(s)/juliusStates*10 + rng.Float64()
+			v := 0.5 + rng.Float64()
+			m.invVars[s][c] = 1 / v
+			g += math.Log(2 * math.Pi * v)
+		}
+		m.logGconst[s] = -0.5 * g
+	}
+	return m
+}
+
+// logEmit returns the log density of feature vector f under state s.
+func (m *hmm) logEmit(s int, f *[juliusChannels]float64) float64 {
+	sum := 0.0
+	for c := 0; c < juliusChannels; c++ {
+		d := f[c] - m.means[s][c]
+		sum += d * d * m.invVars[s][c]
+	}
+	return m.logGconst[s] - 0.5*sum
+}
+
+// features computes a coarse log-energy filterbank for one frame: the
+// frame is split into juliusChannels bands whose energies are logged.
+func features(frame []float64, out *[juliusChannels]float64) {
+	band := len(frame) / juliusChannels
+	for c := 0; c < juliusChannels; c++ {
+		e := 1e-9
+		for i := c * band; i < (c+1)*band; i++ {
+			e += frame[i] * frame[i]
+		}
+		out[c] = math.Log(e)
+	}
+}
+
+// viterbiDecode runs the Viterbi recursion over the feature frames and
+// returns the best final log-probability and best final state.
+func viterbiDecode(m *hmm, frames [][juliusChannels]float64) (float64, int) {
+	var prev, cur [juliusStates]float64
+	for s := range prev {
+		prev[s] = juliusFloorProb
+	}
+	prev[0] = m.logEmit(0, &frames[0])
+	for t := 1; t < len(frames); t++ {
+		for s := 0; s < juliusStates; s++ {
+			best := prev[s] + m.logTransStay
+			if s > 0 {
+				if v := prev[s-1] + m.logTransNext; v > best {
+					best = v
+				}
+			}
+			cur[s] = best + m.logEmit(s, &frames[t])
+		}
+		prev = cur
+	}
+	bestP, bestS := prev[0], 0
+	for s := 1; s < juliusStates; s++ {
+		if prev[s] > bestP {
+			bestP, bestS = prev[s], s
+		}
+	}
+	return bestP, bestS
+}
+
+// Run decodes n synthetic audio samples: a chirp-plus-noise signal is
+// framed, featurized and Viterbi-decoded in utterance-sized chunks. The
+// checksum combines the total log-probability and final states.
+func (juliusKernel) Run(n int, seed int64) (Result, error) {
+	if n < juliusFrameLen {
+		return Result{}, errors.New("workloads: julius requires at least one full audio frame of samples")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := newHMM(rng)
+
+	// Synthesize the sample stream.
+	samples := make([]float64, n)
+	for i := range samples {
+		tt := float64(i) / 16000
+		samples[i] = math.Sin(2*math.Pi*(300+50*tt)*tt) + 0.1*rng.NormFloat64()
+	}
+
+	// Frame and featurize.
+	nFrames := 1 + (n-juliusFrameLen)/juliusFrameHop
+	frames := make([][juliusChannels]float64, nFrames)
+	for i := 0; i < nFrames; i++ {
+		start := i * juliusFrameHop
+		features(samples[start:start+juliusFrameLen], &frames[i])
+	}
+
+	// Decode in utterance chunks of ~1 s (100 frames).
+	const chunk = 100
+	totalLogP := 0.0
+	stateSum := 0
+	utterances := 0
+	for i := 0; i < nFrames; i += chunk {
+		end := i + chunk
+		if end > nFrames {
+			end = nFrames
+		}
+		logP, s := viterbiDecode(m, frames[i:end])
+		totalLogP += logP
+		stateSum += s
+		utterances++
+	}
+	return Result{
+		Units:    n,
+		Checksum: totalLogP + float64(stateSum),
+		Detail: fmt.Sprintf("samples=%d frames=%d utterances=%d total_logp=%.1f",
+			n, nFrames, utterances, totalLogP),
+	}, nil
+}

@@ -1,0 +1,529 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// --- EP ---
+
+func TestEPRNGPeriodAndRange(t *testing.T) {
+	rng := newEPRNG(271828183)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := rng.next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %v out of (0,1)", v)
+		}
+		if seen[rng.state] {
+			t.Fatalf("state repeated after %d draws", i)
+		}
+		seen[rng.state] = true
+	}
+}
+
+func TestEPRNGZeroSeedUsesDefault(t *testing.T) {
+	a := newEPRNG(0)
+	b := newEPRNG(271828183)
+	if a.next() != b.next() {
+		t.Error("zero seed should fall back to the NAS default seed")
+	}
+}
+
+func TestEPRNGMatchesModularArithmetic(t *testing.T) {
+	// The masked 64-bit multiply must equal true multiplication mod 2^46.
+	// Verified against big-integer arithmetic on small cases via the
+	// identity (a*x mod 2^64) mod 2^46 == a*x mod 2^46 since 2^46 | 2^64.
+	rng := newEPRNG(31415)
+	x := uint64(31415)
+	for i := 0; i < 1000; i++ {
+		hi, lo := mul128(x, epMultiplier)
+		_ = hi // bits above 2^64 can never reach bit positions < 46
+		want := lo & epModMask
+		rng2 := epRNG{state: x}
+		rng2.state = (rng2.state * epMultiplier) & epModMask
+		if rng2.state != want {
+			t.Fatalf("state mismatch at step %d", i)
+		}
+		x = want
+		rng.next()
+	}
+}
+
+// mul128 computes the 128-bit product of a and b without math/bits, for
+// the verification test above.
+func mul128(a, b uint64) (hi, lo uint64) {
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	t := aLo * bLo
+	lo = t & 0xffffffff
+	carry := t >> 32
+	t = aHi*bLo + carry
+	t2 := aLo*bHi + (t & 0xffffffff)
+	lo |= t2 << 32
+	hi = aHi*bHi + (t >> 32) + (t2 >> 32)
+	return hi, lo
+}
+
+func TestEPGaussianStatistics(t *testing.T) {
+	// Accepted pairs transformed by the polar method should be standard
+	// normal: acceptance ratio ~ pi/4, tallies concentrated in annulus 0.
+	counts, err := EPAnnulusCounts(200000, 271828183)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	acceptance := float64(total) / 100000
+	if math.Abs(acceptance-math.Pi/4) > 0.02 {
+		t.Errorf("acceptance ratio = %v, want ~pi/4", acceptance)
+	}
+	// ~68% of |N(0,1)| pairs have max(|x|,|y|) < 1... empirically the
+	// first annulus dominates and tallies decay monotonically.
+	if counts[0] <= counts[1] || counts[1] <= counts[2] {
+		t.Errorf("annulus counts should decay: %v", counts)
+	}
+}
+
+func TestEPOddCountConsumesTrailingNumber(t *testing.T) {
+	r1, err := (epKernel{}).Run(101, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (epKernel{}).Run(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 101 numbers = 50 pairs + 1 consumed: same pairs as 100 numbers.
+	if r1.Checksum != r2.Checksum {
+		t.Errorf("odd trailing number changed pair results: %v vs %v", r1.Checksum, r2.Checksum)
+	}
+	if r1.Units != 101 {
+		t.Errorf("units = %d, want 101", r1.Units)
+	}
+}
+
+// --- memcached ---
+
+func TestKVStoreBasicOps(t *testing.T) {
+	st := NewKVStore(1 << 20)
+	if _, ok := st.Get("missing"); ok {
+		t.Error("empty store should miss")
+	}
+	st.Set("a", []byte("1"))
+	if v, ok := st.Get("a"); !ok || string(v) != "1" {
+		t.Errorf("Get(a) = %q, %v", v, ok)
+	}
+	st.Set("a", []byte("22"))
+	if v, _ := st.Get("a"); string(v) != "22" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+	if !st.Delete("a") {
+		t.Error("delete of present key should return true")
+	}
+	if st.Delete("a") {
+		t.Error("delete of absent key should return false")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len after delete = %d", st.Len())
+	}
+}
+
+func TestKVStoreLRUEviction(t *testing.T) {
+	// Capacity for ~4 items per shard; keys crafted to share load.
+	st := NewKVStore(mcShards * 4 * (mcKeySize + mcValueSize))
+	val := make([]byte, mcValueSize)
+	for i := 0; i < mcShards*32; i++ {
+		st.Set(mcKey(i), val)
+	}
+	if st.Evictions() == 0 {
+		t.Error("overfilled store should have evicted")
+	}
+	// Stored bytes never exceed capacity.
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		if sh.bytes > sh.capBytes {
+			t.Errorf("shard over capacity: %d > %d", sh.bytes, sh.capBytes)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestKVStoreLRUOrdering(t *testing.T) {
+	// A store with room for exactly 2 items in one shard evicts the
+	// least-recently-USED, not least-recently-set.
+	sh := newShard(2 * (1 + 1))
+	sh.set("a", []byte("x"))
+	sh.set("b", []byte("y"))
+	sh.get("a") // a is now MRU
+	sh.set("c", []byte("z"))
+	if _, ok := sh.get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := sh.get("a"); !ok {
+		t.Error("a was recently used and should survive")
+	}
+}
+
+func TestKVStoreConcurrency(t *testing.T) {
+	st := NewKVStore(1 << 20)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				k := mcKey(i % 100)
+				switch i % 3 {
+				case 0:
+					st.Set(k, []byte{byte(g)})
+				case 1:
+					st.Get(k)
+				default:
+					st.Delete(k)
+				}
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestMemcachedRunHitRate(t *testing.T) {
+	r, err := (memcachedKernel{}).Run(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checksum == 0 {
+		t.Error("a long run should record hits")
+	}
+}
+
+// --- x264 ---
+
+func TestDCT8DCComponent(t *testing.T) {
+	// A constant block has all its energy in the DC coefficient:
+	// DC = 8 * value for the orthonormal scaling used here.
+	var block [x264Block][x264Block]float64
+	for y := range block {
+		for x := range block[y] {
+			block[y][x] = 10
+		}
+	}
+	dct8(&block)
+	if math.Abs(block[0][0]-80) > 1e-9 {
+		t.Errorf("DC coefficient = %v, want 80", block[0][0])
+	}
+	for y := range block {
+		for x := range block[y] {
+			if y == 0 && x == 0 {
+				continue
+			}
+			if math.Abs(block[y][x]) > 1e-9 {
+				t.Errorf("AC coefficient [%d][%d] = %v, want 0", y, x, block[y][x])
+			}
+		}
+	}
+}
+
+func TestDCT8ParsevalEnergy(t *testing.T) {
+	// The orthonormal 2D DCT preserves signal energy (Parseval).
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		var block [x264Block][x264Block]float64
+		inEnergy := 0.0
+		for y := range block {
+			for x := range block[y] {
+				v := float64(rng.next()%512) - 256
+				block[y][x] = v
+				inEnergy += v * v
+			}
+		}
+		dct8(&block)
+		outEnergy := 0.0
+		for y := range block {
+			for x := range block[y] {
+				outEnergy += block[y][x] * block[y][x]
+			}
+		}
+		return math.Abs(inEnergy-outEnergy) <= 1e-6*math.Max(1, inEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMotionSearchFindsExactShift(t *testing.T) {
+	// A frame shifted by (2,1) must be found by the motion search with
+	// zero SAD in the interior.
+	ref := newFrame(64, 64)
+	rng := newSplitMix(99)
+	for i := range ref.pix {
+		ref.pix[i] = uint8(rng.next())
+	}
+	cur := newFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			cur.pix[y*64+x] = ref.at(x+2, y+1)
+		}
+	}
+	s, dx, dy := motionSearch(cur, ref, 24, 24)
+	if s != 0 || dx != 2 || dy != 1 {
+		t.Errorf("motion = (%d,%d) sad=%d, want (2,1) sad=0", dx, dy, s)
+	}
+}
+
+func TestFrameAtClamps(t *testing.T) {
+	f := newFrame(4, 4)
+	f.pix[0] = 7
+	f.pix[15] = 9
+	if f.at(-3, -3) != 7 {
+		t.Error("negative coordinates should clamp to (0,0)")
+	}
+	if f.at(100, 100) != 9 {
+		t.Error("overflow coordinates should clamp to (w-1,h-1)")
+	}
+}
+
+func TestEncodeFramesRejectsBadGeometry(t *testing.T) {
+	if _, _, err := EncodeFrames(1, 4, 4, 0); err == nil {
+		t.Error("sub-block frame should error")
+	}
+	if _, _, err := EncodeFrames(0, 64, 64, 0); err == nil {
+		t.Error("zero frames should error")
+	}
+}
+
+// --- blackscholes ---
+
+func TestCNDFProperties(t *testing.T) {
+	if math.Abs(cndf(0)-0.5) > 1e-7 {
+		t.Errorf("cndf(0) = %v, want 0.5", cndf(0))
+	}
+	if cndf(6) < 0.999999 {
+		t.Errorf("cndf(6) = %v, want ~1", cndf(6))
+	}
+	if cndf(-6) > 1e-6 {
+		t.Errorf("cndf(-6) = %v, want ~0", cndf(-6))
+	}
+	// Symmetry: N(-x) = 1 - N(x).
+	for _, x := range []float64{0.3, 1.1, 2.7} {
+		if math.Abs(cndf(-x)-(1-cndf(x))) > 1e-7 {
+			t.Errorf("cndf symmetry violated at %v", x)
+		}
+	}
+	// Monotonicity.
+	prev := cndf(-4)
+	for x := -3.9; x < 4; x += 0.1 {
+		cur := cndf(x)
+		if cur < prev {
+			t.Fatalf("cndf not monotone at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Standard textbook case: S=100, K=100, r=5%, sigma=20%, T=1.
+	// Call = 10.4506, Put = 5.5735 (to the cndf approximation's accuracy).
+	call := Option{Spot: 100, Strike: 100, Rate: 0.05, Volatility: 0.2, Expiry: 1, Call: true}
+	put := call
+	put.Call = false
+	if got := call.Price(); math.Abs(got-10.4506) > 0.001 {
+		t.Errorf("call price = %v, want 10.4506", got)
+	}
+	if got := put.Price(); math.Abs(got-5.5735) > 0.001 {
+		t.Errorf("put price = %v, want 5.5735", got)
+	}
+}
+
+func TestPutCallParity(t *testing.T) {
+	// C - P = S - K*exp(-rT) for all parameter draws.
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		o := Option{
+			Spot:       50 + float64(rng.next()%10000)/100,
+			Strike:     50 + float64(rng.next()%10000)/100,
+			Rate:       0.01 + float64(rng.next()%9)/100,
+			Volatility: 0.05 + float64(rng.next()%60)/100,
+			Expiry:     0.1 + float64(rng.next()%290)/100,
+			Call:       true,
+		}
+		put := o
+		put.Call = false
+		lhs := o.Price() - put.Price()
+		rhs := o.Spot - o.Strike*math.Exp(-o.Rate*o.Expiry)
+		return math.Abs(lhs-rhs) < 1e-4*math.Max(1, math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallPriceBounds(t *testing.T) {
+	// max(S - K*exp(-rT), 0) <= C <= S for any option.
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		o := Option{
+			Spot:       50 + float64(rng.next()%10000)/100,
+			Strike:     50 + float64(rng.next()%10000)/100,
+			Rate:       0.01 + float64(rng.next()%9)/100,
+			Volatility: 0.05 + float64(rng.next()%60)/100,
+			Expiry:     0.1 + float64(rng.next()%290)/100,
+			Call:       true,
+		}
+		c := o.Price()
+		intrinsic := math.Max(o.Spot-o.Strike*math.Exp(-o.Rate*o.Expiry), 0)
+		return c >= intrinsic-1e-4 && c <= o.Spot+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- julius ---
+
+func TestViterbiPrefersMatchingStates(t *testing.T) {
+	rng := newSplitMix(1)
+	_ = rng
+	m := newHMM(newJuliusRand())
+	// Features exactly at state 10's means decode to a high-numbered
+	// state after enough frames.
+	var f [juliusChannels]float64
+	copy(f[:], m.means[10][:])
+	frames := make([][juliusChannels]float64, 30)
+	for i := range frames {
+		frames[i] = f
+	}
+	logP, state := viterbiDecode(m, frames)
+	if math.IsInf(logP, -1) {
+		t.Fatal("decode returned -Inf")
+	}
+	// Left-to-right model starting at 0 can reach at most state 29; it
+	// should climb toward 10 where emissions are likeliest.
+	if state < 8 || state > 12 {
+		t.Errorf("final state = %d, want near 10", state)
+	}
+}
+
+func TestViterbiMonotoneInFrameCount(t *testing.T) {
+	// Log-probability decreases (more negative) as frames accumulate.
+	m := newHMM(newJuliusRand())
+	var f [juliusChannels]float64
+	copy(f[:], m.means[3][:])
+	frames := make([][juliusChannels]float64, 50)
+	for i := range frames {
+		frames[i] = f
+	}
+	p10, _ := viterbiDecode(m, frames[:10])
+	p50, _ := viterbiDecode(m, frames)
+	if p50 >= p10 {
+		t.Errorf("logP should decrease with more frames: %v vs %v", p10, p50)
+	}
+}
+
+func TestJuliusRejectsShortInput(t *testing.T) {
+	if _, err := (juliusKernel{}).Run(juliusFrameLen-1, 1); err == nil {
+		t.Error("fewer samples than one frame should error")
+	}
+}
+
+// --- rsa ---
+
+func TestRSAVerifiesAllSignatures(t *testing.T) {
+	r, err := (rsaKernel{}).Run(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checksum = verified count + 0.5 for the rejected corruption.
+	if r.Checksum != 8.5 {
+		t.Errorf("checksum = %v, want 8.5 (8 ok + corrupted rejected)", r.Checksum)
+	}
+}
+
+// --- micro kernels ---
+
+func TestShuffledRingIsSingleCycle(t *testing.T) {
+	for _, m := range []int{2, 7, 64} {
+		ring := shuffledRing(m, 5)
+		seen := make([]bool, m)
+		pos := 0
+		for i := 0; i < m; i++ {
+			if seen[pos] {
+				t.Fatalf("ring of size %d revisits %d after %d hops", m, pos, i)
+			}
+			seen[pos] = true
+			pos = ring[pos]
+		}
+		if pos != 0 {
+			t.Errorf("ring of size %d does not close after %d hops", m, m)
+		}
+	}
+}
+
+// newJuliusRand gives the HMM constructor a deterministic source.
+func newJuliusRand() *juliusRandSource { return &juliusRandSource{state: 12345} }
+
+// juliusRandSource adapts splitMix to the subset of math/rand used by
+// newHMM (Float64 only).
+type juliusRandSource struct{ state uint64 }
+
+func (s *juliusRandSource) Float64() float64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+func TestIDCT8InvertsDCT8(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newSplitMix(uint64(seed))
+		var block, orig [x264Block][x264Block]float64
+		for y := range block {
+			for x := range block[y] {
+				v := float64(rng.next()%512) - 256
+				block[y][x] = v
+				orig[y][x] = v
+			}
+		}
+		dct8(&block)
+		idct8(&block)
+		for y := range block {
+			for x := range block[y] {
+				if math.Abs(block[y][x]-orig[y][x]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructionPSNR(t *testing.T) {
+	psnr, err := ReconstructionPSNR(96, 96, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization at step 16 still reconstructs well above 30 dB on the
+	// low-energy synthetic residuals.
+	if psnr < 30 {
+		t.Errorf("reconstruction PSNR = %.1f dB, want >= 30", psnr)
+	}
+	if math.IsInf(psnr, 1) {
+		t.Error("quantized round trip should be lossy (finite PSNR)")
+	}
+	if _, err := ReconstructionPSNR(4, 4, 1); err == nil {
+		t.Error("sub-block frame should error")
+	}
+}

@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// memcachedKernel implements an in-memory key-value store in the style of
+// memcached — sharded hash tables with per-shard LRU eviction under a
+// memory cap — driven by a memslap-like load generator issuing GET, SET
+// and DELETE operations with fixed key-value sizes and uniform key
+// popularity (exactly the generator behaviour the paper notes for its
+// memslap setup). One work unit is one operation.
+type memcachedKernel struct{}
+
+// Store sizing. The paper's ARM nodes have 1 GB of memory; the kernel's
+// default cap is scaled down so tests exercise eviction quickly.
+const (
+	mcShards      = 16
+	mcKeySize     = 16
+	mcValueSize   = 1008 // key+value = 1 KiB, the fixed memslap size
+	mcDefaultCap  = 8 << 20
+	mcSetFraction = 0.1 // memslap default: 9 GETs per SET
+	mcDelFraction = 0.01
+)
+
+// lruEntry is a doubly-linked LRU list node holding one item.
+type lruEntry struct {
+	key        string
+	value      []byte
+	prev, next *lruEntry
+}
+
+// mcShard is one hash shard with its own lock and LRU list.
+type mcShard struct {
+	mu       sync.Mutex
+	items    map[string]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+	bytes    int
+	capBytes int
+	evicted  int
+}
+
+func newShard(capBytes int) *mcShard {
+	return &mcShard{items: make(map[string]*lruEntry), capBytes: capBytes}
+}
+
+// unlink removes e from the LRU list.
+func (s *mcShard) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (s *mcShard) pushFront(e *lruEntry) {
+	e.next = s.head
+	e.prev = nil
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *mcShard) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.value, true
+}
+
+func (s *mcShard) set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		s.bytes += len(value) - len(e.value)
+		e.value = value
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e := &lruEntry{key: key, value: value}
+		s.items[key] = e
+		s.pushFront(e)
+		s.bytes += len(key) + len(value)
+	}
+	for s.bytes > s.capBytes && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.items, victim.key)
+		s.bytes -= len(victim.key) + len(victim.value)
+		s.evicted++
+	}
+}
+
+func (s *mcShard) delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.unlink(e)
+	delete(s.items, key)
+	s.bytes -= len(e.key) + len(e.value)
+	return true
+}
+
+func (s *mcShard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// KVStore is the sharded LRU store. It is safe for concurrent use.
+type KVStore struct {
+	shards [mcShards]*mcShard
+}
+
+// NewKVStore creates a store bounded to capBytes of key+value payload
+// (split evenly across shards). A non-positive capBytes uses the default.
+func NewKVStore(capBytes int) *KVStore {
+	if capBytes <= 0 {
+		capBytes = mcDefaultCap
+	}
+	st := &KVStore{}
+	per := capBytes / mcShards
+	if per < mcKeySize+mcValueSize {
+		per = mcKeySize + mcValueSize
+	}
+	for i := range st.shards {
+		st.shards[i] = newShard(per)
+	}
+	return st
+}
+
+func (st *KVStore) shardFor(key string) *mcShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return st.shards[h.Sum32()%mcShards]
+}
+
+// Get returns the value for key and whether it was present.
+func (st *KVStore) Get(key string) ([]byte, bool) { return st.shardFor(key).get(key) }
+
+// Set stores value under key, evicting LRU entries if over capacity.
+func (st *KVStore) Set(key string, value []byte) { st.shardFor(key).set(key, value) }
+
+// Delete removes key, reporting whether it was present.
+func (st *KVStore) Delete(key string) bool { return st.shardFor(key).delete(key) }
+
+// Len returns the total number of stored items.
+func (st *KVStore) Len() int {
+	n := 0
+	for _, s := range st.shards {
+		n += s.len()
+	}
+	return n
+}
+
+// Evictions returns the total number of LRU evictions so far.
+func (st *KVStore) Evictions() int {
+	n := 0
+	for _, s := range st.shards {
+		s.mu.Lock()
+		n += s.evicted
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// mcKey formats the fixed-size key for index i (uniform popularity over a
+// key space sized relative to the operation count, as memslap does).
+func mcKey(i int) string { return fmt.Sprintf("key-%011d", i) }
+
+// Run issues n operations against a fresh store: a warm-up SET population
+// followed by a memslap-like uniform mixture of GETs, SETs and DELETEs.
+// The checksum counts hits, misses and evictions so it depends on the
+// whole operation stream.
+func (memcachedKernel) Run(n int, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("workloads: memcached requires a positive operation count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	store := NewKVStore(mcDefaultCap)
+
+	keySpace := n / 4
+	if keySpace < 64 {
+		keySpace = 64
+	}
+	value := make([]byte, mcValueSize)
+
+	var gets, hits, sets, dels, delHits int
+	for i := 0; i < n; i++ {
+		k := mcKey(rng.Intn(keySpace))
+		switch p := rng.Float64(); {
+		case p < mcDelFraction:
+			dels++
+			if store.Delete(k) {
+				delHits++
+			}
+		case p < mcDelFraction+mcSetFraction:
+			sets++
+			binary.LittleEndian.PutUint64(value, uint64(i))
+			store.Set(k, append([]byte(nil), value...))
+		default:
+			gets++
+			if _, ok := store.Get(k); ok {
+				hits++
+			}
+		}
+	}
+	return Result{
+		Units:    n,
+		Checksum: float64(hits) + float64(delHits)*3 + float64(store.Evictions())*7 + float64(store.Len())*11,
+		Detail: fmt.Sprintf("gets=%d hits=%d sets=%d dels=%d items=%d evicted=%d",
+			gets, hits, sets, dels, store.Len(), store.Evictions()),
+	}, nil
+}

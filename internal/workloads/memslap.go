@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// This file extends the memslap-like load generator beyond the paper's
+// setup. The paper notes that its memslap configuration "generates
+// requests with fixed key-value size and uniform popularity" and points
+// at Atikoglu et al.'s SIGMETRICS 2012 study for realistic
+// characteristics; that study found strongly skewed (Zipf-like) key
+// popularity. MemslapOptions exposes both distributions so experiments
+// can quantify what uniformity hides: under skew, the LRU working set
+// shrinks and hit rates rise for the same store size.
+
+// KeyDistribution selects how the generator draws keys.
+type KeyDistribution int
+
+// Key distributions.
+const (
+	// KeysUniform matches the paper's memslap configuration.
+	KeysUniform KeyDistribution = iota
+	// KeysZipf draws keys with Zipf(s=1.01) popularity, approximating
+	// the skew measured in production key-value traces.
+	KeysZipf
+)
+
+// String names the distribution.
+func (d KeyDistribution) String() string {
+	switch d {
+	case KeysUniform:
+		return "uniform"
+	case KeysZipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("keydist(%d)", int(d))
+	}
+}
+
+// MemslapOptions parameterizes a load-generation run.
+type MemslapOptions struct {
+	// Operations is the number of requests to issue.
+	Operations int
+	// KeySpace is the number of distinct keys; zero derives it from the
+	// operation count as the default kernel does.
+	KeySpace int
+	// Distribution selects key popularity.
+	Distribution KeyDistribution
+	// SetFraction and DeleteFraction override the memslap defaults when
+	// positive (9:1 GET:SET, 1% DELETE).
+	SetFraction    float64
+	DeleteFraction float64
+	// StoreBytes caps the store; zero uses the kernel default.
+	StoreBytes int
+	// Seed drives the run.
+	Seed int64
+}
+
+// MemslapStats reports a run's outcome.
+type MemslapStats struct {
+	Gets, GetHits  int
+	Sets           int
+	Deletes        int
+	DeleteHits     int
+	Items          int
+	Evictions      int
+	HitRate        float64
+	DistinctKeyQty int
+}
+
+// RunMemslap drives the key-value store under the configured load and
+// returns the observed statistics.
+func RunMemslap(opts MemslapOptions) (MemslapStats, error) {
+	if opts.Operations <= 0 {
+		return MemslapStats{}, errors.New("workloads: memslap requires a positive operation count")
+	}
+	keySpace := opts.KeySpace
+	if keySpace <= 0 {
+		keySpace = opts.Operations / 4
+		if keySpace < 64 {
+			keySpace = 64
+		}
+	}
+	setFrac := opts.SetFraction
+	if setFrac <= 0 {
+		setFrac = mcSetFraction
+	}
+	delFrac := opts.DeleteFraction
+	if delFrac <= 0 {
+		delFrac = mcDelFraction
+	}
+	if setFrac+delFrac >= 1 {
+		return MemslapStats{}, fmt.Errorf("workloads: set+delete fractions %v too large", setFrac+delFrac)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var nextKey func() int
+	switch opts.Distribution {
+	case KeysUniform:
+		nextKey = func() int { return rng.Intn(keySpace) }
+	case KeysZipf:
+		z := rand.NewZipf(rng, 1.01, 1, uint64(keySpace-1))
+		if z == nil {
+			return MemslapStats{}, errors.New("workloads: invalid zipf parameters")
+		}
+		nextKey = func() int { return int(z.Uint64()) }
+	default:
+		return MemslapStats{}, fmt.Errorf("workloads: unknown key distribution %d", int(opts.Distribution))
+	}
+
+	store := NewKVStore(opts.StoreBytes)
+	value := make([]byte, mcValueSize)
+	seen := make(map[int]bool)
+	var st MemslapStats
+	for i := 0; i < opts.Operations; i++ {
+		ki := nextKey()
+		seen[ki] = true
+		k := mcKey(ki)
+		switch p := rng.Float64(); {
+		case p < delFrac:
+			st.Deletes++
+			if store.Delete(k) {
+				st.DeleteHits++
+			}
+		case p < delFrac+setFrac:
+			st.Sets++
+			store.Set(k, append([]byte(nil), value...))
+		default:
+			st.Gets++
+			if _, ok := store.Get(k); ok {
+				st.GetHits++
+			}
+		}
+	}
+	st.Items = store.Len()
+	st.Evictions = store.Evictions()
+	st.DistinctKeyQty = len(seen)
+	if st.Gets > 0 {
+		st.HitRate = float64(st.GetHits) / float64(st.Gets)
+	}
+	return st, nil
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import "testing"
+
+func TestRunMemslapUniform(t *testing.T) {
+	st, err := RunMemslap(MemslapOptions{Operations: 50000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gets+st.Sets+st.Deletes != 50000 {
+		t.Errorf("operations do not add up: %+v", st)
+	}
+	// memslap defaults: ~89% GETs, ~10% SETs, ~1% DELETEs.
+	if frac := float64(st.Sets) / 50000; frac < 0.08 || frac > 0.12 {
+		t.Errorf("set fraction = %v, want ~0.10", frac)
+	}
+	if st.HitRate <= 0 || st.HitRate >= 1 {
+		t.Errorf("hit rate = %v", st.HitRate)
+	}
+}
+
+func TestRunMemslapZipfBeatsUniformHitRate(t *testing.T) {
+	// Under a tight store cap, skewed popularity concentrates the
+	// working set on hot keys, so Zipf traffic hits the LRU cache far
+	// more often than uniform traffic over the same key space.
+	base := MemslapOptions{
+		Operations: 60000,
+		KeySpace:   40000,
+		StoreBytes: 4 << 20, // ~4k items, a tenth of the key space
+		Seed:       7,
+	}
+	uni := base
+	uni.Distribution = KeysUniform
+	uniStats, err := RunMemslap(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf := base
+	zipf.Distribution = KeysZipf
+	zipfStats, err := RunMemslap(zipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zipfStats.HitRate < uniStats.HitRate*2 {
+		t.Errorf("zipf hit rate %v should far exceed uniform %v",
+			zipfStats.HitRate, uniStats.HitRate)
+	}
+	// Skew also touches fewer distinct keys.
+	if zipfStats.DistinctKeyQty >= uniStats.DistinctKeyQty {
+		t.Errorf("zipf touched %d distinct keys, uniform %d",
+			zipfStats.DistinctKeyQty, uniStats.DistinctKeyQty)
+	}
+}
+
+func TestRunMemslapDeterministic(t *testing.T) {
+	opts := MemslapOptions{Operations: 10000, Distribution: KeysZipf, Seed: 3}
+	a, err := RunMemslap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMemslap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+}
+
+func TestRunMemslapCustomMix(t *testing.T) {
+	st, err := RunMemslap(MemslapOptions{
+		Operations:     20000,
+		SetFraction:    0.5,
+		DeleteFraction: 0.1,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(st.Sets) / 20000; frac < 0.45 || frac > 0.55 {
+		t.Errorf("custom set fraction = %v, want ~0.5", frac)
+	}
+	if frac := float64(st.Deletes) / 20000; frac < 0.07 || frac > 0.13 {
+		t.Errorf("custom delete fraction = %v, want ~0.1", frac)
+	}
+}
+
+func TestRunMemslapErrors(t *testing.T) {
+	if _, err := RunMemslap(MemslapOptions{Operations: 0}); err == nil {
+		t.Error("zero operations should error")
+	}
+	if _, err := RunMemslap(MemslapOptions{Operations: 100, SetFraction: 0.9, DeleteFraction: 0.2}); err == nil {
+		t.Error("overfull mix should error")
+	}
+	if _, err := RunMemslap(MemslapOptions{Operations: 100, Distribution: KeyDistribution(9)}); err == nil {
+		t.Error("unknown distribution should error")
+	}
+}
+
+func TestKeyDistributionString(t *testing.T) {
+	if KeysUniform.String() != "uniform" || KeysZipf.String() != "zipf" {
+		t.Error("distribution names wrong")
+	}
+	if KeyDistribution(9).String() != "keydist(9)" {
+		t.Error("unknown distribution name wrong")
+	}
+}

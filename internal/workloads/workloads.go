@@ -1,0 +1,162 @@
+// Package workloads implements the six datacenter programs the paper uses
+// for validation and analysis (Table 3):
+//
+//	EP            NAS Parallel Benchmarks embarrassingly-parallel kernel
+//	memcached     in-memory key-value store driven by a memslap-like client
+//	x264          streaming-video encoder kernel (DCT + motion estimation)
+//	blackscholes  PARSEC option-pricing kernel (closed-form Black-Scholes)
+//	julius        speech-recognition kernel (HMM Viterbi decoding)
+//	rsa2048       openssl speed-style RSA-2048 signature verification
+//
+// Each workload has two faces:
+//
+//   - a native Go kernel that really performs the computation (used by the
+//     examples and by tests that verify the kernels compute correct
+//     results), and
+//
+//   - a trace.Demand describing its representative parallel phase Ps: the
+//     per-work-unit service demand on cores, memory and the network I/O
+//     device. The Demand constants are calibrated against the paper's
+//     measurements (Table 5 performance-to-power ratios, Figure 2 WPI and
+//     SPIcore bands, Figure 3 SPImem behaviour); each constant's
+//     derivation is documented in demands.go.
+//
+// The package also provides the two micro-benchmarks used for power
+// characterization (paper §II-D2): a CPU-saturating kernel and a
+// cache-miss stream that maximizes stall cycles.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"heteromix/internal/trace"
+)
+
+// Bottleneck is the dominant resource of a workload, the "Bottleneck"
+// column of Table 3.
+type Bottleneck int
+
+// Bottleneck kinds.
+const (
+	BottleneckCPU Bottleneck = iota
+	BottleneckMemory
+	BottleneckIO
+)
+
+// String names the bottleneck as Table 3 does.
+func (b Bottleneck) String() string {
+	switch b {
+	case BottleneckCPU:
+		return "CPU"
+	case BottleneckMemory:
+		return "Memory"
+	case BottleneckIO:
+		return "I/O"
+	default:
+		return fmt.Sprintf("bottleneck(%d)", int(b))
+	}
+}
+
+// Kernel is a runnable native implementation of a workload. Run executes
+// n work units and returns a Result whose checksum lets tests verify the
+// computation; kernels are deterministic for a given (n, seed).
+type Kernel interface {
+	// Run executes n work units with the given seed.
+	Run(n int, seed int64) (Result, error)
+}
+
+// Result summarizes a native kernel run.
+type Result struct {
+	// Units is the number of work units actually completed.
+	Units int
+	// Checksum is a workload-specific value that depends on every work
+	// unit's output (counts for EP, summed prices for blackscholes, ...).
+	Checksum float64
+	// Detail is an optional human-readable summary line.
+	Detail string
+}
+
+// Spec bundles everything the reproduction knows about one workload.
+type Spec struct {
+	// Domain is the application domain, as in Table 3 ("HPC", ...).
+	Domain string
+	// Demand is the calibrated per-work-unit service demand.
+	Demand trace.Demand
+	// Bottleneck is the dominant resource (Table 3).
+	Bottleneck Bottleneck
+	// ValidationUnits is the problem size of the Table 3 validation runs.
+	ValidationUnits float64
+	// AnalysisUnits is the job size of the §IV energy-efficiency analysis
+	// (50 million random numbers for EP, 50,000 requests for memcached).
+	AnalysisUnits float64
+	// PPRUnit names the Table 5 performance-to-power metric.
+	PPRUnit string
+	// Kernel runs the workload natively.
+	Kernel Kernel
+}
+
+// Name returns the workload name (from its Demand).
+func (s Spec) Name() string { return s.Demand.Name }
+
+// Validate checks the Spec invariants.
+func (s Spec) Validate() error {
+	if err := s.Demand.Validate(); err != nil {
+		return err
+	}
+	if s.Domain == "" {
+		return fmt.Errorf("workloads: %q has empty domain", s.Name())
+	}
+	if s.ValidationUnits <= 0 || s.AnalysisUnits <= 0 {
+		return fmt.Errorf("workloads: %q has non-positive problem sizes", s.Name())
+	}
+	if s.PPRUnit == "" {
+		return fmt.Errorf("workloads: %q has empty PPR unit", s.Name())
+	}
+	if s.Kernel == nil {
+		return fmt.Errorf("workloads: %q has no kernel", s.Name())
+	}
+	return nil
+}
+
+// registry of all workloads, populated by demands.go.
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name()]; dup {
+		panic("workloads: duplicate registration of " + s.Name())
+	}
+	registry[s.Name()] = s
+}
+
+// All returns every registered workload, sorted by name.
+func All() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName looks up a workload.
+func ByName(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return s, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

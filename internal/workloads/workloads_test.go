@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"heteromix/internal/isa"
+	"heteromix/internal/trace"
+)
+
+func TestRegistryHasAllSixWorkloads(t *testing.T) {
+	want := []string{"blackscholes", "ep", "julius", "memcached", "rsa2048", "x264"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "ep" || s.Domain != "HPC" {
+		t.Errorf("ByName(ep) = %+v", s)
+	}
+	if _, err := ByName("fortran"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestBottleneckString(t *testing.T) {
+	cases := map[Bottleneck]string{
+		BottleneckCPU:    "CPU",
+		BottleneckMemory: "Memory",
+		BottleneckIO:     "I/O",
+		Bottleneck(9):    "bottleneck(9)",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("Bottleneck(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestTable3ProblemSizes(t *testing.T) {
+	// The validation problem sizes must match Table 3 of the paper.
+	want := map[string]float64{
+		"ep":           2147483648,
+		"memcached":    600000,
+		"x264":         600,
+		"blackscholes": 500000,
+		"julius":       2310559,
+		"rsa2048":      5000,
+	}
+	for name, units := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ValidationUnits != units {
+			t.Errorf("%s validation units = %v, want %v", name, s.ValidationUnits, units)
+		}
+	}
+}
+
+func TestTable3Bottlenecks(t *testing.T) {
+	want := map[string]Bottleneck{
+		"ep":           BottleneckCPU,
+		"memcached":    BottleneckIO,
+		"x264":         BottleneckMemory,
+		"blackscholes": BottleneckCPU,
+		"julius":       BottleneckCPU,
+		"rsa2048":      BottleneckCPU,
+	}
+	for name, b := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Bottleneck != b {
+			t.Errorf("%s bottleneck = %v, want %v", name, s.Bottleneck, b)
+		}
+	}
+}
+
+// ARMv7-A needs at least as many instructions per work unit as x86_64 for
+// every workload (RISC vs CISC density), and substantially more for RSA
+// (32-bit vs 64-bit multiplies).
+func TestISAInstructionDensity(t *testing.T) {
+	for _, s := range All() {
+		arm := s.Demand.Translation[isa.ARMv7A].PerUnit
+		amd := s.Demand.Translation[isa.X8664].PerUnit
+		if arm < amd*0.8 {
+			t.Errorf("%s: ARM PerUnit %v unexpectedly below x86 %v", s.Name(), arm, amd)
+		}
+	}
+	rsa, _ := ByName("rsa2048")
+	ratio := rsa.Demand.Translation[isa.ARMv7A].PerUnit / rsa.Demand.Translation[isa.X8664].PerUnit
+	if ratio < 2 {
+		t.Errorf("rsa2048 ARM/AMD instruction ratio = %v, want >= 2 (wide-multiply synthesis)", ratio)
+	}
+}
+
+func TestIOWorkloadsDeclareBytes(t *testing.T) {
+	mc, _ := ByName("memcached")
+	if mc.Demand.IO != trace.IORequestResponse {
+		t.Errorf("memcached IO pattern = %v", mc.Demand.IO)
+	}
+	if mc.Demand.IOBytesPerUnit != 1024 {
+		t.Errorf("memcached bytes/request = %v, want 1024 (memslap fixed size)", mc.Demand.IOBytesPerUnit)
+	}
+	ep, _ := ByName("ep")
+	if ep.Demand.IO != trace.IONone || ep.Demand.IOBytesPerUnit != 0 {
+		t.Errorf("ep should have no IO, got %v/%v", ep.Demand.IO, ep.Demand.IOBytesPerUnit)
+	}
+}
+
+func TestMicroBenchmarks(t *testing.T) {
+	cpu := MicroCPUMax()
+	if err := cpu.Validate(); err != nil {
+		t.Errorf("cpumax: %v", err)
+	}
+	if cpu.Demand.DRAMMissesPerKiloInstr[isa.ARMv7A] != 0 {
+		t.Error("cpumax should not miss to DRAM")
+	}
+	stall := MicroStallStream()
+	if err := stall.Validate(); err != nil {
+		t.Errorf("stallstream: %v", err)
+	}
+	if stall.Demand.DRAMMissesPerKiloInstr[isa.ARMv7A] < 20 {
+		t.Error("stallstream should miss heavily to DRAM")
+	}
+	// Micro-benchmarks must not pollute the Table 3 registry.
+	if _, err := ByName("micro-cpumax"); err == nil {
+		t.Error("micro benchmarks should not be registered")
+	}
+}
+
+// Every kernel must run, be deterministic for a fixed seed, vary with the
+// seed, and reject non-positive counts.
+func TestKernelContract(t *testing.T) {
+	sizes := map[string]int{
+		"ep":           20000,
+		"memcached":    5000,
+		"x264":         2,
+		"blackscholes": 2000,
+		"julius":       juliusFrameLen * 4,
+		"rsa2048":      4,
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			n := sizes[s.Name()]
+			if n == 0 {
+				t.Fatalf("no test size for %s", s.Name())
+			}
+			r1, err := s.Kernel.Run(n, 1)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if r1.Units != n {
+				t.Errorf("units = %d, want %d", r1.Units, n)
+			}
+			if r1.Detail == "" {
+				t.Error("detail should not be empty")
+			}
+			r2, err := s.Kernel.Run(n, 1)
+			if err != nil {
+				t.Fatalf("rerun: %v", err)
+			}
+			if r1.Checksum != r2.Checksum {
+				t.Errorf("kernel not deterministic: %v vs %v", r1.Checksum, r2.Checksum)
+			}
+			if s.Name() != "rsa2048" { // rsa checksum is a success count, seed-invariant
+				r3, err := s.Kernel.Run(n, 2)
+				if err != nil {
+					t.Fatalf("seeded rerun: %v", err)
+				}
+				if r1.Checksum == r3.Checksum {
+					t.Errorf("checksum should vary with seed, got %v twice", r1.Checksum)
+				}
+			}
+			if _, err := s.Kernel.Run(0, 1); err == nil {
+				t.Error("zero units should error")
+			}
+			if _, err := s.Kernel.Run(-1, 1); err == nil {
+				t.Error("negative units should error")
+			}
+		})
+	}
+}
+
+func TestMicroKernelsRun(t *testing.T) {
+	for _, s := range []Spec{MicroCPUMax(), MicroStallStream()} {
+		r, err := s.Kernel.Run(10000, 3)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if r.Units != 10000 {
+			t.Errorf("%s units = %d", s.Name(), r.Units)
+		}
+		if _, err := s.Kernel.Run(0, 3); err == nil {
+			t.Errorf("%s: zero units should error", s.Name())
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	good, _ := ByName("ep")
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty domain", func(s *Spec) { s.Domain = "" }},
+		{"zero validation units", func(s *Spec) { s.ValidationUnits = 0 }},
+		{"zero analysis units", func(s *Spec) { s.AnalysisUnits = 0 }},
+		{"empty ppr unit", func(s *Spec) { s.PPRUnit = "" }},
+		{"nil kernel", func(s *Spec) { s.Kernel = nil }},
+	}
+	for _, c := range cases {
+		s := good
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	s, _ := ByName("ep")
+	register(s)
+}
+
+func TestDetailMentionsUnits(t *testing.T) {
+	// Spot-check that kernels report meaningful details.
+	s, _ := ByName("memcached")
+	r, err := s.Kernel.Run(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"gets=", "hits=", "sets=", "evicted="} {
+		if !strings.Contains(r.Detail, field) {
+			t.Errorf("memcached detail missing %q: %s", field, r.Detail)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// x264Kernel implements the core loop of a streaming-video encoder in the
+// style of x264: for each frame of a synthetic CIF-like sequence it
+// performs block motion estimation against the previous frame (sum of
+// absolute differences over a diamond search), computes the 8x8 forward
+// DCT of the motion-compensated residual, quantizes, and accumulates the
+// coded-size estimate. One work unit is one frame, matching Table 3's
+// "600 frames 704x576" problem size and Table 5's "(frames/s)/W" metric.
+//
+// The kernel is memory-intensive by construction — it streams two full
+// frames per encode with strided block accesses — which is why the paper
+// classifies x264 as memory-bottlenecked and why it is one of the two
+// workloads where the high-memory-bandwidth AMD node has the better
+// performance-to-power ratio.
+type x264Kernel struct{}
+
+// Frame geometry. The paper uses 704x576 (4CIF); the kernel scales this
+// down by default so unit tests run quickly, while examples can use the
+// full size via EncodeFrames.
+const (
+	x264Width     = 176 // QCIF width; examples use 704
+	x264Height    = 144 // QCIF height; examples use 576
+	x264Block     = 8
+	x264SearchRad = 4
+	x264Quant     = 16
+)
+
+// frame is a luma-only image.
+type frame struct {
+	w, h int
+	pix  []uint8
+}
+
+func newFrame(w, h int) *frame { return &frame{w: w, h: h, pix: make([]uint8, w*h)} }
+
+// at returns the pixel at (x, y), clamping coordinates to the frame edge
+// (the usual border extension of motion estimation).
+func (f *frame) at(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.w {
+		x = f.w - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.h {
+		y = f.h - 1
+	}
+	return f.pix[y*f.w+x]
+}
+
+// synthesize fills the frame with a moving gradient plus noise so that
+// consecutive frames have realistic partial similarity.
+func (f *frame) synthesize(t int, rng *rand.Rand) {
+	for y := 0; y < f.h; y++ {
+		for x := 0; x < f.w; x++ {
+			base := (x + y + 3*t) % 256
+			noise := rng.Intn(17) - 8
+			v := base + noise
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			f.pix[y*f.w+x] = uint8(v)
+		}
+	}
+}
+
+// sad computes the sum of absolute differences between the block at
+// (bx, by) in cur and the block at (bx+dx, by+dy) in ref.
+func sad(cur, ref *frame, bx, by, dx, dy int) int {
+	s := 0
+	for y := 0; y < x264Block; y++ {
+		for x := 0; x < x264Block; x++ {
+			a := int(cur.at(bx+x, by+y))
+			b := int(ref.at(bx+x+dx, by+y+dy))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+// motionSearch finds the best (dx, dy) within the search radius using an
+// exhaustive small-window search, returning the best SAD and vector.
+func motionSearch(cur, ref *frame, bx, by int) (bestSAD, bestDX, bestDY int) {
+	bestSAD = math.MaxInt
+	for dy := -x264SearchRad; dy <= x264SearchRad; dy++ {
+		for dx := -x264SearchRad; dx <= x264SearchRad; dx++ {
+			s := sad(cur, ref, bx, by, dx, dy)
+			if s < bestSAD {
+				bestSAD, bestDX, bestDY = s, dx, dy
+			}
+		}
+	}
+	return bestSAD, bestDX, bestDY
+}
+
+// dct8 performs the separable 8-point DCT-II on rows then columns of an
+// 8x8 block, in place.
+func dct8(block *[x264Block][x264Block]float64) {
+	var tmp [x264Block][x264Block]float64
+	// Rows.
+	for i := 0; i < x264Block; i++ {
+		for u := 0; u < x264Block; u++ {
+			sum := 0.0
+			for x := 0; x < x264Block; x++ {
+				sum += block[i][x] * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/16)
+			}
+			c := 0.5
+			if u == 0 {
+				c = math.Sqrt2 / 4
+			}
+			tmp[i][u] = c * sum
+		}
+	}
+	// Columns.
+	for u := 0; u < x264Block; u++ {
+		for v := 0; v < x264Block; v++ {
+			sum := 0.0
+			for y := 0; y < x264Block; y++ {
+				sum += tmp[y][u] * math.Cos((2*float64(y)+1)*float64(v)*math.Pi/16)
+			}
+			c := 0.5
+			if v == 0 {
+				c = math.Sqrt2 / 4
+			}
+			block[v][u] = c * sum
+		}
+	}
+}
+
+// idct8 inverts dct8: the separable 8-point inverse DCT-II (i.e. DCT-III)
+// on columns then rows, in place. dct8 followed by idct8 reproduces the
+// block up to floating-point error, which the tests assert — the encoder
+// kernel is a real, invertible transform, not a stand-in loop.
+func idct8(block *[x264Block][x264Block]float64) {
+	var tmp [x264Block][x264Block]float64
+	// Columns.
+	for u := 0; u < x264Block; u++ {
+		for y := 0; y < x264Block; y++ {
+			sum := 0.0
+			for v := 0; v < x264Block; v++ {
+				c := 0.5
+				if v == 0 {
+					c = math.Sqrt2 / 4
+				}
+				sum += c * block[v][u] * math.Cos((2*float64(y)+1)*float64(v)*math.Pi/16)
+			}
+			tmp[y][u] = sum
+		}
+	}
+	// Rows.
+	for y := 0; y < x264Block; y++ {
+		for x := 0; x < x264Block; x++ {
+			sum := 0.0
+			for u := 0; u < x264Block; u++ {
+				c := 0.5
+				if u == 0 {
+					c = math.Sqrt2 / 4
+				}
+				sum += c * tmp[y][u] * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/16)
+			}
+			block[y][x] = sum
+		}
+	}
+}
+
+// ReconstructionPSNR encodes one synthetic frame against its predecessor
+// and decodes it again (motion compensation + quantized DCT round trip),
+// returning the luma PSNR in dB of the reconstruction against the
+// original. It is the end-to-end fidelity check of the encoder kernel:
+// quantization is the only lossy step, so PSNR is finite but high.
+func ReconstructionPSNR(width, height int, seed int64) (float64, error) {
+	if width < x264Block || height < x264Block {
+		return 0, errors.New("workloads: frame must be at least 8x8")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ref := newFrame(width, height)
+	cur := newFrame(width, height)
+	ref.synthesize(0, rng)
+	cur.synthesize(1, rng)
+
+	recon := newFrame(width, height)
+	var block [x264Block][x264Block]float64
+	var sse float64
+	var n int
+	for by := 0; by+x264Block <= height; by += x264Block {
+		for bx := 0; bx+x264Block <= width; bx += x264Block {
+			_, dx, dy := motionSearch(cur, ref, bx, by)
+			for y := 0; y < x264Block; y++ {
+				for x := 0; x < x264Block; x++ {
+					block[y][x] = float64(int(cur.at(bx+x, by+y)) - int(ref.at(bx+x+dx, by+y+dy)))
+				}
+			}
+			dct8(&block)
+			// Quantize and dequantize (the lossy step).
+			for y := 0; y < x264Block; y++ {
+				for x := 0; x < x264Block; x++ {
+					q := math.Round(block[y][x] / x264Quant)
+					block[y][x] = q * x264Quant
+				}
+			}
+			idct8(&block)
+			for y := 0; y < x264Block; y++ {
+				for x := 0; x < x264Block; x++ {
+					v := float64(ref.at(bx+x+dx, by+y+dy)) + block[y][x]
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					recon.pix[(by+y)*width+(bx+x)] = uint8(math.Round(v))
+					d := v - float64(cur.at(bx+x, by+y))
+					sse += d * d
+					n++
+				}
+			}
+		}
+	}
+	if sse == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sse / float64(n)
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// encodeFrame motion-compensates, transforms and quantizes every 8x8
+// block of cur against ref, returning the count of non-zero quantized
+// coefficients (a proxy for coded size) and the summed motion magnitude.
+func encodeFrame(cur, ref *frame) (nonZero, motion int) {
+	var block [x264Block][x264Block]float64
+	for by := 0; by+x264Block <= cur.h; by += x264Block {
+		for bx := 0; bx+x264Block <= cur.w; bx += x264Block {
+			_, dx, dy := motionSearch(cur, ref, bx, by)
+			motion += dx*dx + dy*dy
+			for y := 0; y < x264Block; y++ {
+				for x := 0; x < x264Block; x++ {
+					residual := int(cur.at(bx+x, by+y)) - int(ref.at(bx+x+dx, by+y+dy))
+					block[y][x] = float64(residual)
+				}
+			}
+			dct8(&block)
+			for y := 0; y < x264Block; y++ {
+				for x := 0; x < x264Block; x++ {
+					if q := int(block[y][x]) / x264Quant; q != 0 {
+						nonZero++
+					}
+				}
+			}
+		}
+	}
+	return nonZero, motion
+}
+
+// EncodeFrames encodes n synthetic frames of the given geometry and
+// returns the total non-zero coefficient count and motion energy. It is
+// the full-size entry point used by the streaming-video example.
+func EncodeFrames(n, width, height int, seed int64) (nonZero, motion int, err error) {
+	if n <= 0 || width < x264Block || height < x264Block {
+		return 0, 0, errors.New("workloads: x264 requires n>0 and frame at least 8x8")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ref := newFrame(width, height)
+	cur := newFrame(width, height)
+	ref.synthesize(0, rng)
+	for t := 1; t <= n; t++ {
+		cur.synthesize(t, rng)
+		nz, mv := encodeFrame(cur, ref)
+		nonZero += nz
+		motion += mv
+		ref, cur = cur, ref
+	}
+	return nonZero, motion, nil
+}
+
+// Run encodes n reduced-size frames.
+func (x264Kernel) Run(n int, seed int64) (Result, error) {
+	nz, mv, err := EncodeFrames(n, x264Width, x264Height, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Units:    n,
+		Checksum: float64(nz) + float64(mv)/1e3,
+		Detail:   fmt.Sprintf("frames=%d nonzero_coeffs=%d motion_energy=%d", n, nz, mv),
+	}, nil
+}

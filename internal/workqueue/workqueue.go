@@ -1,0 +1,260 @@
+// Package workqueue implements the runtime counterpart of the paper's
+// mix-and-match split: a pull-based work queue. The analytical split
+// (internal/cluster) divides the job up front using predicted per-node
+// speeds; a pull scheduler instead lets every node take the next chunk
+// whenever it goes idle, so fast nodes naturally take more and all nodes
+// drain the queue at (nearly) the same instant — the matching property
+// emerges without knowing node speeds at all.
+//
+// The package simulates both policies deterministically and accounts the
+// idle-tail energy (nodes waiting for the last straggler), so experiments
+// can quantify the paper's claim that finishing together minimizes
+// wasted energy, and the pull scheduler's extra robustness: when the
+// speed estimates behind a static split are wrong, its stragglers grow,
+// while the pull scheduler self-corrects to within one chunk.
+package workqueue
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heteromix/internal/units"
+)
+
+// Node is one worker: a cluster node characterized by its true mean
+// per-unit service time and its power envelope.
+type Node struct {
+	// Name labels the node in results.
+	Name string
+	// PerUnit is the node's true mean service time per work unit.
+	PerUnit units.Seconds
+	// Jitter is the relative magnitude of per-chunk service variation.
+	Jitter float64
+	// ActivePower is the node's draw while serving; IdlePower while
+	// waiting for the job to finish.
+	ActivePower units.Watt
+	IdlePower   units.Watt
+}
+
+// Validate checks the node.
+func (n Node) Validate() error {
+	if n.PerUnit <= 0 {
+		return fmt.Errorf("workqueue: node %q per-unit time %v", n.Name, n.PerUnit)
+	}
+	if n.Jitter < 0 || n.Jitter > 0.5 {
+		return fmt.Errorf("workqueue: node %q jitter %v outside [0, 0.5]", n.Name, n.Jitter)
+	}
+	if n.ActivePower < 0 || n.IdlePower < 0 {
+		return fmt.Errorf("workqueue: node %q negative power", n.Name)
+	}
+	return nil
+}
+
+// Options configures a simulation.
+type Options struct {
+	// ChunkUnits is the pull granularity (work units per chunk).
+	ChunkUnits float64
+	// Seed drives per-chunk jitter.
+	Seed int64
+}
+
+// Result summarizes one scheduled job.
+type Result struct {
+	// Makespan is when the last node finishes.
+	Makespan units.Seconds
+	// UnitsPerNode and FinishPerNode are per-node outcomes.
+	UnitsPerNode  []float64
+	FinishPerNode []units.Seconds
+	// Energy is the total: active power over each node's busy time plus
+	// idle power over its wait for the makespan.
+	Energy units.Joule
+	// IdleTail is the idle-wait component alone — the waste the matching
+	// property minimizes.
+	IdleTail units.Joule
+}
+
+// MaxSkew returns the largest finish-time gap between any node and the
+// makespan.
+func (r Result) MaxSkew() units.Seconds {
+	var max units.Seconds
+	for _, f := range r.FinishPerNode {
+		if gap := r.Makespan - f; gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+// nodeState orders nodes by when they next go idle.
+type nodeState struct {
+	idx  int
+	free float64
+}
+
+type nodeHeap []nodeState
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].idx < h[j].idx
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeState)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// Run simulates the pull scheduler: whenever a node goes idle it takes
+// the next chunk from the queue. This is greedy list scheduling, which
+// is what a shared work queue implements.
+func Run(nodes []Node, totalUnits float64, opts Options) (Result, error) {
+	if err := validateInputs(nodes, totalUnits, &opts); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	h := make(nodeHeap, len(nodes))
+	for i := range nodes {
+		h[i] = nodeState{idx: i, free: 0}
+	}
+	heap.Init(&h)
+
+	res := Result{
+		UnitsPerNode:  make([]float64, len(nodes)),
+		FinishPerNode: make([]units.Seconds, len(nodes)),
+	}
+	remaining := totalUnits
+	for remaining > 0 {
+		s := heap.Pop(&h).(nodeState)
+		take := math.Min(opts.ChunkUnits, remaining)
+		remaining -= take
+		n := nodes[s.idx]
+		d := take * float64(n.PerUnit) * jitterFactor(rng, n.Jitter)
+		s.free += d
+		res.UnitsPerNode[s.idx] += take
+		if units.Seconds(s.free) > res.FinishPerNode[s.idx] {
+			res.FinishPerNode[s.idx] = units.Seconds(s.free)
+		}
+		heap.Push(&h, s)
+	}
+	finalize(nodes, &res)
+	return res, nil
+}
+
+// RunStatic simulates an up-front split: node i receives fractions[i] of
+// the job as one allocation and processes it alone.
+func RunStatic(nodes []Node, totalUnits float64, fractions []float64, opts Options) (Result, error) {
+	if err := validateInputs(nodes, totalUnits, &opts); err != nil {
+		return Result{}, err
+	}
+	if len(fractions) != len(nodes) {
+		return Result{}, fmt.Errorf("workqueue: %d fractions for %d nodes", len(fractions), len(nodes))
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f < 0 || math.IsNaN(f) {
+			return Result{}, fmt.Errorf("workqueue: invalid fraction %v", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Result{}, fmt.Errorf("workqueue: fractions sum to %v", sum)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := Result{
+		UnitsPerNode:  make([]float64, len(nodes)),
+		FinishPerNode: make([]units.Seconds, len(nodes)),
+	}
+	for i, n := range nodes {
+		assigned := totalUnits * fractions[i]
+		res.UnitsPerNode[i] = assigned
+		// Process in the same chunk granularity so jitter accumulates
+		// comparably to the pull scheduler.
+		t := 0.0
+		for left := assigned; left > 0; {
+			take := math.Min(opts.ChunkUnits, left)
+			left -= take
+			t += take * float64(n.PerUnit) * jitterFactor(rng, n.Jitter)
+		}
+		res.FinishPerNode[i] = units.Seconds(t)
+	}
+	finalize(nodes, &res)
+	return res, nil
+}
+
+// MatchingFractions returns the split proportional to estimated node
+// throughputs — what cluster.Evaluate computes from the model. Feeding
+// mis-estimated per-unit times here quantifies static splitting's
+// sensitivity to prediction error.
+func MatchingFractions(estimatedPerUnit []units.Seconds) ([]float64, error) {
+	if len(estimatedPerUnit) == 0 {
+		return nil, fmt.Errorf("workqueue: no estimates")
+	}
+	out := make([]float64, len(estimatedPerUnit))
+	total := 0.0
+	for i, k := range estimatedPerUnit {
+		if k <= 0 {
+			return nil, fmt.Errorf("workqueue: estimate %d is %v", i, k)
+		}
+		out[i] = 1 / float64(k)
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}
+
+func validateInputs(nodes []Node, totalUnits float64, opts *Options) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("workqueue: no nodes")
+	}
+	for _, n := range nodes {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+	}
+	if totalUnits <= 0 || math.IsNaN(totalUnits) || math.IsInf(totalUnits, 0) {
+		return fmt.Errorf("workqueue: total units %v", totalUnits)
+	}
+	if opts.ChunkUnits <= 0 {
+		opts.ChunkUnits = totalUnits / (float64(len(nodes)) * 100)
+		if opts.ChunkUnits < 1 {
+			opts.ChunkUnits = 1
+		}
+	}
+	return nil
+}
+
+func finalize(nodes []Node, res *Result) {
+	for _, f := range res.FinishPerNode {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	for i, n := range nodes {
+		busy := float64(res.FinishPerNode[i])
+		wait := float64(res.Makespan) - busy
+		res.Energy += units.Joule(float64(n.ActivePower)*busy + float64(n.IdlePower)*wait)
+		res.IdleTail += units.Joule(float64(n.IdlePower) * wait)
+	}
+}
+
+func jitterFactor(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	f := 1 + sigma*rng.NormFloat64()
+	if f < 0.1 {
+		f = 0.1
+	}
+	return f
+}

@@ -1,0 +1,222 @@
+package workqueue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/units"
+)
+
+// heteroNodes models a small ARM+AMD mix: four slow efficient nodes and
+// one fast hungry node (per-unit times roughly in the calibrated ratio).
+func heteroNodes(jitter float64) []Node {
+	nodes := make([]Node, 0, 5)
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, Node{
+			Name: "arm", PerUnit: 40e-9, Jitter: jitter,
+			ActivePower: 4.3, IdlePower: 1.8,
+		})
+	}
+	nodes = append(nodes, Node{
+		Name: "amd", PerUnit: 12e-9, Jitter: jitter,
+		ActivePower: 55, IdlePower: 45,
+	})
+	return nodes
+}
+
+func TestPullSchedulerEqualizesFinishTimes(t *testing.T) {
+	nodes := heteroNodes(0)
+	res, err := Run(nodes, 10e6, Options{ChunkUnits: 10e3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-balancing: every node finishes within one chunk's duration of
+	// the makespan (the matching property, achieved without estimates).
+	maxChunk := 10e3 * 40e-9
+	if float64(res.MaxSkew()) > maxChunk*1.01 {
+		t.Errorf("skew %v exceeds one chunk (%vs)", res.MaxSkew(), maxChunk)
+	}
+	// The fast node took ~12/40x more than each slow one... i.e. shares
+	// proportional to speeds: amd/arm share ratio = 40/12.
+	armUnits := res.UnitsPerNode[0]
+	amdUnits := res.UnitsPerNode[4]
+	ratio := amdUnits / armUnits
+	if math.Abs(ratio-40.0/12.0) > 0.2 {
+		t.Errorf("share ratio = %v, want ~%v (speed-proportional)", ratio, 40.0/12.0)
+	}
+	// Work conserved.
+	sum := 0.0
+	for _, u := range res.UnitsPerNode {
+		sum += u
+	}
+	if math.Abs(sum-10e6) > 1e-6 {
+		t.Errorf("units not conserved: %v", sum)
+	}
+}
+
+func TestPullMatchesStaticWithPerfectEstimates(t *testing.T) {
+	nodes := heteroNodes(0)
+	est := make([]units.Seconds, len(nodes))
+	for i, n := range nodes {
+		est[i] = n.PerUnit
+	}
+	fr, err := MatchingFractions(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := Run(nodes, 10e6, Options{ChunkUnits: 1e3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunStatic(nodes, 10e6, fr, Options{ChunkUnits: 1e3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With perfect estimates and no jitter the two policies coincide
+	// (within a chunk).
+	if rel := math.Abs(float64(pull.Makespan-static.Makespan)) / float64(static.Makespan); rel > 0.01 {
+		t.Errorf("makespans differ: pull %v vs static %v", pull.Makespan, static.Makespan)
+	}
+	if rel := math.Abs(float64(pull.Energy-static.Energy)) / float64(static.Energy); rel > 0.01 {
+		t.Errorf("energies differ: pull %v vs static %v", pull.Energy, static.Energy)
+	}
+}
+
+// The headline robustness result: when the static split is computed from
+// mis-estimated speeds, its idle tail explodes while the pull scheduler
+// self-corrects.
+func TestPullRobustToSpeedMisestimation(t *testing.T) {
+	nodes := heteroNodes(0)
+	// The planner believes the AMD node is 40% faster than it really is.
+	est := []units.Seconds{40e-9, 40e-9, 40e-9, 40e-9, 12e-9 / 1.4}
+	fr, err := MatchingFractions(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunStatic(nodes, 10e6, fr, Options{ChunkUnits: 1e3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := Run(nodes, 10e6, Options{ChunkUnits: 1e3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(static.IdleTail) < 3*float64(pull.IdleTail) {
+		t.Errorf("static idle tail %v should dwarf pull's %v under mis-estimation",
+			static.IdleTail, pull.IdleTail)
+	}
+	if static.Makespan <= pull.Makespan {
+		t.Error("overloading the mis-estimated node should stretch the static makespan")
+	}
+}
+
+// Under per-chunk jitter the pull scheduler still equalizes within a few
+// chunks while static splits drift.
+func TestPullAbsorbsJitter(t *testing.T) {
+	nodes := heteroNodes(0.1)
+	pull, err := Run(nodes, 10e6, Options{ChunkUnits: 5e3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(pull.MaxSkew()) > 5*5e3*40e-9 {
+		t.Errorf("jittered pull skew %v too large", pull.MaxSkew())
+	}
+}
+
+// Property: pull never idles more than static for any mis-estimation.
+func TestPullNeverWastesMoreThanStatic(t *testing.T) {
+	f := func(seed int64, mis uint8) bool {
+		nodes := heteroNodes(0)
+		factor := 0.6 + float64(mis%9)/10 // estimate error 0.6x..1.4x
+		est := []units.Seconds{40e-9, 40e-9, 40e-9, 40e-9, units.Seconds(12e-9 * factor)}
+		fr, err := MatchingFractions(est)
+		if err != nil {
+			return false
+		}
+		static, err := RunStatic(nodes, 2e6, fr, Options{ChunkUnits: 1e3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		pull, err := Run(nodes, 2e6, Options{ChunkUnits: 1e3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Allow the pull scheduler its inherent one-chunk granularity:
+		// one chunk's duration times the cluster's total idle power.
+		totalIdle := 0.0
+		for _, n := range nodes {
+			totalIdle += float64(n.IdlePower)
+		}
+		slack := 1e3 * 40e-9 * totalIdle
+		return float64(pull.IdleTail) <= float64(static.IdleTail)*1.05+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := heteroNodes(0)
+	if _, err := Run(nil, 1e6, Options{}); err == nil {
+		t.Error("no nodes should error")
+	}
+	if _, err := Run(good, 0, Options{}); err == nil {
+		t.Error("zero units should error")
+	}
+	bad := heteroNodes(0)
+	bad[0].PerUnit = 0
+	if _, err := Run(bad, 1e6, Options{}); err == nil {
+		t.Error("bad node should error")
+	}
+	if _, err := RunStatic(good, 1e6, []float64{1}, Options{}); err == nil {
+		t.Error("wrong fraction count should error")
+	}
+	if _, err := RunStatic(good, 1e6, []float64{0.5, 0.5, 0.5, -0.5, 0}, Options{}); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if _, err := RunStatic(good, 1e6, []float64{0.1, 0.1, 0.1, 0.1, 0.1}, Options{}); err == nil {
+		t.Error("fractions not summing to 1 should error")
+	}
+	if _, err := MatchingFractions(nil); err == nil {
+		t.Error("no estimates should error")
+	}
+	if _, err := MatchingFractions([]units.Seconds{0}); err == nil {
+		t.Error("zero estimate should error")
+	}
+}
+
+func TestDefaultChunking(t *testing.T) {
+	nodes := heteroNodes(0)
+	res, err := Run(nodes, 1e6, Options{Seed: 1}) // ChunkUnits defaulted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nodes := heteroNodes(0.05)
+	a, err := Run(nodes, 1e6, Options{ChunkUnits: 1e3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(nodes, 1e6, Options{ChunkUnits: 1e3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Energy != b.Energy {
+		t.Error("same seed should reproduce")
+	}
+}
+
+func BenchmarkPullScheduler(b *testing.B) {
+	nodes := heteroNodes(0.03)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(nodes, 10e6, Options{ChunkUnits: 10e3, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
