@@ -1,0 +1,31 @@
+# Build, test and benchmark entry points. `make ci` is the full gate:
+# vet + build + race-enabled tests + a short enumeration benchmark to
+# catch performance regressions in the hot path.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short fixed-iteration run of the enumeration benchmarks: fast enough
+# for CI, long enough to expose gross regressions (the kernel-table path
+# runs the 10x10 space in ~1.6 ms; the old per-point path took ~106 ms).
+bench:
+	$(GO) test ./internal/cluster -run '^$$' \
+		-bench 'BenchmarkEnumerate10x10|BenchmarkEnumerateStreaming10x10|BenchmarkEnumerateParallel10x10' \
+		-benchmem -benchtime=100x
+
+ci: vet build race bench

@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"heteromix/internal/experiments"
+	"heteromix/internal/profiling"
 	"heteromix/internal/report"
 )
 
@@ -40,8 +41,10 @@ func main() {
 	noise := flag.Float64("noise", 0.03, "measurement noise sigma for baseline runs")
 	seed := flag.Int64("seed", 1, "random seed for the whole pipeline")
 	dir := flag.String("dir", "report", "output directory for the report command")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: heteromix [-noise s] [-seed n] [-dir d] <command>\n\ncommands: table3 table4 ppr fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline ablation report all\n")
+		fmt.Fprintf(os.Stderr, "usage: heteromix [-noise s] [-seed n] [-dir d] [-cpuprofile f] [-memprofile f] <command>\n\ncommands: table3 table4 ppr fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline ablation report all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,20 +52,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
+		os.Exit(1)
+	}
+	// Profiles must be flushed on every exit path (os.Exit skips defers),
+	// so the work runs first and the exit code is applied after stopping.
+	code := 0
 	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
 	if flag.Arg(0) == "report" {
 		path, err := report.Generate(s, *dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
-			os.Exit(1)
+			code = 1
+		} else {
+			fmt.Printf("wrote %s (figures alongside)\n", path)
 		}
-		fmt.Printf("wrote %s (figures alongside)\n", path)
-		return
-	}
-	if err := run(s, flag.Arg(0)); err != nil {
+	} else if err := run(s, flag.Arg(0)); err != nil {
 		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
-		os.Exit(1)
+		code = 1
 	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 func run(s *experiments.Suite, cmd string) error {

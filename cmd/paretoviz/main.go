@@ -7,8 +7,10 @@
 // Usage:
 //
 //	paretoviz -fig N [-o out.svg] [-noise s] [-seed n]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// Without -o the ASCII rendering is printed to stdout.
+// Without -o the ASCII rendering is printed to stdout. The profile flags
+// write runtime/pprof profiles of the run for `go tool pprof`.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"heteromix/internal/experiments"
 	"heteromix/internal/plot"
+	"heteromix/internal/profiling"
 )
 
 func main() {
@@ -27,34 +30,55 @@ func main() {
 	height := flag.Int("h", 620, "SVG height in pixels (ASCII rows / 20)")
 	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
-	chart, summary, err := buildChart(s, *fig)
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
 		os.Exit(1)
+	}
+	// Profiles must be flushed on every exit path, so the work runs in a
+	// helper and the exit code is applied after stopping them.
+	code := render(*fig, *out, *width, *height, *noise, *seed)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func render(fig int, out string, width, height int, noise float64, seed int64) int {
+	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: noise, Seed: seed})
+	chart, summary, err := buildChart(s, fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
+		return 1
 	}
 	fmt.Print(summary)
-	if *out == "" {
-		ascii, err := chart.RenderASCII(*width/10, *height/20)
+	if out == "" {
+		ascii, err := chart.RenderASCII(width/10, height/20)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(ascii)
-		return
+		return 0
 	}
-	svg, err := chart.RenderSVG(*width, *height)
+	svg, err := chart.RenderSVG(width, height)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+	if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "paretoviz: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
+	return 0
 }
 
 func buildChart(s *experiments.Suite, fig int) (*plot.Chart, string, error) {

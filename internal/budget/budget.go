@@ -60,30 +60,47 @@ func Fits(m Mix, low, high hwsim.NodeSpec, budget units.Watt) bool {
 	return PeakPower(m, low, high) <= budget
 }
 
-// ConstantBudgetMixes generates the §IV-C series: starting from the
-// largest AMD-only cluster within the budget, repeatedly replace one AMD
-// node with substitution-ratio ARM nodes. All generated mixes draw the
-// same peak power, ending at an ARM-only cluster.
-func ConstantBudgetMixes(low, high hwsim.NodeSpec, budget units.Watt) ([]Mix, error) {
+// ForEachConstantBudgetMix streams the §IV-C series to yield: starting
+// from the largest AMD-only cluster within the budget, repeatedly replace
+// one AMD node with substitution-ratio ARM nodes. All generated mixes draw
+// the same peak power, ending at an ARM-only cluster. Returning false from
+// yield stops the generation early (not an error). It pairs with
+// cluster.Space.EnumerateFunc for fully streaming budget studies that
+// never hold a mix or point slice.
+func ForEachConstantBudgetMix(low, high hwsim.NodeSpec, budget units.Watt, yield func(Mix) bool) error {
 	if budget <= 0 {
-		return nil, fmt.Errorf("budget: non-positive budget %v", budget)
+		return fmt.Errorf("budget: non-positive budget %v", budget)
 	}
 	ratio := SubstitutionRatio(low, high)
 	if ratio < 1 {
-		return nil, fmt.Errorf("budget: substitution ratio %d < 1", ratio)
+		return fmt.Errorf("budget: substitution ratio %d < 1", ratio)
 	}
 	maxAMD := int(float64(budget) / float64(high.PeakPower()))
 	if maxAMD < 1 {
-		return nil, fmt.Errorf("budget: %v does not fit one %s node", budget, high.Name)
+		return fmt.Errorf("budget: %v does not fit one %s node", budget, high.Name)
 	}
-	mixes := make([]Mix, 0, maxAMD+1)
 	for k := 0; k <= maxAMD; k++ {
 		m := Mix{ARM: ratio * k, AMD: maxAMD - k}
 		if !Fits(m, low, high, budget) {
-			return nil, fmt.Errorf("budget: generated mix %v exceeds budget %v (peak %v)",
+			return fmt.Errorf("budget: generated mix %v exceeds budget %v (peak %v)",
 				m, budget, PeakPower(m, low, high))
 		}
+		if !yield(m) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ConstantBudgetMixes materializes the ForEachConstantBudgetMix series.
+func ConstantBudgetMixes(low, high hwsim.NodeSpec, budget units.Watt) ([]Mix, error) {
+	var mixes []Mix
+	err := ForEachConstantBudgetMix(low, high, budget, func(m Mix) bool {
 		mixes = append(mixes, m)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mixes, nil
 }

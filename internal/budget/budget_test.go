@@ -128,3 +128,46 @@ func TestFitsBoundary(t *testing.T) {
 		t.Error("budget below peak should not fit")
 	}
 }
+
+// The streaming generator produces exactly the materialized series and
+// honors early termination.
+func TestForEachConstantBudgetMixStreams(t *testing.T) {
+	arm, amd := hwsim.ARMCortexA9(), hwsim.AMDOpteronK10()
+	want, err := ConstantBudgetMixes(arm, amd, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Mix
+	if err := ForEachConstantBudgetMix(arm, amd, 1000, func(m Mix) bool {
+		got = append(got, m)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d mixes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("mix %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	n := 0
+	if err := ForEachConstantBudgetMix(arm, amd, 1000, func(Mix) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("early stop saw %d mixes, want 3", n)
+	}
+
+	if err := ForEachConstantBudgetMix(arm, amd, 0, func(Mix) bool { return true }); err == nil {
+		t.Error("non-positive budget should error")
+	}
+	if err := ForEachConstantBudgetMix(arm, amd, 30, func(Mix) bool { return true }); err == nil {
+		t.Error("budget below one AMD node should error")
+	}
+}

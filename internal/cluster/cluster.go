@@ -241,20 +241,35 @@ func (s Space) Evaluate(cfg Configuration, w float64) (Point, error) {
 // maxAMD AMD nodes servicing w units: all heterogeneous mixes (both
 // counts >= 1) plus the homogeneous ARM-only and AMD-only families. For
 // maxARM = maxAMD = 10 this is the paper's 36,380-point space.
+//
+// Enumeration runs on the precomputed kernel table (see kernel.go): the
+// models are validated and their per-unit coefficients derived once, and
+// each point costs a handful of float multiplies. The result matches
+// evaluating each configuration with Evaluate — bit-identical times and
+// splits, energies within a few ULPs.
 func (s Space) Enumerate(maxARM, maxAMD int, w float64) ([]Point, error) {
-	if maxARM < 0 || maxAMD < 0 || maxARM+maxAMD == 0 {
-		return nil, fmt.Errorf("cluster: invalid space %dx%d", maxARM, maxAMD)
+	kt, err := s.enumKernels(maxARM, maxAMD, w)
+	if err != nil {
+		return nil, err
 	}
-	configs := s.configurations(maxARM, maxAMD)
-	out := make([]Point, 0, len(configs))
-	for _, cfg := range configs {
-		p, err := s.Evaluate(cfg, w)
-		if err != nil {
-			return nil, err
-		}
+	out := make([]Point, 0, kt.size(maxARM, maxAMD))
+	kt.forEachPoint(maxARM, maxAMD, w, func(p Point) bool {
 		out = append(out, p)
-	}
+		return true
+	})
 	return out, nil
+}
+
+// enumKernels validates the space bounds and work volume, then builds the
+// kernel table — the shared preamble of every enumerator.
+func (s Space) enumKernels(maxARM, maxAMD int, w float64) (spaceKernels, error) {
+	if maxARM < 0 || maxAMD < 0 || maxARM+maxAMD == 0 {
+		return spaceKernels{}, fmt.Errorf("cluster: invalid space %dx%d", maxARM, maxAMD)
+	}
+	if err := validWork(w); err != nil {
+		return spaceKernels{}, err
+	}
+	return s.kernels(maxARM, maxAMD, nil, nil)
 }
 
 // SpaceSize returns the number of configurations Enumerate produces,
@@ -271,33 +286,56 @@ func (s Space) SpaceSize(maxARM, maxAMD int) int {
 // types to their maximum frequency quantifies how much of the Pareto
 // frontier DVFS contributes versus node-count mixing.
 func (s Space) EnumerateFiltered(maxARM, maxAMD int, w float64, keepARM, keepAMD func(hwsim.Config) bool) ([]Point, error) {
-	if maxARM < 0 || maxAMD < 0 || maxARM+maxAMD == 0 {
-		return nil, fmt.Errorf("cluster: invalid space %dx%d", maxARM, maxAMD)
-	}
-	if keepARM == nil {
-		keepARM = func(hwsim.Config) bool { return true }
-	}
-	if keepAMD == nil {
-		keepAMD = func(hwsim.Config) bool { return true }
-	}
 	var out []Point
-	for _, cfg := range s.configurations(maxARM, maxAMD) {
-		if cfg.ARM.Nodes > 0 && !keepARM(cfg.ARM.Config) {
-			continue
-		}
-		if cfg.AMD.Nodes > 0 && !keepAMD(cfg.AMD.Config) {
-			continue
-		}
-		p, err := s.Evaluate(cfg, w)
-		if err != nil {
-			return nil, err
-		}
+	err := s.EnumerateFilteredFunc(maxARM, maxAMD, w, keepARM, keepAMD, func(p Point) bool {
 		out = append(out, p)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("cluster: filter removed every configuration")
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// EnumerateFilteredFunc streams the filtered sub-space to yield in
+// EnumerateFiltered's order without materializing it; yield returning
+// false stops the walk early. The per-node keep predicates are applied
+// once to the configuration lists, not once per point.
+func (s Space) EnumerateFilteredFunc(maxARM, maxAMD int, w float64, keepARM, keepAMD func(hwsim.Config) bool, yield func(Point) bool) error {
+	if maxARM < 0 || maxAMD < 0 || maxARM+maxAMD == 0 {
+		return fmt.Errorf("cluster: invalid space %dx%d", maxARM, maxAMD)
+	}
+	if err := validWork(w); err != nil {
+		return err
+	}
+	filter := func(cfgs []hwsim.Config, keep func(hwsim.Config) bool) []hwsim.Config {
+		if keep == nil {
+			return cfgs
+		}
+		out := make([]hwsim.Config, 0, len(cfgs))
+		for _, c := range cfgs {
+			if keep(c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	var cfgARM, cfgAMD []hwsim.Config
+	if maxARM > 0 {
+		cfgARM = filter(hwsim.Configs(s.ARM.Spec), keepARM)
+	}
+	if maxAMD > 0 {
+		cfgAMD = filter(hwsim.Configs(s.AMD.Spec), keepAMD)
+	}
+	kt, err := s.kernels(maxARM, maxAMD, cfgARM, cfgAMD)
+	if err != nil {
+		return err
+	}
+	if kt.size(maxARM, maxAMD) == 0 {
+		return fmt.Errorf("cluster: filter removed every configuration")
+	}
+	kt.forEachPoint(maxARM, maxAMD, w, yield)
+	return nil
 }
 
 // EnumerateMix evaluates all per-node settings for one fixed node-count
@@ -306,26 +344,25 @@ func (s Space) EnumerateMix(nARM, nAMD int, w float64) ([]Point, error) {
 	if nARM < 0 || nAMD < 0 || nARM+nAMD == 0 {
 		return nil, fmt.Errorf("cluster: invalid mix %d:%d", nARM, nAMD)
 	}
-	var out []Point
-	armCfgs := []hwsim.Config{{}}
+	if err := validWork(w); err != nil {
+		return nil, err
+	}
+	kt, err := s.kernels(nARM, nAMD, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	armK := []kernelEntry{{}}
 	if nARM > 0 {
-		armCfgs = hwsim.Configs(s.ARM.Spec)
+		armK = kt.arm
 	}
-	amdCfgs := []hwsim.Config{{}}
+	amdK := []kernelEntry{{}}
 	if nAMD > 0 {
-		amdCfgs = hwsim.Configs(s.AMD.Spec)
+		amdK = kt.amd
 	}
-	for _, ca := range armCfgs {
-		for _, cd := range amdCfgs {
-			cfg := Configuration{
-				ARM: TypeConfig{Nodes: nARM, Config: ca},
-				AMD: TypeConfig{Nodes: nAMD, Config: cd},
-			}
-			p, err := s.Evaluate(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
+	out := make([]Point, 0, len(armK)*len(amdK))
+	for _, a := range armK {
+		for _, d := range amdK {
+			out = append(out, kt.point(nARM, nAMD, a, d, w))
 		}
 	}
 	return out, nil

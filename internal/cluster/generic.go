@@ -56,6 +56,11 @@ func (p GenericPoint) Label(names []string) string {
 // with all per-node configurations of the used types. The space grows
 // quickly with type count and bounds — callers should keep MaxNodes
 // small or pre-prune per-type configurations with PrunedNodeConfigs.
+//
+// Like the two-type enumerators, EnumerateGroups runs on precomputed
+// evaluation kernels: each type's per-unit coefficients are derived once,
+// and each point pays only the matching-split arithmetic plus its output
+// slices.
 func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
 	if len(types) == 0 {
 		return nil, fmt.Errorf("cluster: no node types")
@@ -65,75 +70,94 @@ func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
 			return nil, fmt.Errorf("cluster: type %d has MaxNodes %d", i, gt.MaxNodes)
 		}
 	}
+	if err := validWork(w); err != nil {
+		return nil, err
+	}
 
-	// Per-type option lists: (count, config) pairs including the absent
-	// option (count 0).
+	// Per-type option lists: (count, kernel) pairs including the absent
+	// option (count 0). Types with MaxNodes 0 are never evaluated, so
+	// their models are not touched (matching Evaluate's treatment of
+	// zero-node groups).
 	type option struct {
 		count int
-		cfg   hwsim.Config
+		k     kernelEntry
 	}
 	options := make([][]option, len(types))
+	switchW := make([]float64, len(types))
 	for i, gt := range types {
 		opts := []option{{count: 0}}
 		if gt.MaxNodes > 0 {
-			cfgs := hwsim.Configs(gt.Model.Spec)
+			entries, err := typeKernels(gt.Model, hwsim.Configs(gt.Model.Spec))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: type %d: %w", i, err)
+			}
 			for n := 1; n <= gt.MaxNodes; n++ {
-				for _, c := range cfgs {
-					opts = append(opts, option{count: n, cfg: c})
+				for _, k := range entries {
+					opts = append(opts, option{count: n, k: k})
 				}
 			}
 		}
 		options[i] = opts
+		if gt.NeedsSwitch {
+			switchW[i] = float64(SwitchPower)
+		}
 	}
 
 	var out []GenericPoint
 	pick := make([]int, len(types))
-	var rec func(depth int) error
-	rec = func(depth int) error {
+	thr := make([]float64, len(types))
+	var rec func(depth int)
+	rec = func(depth int) {
 		if depth == len(types) {
-			groups := make([]Group, len(types))
-			counts := make([]int, len(types))
-			configs := make([]hwsim.Config, len(types))
-			total := 0
+			// Matching split over the chosen options, as in Evaluate:
+			// throughputs accumulate in type order, every group finishes
+			// at w / sum(thr).
+			total := 0.0
 			for i, oi := range pick {
 				opt := options[i][oi]
-				counts[i] = opt.count
-				configs[i] = opt.cfg
-				total += opt.count
-				groups[i] = Group{
-					Model:       types[i].Model,
-					Nodes:       opt.count,
-					Config:      opt.cfg,
-					NeedsSwitch: types[i].NeedsSwitch,
+				thr[i] = 0
+				if opt.count > 0 {
+					thr[i] = float64(opt.count) / opt.k.k
+					total += thr[i]
 				}
 			}
 			if total == 0 {
-				return nil
+				return // the all-absent vector
 			}
-			ev, err := Evaluate(groups, w)
-			if err != nil {
-				return err
+			t := w / total
+			counts := make([]int, len(types))
+			configs := make([]hwsim.Config, len(types))
+			work := make([]float64, len(types))
+			energy := 0.0
+			for i, oi := range pick {
+				opt := options[i][oi]
+				counts[i] = opt.count
+				if opt.count == 0 {
+					continue
+				}
+				configs[i] = opt.k.cfg
+				work[i] = w * thr[i] / total
+				e := opt.k.epu * work[i]
+				if switchW[i] > 0 {
+					e += switchW[i] * float64(armSwitches(opt.count)) * t
+				}
+				energy += e
 			}
 			out = append(out, GenericPoint{
 				Counts:  counts,
 				Configs: configs,
-				Time:    ev.Time,
-				Energy:  ev.Energy,
-				Work:    ev.Work,
+				Time:    units.Seconds(t),
+				Energy:  units.Joule(energy),
+				Work:    work,
 			})
-			return nil
+			return
 		}
 		for oi := range options[depth] {
 			pick[depth] = oi
-			if err := rec(depth + 1); err != nil {
-				return err
-			}
+			rec(depth + 1)
 		}
-		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
+	rec(0)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
 	}

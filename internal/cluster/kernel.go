@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/units"
+)
+
+// This file is the evaluation-kernel layer under every enumerator. A
+// spaceKernels table is built once per Enumerate* call from model.Kernel
+// coefficients — one entry per distinct per-node (cores, frequency)
+// setting, dozens of entries against tens of thousands of points — and
+// evaluating a configuration then reduces to a handful of float
+// multiplies with no validation, no map lookups and no allocations.
+// Every error path (model validation, config validation, degenerate
+// predictions, bad work volumes) is taken during table construction, so
+// the per-point evaluation is infallible.
+//
+// Numerical contract: Point.Time, Point.WorkARM and the work split are
+// bit-identical to the direct Space.Evaluate path (the throughput and
+// split arithmetic is the same expression over the same TimePerUnit
+// values). Point.Energy folds the work volume in after the per-unit
+// coefficient instead of before, which agrees with the direct path to
+// within a few ULPs (~1e-15 relative); tests assert 1e-12.
+
+// kernelEntry is one per-node configuration's precomputed coefficients.
+type kernelEntry struct {
+	cfg hwsim.Config
+	k   float64 // seconds per work unit on one node
+	epu float64 // joules per work unit on one node
+}
+
+// typeKernels validates nm once and precomputes entries for the given
+// configurations (in the given order).
+func typeKernels(nm model.NodeModel, cfgs []hwsim.Config) ([]kernelEntry, error) {
+	if err := nm.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]kernelEntry, len(cfgs))
+	for i, cfg := range cfgs {
+		k, err := nm.KernelFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = kernelEntry{cfg: cfg, k: k.TimePerUnit, epu: k.EnergyPerUnit}
+	}
+	return out, nil
+}
+
+// spaceKernels is the precomputed evaluation table of a two-type Space.
+type spaceKernels struct {
+	arm, amd []kernelEntry
+	// switchW is the per-switch wattage charged to job energy on the ARM
+	// side (zero under NoSwitchEnergy).
+	switchW float64
+}
+
+// kernels builds the table for the given node bounds, validating each
+// model only if its side of the space is populated (a zero bound never
+// touches that model, matching the direct path's behaviour for groups
+// with zero nodes). cfgARM/cfgAMD restrict the per-node settings; nil
+// selects every configuration of the spec.
+func (s Space) kernels(maxARM, maxAMD int, cfgARM, cfgAMD []hwsim.Config) (spaceKernels, error) {
+	t := spaceKernels{}
+	if !s.NoSwitchEnergy {
+		t.switchW = float64(SwitchPower)
+	}
+	var err error
+	if maxARM > 0 {
+		if cfgARM == nil {
+			cfgARM = hwsim.Configs(s.ARM.Spec)
+		}
+		if t.arm, err = typeKernels(s.ARM, cfgARM); err != nil {
+			return spaceKernels{}, fmt.Errorf("cluster: ARM kernels: %w", err)
+		}
+	}
+	if maxAMD > 0 {
+		if cfgAMD == nil {
+			cfgAMD = hwsim.Configs(s.AMD.Spec)
+		}
+		if t.amd, err = typeKernels(s.AMD, cfgAMD); err != nil {
+			return spaceKernels{}, fmt.Errorf("cluster: AMD kernels: %w", err)
+		}
+	}
+	return t, nil
+}
+
+// validWork mirrors Evaluate's work-volume check.
+func validWork(w float64) error {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("cluster: work must be positive and finite, got %v", w)
+	}
+	return nil
+}
+
+// armSwitches is Group.Switches for the ARM side.
+func armSwitches(nodes int) int {
+	return (nodes + ARMPortsPerSwitch - 1) / ARMPortsPerSwitch
+}
+
+// point evaluates one configuration from precomputed coefficients: the
+// matching split (W_g ∝ n_g/k_g), the shared finish time and the summed
+// group energies including switch draw over the job duration. na or nd
+// may be zero for the homogeneous families; the corresponding entry is
+// ignored.
+func (t spaceKernels) point(na, nd int, a, d kernelEntry, w float64) Point {
+	var thrA, thrD float64
+	if na > 0 {
+		thrA = float64(na) / a.k
+	}
+	if nd > 0 {
+		thrD = float64(nd) / d.k
+	}
+	total := thrA + thrD
+	tt := w / total
+
+	var wA, wD, eA, eD float64
+	var cfg Configuration
+	if na > 0 {
+		wA = w * thrA / total
+		eA = a.epu*wA + t.switchW*float64(armSwitches(na))*tt
+		cfg.ARM = TypeConfig{Nodes: na, Config: a.cfg}
+	}
+	if nd > 0 {
+		wD = w * thrD / total
+		eD = d.epu * wD
+		cfg.AMD = TypeConfig{Nodes: nd, Config: d.cfg}
+	}
+	workARM := 0.0
+	if tot := wA + wD; tot > 0 {
+		workARM = wA / tot
+	}
+	return Point{
+		Config:  cfg,
+		Time:    units.Seconds(tt),
+		Energy:  units.Joule(eA + eD),
+		WorkARM: workARM,
+	}
+}
+
+// forEachPoint streams the space in Enumerate's order — all heterogeneous
+// mixes (ARM count, ARM config, AMD count, AMD config, nested in that
+// order), then the ARM-only family, then the AMD-only family — without
+// materializing anything. It reports whether the walk ran to completion
+// (yield returning false stops it early).
+func (t spaceKernels) forEachPoint(maxARM, maxAMD int, w float64, yield func(Point) bool) bool {
+	for na := 1; na <= maxARM; na++ {
+		for _, a := range t.arm {
+			for nd := 1; nd <= maxAMD; nd++ {
+				for _, d := range t.amd {
+					if !yield(t.point(na, nd, a, d, w)) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	var none kernelEntry
+	for na := 1; na <= maxARM; na++ {
+		for _, a := range t.arm {
+			if !yield(t.point(na, 0, a, none, w)) {
+				return false
+			}
+		}
+	}
+	for nd := 1; nd <= maxAMD; nd++ {
+		for _, d := range t.amd {
+			if !yield(t.point(0, nd, none, d, w)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// size returns how many points forEachPoint yields for the bounds.
+func (t spaceKernels) size(maxARM, maxAMD int) int {
+	a, d := len(t.arm), len(t.amd)
+	return maxARM*a*maxAMD*d + maxARM*a + maxAMD*d
+}
+
+// pointAt evaluates the configuration at linear index i of forEachPoint's
+// order, the random-access view the dynamic parallel scheduler uses.
+func (t spaceKernels) pointAt(i, maxARM, maxAMD int, w float64) Point {
+	a, d := len(t.arm), len(t.amd)
+	mixed := maxARM * a * maxAMD * d
+	switch {
+	case i < mixed:
+		di := i % d
+		r := i / d
+		nd := r%maxAMD + 1
+		r /= maxAMD
+		ai := r % a
+		na := r/a + 1
+		return t.point(na, nd, t.arm[ai], t.amd[di], w)
+	case i < mixed+maxARM*a:
+		j := i - mixed
+		return t.point(j/a+1, 0, t.arm[j%a], kernelEntry{}, w)
+	default:
+		j := i - mixed - maxARM*a
+		return t.point(0, j/d+1, kernelEntry{}, t.amd[j%d], w)
+	}
+}

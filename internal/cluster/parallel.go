@@ -1,94 +1,96 @@
 package cluster
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
-
-	"heteromix/internal/hwsim"
+	"sync/atomic"
 )
+
+// parallelChunk is the number of points one scheduler grab covers: small
+// enough that the atomic cursor balances uneven progress and that a
+// cancellation is observed promptly, large enough that the atomic add is
+// amortized over thousands of float operations.
+const parallelChunk = 512
 
 // EnumerateParallel evaluates the same configuration space as Enumerate,
 // fanned out over a pool of worker goroutines. The result order is
-// identical to Enumerate's (the output is assembled by index, not by
-// completion order), so the two are interchangeable; the full 10 ARM x
-// 10 AMD space of 36,380 points evaluates several times faster on
-// multicore hosts.
+// identical to Enumerate's (workers write by index, not by completion
+// order), and because both paths evaluate points with the same kernel
+// arithmetic the two are bit-identical and interchangeable.
+//
+// Work is scheduled dynamically: workers claim fixed-size chunks off a
+// shared atomic cursor, so a worker stalled by the scheduler or an
+// asymmetric machine cannot strand a static block. The first error stops
+// the remaining workers at their next chunk boundary instead of letting
+// them run the rest of the space to completion (with the kernel table
+// built up front, per-point evaluation is infallible, so in practice
+// errors surface before any worker starts).
 //
 // workers <= 0 selects GOMAXPROCS.
 func (s Space) EnumerateParallel(maxARM, maxAMD int, w float64, workers int) ([]Point, error) {
-	if maxARM < 0 || maxAMD < 0 || maxARM+maxAMD == 0 {
-		return nil, fmt.Errorf("cluster: invalid space %dx%d", maxARM, maxAMD)
+	kt, err := s.enumKernels(maxARM, maxAMD, w)
+	if err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	configs := s.configurations(maxARM, maxAMD)
-	out := make([]Point, len(configs))
-	errs := make([]error, workers)
-
-	var wg sync.WaitGroup
-	// Static block partitioning: every configuration costs the same two
-	// model evaluations, so contiguous blocks balance well and keep
-	// writes cache-friendly.
-	block := (len(configs) + workers - 1) / workers
-	for wid := 0; wid < workers; wid++ {
-		lo := wid * block
-		if lo >= len(configs) {
-			break
+	n := kt.size(maxARM, maxAMD)
+	out := make([]Point, n)
+	err = parallelFor(n, workers, parallelChunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = kt.pointAt(i, maxARM, maxAMD, w)
 		}
-		hi := lo + block
-		if hi > len(configs) {
-			hi = len(configs)
-		}
-		wg.Add(1)
-		go func(wid, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				p, err := s.Evaluate(configs[i], w)
-				if err != nil {
-					errs[wid] = err
-					return
-				}
-				out[i] = p
-			}
-		}(wid, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// configurations lists the space in Enumerate's order without evaluating.
-func (s Space) configurations(maxARM, maxAMD int) []Configuration {
-	armCfgs := hwsim.Configs(s.ARM.Spec)
-	amdCfgs := hwsim.Configs(s.AMD.Spec)
-	out := make([]Configuration, 0, s.SpaceSize(maxARM, maxAMD))
-	for na := 1; na <= maxARM; na++ {
-		for _, ca := range armCfgs {
-			for nd := 1; nd <= maxAMD; nd++ {
-				for _, cd := range amdCfgs {
-					out = append(out, Configuration{
-						ARM: TypeConfig{Nodes: na, Config: ca},
-						AMD: TypeConfig{Nodes: nd, Config: cd},
-					})
+// parallelFor runs body over [0, n) in chunks claimed from a shared
+// atomic cursor by a pool of workers. The first error cancels the run:
+// workers stop claiming chunks and parallelFor returns that error.
+func parallelFor(n, workers, chunk int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		cursor   atomic.Int64
+		stopped  atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				if err := body(lo, hi); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
 				}
 			}
-		}
+		}()
 	}
-	for na := 1; na <= maxARM; na++ {
-		for _, ca := range armCfgs {
-			out = append(out, Configuration{ARM: TypeConfig{Nodes: na, Config: ca}})
-		}
-	}
-	for nd := 1; nd <= maxAMD; nd++ {
-		for _, cd := range amdCfgs {
-			out = append(out, Configuration{AMD: TypeConfig{Nodes: nd, Config: cd}})
-		}
-	}
-	return out
+	wg.Wait()
+	return firstErr
 }

@@ -108,44 +108,21 @@ func (s Space) EnumeratePruned(maxARM, maxAMD int, w float64) ([]Point, PruneSta
 		PrunedSpace: maxARM*len(armCfgs)*maxAMD*len(amdCfgs) +
 			maxARM*len(armCfgs) + maxAMD*len(amdCfgs),
 	}
-
-	var out []Point
-	add := func(cfg Configuration) error {
-		p, err := s.Evaluate(cfg, w)
-		if err != nil {
-			return err
-		}
+	if err := validWork(w); err != nil {
+		return nil, PruneStats{}, err
+	}
+	// The kernel entries for the surviving configurations carry the same
+	// coefficients as the full table's, so pruned points are bit-identical
+	// to their counterparts in Enumerate's output.
+	kt, err := s.kernels(maxARM, maxAMD, armCfgs, amdCfgs)
+	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	out := make([]Point, 0, stats.PrunedSpace)
+	kt.forEachPoint(maxARM, maxAMD, w, func(p Point) bool {
 		out = append(out, p)
-		return nil
-	}
-	for na := 1; na <= maxARM; na++ {
-		for _, ca := range armCfgs {
-			for nd := 1; nd <= maxAMD; nd++ {
-				for _, cd := range amdCfgs {
-					if err := add(Configuration{
-						ARM: TypeConfig{Nodes: na, Config: ca},
-						AMD: TypeConfig{Nodes: nd, Config: cd},
-					}); err != nil {
-						return nil, PruneStats{}, err
-					}
-				}
-			}
-		}
-	}
-	for na := 1; na <= maxARM; na++ {
-		for _, ca := range armCfgs {
-			if err := add(Configuration{ARM: TypeConfig{Nodes: na, Config: ca}}); err != nil {
-				return nil, PruneStats{}, err
-			}
-		}
-	}
-	for nd := 1; nd <= maxAMD; nd++ {
-		for _, cd := range amdCfgs {
-			if err := add(Configuration{AMD: TypeConfig{Nodes: nd, Config: cd}}); err != nil {
-				return nil, PruneStats{}, err
-			}
-		}
-	}
+		return true
+	})
 	return out, stats, nil
 }
 

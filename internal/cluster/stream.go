@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"heteromix/internal/pareto"
+)
+
+// This file is the streaming enumeration API: callers that only need an
+// aggregate of the configuration space — a Pareto frontier, a minimum, a
+// count — consume points as they are produced and never hold the full
+// point slice (36,380 entries for the paper's 10x10 space, millions for
+// the scaling studies).
+
+// EnumerateFunc streams every point of the space to yield, in
+// Enumerate's order, without materializing the point slice. Returning
+// false from yield stops the enumeration early (not an error).
+func (s Space) EnumerateFunc(maxARM, maxAMD int, w float64, yield func(Point) bool) error {
+	kt, err := s.enumKernels(maxARM, maxAMD, w)
+	if err != nil {
+		return err
+	}
+	kt.forEachPoint(maxARM, maxAMD, w, yield)
+	return nil
+}
+
+// FrontierOf enumerates the space and returns only its Pareto-optimal
+// points, maintained online as the enumeration streams: the full space is
+// never materialized, only the current frontier (typically a few hundred
+// points). The returned TE slice is the energy-deadline frontier in
+// pareto.Frontier's order (time-ascending), with each Index pointing into
+// the returned point slice.
+func FrontierOf(s Space, maxARM, maxAMD int, w float64) ([]Point, []pareto.TE, error) {
+	var f pareto.OnlineFrontier
+	var pts []Point
+	var addErr error
+	i := 0
+	err := s.EnumerateFunc(maxARM, maxAMD, w, func(p Point) bool {
+		pos, removed, added, err := f.Insert(pareto.TE{
+			Time: float64(p.Time), Energy: float64(p.Energy), Index: i,
+		})
+		i++
+		if err != nil {
+			addErr = err
+			return false
+		}
+		if !added {
+			return true
+		}
+		// Mirror the frontier's splice onto the payload slice.
+		if removed > 0 {
+			pts[pos] = p
+			pts = append(pts[:pos+1], pts[pos+removed:]...)
+		} else {
+			pts = append(pts, Point{})
+			copy(pts[pos+1:], pts[pos:])
+			pts[pos] = p
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if addErr != nil {
+		return nil, nil, addErr
+	}
+	tes := f.Frontier()
+	for i := range tes {
+		tes[i].Index = i
+	}
+	return pts, tes, nil
+}

@@ -114,20 +114,25 @@ func (s *Suite) DVFSAblation(workload string, maxARM, maxAMD int) (DVFSAblationR
 	allCoresAMD := s.AMD.Cores
 
 	summarize := func(keepARM, keepAMD func(hwsim.Config) bool) (FrontierSummary, error) {
-		pts, err := space.EnumerateFiltered(maxARM, maxAMD, job, keepARM, keepAMD)
+		// Stream the filtered sub-space: only the frontier and a count are
+		// needed, so no point slice is ever materialized.
+		var f pareto.OnlineFrontier
+		var insErr error
+		n := 0
+		err := space.EnumerateFilteredFunc(maxARM, maxAMD, job, keepARM, keepAMD, func(p cluster.Point) bool {
+			_, insErr = f.Add(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: n})
+			n++
+			return insErr == nil
+		})
+		if err == nil {
+			err = insErr
+		}
 		if err != nil {
 			return FrontierSummary{}, err
 		}
-		tes := make([]pareto.TE, len(pts))
-		for i, p := range pts {
-			tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
-		}
-		fr, err := pareto.Frontier(tes)
-		if err != nil {
-			return FrontierSummary{}, err
-		}
+		fr := f.Frontier()
 		return FrontierSummary{
-			SpacePoints:    len(pts),
+			SpacePoints:    n,
 			FrontierPoints: len(fr),
 			MinTime:        units.Seconds(pareto.MinTime(fr)),
 			MinEnergy:      units.Joule(pareto.MinEnergy(fr)),
@@ -194,15 +199,24 @@ func (s *Suite) Pruning(workload string, maxARM, maxAMD int) (PruningReport, err
 	}
 	job := w.AnalysisUnits
 
-	full, err := space.Enumerate(maxARM, maxAMD, job)
+	// The full space is only needed for its frontier, so stream it
+	// through an online frontier instead of materializing 36k+ points.
+	var fullF pareto.OnlineFrontier
+	var insErr error
+	i := 0
+	err = space.EnumerateFunc(maxARM, maxAMD, job, func(p cluster.Point) bool {
+		_, insErr = fullF.Add(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i})
+		i++
+		return insErr == nil
+	})
+	if err == nil {
+		err = insErr
+	}
 	if err != nil {
 		return PruningReport{}, err
 	}
+	frFull := fullF.Frontier()
 	prunedPts, stats, err := space.EnumeratePruned(maxARM, maxAMD, job)
-	if err != nil {
-		return PruningReport{}, err
-	}
-	frFull, err := pareto.Frontier(pointsTE(full))
 	if err != nil {
 		return PruningReport{}, err
 	}

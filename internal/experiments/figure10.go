@@ -118,6 +118,9 @@ func (s *Suite) QueueingAnalysis(workload string, poolARM, poolAMD int, jobUnits
 			return Figure10Result{}, err
 		}
 		prof := QueueProfile{TargetUtilization: target, ReferenceRate: refRate}
+		// The frontier absorbs each queue point as it is computed; no
+		// intermediate TE slice or sort over the 81k-point pool space.
+		var f pareto.OnlineFrontier
 		for _, p := range points {
 			rate, err := queueing.RateForUtilization(target, p.Time)
 			if err != nil {
@@ -132,26 +135,24 @@ func (s *Suite) QueueingAnalysis(workload string, poolARM, poolAMD int, jobUnits
 			if err != nil {
 				return Figure10Result{}, err
 			}
-			prof.Points = append(prof.Points, QueuePoint{
+			qp := QueuePoint{
 				Config:       p.Config,
 				Service:      p.Time,
 				Response:     q.MeanResponse(),
 				Utilization:  q.Utilization(),
 				WindowEnergy: e,
-			})
+			}
+			if _, err := f.Add(pareto.TE{
+				Time: float64(qp.Response), Energy: float64(qp.WindowEnergy), Index: len(prof.Points),
+			}); err != nil {
+				return Figure10Result{}, err
+			}
+			prof.Points = append(prof.Points, qp)
 		}
 		if len(prof.Points) == 0 {
 			return Figure10Result{}, fmt.Errorf("experiments: no configuration at utilization %v", target)
 		}
-		tes := make([]pareto.TE, len(prof.Points))
-		for i, qp := range prof.Points {
-			tes[i] = pareto.TE{Time: float64(qp.Response), Energy: float64(qp.WindowEnergy), Index: i}
-		}
-		fr, err := pareto.Frontier(tes)
-		if err != nil {
-			return Figure10Result{}, err
-		}
-		prof.Frontier = fr
+		prof.Frontier = f.Frontier()
 		res.Profiles = append(res.Profiles, prof)
 	}
 	return res, nil

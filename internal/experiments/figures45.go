@@ -71,37 +71,40 @@ func (s *Suite) frontierAnalysis(workload string, maxARM, maxAMD int, jobUnits f
 		return FrontierResult{}, err
 	}
 	space.NoSwitchEnergy = noSwitch
-	points, err := space.Enumerate(maxARM, maxAMD, jobUnits)
+	// One streaming pass builds the point slice (part of the result API)
+	// while three online frontiers — the main one plus the homogeneous
+	// envelopes — absorb each point as it is produced, replacing three
+	// full sorts of the 36,380-point space.
+	points := make([]cluster.Point, 0, space.SpaceSize(maxARM, maxAMD))
+	var full, armF, amdF pareto.OnlineFrontier
+	var insErr error
+	err = space.EnumerateFunc(maxARM, maxAMD, jobUnits, func(p cluster.Point) bool {
+		te := pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: len(points)}
+		points = append(points, p)
+		if _, insErr = full.Add(te); insErr != nil {
+			return false
+		}
+		switch {
+		case p.Config.AMD.Nodes == 0:
+			_, insErr = armF.Add(te)
+		case p.Config.ARM.Nodes == 0:
+			_, insErr = amdF.Add(te)
+		}
+		return insErr == nil
+	})
+	if err == nil {
+		err = insErr
+	}
 	if err != nil {
 		return FrontierResult{}, err
 	}
 	res := FrontierResult{Workload: workload, JobUnits: jobUnits, Points: points}
-
-	tes := make([]pareto.TE, len(points))
-	var armOnly, amdOnly []pareto.TE
-	for i, p := range points {
-		te := pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
-		tes[i] = te
-		switch {
-		case p.Config.AMD.Nodes == 0:
-			armOnly = append(armOnly, te)
-		case p.Config.ARM.Nodes == 0:
-			amdOnly = append(amdOnly, te)
-		}
+	res.Frontier = full.Frontier()
+	if armF.Len() > 0 {
+		res.ARMOnlyEnvelope = armF.Frontier()
 	}
-	res.Frontier, err = pareto.Frontier(tes)
-	if err != nil {
-		return FrontierResult{}, err
-	}
-	if len(armOnly) > 0 {
-		if res.ARMOnlyEnvelope, err = pareto.Frontier(armOnly); err != nil {
-			return FrontierResult{}, err
-		}
-	}
-	if len(amdOnly) > 0 {
-		if res.AMDOnlyEnvelope, err = pareto.Frontier(amdOnly); err != nil {
-			return FrontierResult{}, err
-		}
+	if amdF.Len() > 0 {
+		res.AMDOnlyEnvelope = amdF.Frontier()
 	}
 	labelOf := func(i int) pareto.Label { return labelOfPoint(points[i]) }
 	res.Sweet, res.HasSweet = pareto.SweetRegion(res.Frontier, labelOf)

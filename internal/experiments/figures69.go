@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heteromix/internal/budget"
+	"heteromix/internal/cluster"
 	"heteromix/internal/pareto"
 	"heteromix/internal/plot"
 	"heteromix/internal/units"
@@ -80,18 +81,24 @@ func (s *Suite) MixSeries(workload string, mixes []budget.Mix, jobUnits float64)
 	}
 	res := MixSeriesResult{Workload: workload, JobUnits: jobUnits}
 	for _, m := range mixes {
-		points, err := space.Enumerate(m.ARM, m.AMD, jobUnits)
+		// Only the frontier is kept per mix, so stream the sub-space
+		// through an online frontier instead of materializing it: the
+		// series' point slices (36k+ entries each) never exist.
+		var f pareto.OnlineFrontier
+		var insErr error
+		i := 0
+		err := space.EnumerateFunc(m.ARM, m.AMD, jobUnits, func(p cluster.Point) bool {
+			_, insErr = f.Add(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i})
+			i++
+			return insErr == nil
+		})
+		if err == nil {
+			err = insErr
+		}
 		if err != nil {
 			return MixSeriesResult{}, err
 		}
-		tes := make([]pareto.TE, len(points))
-		for i, p := range points {
-			tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
-		}
-		fr, err := pareto.Frontier(tes)
-		if err != nil {
-			return MixSeriesResult{}, err
-		}
+		fr := f.Frontier()
 		res.Series = append(res.Series, MixFrontier{
 			Mix:       m,
 			Frontier:  fr,

@@ -76,13 +76,10 @@ func (s *Suite) Sensitivity(workload string, perturbation float64, trials int) (
 			res.PPROrderingHeld++
 		}
 
+		// Only two minima are needed from the 4x4 space, so stream it.
 		space := cluster.Space{ARM: arm, AMD: amd}
-		mixed, err := space.Enumerate(4, 4, pw.AnalysisUnits)
-		if err != nil {
-			return SensitivityResult{}, err
-		}
 		minMix, minAMD := -1.0, -1.0
-		for _, p := range mixed {
+		err = space.EnumerateFunc(4, 4, pw.AnalysisUnits, func(p cluster.Point) bool {
 			e := float64(p.Energy)
 			if p.Config.ARM.Nodes > 0 {
 				if minMix < 0 || e < minMix {
@@ -91,6 +88,10 @@ func (s *Suite) Sensitivity(workload string, perturbation float64, trials int) (
 			} else if minAMD < 0 || e < minAMD {
 				minAMD = e
 			}
+			return true
+		})
+		if err != nil {
+			return SensitivityResult{}, err
 		}
 		if minMix > 0 && minAMD > 0 && minMix < minAMD {
 			res.MixBeatsAMDHeld++

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/units"
+)
+
+// Kernel is the precomputed evaluation kernel of one (NodeModel, Config)
+// pair. The model's time and energy are both exactly linear in the work
+// volume w — every term of Eqs. 6-19 carries a factor of w, including the
+// idle term, whose duration T = k*w — so a single Predict at w = 1 fully
+// determines the model at every volume. A Kernel caches the two per-unit
+// coefficients; evaluating a volume is then two multiplies with no
+// validation, no interpolation and no allocation, which is what makes
+// full configuration-space sweeps (internal/cluster) cheap.
+//
+// Numerical note: Kernel.Evaluate folds w in after the per-unit
+// coefficients are fixed, while Predict folds w into each intermediate
+// term. The two paths agree to within a few ULPs (relative ~1e-15);
+// TimePerUnit is bit-identical to NodeModel.TimePerUnit by construction.
+// Tests assert agreement at 1e-12 relative tolerance.
+type Kernel struct {
+	// Config is the (cores, frequency) setting the kernel was built for.
+	Config hwsim.Config
+	// TimePerUnit is the predicted seconds per work unit, the k the
+	// matching split divides by.
+	TimePerUnit float64
+	// EnergyPerUnit is the predicted joules per work unit, including the
+	// node's idle energy over its own k seconds.
+	EnergyPerUnit float64
+}
+
+// Evaluate returns the predicted time and energy for w units on one node.
+// It performs no validation: w must be positive and finite, as the
+// enumeration layers guarantee once up front.
+func (k Kernel) Evaluate(w float64) (units.Seconds, units.Joule) {
+	return units.Seconds(k.TimePerUnit * w), units.Joule(k.EnergyPerUnit * w)
+}
+
+// AvgPower returns the node's average draw while servicing, the P the
+// domination pruning pairs with TimePerUnit.
+func (k Kernel) AvgPower() units.Watt {
+	return units.Watt(k.EnergyPerUnit / k.TimePerUnit)
+}
+
+// KernelFor precomputes the kernel for one configuration. All of
+// Predict's error paths (config validation, degenerate predictions) are
+// taken here, once, instead of once per evaluated point.
+func (nm NodeModel) KernelFor(cfg hwsim.Config) (Kernel, error) {
+	pred, err := nm.Predict(cfg, 1)
+	if err != nil {
+		return Kernel{}, err
+	}
+	return Kernel{
+		Config:        cfg,
+		TimePerUnit:   float64(pred.Time),
+		EnergyPerUnit: float64(pred.Energy),
+	}, nil
+}
+
+// Kernels validates the model once and precomputes one kernel per
+// (cores, frequency) configuration of its spec, in hwsim.Configs order.
+func (nm NodeModel) Kernels() ([]Kernel, error) {
+	if err := nm.Validate(); err != nil {
+		return nil, fmt.Errorf("model: kernels: %w", err)
+	}
+	cfgs := hwsim.Configs(nm.Spec)
+	out := make([]Kernel, len(cfgs))
+	for i, cfg := range cfgs {
+		k, err := nm.KernelFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = k
+	}
+	return out, nil
+}

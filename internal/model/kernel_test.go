@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/workloads"
+)
+
+func kernelTestModel(t testing.TB) NodeModel {
+	t.Helper()
+	w, err := workloads.ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := Build(hwsim.ARMCortexA9(), w, BuildOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// KernelFor's coefficients are exactly the unit prediction: the model is
+// linear in work, so Predict(cfg, 1) determines it completely.
+func TestKernelForMatchesUnitPrediction(t *testing.T) {
+	nm := kernelTestModel(t)
+	for _, cfg := range hwsim.Configs(nm.Spec) {
+		k, err := nm.KernelFor(cfg)
+		if err != nil {
+			t.Fatalf("KernelFor(%v): %v", cfg, err)
+		}
+		pred, err := nm.Predict(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.TimePerUnit != float64(pred.Time) || k.EnergyPerUnit != float64(pred.Energy) {
+			t.Errorf("%v: kernel (%v, %v) != unit prediction (%v, %v)",
+				cfg, k.TimePerUnit, k.EnergyPerUnit, pred.Time, pred.Energy)
+		}
+		kpu, err := nm.TimePerUnit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.TimePerUnit != float64(kpu) {
+			t.Errorf("%v: kernel time %v != TimePerUnit %v", cfg, k.TimePerUnit, kpu)
+		}
+	}
+}
+
+// Property: across random work volumes, the kernel's linear evaluation
+// agrees with the full Predict path within accumulated rounding.
+func TestKernelEvaluateMatchesPredict(t *testing.T) {
+	nm := kernelTestModel(t)
+	cfgs := hwsim.Configs(nm.Spec)
+	f := func(ci uint8, wRaw uint32) bool {
+		cfg := cfgs[int(ci)%len(cfgs)]
+		w := 1 + math.Mod(float64(wRaw), 1e8)
+		k, err := nm.KernelFor(cfg)
+		if err != nil {
+			return false
+		}
+		kt, ke := k.Evaluate(w)
+		pred, err := nm.Predict(cfg, w)
+		if err != nil {
+			return false
+		}
+		return closeRel(float64(kt), float64(pred.Time), 1e-12) &&
+			closeRel(float64(ke), float64(pred.Energy), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestKernelsCoverConfigsInOrder(t *testing.T) {
+	nm := kernelTestModel(t)
+	ks, err := nm.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := hwsim.Configs(nm.Spec)
+	if len(ks) != len(cfgs) {
+		t.Fatalf("%d kernels for %d configs", len(ks), len(cfgs))
+	}
+	for i, k := range ks {
+		if k.Config != cfgs[i] {
+			t.Errorf("kernel %d is for %v, want %v", i, k.Config, cfgs[i])
+		}
+		if !(k.TimePerUnit > 0) || !(k.EnergyPerUnit > 0) {
+			t.Errorf("kernel %d has non-positive coefficients: %+v", i, k)
+		}
+	}
+}
+
+func TestKernelAvgPower(t *testing.T) {
+	nm := kernelTestModel(t)
+	cfg := hwsim.Config{Cores: nm.Spec.Cores, Frequency: nm.Spec.FMax()}
+	k, err := nm.KernelFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := nm.Predict(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(k.AvgPower()), float64(pred.AvgPower); !closeRel(got, want, 1e-12) {
+		t.Errorf("AvgPower = %v, want %v", got, want)
+	}
+}
+
+func TestKernelForRejectsInvalidConfig(t *testing.T) {
+	nm := kernelTestModel(t)
+	if _, err := nm.KernelFor(hwsim.Config{Cores: 99, Frequency: 1.0}); err == nil {
+		t.Error("invalid config should error")
+	}
+}

@@ -68,6 +68,76 @@ func Dominates(a, b TE) bool {
 		(a.Time < b.Time || a.Energy < b.Energy)
 }
 
+// OnlineFrontier maintains a Pareto frontier incrementally: points are
+// offered one at a time and the current frontier is always available.
+// Feeding every point of a set yields exactly Frontier of that set
+// (first-offered wins among exact duplicates), but the set itself is
+// never held — only the frontier, which for the paper's configuration
+// spaces is a few hundred entries against tens of thousands of points.
+// The zero value is an empty frontier ready for use.
+type OnlineFrontier struct {
+	// pts is the current frontier: time strictly ascending, energy
+	// strictly descending.
+	pts []TE
+}
+
+// Insert offers p and reports the splice it caused, so callers can mirror
+// payloads riding alongside each TE: when added, p landed at position pos
+// after evicting removed now-dominated entries that started there. When
+// p is dominated (or duplicates an existing point) added is false and the
+// frontier is unchanged. Points with non-finite or non-positive
+// coordinates are an error, as in Frontier.
+func (f *OnlineFrontier) Insert(p TE) (pos, removed int, added bool, err error) {
+	if !(p.Time > 0) || !(p.Energy > 0) ||
+		math.IsInf(p.Time, 0) || math.IsInf(p.Energy, 0) {
+		return 0, 0, false, fmt.Errorf("pareto: invalid point (%v, %v)", p.Time, p.Energy)
+	}
+	pos = sort.Search(len(f.pts), func(i int) bool { return f.pts[i].Time >= p.Time })
+	// The predecessor is strictly faster; if it is also no more expensive
+	// it dominates p.
+	if pos > 0 && f.pts[pos-1].Energy <= p.Energy {
+		return 0, 0, false, nil
+	}
+	// An equal-time entry that is at least as cheap covers p (including
+	// the exact-duplicate case, where the first-offered point is kept).
+	if pos < len(f.pts) && f.pts[pos].Time == p.Time && f.pts[pos].Energy <= p.Energy {
+		return 0, 0, false, nil
+	}
+	// Entries from pos on are no faster than p; those at least as
+	// expensive are now dominated. They form a contiguous run because
+	// energies descend.
+	end := pos
+	for end < len(f.pts) && f.pts[end].Energy >= p.Energy {
+		end++
+	}
+	removed = end - pos
+	if removed > 0 {
+		f.pts[pos] = p
+		f.pts = append(f.pts[:pos+1], f.pts[end:]...)
+	} else {
+		f.pts = append(f.pts, TE{})
+		copy(f.pts[pos+1:], f.pts[pos:])
+		f.pts[pos] = p
+	}
+	return pos, removed, true, nil
+}
+
+// Add offers p, reporting only whether it joined the frontier.
+func (f *OnlineFrontier) Add(p TE) (bool, error) {
+	_, _, added, err := f.Insert(p)
+	return added, err
+}
+
+// Len returns the current frontier size.
+func (f *OnlineFrontier) Len() int { return len(f.pts) }
+
+// Frontier returns a copy of the current frontier, time-ascending — the
+// same (time, energy) sequence Frontier returns for every point offered
+// so far; empty if no point has been offered.
+func (f *OnlineFrontier) Frontier() []TE {
+	return append([]TE(nil), f.pts...)
+}
+
 // EnergyAtDeadline returns the minimum energy any frontier point achieves
 // within the deadline, and that point. The frontier must be the output of
 // Frontier (time-ascending, energy-descending). It returns ok = false

@@ -342,3 +342,127 @@ func TestHypervolumeMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: feeding any point set through OnlineFrontier in any order of
+// the generated sequence yields exactly Frontier of that set.
+func TestOnlineFrontierMatchesBatch(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		// Pair up consecutive values into (time, energy) points on a small
+		// grid so duplicates and ties are common.
+		var pts []TE
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, TE{
+				Time:   1 + float64(raw[i]%32),
+				Energy: 1 + float64(raw[i+1]%32),
+				Index:  len(pts),
+			})
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		want, err := Frontier(pts)
+		if err != nil {
+			return false
+		}
+		var of OnlineFrontier
+		for _, p := range pts {
+			if _, err := of.Add(p); err != nil {
+				return false
+			}
+		}
+		got := of.Frontier()
+		if len(got) != len(want) {
+			t.Logf("online %d points, batch %d", len(got), len(want))
+			return false
+		}
+		for i := range want {
+			if got[i].Time != want[i].Time || got[i].Energy != want[i].Energy {
+				t.Logf("point %d: online (%v,%v), batch (%v,%v)",
+					i, got[i].Time, got[i].Energy, want[i].Time, want[i].Energy)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The splice coordinates returned by Insert describe the mutation exactly:
+// mirroring them onto a shadow slice keeps it identical to the frontier.
+func TestOnlineFrontierInsertSplices(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var of OnlineFrontier
+		var shadow []TE
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := TE{Time: 1 + float64(raw[i]%16), Energy: 1 + float64(raw[i+1]%16)}
+			pos, removed, added, err := of.Insert(p)
+			if err != nil {
+				return false
+			}
+			if !added {
+				if removed != 0 {
+					return false
+				}
+				continue
+			}
+			if removed > 0 {
+				shadow[pos] = p
+				shadow = append(shadow[:pos+1], shadow[pos+removed:]...)
+			} else {
+				shadow = append(shadow, TE{})
+				copy(shadow[pos+1:], shadow[pos:])
+				shadow[pos] = p
+			}
+		}
+		cur := of.Frontier()
+		if len(cur) != len(shadow) || len(cur) != of.Len() {
+			return false
+		}
+		for i := range cur {
+			if cur[i].Time != shadow[i].Time || cur[i].Energy != shadow[i].Energy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineFrontierRejectsInvalid(t *testing.T) {
+	var of OnlineFrontier
+	for _, p := range []TE{
+		{Time: 0, Energy: 1},
+		{Time: 1, Energy: -1},
+		{Time: math.Inf(1), Energy: 1},
+		{Time: 1, Energy: math.NaN()},
+	} {
+		if _, err := of.Add(p); err == nil {
+			t.Errorf("point %+v should error", p)
+		}
+	}
+	if of.Len() != 0 {
+		t.Errorf("rejected points must not join the frontier (len %d)", of.Len())
+	}
+}
+
+// First-offered-wins among exact duplicates, matching Frontier's tie rule.
+func TestOnlineFrontierDuplicateKeepsFirst(t *testing.T) {
+	var of OnlineFrontier
+	if added, _ := of.Add(TE{Time: 2, Energy: 5, Index: 1}); !added {
+		t.Fatal("first point must join")
+	}
+	if added, _ := of.Add(TE{Time: 2, Energy: 5, Index: 2}); added {
+		t.Error("exact duplicate must be rejected")
+	}
+	fr := of.Frontier()
+	if len(fr) != 1 || fr[0].Index != 1 {
+		t.Errorf("frontier %+v, want the first-offered point", fr)
+	}
+}
