@@ -23,6 +23,7 @@ import (
 	"os"
 	"sort"
 
+	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
@@ -41,7 +42,7 @@ func main() {
 	modelOut := flag.String("savemodel", "", "write fitted models as JSON to <prefix>-<node>.json")
 	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
 	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	cliutil.Parse(0)
 
 	if err := run(*fig, *showPower, *workload, *traceOut, *modelOut, *noise, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)

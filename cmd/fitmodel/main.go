@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteromix/internal/cliutil"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
 	"heteromix/internal/power"
@@ -33,7 +34,7 @@ func main() {
 	rate := flag.Float64("rate", -1, "request arrival rate for lambda_I/O; -1 takes it from the workload registry")
 	noise := flag.Float64("noise", 0.03, "power characterization noise sigma")
 	seed := flag.Int64("seed", 1, "power characterization seed")
-	flag.Parse()
+	cliutil.Parse(0)
 
 	if err := run(*in, *csvIn, *workload, *node, *out, *rate, *noise, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "fitmodel: %v\n", err)

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
 	"heteromix/internal/profiling"
 	"heteromix/internal/report"
@@ -47,11 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: heteromix [-noise s] [-seed n] [-dir d] [-cpuprofile f] [-memprofile f] <command>\n\ncommands: table3 table4 ppr fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline ablation report all\n")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
+	cliutil.Parse(1)
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)

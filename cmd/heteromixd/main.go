@@ -1,0 +1,67 @@
+// Command heteromixd serves the heterogeneous-cluster energy model over
+// HTTP as a long-lived daemon: predictions, configuration-space
+// enumeration and Pareto frontiers, power-budget substitution series and
+// dispatcher-queueing analysis, with result caching, Prometheus/expvar
+// metrics and graceful shutdown. See the README "Serving" section for
+// the endpoint catalog and example calls.
+//
+// Usage:
+//
+//	heteromixd [-addr :8080] [-cache n] [-max-concurrent n]
+//	           [-timeout d] [-max-nodes n] [-noise s] [-seed n]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"heteromix/internal/buildinfo"
+	"heteromix/internal/cliutil"
+	"heteromix/internal/experiments"
+	"heteromix/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 4096, "result cache capacity in entries")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent model requests (0 = 4x GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request computation timeout")
+	maxNodes := flag.Int("max-nodes", 128, "largest per-side node count a request may ask for")
+	noise := flag.Float64("noise", 0.03, "measurement noise sigma for the model-fitting runs")
+	seed := flag.Int64("seed", 1, "random seed for the model-fitting pipeline")
+	cliutil.Parse(0)
+
+	srv, err := newServer(*noise, *seed, *cache, *maxConcurrent, *maxNodes, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heteromixd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("heteromixd %s listening on %s", buildinfo.Get(), *addr)
+	if err := srv.Run(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "heteromixd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("heteromixd: drained and stopped")
+}
+
+// newServer wires the experiment suite (the fitted models) into a
+// serving instance; split from main so tests can build one.
+func newServer(noise float64, seed int64, cache, maxConcurrent, maxNodes int, timeout time.Duration) (*server.Server, error) {
+	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: noise, Seed: seed})
+	return server.New(server.Options{
+		Models:         suite,
+		CacheEntries:   cache,
+		MaxConcurrent:  maxConcurrent,
+		MaxNodes:       maxNodes,
+		RequestTimeout: timeout,
+	})
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewServerServes(t *testing.T) {
+	srv, err := newServer(0.03, 1, 64, 2, 16, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", rr.Code, rr.Body)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/predict",
+		strings.NewReader(`{"workload":"ep","arm":{"nodes":2}}`)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("predict: %d %s", rr.Code, rr.Body)
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	srv, err := newServer(0.03, 1, 64, 2, 16, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on context cancel")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
 	"heteromix/internal/plot"
 	"heteromix/internal/profiling"
@@ -32,7 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
-	flag.Parse()
+	cliutil.Parse(0)
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
 )
 
@@ -22,7 +23,7 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 3, 4 or all")
 	noise := flag.Float64("noise", 0.03, "measurement noise sigma")
 	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	cliutil.Parse(0)
 
 	s := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: *noise, Seed: *seed})
 	if err := run(s, *table); err != nil {

@@ -1,0 +1,73 @@
+// Package buildinfo carries the binary's identity: a version and commit
+// stamped at link time via -ldflags, with fallbacks from the embedded Go
+// build metadata when the binary was built without stamping (plain
+// `go build`). Every cmd/ binary exposes it behind a -version flag (see
+// internal/cliutil) and the serving daemon reports it from /healthz, so
+// an operator can always tell which model build answered a query.
+//
+// Stamp with:
+//
+//	go build -ldflags "-X heteromix/internal/buildinfo.Version=v1.2.3 \
+//	                   -X heteromix/internal/buildinfo.Commit=abc1234"
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version and Commit are the link-time stamps. The defaults mark an
+// unstamped development build.
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	// Version is the stamped release version ("dev" when unstamped).
+	Version string `json:"version"`
+	// Commit is the VCS revision, from the stamp or the embedded build
+	// metadata ("unknown" when neither is available).
+	Commit string `json:"commit"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get resolves the build identity, preferring link-time stamps and
+// falling back to the module build metadata Go embeds on its own.
+func Get() Info {
+	info := Info{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+	if info.Commit == "" {
+		info.Commit = vcsRevision()
+	}
+	if info.Commit == "" {
+		info.Commit = "unknown"
+	}
+	return info
+}
+
+// vcsRevision extracts the short VCS revision from the embedded build
+// metadata, empty when the binary was built outside a checkout.
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// String renders the identity as a one-line banner, e.g.
+// "heteromix dev (commit abc1234, go1.24.0)".
+func (i Info) String() string {
+	return fmt.Sprintf("heteromix %s (commit %s, %s)", i.Version, i.Commit, i.GoVersion)
+}

@@ -1,0 +1,48 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGetDefaults(t *testing.T) {
+	info := Get()
+	if info.Version != Version {
+		t.Errorf("Version = %q, want %q", info.Version, Version)
+	}
+	if info.Commit == "" {
+		t.Error("Commit is empty; want a revision or \"unknown\"")
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", info.GoVersion)
+	}
+}
+
+func TestGetPrefersStamp(t *testing.T) {
+	oldV, oldC := Version, Commit
+	defer func() { Version, Commit = oldV, oldC }()
+	Version, Commit = "v9.9.9", "deadbeef"
+	info := Get()
+	if info.Version != "v9.9.9" || info.Commit != "deadbeef" {
+		t.Errorf("Get() = %+v, want stamped v9.9.9/deadbeef", info)
+	}
+	s := info.String()
+	for _, want := range []string{"heteromix", "v9.9.9", "deadbeef"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestInfoSerializes(t *testing.T) {
+	b, err := json.Marshal(Get())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"version"`, `"commit"`, `"go_version"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON %s missing key %s", b, key)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package cliutil is the shared command-line preamble of the cmd/
+// binaries. It fixes two UX gaps the mains used to share: stray
+// positional arguments were silently ignored (flag itself already
+// rejects unknown flags), and there was no way to ask a binary which
+// build it is. Every main calls Parse instead of flag.Parse and gets a
+// -version flag plus strict argument checking for free.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heteromix/internal/buildinfo"
+)
+
+// version is the shared flag, registered on the default FlagSet when the
+// package is linked in (only the cmd/ mains import it).
+var version = flag.Bool("version", false, "print version information and exit")
+
+// exit and stdout are swapped out by tests.
+var (
+	exit   = os.Exit
+	stdout = os.Stdout
+)
+
+// Parse runs flag.Parse on the default FlagSet and enforces the shared
+// command-line contract: -version prints the build identity and exits 0,
+// unknown flags make flag.Parse print usage and exit 2 (its ExitOnError
+// behaviour), and any positional arguments beyond nargs print an error
+// plus usage and exit 2 instead of being silently dropped.
+func Parse(nargs int) {
+	flag.Parse()
+	parsed(flag.CommandLine, *version, nargs)
+}
+
+// parsed applies the post-Parse checks; split out so tests can drive a
+// private FlagSet.
+func parsed(fs *flag.FlagSet, wantVersion bool, nargs int) {
+	if wantVersion {
+		fmt.Fprintln(stdout, buildinfo.Get())
+		exit(0)
+		return
+	}
+	switch {
+	case fs.NArg() > nargs:
+		fmt.Fprintf(fs.Output(), "%s: unexpected arguments: %s\n",
+			prog(), strings.Join(fs.Args()[nargs:], " "))
+		fs.Usage()
+		exit(2)
+	case fs.NArg() < nargs:
+		fmt.Fprintf(fs.Output(), "%s: missing required argument\n", prog())
+		fs.Usage()
+		exit(2)
+	}
+}
+
+// prog names the running binary for error prefixes.
+func prog() string {
+	if len(os.Args) == 0 || os.Args[0] == "" {
+		return "heteromix"
+	}
+	return filepath.Base(os.Args[0])
+}

@@ -1,0 +1,91 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs parsed with exit and stdout intercepted, returning the
+// recorded exit code (-1 when exit was never called), stdout and stderr.
+func capture(t *testing.T, fs *flag.FlagSet, wantVersion bool, nargs int) (code int, out, errOut string) {
+	t.Helper()
+	var errBuf bytes.Buffer
+	fs.SetOutput(&errBuf)
+	fs.Usage = func() {}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldExit, oldStdout := exit, stdout
+	code = -1
+	exit = func(c int) {
+		if code == -1 {
+			code = c
+		}
+	}
+	stdout = w
+	defer func() { exit, stdout = oldExit, oldStdout }()
+
+	parsed(fs, wantVersion, nargs)
+	w.Close()
+	b, _ := io.ReadAll(r)
+	return code, string(b), errBuf.String()
+}
+
+func TestParsedExactArgsOK(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	if err := fs.Parse([]string{"cmd"}); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := capture(t, fs, false, 1)
+	if code != -1 {
+		t.Fatalf("exit(%d) called for a valid command line", code)
+	}
+}
+
+func TestParsedRejectsExtraArgs(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	if err := fs.Parse([]string{"cmd", "stray"}); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, fs, false, 1)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "stray") {
+		t.Errorf("stderr %q does not name the stray argument", errOut)
+	}
+}
+
+func TestParsedRejectsMissingArg(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, fs, false, 1)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "missing") {
+		t.Errorf("stderr %q does not mention the missing argument", errOut)
+	}
+}
+
+func TestParsedVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := capture(t, fs, true, 0)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out, "heteromix") {
+		t.Errorf("stdout %q is not a version banner", out)
+	}
+}

@@ -29,11 +29,20 @@ func (s Space) EnumerateFunc(maxARM, maxAMD int, w float64, yield func(Point) bo
 // pareto.Frontier's order (time-ascending), with each Index pointing into
 // the returned point slice.
 func FrontierOf(s Space, maxARM, maxAMD int, w float64) ([]Point, []pareto.TE, error) {
+	return frontierOfStream(func(yield func(Point) bool) error {
+		return s.EnumerateFunc(maxARM, maxAMD, w, yield)
+	})
+}
+
+// frontierOfStream runs an online Pareto frontier over any streaming
+// enumeration, mirroring frontier splices onto a parallel Point slice;
+// the shared core of FrontierOf and Table.Frontier.
+func frontierOfStream(enumerate func(yield func(Point) bool) error) ([]Point, []pareto.TE, error) {
 	var f pareto.OnlineFrontier
 	var pts []Point
 	var addErr error
 	i := 0
-	err := s.EnumerateFunc(maxARM, maxAMD, w, func(p Point) bool {
+	err := enumerate(func(p Point) bool {
 		pos, removed, added, err := f.Insert(pareto.TE{
 			Time: float64(p.Time), Energy: float64(p.Energy), Index: i,
 		})

@@ -1,0 +1,44 @@
+package cluster
+
+// PointSummary is a Point flattened to JSON-friendly scalars: node
+// counts, per-node settings in GHz, and the predicted time/energy/split.
+// It is the wire form the serving layer returns for predict and
+// enumerate queries; zero-node sides omit their cores/GHz fields.
+type PointSummary struct {
+	ARMNodes int     `json:"arm_nodes"`
+	ARMCores int     `json:"arm_cores,omitempty"`
+	ARMGHz   float64 `json:"arm_ghz,omitempty"`
+	AMDNodes int     `json:"amd_nodes"`
+	AMDCores int     `json:"amd_cores,omitempty"`
+	AMDGHz   float64 `json:"amd_ghz,omitempty"`
+	// TimeSeconds is the job's service time under the matching split.
+	TimeSeconds float64 `json:"time_seconds"`
+	// EnergyJoules is the total cluster energy for the job.
+	EnergyJoules float64 `json:"energy_joules"`
+	// WorkARMFraction is the share of the job the split sends to ARM.
+	WorkARMFraction float64 `json:"work_arm_fraction"`
+	// Label is the configuration rendered the way the paper labels its
+	// series.
+	Label string `json:"label"`
+}
+
+// Summary flattens the point for serialization.
+func (p Point) Summary() PointSummary {
+	s := PointSummary{
+		ARMNodes:        p.Config.ARM.Nodes,
+		AMDNodes:        p.Config.AMD.Nodes,
+		TimeSeconds:     float64(p.Time),
+		EnergyJoules:    float64(p.Energy),
+		WorkARMFraction: p.WorkARM,
+		Label:           p.Config.String(),
+	}
+	if p.Config.ARM.Nodes > 0 {
+		s.ARMCores = p.Config.ARM.Config.Cores
+		s.ARMGHz = p.Config.ARM.Config.Frequency.GHzValue()
+	}
+	if p.Config.AMD.Nodes > 0 {
+		s.AMDCores = p.Config.AMD.Config.Cores
+		s.AMDGHz = p.Config.AMD.Config.Frequency.GHzValue()
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"heteromix/internal/hwsim"
+)
+
+func TestTableEvaluateMatchesSpaceEvaluate(t *testing.T) {
+	s := epSpace(t)
+	tbl, err := s.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 5e7
+	for _, cfg := range []Configuration{
+		{ARM: TypeConfig{Nodes: 3, Config: maxCfg(s.ARM.Spec)},
+			AMD: TypeConfig{Nodes: 2, Config: maxCfg(s.AMD.Spec)}},
+		{ARM: TypeConfig{Nodes: 9, Config: hwsim.Configs(s.ARM.Spec)[0]}},
+		{AMD: TypeConfig{Nodes: 1, Config: hwsim.Configs(s.AMD.Spec)[2]}},
+	} {
+		got, err := tbl.Evaluate(cfg, w)
+		if err != nil {
+			t.Fatalf("Table.Evaluate(%v): %v", cfg, err)
+		}
+		want, err := s.Evaluate(cfg, w)
+		if err != nil {
+			t.Fatalf("Space.Evaluate(%v): %v", cfg, err)
+		}
+		if got.Time != want.Time || got.WorkARM != want.WorkARM {
+			t.Errorf("%v: time/split (%v, %v) != direct (%v, %v)",
+				cfg, got.Time, got.WorkARM, want.Time, want.WorkARM)
+		}
+		if !relClose(float64(got.Energy), float64(want.Energy), 1e-12) {
+			t.Errorf("%v: energy %v != direct %v", cfg, got.Energy, want.Energy)
+		}
+	}
+}
+
+func TestTableEvaluateRejectsBadInput(t *testing.T) {
+	s := epSpace(t)
+	tbl, err := s.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := Configuration{ARM: TypeConfig{Nodes: 1, Config: maxCfg(s.ARM.Spec)}}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := tbl.Evaluate(valid, w); err == nil {
+			t.Errorf("Evaluate accepted work %v", w)
+		}
+	}
+	for name, cfg := range map[string]Configuration{
+		"no nodes":       {},
+		"negative nodes": {ARM: TypeConfig{Nodes: -1, Config: maxCfg(s.ARM.Spec)}},
+		"unknown config": {ARM: TypeConfig{Nodes: 1, Config: hwsim.Config{Cores: 99, Frequency: 1}}},
+	} {
+		if _, err := tbl.Evaluate(cfg, 1e4); err == nil {
+			t.Errorf("%s: Evaluate accepted %v", name, cfg)
+		}
+	}
+	if _, err := tbl.Evaluate(Configuration{
+		AMD: TypeConfig{Nodes: 1, Config: hwsim.Config{Cores: 1, Frequency: 12345}},
+	}, 1e4); err == nil || !strings.Contains(err.Error(), "not a configuration") {
+		t.Errorf("unknown AMD config error = %v", err)
+	}
+}
+
+func TestTableForEachMatchesEnumerate(t *testing.T) {
+	s := memcachedSpace(t)
+	tbl, err := s.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, maxARM, maxAMD = 5e4, 3, 2
+	want, err := s.Enumerate(maxARM, maxAMD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Size(maxARM, maxAMD); got != len(want) {
+		t.Fatalf("Size = %d, want %d", got, len(want))
+	}
+	i := 0
+	err = tbl.ForEach(maxARM, maxAMD, w, func(p Point) bool {
+		if p != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, p, want[i])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("ForEach yielded %d points, want %d", i, len(want))
+	}
+	// Early stop.
+	n := 0
+	if err := tbl.ForEach(maxARM, maxAMD, w, func(Point) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop after %d points, want 5", n)
+	}
+	// Invalid bounds.
+	if err := tbl.ForEach(0, 0, w, func(Point) bool { return true }); err == nil {
+		t.Error("ForEach accepted an empty space")
+	}
+	if err := tbl.ForEach(-1, 2, w, func(Point) bool { return true }); err == nil {
+		t.Error("ForEach accepted negative bounds")
+	}
+}
+
+func TestTableFrontierMatchesFrontierOf(t *testing.T) {
+	s := epSpace(t)
+	tbl, err := s.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, maxARM, maxAMD = 5e7, 4, 4
+	wantPts, wantTE, err := FrontierOf(s, maxARM, maxAMD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPts, gotTE, err := tbl.Frontier(maxARM, maxAMD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPts) != len(wantPts) || len(gotTE) != len(wantTE) {
+		t.Fatalf("frontier sizes (%d, %d) != (%d, %d)",
+			len(gotPts), len(gotTE), len(wantPts), len(wantTE))
+	}
+	for i := range gotPts {
+		if gotPts[i] != wantPts[i] || gotTE[i] != wantTE[i] {
+			t.Fatalf("frontier point %d differs: %+v vs %+v", i, gotPts[i], wantPts[i])
+		}
+	}
+}
+
+func TestPointSummaryFlattens(t *testing.T) {
+	s := epSpace(t)
+	p, err := s.Evaluate(Configuration{
+		ARM: TypeConfig{Nodes: 2, Config: maxCfg(s.ARM.Spec)},
+		AMD: TypeConfig{Nodes: 3, Config: maxCfg(s.AMD.Spec)},
+	}, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := p.Summary()
+	if sum.ARMNodes != 2 || sum.AMDNodes != 3 {
+		t.Errorf("node counts = %d:%d, want 2:3", sum.ARMNodes, sum.AMDNodes)
+	}
+	if sum.ARMGHz != s.ARM.Spec.FMax().GHzValue() {
+		t.Errorf("ARMGHz = %v, want %v", sum.ARMGHz, s.ARM.Spec.FMax().GHzValue())
+	}
+	if sum.TimeSeconds != float64(p.Time) || sum.EnergyJoules != float64(p.Energy) {
+		t.Error("time/energy not carried through")
+	}
+	if !strings.Contains(sum.Label, "ARM 2:AMD 3") {
+		t.Errorf("label = %q", sum.Label)
+	}
+	// Homogeneous sides omit their settings.
+	armOnly, err := s.Evaluate(Configuration{ARM: TypeConfig{Nodes: 1, Config: maxCfg(s.ARM.Spec)}}, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := armOnly.Summary(); got.AMDCores != 0 || got.AMDGHz != 0 {
+		t.Errorf("AMD settings leaked into an ARM-only summary: %+v", got)
+	}
+}

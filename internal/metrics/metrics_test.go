@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"expvar"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	g := r.NewGauge("inflight", "in-flight")
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 1 {
+		t.Errorf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Errorf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in the (0.01, 0.1] bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if math.Abs(h.Sum()-5) > 1e-9 {
+		t.Errorf("sum = %v, want 5", h.Sum())
+	}
+	q := h.Quantile(0.5)
+	if q <= 0.01 || q > 0.1 {
+		t.Errorf("p50 = %v, want within the (0.01, 0.1] bucket", q)
+	}
+	// Values beyond the last bound clamp to it.
+	h2 := r.NewHistogram("lat2", "latency", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want clamp to 1", got)
+	}
+	// NaN observations are dropped, not poisoning the sum.
+	h.Observe(math.NaN())
+	if h.Count() != 100 {
+		t.Errorf("NaN observation counted: %d", h.Count())
+	}
+	if h.Quantile(0.5) == 0 {
+		t.Error("quantile lost data after NaN observe")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", DefLatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8) > 1e-6 {
+		t.Errorf("sum = %v, want 8", h.Sum())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("app_requests_total", "total requests", Label{"endpoint", "predict"})
+	r.NewCounter("app_requests_total", "total requests", Label{"endpoint", "budget"})
+	c.Add(7)
+	h := r.NewHistogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"# HELP app_requests_total total requests",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{endpoint="predict"} 7`,
+		`app_requests_total{endpoint="budget"} 0`,
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		"app_latency_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+	// The family header must appear exactly once despite two instances.
+	if n := strings.Count(body, "# TYPE app_requests_total counter"); n != 1 {
+		t.Errorf("TYPE line appears %d times, want 1", n)
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("snap_total", "snap")
+	c.Add(3)
+	h := r.NewHistogram("snap_lat", "lat", []float64{1})
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap["snap_total"] != 3 {
+		t.Errorf("snapshot counter = %v, want 3", snap["snap_total"])
+	}
+	if snap["snap_lat_count"] != 1 {
+		t.Errorf("snapshot histogram count = %v, want 1", snap["snap_lat_count"])
+	}
+
+	r.Expvar("metrics_test_registry")
+	r.Expvar("metrics_test_registry") // idempotent, must not panic
+	if expvar.Get("metrics_test_registry") == nil {
+		t.Fatal("expvar publication missing")
+	}
+}

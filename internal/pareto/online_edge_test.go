@@ -1,0 +1,200 @@
+package pareto
+
+// Edge-case coverage for OnlineFrontier: exact duplicate points, exact
+// ties in a single objective, and single-point spaces, each asserting
+// parity with the batch Frontier over the same offer sequence.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// assertBatchParity feeds points through both paths and requires the
+// same (time, energy) sequence.
+func assertBatchParity(t *testing.T, points []TE) []TE {
+	t.Helper()
+	var f OnlineFrontier
+	for _, p := range points {
+		if _, err := f.Add(p); err != nil {
+			t.Fatalf("Add(%v): %v", p, err)
+		}
+	}
+	online := f.Frontier()
+	batch, err := Frontier(points)
+	if err != nil {
+		t.Fatalf("Frontier: %v", err)
+	}
+	if len(online) != len(batch) {
+		t.Fatalf("online frontier has %d points, batch %d\nonline: %v\nbatch: %v",
+			len(online), len(batch), online, batch)
+	}
+	for i := range online {
+		if online[i].Time != batch[i].Time || online[i].Energy != batch[i].Energy {
+			t.Fatalf("point %d: online (%v, %v) != batch (%v, %v)",
+				i, online[i].Time, online[i].Energy, batch[i].Time, batch[i].Energy)
+		}
+	}
+	return online
+}
+
+func TestOnlineFrontierSinglePoint(t *testing.T) {
+	front := assertBatchParity(t, []TE{{Time: 2, Energy: 3, Index: 0}})
+	if len(front) != 1 || front[0].Time != 2 || front[0].Energy != 3 {
+		t.Fatalf("single-point frontier = %v", front)
+	}
+	if MinTime(front) != 2 || MinEnergy(front) != 3 {
+		t.Errorf("MinTime/MinEnergy = %v/%v, want 2/3", MinTime(front), MinEnergy(front))
+	}
+	if p, ok := EnergyAtDeadline(front, 2); !ok || p.Energy != 3 {
+		t.Errorf("EnergyAtDeadline(2) = %v, %v", p, ok)
+	}
+	if _, ok := EnergyAtDeadline(front, 1.9); ok {
+		t.Error("EnergyAtDeadline before the only point reported ok")
+	}
+}
+
+func TestOnlineFrontierExactDuplicates(t *testing.T) {
+	// The same (time, energy) offered repeatedly: first offered wins, the
+	// rest are rejected without disturbing the frontier.
+	var f OnlineFrontier
+	first := TE{Time: 1, Energy: 5, Index: 7}
+	if added, err := f.Add(first); err != nil || !added {
+		t.Fatalf("first Add = %v, %v", added, err)
+	}
+	for i := 0; i < 3; i++ {
+		added, err := f.Add(TE{Time: 1, Energy: 5, Index: 100 + i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			t.Fatalf("duplicate %d was added", i)
+		}
+	}
+	front := f.Frontier()
+	if len(front) != 1 || front[0].Index != 7 {
+		t.Fatalf("frontier = %v, want the first-offered point only", front)
+	}
+	// Parity including payload-free comparison with the batch path.
+	assertBatchParity(t, []TE{
+		{Time: 1, Energy: 5}, {Time: 1, Energy: 5},
+		{Time: 2, Energy: 4}, {Time: 2, Energy: 4},
+	})
+}
+
+func TestOnlineFrontierTimeTies(t *testing.T) {
+	// Several points share an exact time; only the cheapest survives,
+	// regardless of offer order.
+	orders := [][]TE{
+		{{Time: 1, Energy: 9}, {Time: 1, Energy: 5}, {Time: 1, Energy: 7}},
+		{{Time: 1, Energy: 5}, {Time: 1, Energy: 7}, {Time: 1, Energy: 9}},
+		{{Time: 1, Energy: 7}, {Time: 1, Energy: 9}, {Time: 1, Energy: 5}},
+	}
+	for i, pts := range orders {
+		front := assertBatchParity(t, pts)
+		if len(front) != 1 || front[0].Energy != 5 {
+			t.Errorf("order %d: frontier = %v, want the 5 J point only", i, front)
+		}
+	}
+}
+
+func TestOnlineFrontierEnergyTies(t *testing.T) {
+	// Exact ties in the energy objective at different times: the faster
+	// point dominates (Dominates treats equal-energy, faster as better).
+	front := assertBatchParity(t, []TE{
+		{Time: 2, Energy: 5}, {Time: 1, Energy: 5}, {Time: 3, Energy: 5},
+	})
+	if len(front) != 1 || front[0].Time != 1 {
+		t.Fatalf("frontier = %v, want only the fastest equal-energy point", front)
+	}
+	if !Dominates(TE{Time: 1, Energy: 5}, TE{Time: 2, Energy: 5}) {
+		t.Error("Dominates should hold for equal energy at lower time")
+	}
+	if Dominates(TE{Time: 1, Energy: 5}, TE{Time: 1, Energy: 5}) {
+		t.Error("a point must not dominate its exact duplicate")
+	}
+}
+
+func TestOnlineFrontierTieThenImprovement(t *testing.T) {
+	// An equal-time point that is strictly cheaper must replace the
+	// incumbent (the insert path that splices rather than rejects).
+	var f OnlineFrontier
+	mustAdd := func(p TE, want bool) {
+		t.Helper()
+		added, err := f.Add(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != want {
+			t.Fatalf("Add(%v) = %v, want %v (frontier %v)", p, added, want, f.Frontier())
+		}
+	}
+	mustAdd(TE{Time: 1, Energy: 5, Index: 0}, true)
+	mustAdd(TE{Time: 1, Energy: 4, Index: 1}, true)  // same time, cheaper: replaces
+	mustAdd(TE{Time: 1, Energy: 4, Index: 2}, false) // exact duplicate of new incumbent
+	front := f.Frontier()
+	if len(front) != 1 || front[0].Energy != 4 || front[0].Index != 1 {
+		t.Fatalf("frontier = %v, want the improved point", front)
+	}
+}
+
+func TestOnlineFrontierRejectsNonPositiveAndNonFinite(t *testing.T) {
+	var f OnlineFrontier
+	for _, p := range []TE{
+		{Time: 0, Energy: 1},
+		{Time: 1, Energy: 0},
+		{Time: -1, Energy: 1},
+		{Time: math.Inf(1), Energy: 1},
+		{Time: 1, Energy: math.Inf(1)},
+		{Time: math.NaN(), Energy: 1},
+	} {
+		if _, err := f.Add(p); err == nil {
+			t.Errorf("Add(%v) accepted an invalid point", p)
+		}
+	}
+	if f.Len() != 0 {
+		t.Errorf("invalid points mutated the frontier: %v", f.Frontier())
+	}
+}
+
+func TestOnlineFrontierDuplicateHeavyParity(t *testing.T) {
+	// A duplicate-heavy, tie-heavy stream exercising every insert path at
+	// once, checked against the batch frontier.
+	var pts []TE
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, TE{
+				Time:   float64(1 + i%3),
+				Energy: float64(10 - i + j%2),
+				Index:  len(pts),
+			})
+		}
+	}
+	front := assertBatchParity(t, pts)
+	for i := 1; i < len(front); i++ {
+		if front[i].Time <= front[i-1].Time || front[i].Energy >= front[i-1].Energy {
+			t.Fatalf("frontier not strictly monotone at %d: %v", i, front)
+		}
+	}
+}
+
+func TestOnlineFrontierInsertReportsSplice(t *testing.T) {
+	var f OnlineFrontier
+	for _, p := range []TE{{Time: 1, Energy: 10}, {Time: 2, Energy: 8}, {Time: 3, Energy: 6}} {
+		if _, _, added, err := f.Insert(p); err != nil || !added {
+			t.Fatalf("Insert(%v) = %v, %v", p, added, err)
+		}
+	}
+	// A point dominating the middle and last entries splices them out.
+	pos, removed, added, err := f.Insert(TE{Time: 1.5, Energy: 5})
+	if err != nil || !added {
+		t.Fatalf("Insert = %v, %v", added, err)
+	}
+	if pos != 1 || removed != 2 {
+		t.Fatalf("splice = (pos %d, removed %d), want (1, 2)", pos, removed)
+	}
+	want := []TE{{Time: 1, Energy: 10}, {Time: 1.5, Energy: 5}}
+	if got := f.Frontier(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+}

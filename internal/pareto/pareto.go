@@ -20,9 +20,9 @@ import (
 // TE is one configuration's (time, energy) outcome; Index points back at
 // the caller's configuration slice.
 type TE struct {
-	Time   float64
-	Energy float64
-	Index  int
+	Time   float64 `json:"time"`
+	Energy float64 `json:"energy"`
+	Index  int     `json:"index"`
 }
 
 // Frontier returns the Pareto-optimal subset of the given points, sorted

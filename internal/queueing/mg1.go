@@ -58,9 +58,59 @@ func (q MG1) MeanWait() units.Seconds {
 // MeanResponse returns wait plus mean service.
 func (q MG1) MeanResponse() units.Seconds { return q.MeanWait() + q.MeanService }
 
+// MeanQueueLength returns the mean number of jobs waiting (Little's law
+// applied to the wait): Lq = lambda * Wq.
+func (q MG1) MeanQueueLength() float64 {
+	return q.ArrivalRate * float64(q.MeanWait())
+}
+
+// Summary is the queue's derived quantities flattened to JSON-friendly
+// scalars, the wire form of the serving layer's queueing endpoint.
+type Summary struct {
+	Utilization         float64 `json:"utilization"`
+	MeanWaitSeconds     float64 `json:"mean_wait_seconds"`
+	MeanResponseSeconds float64 `json:"mean_response_seconds"`
+	MeanQueueLength     float64 `json:"mean_queue_length"`
+	// SCV echoes the service-time variability the figures derive from
+	// (0 = the paper's M/D/1).
+	SCV float64 `json:"scv"`
+}
+
+// Summary derives the queue's headline quantities. The queue must be
+// valid (Validate), otherwise the values are meaningless.
+func (q MG1) Summary() Summary {
+	return Summary{
+		Utilization:         q.Utilization(),
+		MeanWaitSeconds:     float64(q.MeanWait()),
+		MeanResponseSeconds: float64(q.MeanResponse()),
+		MeanQueueLength:     q.MeanQueueLength(),
+		SCV:                 q.SCV,
+	}
+}
+
 // AsMD1 returns the deterministic-service special case.
 func (q MG1) AsMD1() MD1 {
 	return MD1{ArrivalRate: q.ArrivalRate, ServiceTime: q.MeanService}
+}
+
+// EnergyOverWindow generalizes MD1.EnergyOverWindow to variable service:
+// the per-job and idle accounting depend only on the arrival rate and
+// utilization, which Pollaczek-Khinchine leaves untouched, so the
+// formula is identical.
+func (q MG1) EnergyOverWindow(window units.Seconds, perJob units.Joule, idlePower units.Watt) (units.Joule, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if window <= 0 {
+		return 0, fmt.Errorf("queueing: window %v", window)
+	}
+	if perJob < 0 || idlePower < 0 {
+		return 0, fmt.Errorf("queueing: negative energy or power")
+	}
+	jobs := q.ArrivalRate * float64(window)
+	active := jobs * float64(perJob)
+	idle := float64(idlePower) * float64(window) * (1 - q.Utilization())
+	return units.Joule(active + idle), nil
 }
 
 // Simulate runs a discrete-event M/G/1 queue with lognormal service times

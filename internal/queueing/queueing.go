@@ -90,6 +90,15 @@ func (q MD1) EnergyOverWindow(window units.Seconds, perJob units.Joule, idlePowe
 	return units.Joule(active + idle), nil
 }
 
+// AsMG1 lifts the queue into the variable-service generalization with
+// SCV 0, whose formulas reduce exactly to M/D/1.
+func (q MD1) AsMG1() MG1 {
+	return MG1{ArrivalRate: q.ArrivalRate, MeanService: q.ServiceTime}
+}
+
+// Summary derives the queue's headline quantities (see MG1.Summary).
+func (q MD1) Summary() Summary { return q.AsMG1().Summary() }
+
 // RateForUtilization returns the arrival rate that would load a server
 // with service time t to the target utilization.
 func RateForUtilization(target float64, t units.Seconds) (float64, error) {

@@ -1,0 +1,92 @@
+package server
+
+// Benchmarks for the predict hot path. The cached benchmark is the
+// make ci gate: one canonical-key marshal plus a sharded-LRU hit
+// returning pre-marshaled bytes, so a warm daemon answers thousands of
+// predictions per core-millisecond without rebuilding anything. The
+// cold benchmark clears the cache every iteration and so pays the
+// kernel-table build, the evaluation and the response marshal — the
+// gap between the two is what the cache buys.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B) (*Server, PredictRequest) {
+	s, err := New(Options{Models: testSuite()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, _, err := s.normalizePredict(PredictRequest{
+		Workload: "ep",
+		ARM:      GroupRequest{Nodes: 8},
+		AMD:      GroupRequest{Nodes: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, norm
+}
+
+func BenchmarkServePredictCached(b *testing.B) {
+	s, norm := benchServer(b)
+	_, cfg, err := s.normalizePredict(norm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := s.predictBytes(norm, cfg); err != nil { // prewarm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, cached, err := s.predictBytes(norm, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached || len(body) == 0 {
+			b.Fatal("cached path missed")
+		}
+	}
+}
+
+func BenchmarkServePredictCold(b *testing.B) {
+	s, norm := benchServer(b)
+	_, cfg, err := s.normalizePredict(norm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		if _, _, err := s.predictBytes(norm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServePredictEndToEnd measures the whole routed request —
+// decode, validate, canonicalize, cache hit, write — as a client sees
+// it (minus the network).
+func BenchmarkServePredictEndToEnd(b *testing.B) {
+	s, _ := benchServer(b)
+	const body = `{"workload":"ep","arm":{"nodes":8},"amd":{"nodes":4}}`
+	h := s.Handler()
+	// Prewarm.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d", rr.Code)
+		}
+	}
+}

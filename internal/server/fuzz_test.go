@@ -1,0 +1,85 @@
+package server
+
+// Fuzzes the JSON decode/validate layer of every POST endpoint with one
+// shared server. The property under test is the error contract: no
+// body — malformed JSON, unknown fields, NaN/Inf/negative work,
+// out-of-range node counts, junk trailing data — may ever produce a 5xx
+// or a panic; bad input is always a 400 with a JSON error body.
+// Seed inputs covering each rejection class are checked in under
+// testdata/fuzz/FuzzHandlersRejectBadInput.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+// fuzzServer keeps bounds small so adversarial but valid requests stay
+// cheap; one server is shared across the whole fuzz process, which also
+// exercises the cache under a hostile request mix.
+func fuzzServer(t testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		s, err := New(Options{
+			Models:    testSuite(),
+			MaxNodes:  12,
+			MaxPoints: 500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv
+}
+
+func FuzzHandlersRejectBadInput(f *testing.F) {
+	seeds := []string{
+		// Valid baselines so mutations explore the accept/reject border.
+		`{"workload":"ep","arm":{"nodes":2},"amd":{"nodes":1}}`,
+		`{"workload":"memcached","max_arm":3,"max_amd":2,"frontier_only":true}`,
+		`{"workload":"ep","budget_watts":200}`,
+		`{"arrival_rate":0.5,"service_time_seconds":1,"scv":0.5}`,
+		// Rejection classes named in the contract.
+		`{"workload":"ep","arm":{"nodes":1},"work":NaN}`,
+		`{"workload":"ep","arm":{"nodes":1},"work":-1}`,
+		`{"workload":"ep","arm":{"nodes":1},"work":1e999}`,
+		`{"workload":"ep","arm":{"nodes":9999}}`,
+		`{"workload":"ep","arm":{"nodes":-3}}`,
+		`{"workload":"ep","unknown_field":true}`,
+		`{"workload":"ep","arm":{"nodes":1}} trailing`,
+		`{"arrival_rate":2,"service_time_seconds":1}`,
+		``,
+		`null`,
+		`[]`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/budget", "/v1/queueing"}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := fuzzServer(t)
+		for _, ep := range endpoints {
+			req := httptest.NewRequest(http.MethodPost, ep, strings.NewReader(string(body)))
+			rr := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rr, req)
+			if rr.Code >= 500 {
+				t.Fatalf("%s answered %d for body %q: %s", ep, rr.Code, body, rr.Body)
+			}
+			if rr.Code == http.StatusBadRequest {
+				var e errorResponse
+				if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+					t.Fatalf("%s: 400 without a JSON error body for %q: %s", ep, body, rr.Body)
+				}
+			}
+		}
+	})
+}

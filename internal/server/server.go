@@ -1,0 +1,361 @@
+// Package server is heteromixd's HTTP JSON API: the analytical model as
+// a long-lived service instead of a one-shot CLI run. It exposes
+//
+//	POST /v1/predict    one cluster configuration → time/energy
+//	POST /v1/enumerate  a configuration space → points or Pareto frontier
+//	POST /v1/budget     power-budget substitution series
+//	POST /v1/queueing   M/D/1–M/G/1 wait/energy under job arrivals
+//	GET  /healthz       build identity, uptime, cache effectiveness
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/vars    expvar
+//
+// Underneath, a sharded LRU (internal/servercache) memoizes kernel
+// tables and marshaled results keyed on canonicalized request hashes,
+// with singleflight collapse so a thundering herd of identical
+// enumerations computes each space once. Every request runs under a
+// per-request timeout and a configurable concurrency limiter (excess
+// load is shed with 503 rather than queued without bound), and Run
+// drains in-flight requests on shutdown.
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"heteromix/internal/buildinfo"
+	"heteromix/internal/cluster"
+	"heteromix/internal/metrics"
+	"heteromix/internal/servercache"
+)
+
+// ModelSource provides fitted two-type spaces per workload.
+// *experiments.Suite implements it.
+type ModelSource interface {
+	Space(workload string) (cluster.Space, error)
+}
+
+// Options configures a Server. The zero value of every field except
+// Models selects a sensible default.
+type Options struct {
+	// Models supplies the fitted models. Required.
+	Models ModelSource
+	// CacheEntries bounds the result cache (default 4096 entries).
+	CacheEntries int
+	// MaxConcurrent bounds simultaneously executing /v1/* requests;
+	// excess requests receive 503 (default 4×GOMAXPROCS).
+	MaxConcurrent int
+	// RequestTimeout bounds one request's computation (default 15s).
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds the drain of in-flight requests when Run's
+	// context is cancelled (default 10s).
+	ShutdownGrace time.Duration
+	// MaxNodes caps per-side node counts in predict/enumerate/budget
+	// requests (default 128, the paper's largest scaling mix).
+	MaxNodes int
+	// MaxPoints caps the number of materialized points one enumerate
+	// response may carry (default 20000).
+	MaxPoints int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the server's metrics (default: a fresh one).
+	Registry *metrics.Registry
+}
+
+// endpoints instrumented with per-endpoint counters and latencies.
+var endpointNames = []string{"predict", "enumerate", "budget", "queueing", "healthz"}
+
+// endpointMetrics is one endpoint's instrument set.
+type endpointMetrics struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// Server implements the API. Construct with New; safe for concurrent
+// use.
+type Server struct {
+	opts   Options
+	models ModelSource
+	cache  *servercache.Cache
+	reg    *metrics.Registry
+	mux    *http.ServeMux
+	sem    chan struct{}
+	start  time.Time
+
+	inflight    *metrics.Gauge
+	rejected    *metrics.Counter
+	timeouts    *metrics.Counter
+	tableBuilds *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	cacheCollap *metrics.Counter
+	cacheEvict  *metrics.Counter
+	byEndpoint  map[string]*endpointMetrics
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+
+	// testHookStart, when set (tests only), runs at the start of every
+	// instrumented request, after the concurrency slot is acquired.
+	testHookStart func(endpoint string)
+}
+
+// New builds a Server and registers its routes and metrics.
+func New(opts Options) (*Server, error) {
+	if opts.Models == nil {
+		return nil, fmt.Errorf("server: Options.Models is required")
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 4096
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 15 * time.Second
+	}
+	if opts.ShutdownGrace <= 0 {
+		opts.ShutdownGrace = 10 * time.Second
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 128
+	}
+	if opts.MaxPoints <= 0 {
+		opts.MaxPoints = 20000
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+
+	s := &Server{
+		opts:   opts,
+		models: opts.Models,
+		cache:  servercache.New(opts.CacheEntries),
+		reg:    opts.Registry,
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, opts.MaxConcurrent),
+		start:  time.Now(),
+	}
+	s.registerMetrics()
+	s.registerRoutes()
+	return s, nil
+}
+
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.inflight = r.NewGauge("heteromixd_inflight_requests",
+		"requests currently executing")
+	s.rejected = r.NewCounter("heteromixd_rejected_total",
+		"requests shed by the concurrency limiter")
+	s.timeouts = r.NewCounter("heteromixd_timeouts_total",
+		"requests aborted by the per-request timeout")
+	s.tableBuilds = r.NewCounter("heteromixd_kernel_table_builds_total",
+		"kernel tables built (cache misses on the table layer)")
+	s.cacheHits = r.NewCounter("heteromixd_cache_hits_total",
+		"result cache hits")
+	s.cacheMisses = r.NewCounter("heteromixd_cache_misses_total",
+		"result cache misses")
+	s.cacheCollap = r.NewCounter("heteromixd_cache_collapsed_total",
+		"requests that shared another request's computation (singleflight)")
+	s.cacheEvict = r.NewCounter("heteromixd_cache_evictions_total",
+		"result cache LRU evictions")
+	s.byEndpoint = make(map[string]*endpointMetrics, len(endpointNames))
+	for _, ep := range endpointNames {
+		s.byEndpoint[ep] = &endpointMetrics{
+			requests: r.NewCounter("heteromixd_requests_total",
+				"requests received", metrics.Label{Key: "endpoint", Value: ep}),
+			errors: r.NewCounter("heteromixd_request_errors_total",
+				"requests answered with a 4xx/5xx status",
+				metrics.Label{Key: "endpoint", Value: ep}),
+			latency: r.NewHistogram("heteromixd_request_latency_seconds",
+				"request latency", metrics.DefLatencyBuckets(),
+				metrics.Label{Key: "endpoint", Value: ep}),
+		}
+	}
+	info := buildinfo.Get()
+	r.NewGauge("heteromixd_build_info", "build identity (value is always 1)",
+		metrics.Label{Key: "version", Value: info.Version},
+		metrics.Label{Key: "commit", Value: info.Commit}).Set(1)
+	s.reg.Expvar("heteromixd")
+}
+
+// syncCacheMetrics mirrors the cache's own monotone counters into the
+// registry; called at export time so the scrape is always current.
+func (s *Server) syncCacheMetrics() {
+	st := s.cache.Stats()
+	s.cacheHits.Store(st.Hits)
+	s.cacheMisses.Store(st.Misses)
+	s.cacheCollap.Store(st.Collapsed)
+	s.cacheEvict.Store(st.Evictions)
+}
+
+func (s *Server) registerRoutes() {
+	s.mux.Handle("POST /v1/predict", s.instrument("predict", true, s.handlePredict))
+	s.mux.Handle("POST /v1/enumerate", s.instrument("enumerate", true, s.handleEnumerate))
+	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
+	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.syncCacheMetrics()
+		s.reg.Handler().ServeHTTP(w, r)
+	}))
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// Handler returns the fully routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the serving policy: in-flight
+// accounting, the concurrency limiter (limited endpoints only), the
+// per-request timeout, panic containment and per-endpoint metrics.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	em := s.byEndpoint[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Inc()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Inc()
+				em.errors.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					"over capacity (%d concurrent requests)", s.opts.MaxConcurrent)
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if s.testHookStart != nil {
+			s.testHookStart(endpoint)
+		}
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		startAt := time.Now()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					// A handler bug must not take the daemon down; the
+					// request is answered 500 and the panic contained.
+					if !sw.wrote {
+						writeError(sw, http.StatusInternalServerError, "internal error: %v", p)
+					}
+				}
+			}()
+			h(sw, r)
+		}()
+		em.latency.Observe(time.Since(startAt).Seconds())
+		if sw.code >= 400 {
+			em.errors.Inc()
+		}
+		if ctx.Err() != nil {
+			s.timeouts.Inc()
+		}
+	})
+}
+
+// Serve accepts connections on l until Shutdown. A nil error means the
+// listener was closed by Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if err := srv.Serve(l); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Run listens on addr and serves until ctx is cancelled (the daemon
+// wires SIGTERM/SIGINT into ctx), then drains in-flight requests for up
+// to Options.ShutdownGrace before returning.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
+		defer cancel()
+		if err := s.Shutdown(drain); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}
+
+// Addr returns the bound address once Serve has been called via Run;
+// empty otherwise. Intended for logs.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpSrv == nil {
+		return ""
+	}
+	return s.httpSrv.Addr
+}
+
+// CacheStats exposes the result cache's counters (for tests and logs).
+func (s *Server) CacheStats() servercache.Stats { return s.cache.Stats() }
+
+// TableBuilds reports how many kernel tables have been built — the
+// number a singleflight-collapsed herd keeps at one per distinct space.
+func (s *Server) TableBuilds() uint64 { return s.tableBuilds.Value() }

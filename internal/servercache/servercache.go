@@ -1,0 +1,213 @@
+// Package servercache is the serving layer's result cache: a sharded LRU
+// keyed on canonicalized request hashes, with singleflight collapse so a
+// thundering herd of identical expensive queries (kernel-table builds,
+// full-space enumerations) computes each result exactly once while every
+// waiter shares it.
+//
+// Sharding bounds lock contention — a key's shard is fixed by an FNV-1a
+// hash, so two concurrent requests serialize only when they collide on a
+// shard — and each shard runs its own LRU list, so eviction decisions
+// are shard-local and O(1).
+package servercache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is a power of two so shard selection is a mask. 16 shards
+// keep per-shard contention negligible at the daemon's concurrency caps.
+const shardCount = 16
+
+// shard is one LRU: a mutex, the lookup map and the recency list
+// (front = most recent).
+type shard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+// lruEntry is a recency-list payload.
+type lruEntry struct {
+	key string
+	val any
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Stats is a point-in-time view of the cache's effectiveness.
+type Stats struct {
+	// Hits and Misses count Get outcomes (Do's fast path counts too).
+	Hits, Misses uint64
+	// Evictions counts LRU entries dropped to capacity pressure.
+	Evictions uint64
+	// Collapsed counts Do callers that waited on another caller's
+	// computation instead of running their own.
+	Collapsed uint64
+	// Entries is the current number of cached values.
+	Entries int
+}
+
+// HitRatio returns Hits / (Hits + Misses), 0 when nothing was asked.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a sharded LRU with singleflight. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	shards [shardCount]shard
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	hits, misses, evictions, collapsed atomic.Uint64
+}
+
+// New returns a cache holding at most capacity entries in total
+// (rounded up to one per shard; capacity < shardCount still caches).
+func New(capacity int) *Cache {
+	if capacity < shardCount {
+		capacity = shardCount
+	}
+	c := &Cache{flight: make(map[string]*call)}
+	per := (capacity + shardCount - 1) / shardCount
+	for i := range c.shards {
+		c.shards[i] = shard{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry).val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Add stores key → val, evicting the shard's least recently used entry
+// if the shard is full. Re-adding an existing key refreshes its value
+// and recency.
+func (c *Cache) Add(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Do returns the cached value for key, computing it with fn on a miss.
+// Concurrent Do calls for the same key collapse: one caller runs fn, the
+// rest block and share its result. Successful results are cached; errors
+// are returned to every collapsed caller and nothing is stored, so the
+// next Do retries. cached reports whether the value came from the cache
+// without running or waiting on fn.
+func (c *Cache) Do(key string, fn func() (any, error)) (val any, cached bool, err error) {
+	if v, ok := c.Get(key); ok {
+		return v, true, nil
+	}
+	c.flightMu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		c.collapsed.Add(1)
+		cl.wg.Wait()
+		return cl.val, false, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.flightMu.Unlock()
+
+	// Re-check under flight ownership: another caller may have completed
+	// and cached between our Get miss and claiming the flight slot.
+	if v, ok := c.Get(key); ok {
+		cl.val = v
+	} else {
+		cl.val, cl.err = fn()
+		if cl.err == nil {
+			c.Add(key, cl.val)
+		}
+	}
+
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	cl.wg.Done()
+	return cl.val, false, cl.err
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset empties the cache (statistics are kept; they describe the
+// process, not the current contents).
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.m = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Collapsed: c.collapsed.Load(),
+		Entries:   c.Len(),
+	}
+}

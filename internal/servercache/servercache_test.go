@@ -1,0 +1,201 @@
+package servercache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetAddRoundTrip(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Add("k", 42)
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get(k) = %v, %v; want 42, true", v, ok)
+	}
+	c.Add("k", 43) // refresh
+	if v, _ := c.Get("k"); v.(int) != 43 {
+		t.Fatalf("refreshed value = %v, want 43", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss", st)
+	}
+	if r := st.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit ratio = %v, want 2/3", r)
+	}
+}
+
+func TestLRUEvictionPerShard(t *testing.T) {
+	// Capacity 16 → one entry per shard: any two same-shard keys evict.
+	c := New(16)
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	if c.Len() > shardCount {
+		t.Fatalf("Len() = %d, want <= %d at capacity 16", c.Len(), shardCount)
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+	// The most recently added key of some shard must survive; at least
+	// one of the last shardCount keys is its shard's newest.
+	survivors := 0
+	for i := n - shardCount; i < n; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Error("eviction dropped even the most recently used entries")
+	}
+}
+
+func TestLRUEvictsOldestNotRecentlyUsed(t *testing.T) {
+	c := New(shardCount) // one per shard
+	// Find two keys landing in the same shard.
+	base := "a"
+	var sibling string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("b%d", i)
+		if c.shardFor(k) == c.shardFor(base) {
+			sibling = k
+			break
+		}
+	}
+	c.Add(base, 1)
+	c.Add(sibling, 2) // evicts base (capacity 1 in the shard)
+	if _, ok := c.Get(base); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if v, ok := c.Get(sibling); !ok || v.(int) != 2 {
+		t.Error("newest entry was evicted instead of the oldest")
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := New(64)
+	var calls atomic.Int32
+	fn := func() (any, error) {
+		calls.Add(1)
+		return "result", nil
+	}
+	v, cached, err := c.Do("k", fn)
+	if err != nil || cached || v.(string) != "result" {
+		t.Fatalf("first Do = %v, %v, %v", v, cached, err)
+	}
+	v, cached, err = c.Do("k", fn)
+	if err != nil || !cached || v.(string) != "result" {
+		t.Fatalf("second Do = %v, %v, %v; want cached", v, cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(64)
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	_, _, err := c.Do("k", func() (any, error) { calls.Add(1); return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, _, err := c.Do("k", func() (any, error) { calls.Add(1); return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry Do = %v, %v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("fn ran %d times, want 2 (error must not cache)", calls.Load())
+	}
+}
+
+func TestDoCollapsesConcurrentCallers(t *testing.T) {
+	c := New(64)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const callers = 32
+
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("shared", func() (any, error) {
+				calls.Add(1)
+				<-gate // hold every other caller in the collapse path
+				return "once", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the herd pile up behind the single computation, then release.
+	for c.Stats().Collapsed < callers-1 && calls.Load() <= 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times under a %d-caller herd, want 1", calls.Load(), callers)
+	}
+	for i, v := range results {
+		if v.(string) != "once" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	if c.Stats().Collapsed != callers-1 {
+		t.Errorf("collapsed = %d, want %d", c.Stats().Collapsed, callers-1)
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i%64)
+				switch i % 3 {
+				case 0:
+					c.Add(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					if _, _, err := c.Do(k, func() (any, error) { return i, nil }); err != nil {
+						t.Errorf("Do: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len() = %d, want <= 64 distinct keys", c.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(64)
+	c.Add("k", 1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len() after Reset = %d", c.Len())
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("entry survived Reset")
+	}
+}
