@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race bench bench-server ci
+.PHONY: all build vet test race server-race chaos bench bench-server ci
 
 all: ci
 
@@ -34,6 +34,13 @@ race:
 server-race:
 	$(GO) test -race -count=1 ./internal/server ./internal/servercache ./internal/metrics
 
+# The server suite again, but with latency-only chaos injected into
+# every test server (HETEROMIX_CHAOS is parsed by newTestServer) and the
+# race detector on: every functional property must hold while requests
+# are randomly delayed. The soak test layers errors/panics on top.
+chaos:
+	HETEROMIX_CHAOS="latency=0.3:2ms,seed=1" $(GO) test -race -count=1 ./internal/server
+
 # A short fixed-iteration run of the enumeration benchmarks: fast enough
 # for CI, long enough to expose gross regressions (the kernel-table path
 # runs the 10x10 space in ~1.6 ms; the old per-point path took ~106 ms).
@@ -49,4 +56,4 @@ bench-server:
 		-bench 'BenchmarkServePredictCached|BenchmarkServePredictCold' \
 		-benchmem -benchtime=1000x
 
-ci: vet build race server-race bench bench-server
+ci: vet build race server-race chaos bench bench-server

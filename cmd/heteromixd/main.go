@@ -9,6 +9,7 @@
 //
 //	heteromixd [-addr :8080] [-cache n] [-max-concurrent n]
 //	           [-timeout d] [-max-nodes n] [-noise s] [-seed n]
+//	           [-cache-ttl d] [-drain-delay d] [-chaos spec]
 package main
 
 import (
@@ -24,23 +25,45 @@ import (
 	"heteromix/internal/buildinfo"
 	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
+	"heteromix/internal/resilience"
 	"heteromix/internal/server"
 )
 
+// daemonConfig is everything the flags select; split from main so tests
+// can build a serving instance without a flag set.
+type daemonConfig struct {
+	noise         float64
+	seed          int64
+	cache         int
+	maxConcurrent int
+	maxNodes      int
+	timeout       time.Duration
+	cacheTTL      time.Duration
+	drainDelay    time.Duration
+	chaosSpec     string
+}
+
 func main() {
+	var cfg daemonConfig
 	addr := flag.String("addr", ":8080", "listen address")
-	cache := flag.Int("cache", 4096, "result cache capacity in entries")
-	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent model requests (0 = 4x GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 15*time.Second, "per-request computation timeout")
-	maxNodes := flag.Int("max-nodes", 128, "largest per-side node count a request may ask for")
-	noise := flag.Float64("noise", 0.03, "measurement noise sigma for the model-fitting runs")
-	seed := flag.Int64("seed", 1, "random seed for the model-fitting pipeline")
+	flag.IntVar(&cfg.cache, "cache", 4096, "result cache capacity in entries")
+	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "max concurrent model requests (0 = 4x GOMAXPROCS)")
+	flag.DurationVar(&cfg.timeout, "timeout", 15*time.Second, "per-request computation timeout")
+	flag.IntVar(&cfg.maxNodes, "max-nodes", 128, "largest per-side node count a request may ask for")
+	flag.Float64Var(&cfg.noise, "noise", 0.03, "measurement noise sigma for the model-fitting runs")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the model-fitting pipeline")
+	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "enumerate result freshness bound (0 = never expires); expired entries serve marked degraded when the recompute fails")
+	flag.DurationVar(&cfg.drainDelay, "drain-delay", 0, "how long /readyz answers 503 before the listener closes on shutdown")
+	flag.StringVar(&cfg.chaosSpec, "chaos", "", `fault injection spec, e.g. "latency=0.2:5ms,error=0.05,panic=0.01,timeout=0.01,seed=1" (default: none)`)
 	cliutil.Parse(0)
 
-	srv, err := newServer(*noise, *seed, *cache, *maxConcurrent, *maxNodes, *timeout)
+	srv, err := newServer(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "heteromixd: %v\n", err)
 		os.Exit(1)
+	}
+	if cfg.chaosSpec != "" {
+		log.Printf("heteromixd: CHAOS INJECTION ENABLED: %s", cfg.chaosSpec)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,14 +77,21 @@ func main() {
 }
 
 // newServer wires the experiment suite (the fitted models) into a
-// serving instance; split from main so tests can build one.
-func newServer(noise float64, seed int64, cache, maxConcurrent, maxNodes int, timeout time.Duration) (*server.Server, error) {
-	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: noise, Seed: seed})
+// serving instance.
+func newServer(cfg daemonConfig) (*server.Server, error) {
+	chaos, err := resilience.ParseChaosSpec(cfg.chaosSpec)
+	if err != nil {
+		return nil, err
+	}
+	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: cfg.noise, Seed: cfg.seed})
 	return server.New(server.Options{
 		Models:         suite,
-		CacheEntries:   cache,
-		MaxConcurrent:  maxConcurrent,
-		MaxNodes:       maxNodes,
-		RequestTimeout: timeout,
+		CacheEntries:   cfg.cache,
+		MaxConcurrent:  cfg.maxConcurrent,
+		MaxNodes:       cfg.maxNodes,
+		RequestTimeout: cfg.timeout,
+		CacheTTL:       cfg.cacheTTL,
+		DrainDelay:     cfg.drainDelay,
+		Chaos:          chaos,
 	})
 }

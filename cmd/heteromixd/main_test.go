@@ -9,8 +9,15 @@ import (
 	"time"
 )
 
+func testConfig() daemonConfig {
+	return daemonConfig{
+		noise: 0.03, seed: 1, cache: 64, maxConcurrent: 2,
+		maxNodes: 16, timeout: time.Second,
+	}
+}
+
 func TestNewServerServes(t *testing.T) {
-	srv, err := newServer(0.03, 1, 64, 2, 16, time.Second)
+	srv, err := newServer(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +34,16 @@ func TestNewServerServes(t *testing.T) {
 	}
 }
 
+func TestNewServerRejectsBadChaosSpec(t *testing.T) {
+	cfg := testConfig()
+	cfg.chaosSpec = "wibble=1"
+	if _, err := newServer(cfg); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+}
+
 func TestRunStopsOnCancel(t *testing.T) {
-	srv, err := newServer(0.03, 1, 64, 2, 16, time.Second)
+	srv, err := newServer(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

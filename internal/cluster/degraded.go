@@ -1,0 +1,382 @@
+package cluster
+
+// Failure-aware evaluation: what the mix-and-match split costs when
+// nodes crash, pause or straggle mid-job. Evaluate assumes every node
+// survives at nominal speed; EvaluateDegraded replays a faults.Plan
+// against the same per-unit kernels, re-applying the matching split to
+// the surviving capacity at every fault (the work always rebalances so
+// all live nodes finish together) and charging the recomputation energy
+// a crash forces.
+//
+// The accounting conventions, chosen to stay consistent with the
+// analytical model's linearity:
+//
+//   - A node works at its kernel rate 1/k (units per second) and draws
+//     its kernel power epu/k while working. A straggler slowed by factor
+//     s works at 1/(s*k) at the same draw — each unit costs s*epu.
+//   - A permanent crash loses the node's work since the last checkpoint
+//     (all of its work when checkpointing is off — fail-stop); the lost
+//     work returns to the remaining pool and the energy already spent on
+//     it is reported as WastedEnergy. A transient crash only pauses the
+//     node: it draws nothing while down and resumes with its work intact.
+//   - Checkpoints, when enabled, pause every working node for
+//     CheckpointCost seconds at CheckpointEvery intervals (nodes draw
+//     their working power during the pause) and bound a crash's loss to
+//     one interval's work.
+//   - The ARM enclosure switches stay powered for the whole (possibly
+//     longer) job: switch energy is the provisioned switch count times
+//     the degraded completion time.
+//
+// With an empty plan and zero checkpoint options the degraded path is
+// bit-identical to Evaluate — same Time, same Energy, same split — which
+// is the regression anchor the serving tests pin down.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"heteromix/internal/faults"
+	"heteromix/internal/units"
+)
+
+// ErrClusterDied reports that every node was lost with work remaining
+// and no future recovery scheduled.
+var ErrClusterDied = errors.New("cluster: no surviving capacity")
+
+// DegradedOptions selects the recovery machinery in effect.
+type DegradedOptions struct {
+	// CheckpointEvery inserts a coordinated checkpoint at this wall-time
+	// interval; zero disables checkpointing (fail-stop: a crash loses
+	// everything the node computed).
+	CheckpointEvery units.Seconds
+	// CheckpointCost is the pause each checkpoint imposes on every
+	// working node (work stops, power does not).
+	CheckpointCost units.Seconds
+}
+
+func (o DegradedOptions) validate() error {
+	for name, v := range map[string]units.Seconds{
+		"checkpoint interval": o.CheckpointEvery, "checkpoint cost": o.CheckpointCost,
+	} {
+		f := float64(v)
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("cluster: %s %v must be non-negative and finite", name, v)
+		}
+	}
+	if o.CheckpointCost > 0 && o.CheckpointEvery == 0 {
+		return fmt.Errorf("cluster: checkpoint cost without a checkpoint interval")
+	}
+	return nil
+}
+
+// DegradedEvaluation is the failure-aware prediction.
+type DegradedEvaluation struct {
+	// Time is the degraded completion time; Energy the total cluster
+	// energy including switches, checkpoint pauses and wasted work.
+	Time   units.Seconds
+	Energy units.Joule
+	// Baseline is the no-fault evaluation of the same configuration, for
+	// side-by-side reporting.
+	Baseline Evaluation
+	// Work is each group's net useful work at completion (lost work
+	// excluded); it sums to the job size.
+	Work []float64
+	// GroupEnergy is each group's energy including its switch share.
+	GroupEnergy []units.Joule
+	// LostWork is the total work crashed nodes had completed that had to
+	// be recomputed; WastedEnergy the energy that had been spent on it.
+	LostWork     float64
+	WastedEnergy units.Joule
+	// Rebalances counts the re-splits applied (every fault or recovery
+	// that changed the live capacity while work remained).
+	Rebalances int
+	// Checkpoints counts coordinated checkpoints taken; CheckpointTime
+	// is the wall time they paused the job; CheckpointEnergy their draw.
+	Checkpoints      int
+	CheckpointTime   units.Seconds
+	CheckpointEnergy units.Joule
+	// Survivors is each group's node count still provisioned (not
+	// permanently crashed) at completion.
+	Survivors []int
+}
+
+// degNode is one node's live state during the replay.
+type degNode struct {
+	group  int
+	rate   float64 // nominal units/second (1/k)
+	epu    float64 // joules per unit at nominal speed
+	power  float64 // watts while working (epu * rate, factor-invariant)
+	factor float64 // straggle slowdown, >= 1
+	dead   bool    // permanently crashed
+	down   int     // active transient outages
+	done   float64 // useful work since the last checkpoint
+	spent  float64 // energy spent on that work
+}
+
+func (n *degNode) up() bool { return !n.dead && n.down == 0 }
+
+// degChange is one state transition in wall time.
+type degChange struct {
+	t    float64
+	node int
+	op   int // one of opCrash..opUnstraggle
+	perm bool
+	fac  float64
+}
+
+const (
+	opCrash = iota
+	opRecover
+	opStraggle
+	opUnstraggle
+)
+
+// EvaluateDegraded services w work units on the groups while the fault
+// plan strikes, rebalancing the matching split across the surviving
+// capacity at every fault. An empty plan with zero options reproduces
+// Evaluate exactly. It returns an error wrapping ErrClusterDied when the
+// plan kills every node with work remaining and nothing scheduled to
+// recover.
+func EvaluateDegraded(groups []Group, w float64, plan faults.Plan, opts DegradedOptions) (DegradedEvaluation, error) {
+	base, err := Evaluate(groups, w)
+	if err != nil {
+		return DegradedEvaluation{}, err
+	}
+	if err := opts.validate(); err != nil {
+		return DegradedEvaluation{}, err
+	}
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = g.Nodes
+	}
+	if err := plan.Validate(sizes); err != nil {
+		return DegradedEvaluation{}, err
+	}
+	if plan.Empty() && opts.CheckpointEvery == 0 {
+		return degradedFromBaseline(base, sizes), nil
+	}
+
+	// Per-node state from the per-unit kernels Evaluate validated.
+	var nodes []degNode
+	nodeIdx := make([][]int, len(groups)) // (group, node) -> nodes index
+	for gi, g := range groups {
+		nodeIdx[gi] = make([]int, g.Nodes)
+		if g.Nodes == 0 {
+			continue
+		}
+		k, err := g.Model.KernelFor(g.Config)
+		if err != nil {
+			return DegradedEvaluation{}, fmt.Errorf("cluster: group %d: %w", gi, err)
+		}
+		rate := 1 / float64(k.TimePerUnit)
+		for n := 0; n < g.Nodes; n++ {
+			nodeIdx[gi][n] = len(nodes)
+			nodes = append(nodes, degNode{
+				group: gi, rate: rate, epu: k.EnergyPerUnit,
+				power: k.EnergyPerUnit * rate, factor: 1,
+			})
+		}
+	}
+
+	// Expand the plan into wall-time transitions (transient faults and
+	// bounded straggles contribute their end as a second transition).
+	var changes []degChange
+	for _, e := range plan.Sorted() {
+		idx := nodeIdx[e.Group][e.Node]
+		switch e.Kind {
+		case faults.Crash:
+			changes = append(changes, degChange{t: float64(e.At), node: idx, op: opCrash, perm: e.Permanent()})
+			if !e.Permanent() {
+				changes = append(changes, degChange{t: float64(e.At + e.Duration), node: idx, op: opRecover})
+			}
+		case faults.Straggle:
+			changes = append(changes, degChange{t: float64(e.At), node: idx, op: opStraggle, fac: e.Factor})
+			if !e.Permanent() {
+				changes = append(changes, degChange{t: float64(e.At + e.Duration), node: idx, op: opUnstraggle})
+			}
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].t < changes[j].t })
+
+	ev := DegradedEvaluation{
+		Baseline:    base,
+		Work:        make([]float64, len(groups)),
+		GroupEnergy: make([]units.Joule, len(groups)),
+		Survivors:   append([]int(nil), sizes...),
+	}
+	groupWork := make([]float64, len(groups))
+	groupEnergy := make([]float64, len(groups))
+
+	// advance runs every up node for dt seconds and returns the work done.
+	advance := func(dt float64) float64 {
+		total := 0.0
+		for i := range nodes {
+			n := &nodes[i]
+			if !n.up() {
+				continue
+			}
+			wk := n.rate / n.factor * dt
+			e := n.power * dt
+			n.done += wk
+			n.spent += e
+			groupWork[n.group] += wk
+			groupEnergy[n.group] += e
+			total += wk
+		}
+		return total
+	}
+
+	wrem := w
+	tcur := 0.0
+	applied := 0
+	ci := 0
+	nextCP := math.Inf(1)
+	if opts.CheckpointEvery > 0 {
+		nextCP = float64(opts.CheckpointEvery)
+	}
+
+	// apply fires one transition, returning whether live state changed.
+	apply := func(c degChange) bool {
+		n := &nodes[c.node]
+		switch c.op {
+		case opCrash:
+			if n.dead {
+				return false
+			}
+			if c.perm {
+				n.dead = true
+				ev.Survivors[n.group]--
+				// The node's un-checkpointed work is lost: it returns to
+				// the pool and its energy was wasted.
+				wrem += n.done
+				groupWork[n.group] -= n.done
+				ev.LostWork += n.done
+				ev.WastedEnergy += units.Joule(n.spent)
+				n.done, n.spent = 0, 0
+				return true
+			}
+			n.down++
+			return n.down == 1
+		case opRecover:
+			if n.dead {
+				return false
+			}
+			n.down--
+			return n.down == 0
+		case opStraggle:
+			if n.dead {
+				return false
+			}
+			n.factor = c.fac
+			return true
+		case opUnstraggle:
+			if n.dead || n.factor == 1 {
+				return false
+			}
+			n.factor = 1
+			return true
+		}
+		return false
+	}
+
+	const eps = 1e-12
+	for wrem > eps*w {
+		for ci < len(changes) && changes[ci].t <= tcur {
+			if apply(changes[ci]) {
+				applied++
+			}
+			ci++
+		}
+		rate := 0.0
+		for i := range nodes {
+			if n := &nodes[i]; n.up() {
+				rate += n.rate / n.factor
+			}
+		}
+		tnext := math.Inf(1)
+		if ci < len(changes) {
+			tnext = changes[ci].t
+		}
+		if nextCP < tnext {
+			tnext = nextCP
+		}
+		if rate <= 0 {
+			// Nothing can run: jump to the next real transition (a pending
+			// checkpoint is meaningless with every node down) and restart
+			// the checkpoint clock from the recovery.
+			if ci >= len(changes) {
+				return DegradedEvaluation{}, fmt.Errorf(
+					"%w: all nodes lost at t=%.3gs with %.3g work units remaining", ErrClusterDied, tcur, wrem)
+			}
+			tcur = changes[ci].t
+			if opts.CheckpointEvery > 0 {
+				nextCP = tcur + float64(opts.CheckpointEvery)
+			}
+			continue
+		}
+		if tfin := tcur + wrem/rate; tfin <= tnext {
+			wrem -= advance(tfin - tcur)
+			tcur = tfin
+			break
+		}
+		wrem -= advance(tnext - tcur)
+		tcur = tnext
+		if nextCP <= tcur {
+			// Coordinated checkpoint: pause every working node for the
+			// cost, charge their draw, and reset the loss window. With no
+			// node up there is nothing to checkpoint — skip silently.
+			working := false
+			cost := float64(opts.CheckpointCost)
+			for i := range nodes {
+				n := &nodes[i]
+				if !n.up() {
+					continue
+				}
+				working = true
+				e := n.power * cost
+				n.spent = 0
+				n.done = 0
+				groupEnergy[n.group] += e
+				ev.CheckpointEnergy += units.Joule(e)
+			}
+			if working {
+				ev.Checkpoints++
+				ev.CheckpointTime += units.Seconds(cost)
+				tcur += cost
+			}
+			nextCP = tcur + float64(opts.CheckpointEvery)
+		}
+	}
+
+	if applied == 0 && ev.Checkpoints == 0 {
+		// Nothing fired before completion: the degraded path is the
+		// baseline, returned as computed by Evaluate so the equality is
+		// exact rather than within float accumulation error.
+		return degradedFromBaseline(base, sizes), nil
+	}
+
+	ev.Rebalances = applied
+	ev.Time = units.Seconds(tcur)
+	for gi, g := range groups {
+		e := groupEnergy[gi] + float64(SwitchPower)*float64(g.Switches())*tcur
+		ev.GroupEnergy[gi] = units.Joule(e)
+		ev.Energy += units.Joule(e)
+		ev.Work[gi] = groupWork[gi]
+	}
+	return ev, nil
+}
+
+// degradedFromBaseline wraps a fault-free Evaluate result in the
+// degraded shape, bit-identical by construction.
+func degradedFromBaseline(base Evaluation, sizes []int) DegradedEvaluation {
+	return DegradedEvaluation{
+		Time:        base.Time,
+		Energy:      base.Energy,
+		Baseline:    base,
+		Work:        append([]float64(nil), base.Work...),
+		GroupEnergy: append([]units.Joule(nil), base.GroupEnergy...),
+		Survivors:   append([]int(nil), sizes...),
+	}
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"heteromix/internal/faults"
+	"heteromix/internal/units"
+)
+
+// degGroups is the 3 ARM + 2 AMD configuration most degraded tests use.
+func degGroups(t testing.TB) []Group {
+	space := epSpace(t)
+	return []Group{
+		{Model: space.ARM, Nodes: 3, Config: maxCfg(space.ARM.Spec), NeedsSwitch: true},
+		{Model: space.AMD, Nodes: 2, Config: maxCfg(space.AMD.Spec)},
+	}
+}
+
+// nodeRate returns one node's work rate (units/second) for hand math.
+func nodeRate(t testing.TB, g Group) float64 {
+	t.Helper()
+	k, err := g.Model.KernelFor(g.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return 1 / float64(k.TimePerUnit)
+}
+
+const degW = 50e6
+
+// The acceptance anchor: a zero-fault plan is bit-identical to Evaluate.
+func TestDegradedZeroFaultBitIdentical(t *testing.T) {
+	groups := degGroups(t)
+	want, err := Evaluate(groups, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateDegraded(groups, degW, faults.Plan{}, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time || got.Energy != want.Energy {
+		t.Fatalf("zero-fault degraded (T=%v, E=%v) differs from Evaluate (T=%v, E=%v)",
+			got.Time, got.Energy, want.Time, want.Energy)
+	}
+	for i := range want.Work {
+		if got.Work[i] != want.Work[i] || got.GroupEnergy[i] != want.GroupEnergy[i] {
+			t.Errorf("group %d: work/energy not bit-identical", i)
+		}
+	}
+	if got.Rebalances != 0 || got.LostWork != 0 || got.Checkpoints != 0 {
+		t.Errorf("zero-fault plan reported fault activity: %+v", got)
+	}
+}
+
+// Events scheduled after the job completes must also leave the result
+// bit-identical: they never fire.
+func TestDegradedPostCompletionEventsIgnored(t *testing.T) {
+	groups := degGroups(t)
+	want, err := Evaluate(groups, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 0, Kind: faults.Crash, At: want.Time * 10},
+	}}
+	got, err := EvaluateDegraded(groups, degW, plan, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time || got.Energy != want.Energy {
+		t.Fatalf("post-completion event changed the result: T=%v vs %v", got.Time, want.Time)
+	}
+	if got.Rebalances != 0 {
+		t.Errorf("rebalances = %d for an event that never fired", got.Rebalances)
+	}
+}
+
+// Fail-stop arithmetic on a homogeneous 2-node group: a crash at t1
+// loses everything the dead node did, so the survivor effectively
+// serves the whole job alone — T = w/r exactly, for any t1 before the
+// baseline finish.
+func TestDegradedFailStopCrashArithmetic(t *testing.T) {
+	space := epSpace(t)
+	g := Group{Model: space.AMD, Nodes: 2, Config: maxCfg(space.AMD.Spec)}
+	r := nodeRate(t, g)
+	base, err := Evaluate([]Group{g}, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		t1 := float64(base.Time) * frac
+		plan := faults.Plan{Events: []faults.Event{
+			{Group: 0, Node: 1, Kind: faults.Crash, At: units.Seconds(t1)},
+		}}
+		got, err := EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT := degW / r
+		if relErr(float64(got.Time), wantT) > 1e-9 {
+			t.Errorf("crash at %.0f%%: T = %v, want w/r = %v", frac*100, got.Time, wantT)
+		}
+		wantLost := r * t1
+		if relErr(got.LostWork, wantLost) > 1e-9 {
+			t.Errorf("crash at %.0f%%: lost %v work, want %v", frac*100, got.LostWork, wantLost)
+		}
+		if got.Rebalances != 1 || got.Survivors[0] != 1 {
+			t.Errorf("crash at %.0f%%: rebalances=%d survivors=%v", frac*100, got.Rebalances, got.Survivors)
+		}
+		if got.Time <= base.Time {
+			t.Errorf("crash did not slow the job: %v <= %v", got.Time, base.Time)
+		}
+	}
+}
+
+// A transient outage pauses one node for d seconds: the group loses
+// r*d node-seconds of capacity and no work, so T = (w + r*d) / (2r).
+func TestDegradedTransientOutageArithmetic(t *testing.T) {
+	space := epSpace(t)
+	g := Group{Model: space.AMD, Nodes: 2, Config: maxCfg(space.AMD.Spec)}
+	r := nodeRate(t, g)
+	base, err := Evaluate([]Group{g}, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := float64(base.Time) / 4
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 0, Kind: faults.Crash, At: units.Seconds(float64(base.Time) / 8), Duration: units.Seconds(d)},
+	}}
+	got, err := EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := (degW + r*d) / (2 * r)
+	if relErr(float64(got.Time), wantT) > 1e-9 {
+		t.Errorf("T = %v, want %v", got.Time, wantT)
+	}
+	if got.LostWork != 0 {
+		t.Errorf("transient outage lost %v work", got.LostWork)
+	}
+	if got.Rebalances != 2 { // down + up
+		t.Errorf("rebalances = %d, want 2", got.Rebalances)
+	}
+	if got.Survivors[0] != 2 {
+		t.Errorf("survivors = %v, want both", got.Survivors)
+	}
+}
+
+// A permanent straggler at factor s from t=0 serves at r/s: the group
+// rate is r(1 + 1/s).
+func TestDegradedStragglerArithmetic(t *testing.T) {
+	space := epSpace(t)
+	g := Group{Model: space.AMD, Nodes: 2, Config: maxCfg(space.AMD.Spec)}
+	r := nodeRate(t, g)
+	const s = 3.0
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 1, Kind: faults.Straggle, At: 0, Factor: s},
+	}}
+	got, err := EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := degW / (r * (1 + 1/s))
+	if relErr(float64(got.Time), wantT) > 1e-9 {
+		t.Errorf("T = %v, want %v", got.Time, wantT)
+	}
+	// A bounded straggle episode hurts strictly less.
+	bounded := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 1, Kind: faults.Straggle, At: 0, Factor: s, Duration: units.Seconds(wantT / 4)},
+	}}
+	gotB, err := EvaluateDegraded([]Group{g}, degW, bounded, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB.Time >= got.Time {
+		t.Errorf("bounded straggle %v not faster than permanent %v", gotB.Time, got.Time)
+	}
+}
+
+// Checkpointing bounds the loss: with interval C the recomputed work is
+// under r*C, so for a late crash the checkpointed run beats fail-stop
+// even after paying the checkpoint pauses.
+func TestDegradedCheckpointBoundsLoss(t *testing.T) {
+	space := epSpace(t)
+	g := Group{Model: space.AMD, Nodes: 2, Config: maxCfg(space.AMD.Spec)}
+	r := nodeRate(t, g)
+	base, err := Evaluate([]Group{g}, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := units.Seconds(float64(base.Time) * 0.9)
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 1, Kind: faults.Crash, At: crashAt},
+	}}
+	failStop, err := EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := base.Time / 10
+	opts := DegradedOptions{CheckpointEvery: every, CheckpointCost: every / 100}
+	ckpt, err := EvaluateDegraded([]Group{g}, degW, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	if maxLoss := r * float64(every); ckpt.LostWork > maxLoss {
+		t.Errorf("checkpointed loss %v exceeds one interval's work %v", ckpt.LostWork, maxLoss)
+	}
+	if ckpt.Time >= failStop.Time {
+		t.Errorf("checkpoint-restart (%v) not faster than fail-stop (%v) for a late crash", ckpt.Time, failStop.Time)
+	}
+	if ckpt.CheckpointTime <= 0 || ckpt.CheckpointEnergy <= 0 {
+		t.Errorf("checkpoint overhead not charged: %+v", ckpt)
+	}
+	// Checkpointing with no faults still pays its overhead and stays
+	// otherwise consistent.
+	clean, err := EvaluateDegraded([]Group{g}, degW, faults.Plan{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Time <= base.Time {
+		t.Errorf("fault-free checkpointed run %v not slower than baseline %v", clean.Time, base.Time)
+	}
+	if clean.LostWork != 0 {
+		t.Errorf("fault-free run lost work: %v", clean.LostWork)
+	}
+}
+
+// Killing every node with nothing scheduled to recover is an error.
+func TestDegradedClusterDeath(t *testing.T) {
+	space := epSpace(t)
+	g := Group{Model: space.AMD, Nodes: 1, Config: maxCfg(space.AMD.Spec)}
+	base, err := Evaluate([]Group{g}, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := base.Time / 2
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 0, Kind: faults.Crash, At: crashAt},
+	}}
+	_, err = EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+	if !errors.Is(err, ErrClusterDied) {
+		t.Fatalf("err = %v, want ErrClusterDied", err)
+	}
+	// The same outage as a transient completes: the node comes back.
+	plan.Events[0].Duration = base.Time
+	got, err := EvaluateDegraded([]Group{g}, degW, plan, DegradedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time <= crashAt+base.Time {
+		t.Errorf("T = %v, must exceed the outage end %v", got.Time, crashAt+base.Time)
+	}
+}
+
+// Invariants over generated plans: completion never beats the baseline,
+// useful work is conserved, and all accounting stays non-negative.
+func TestDegradedGeneratedPlanInvariants(t *testing.T) {
+	groups := degGroups(t)
+	base, err := Evaluate(groups, degW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		plan, err := faults.Generate([]int{3, 2}, faults.GenOptions{
+			Seed:          seed,
+			Horizon:       base.Time * 2,
+			CrashRate:     0.3 / float64(base.Time),
+			TransientRate: 0.5 / float64(base.Time),
+			StraggleProb:  0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateDegraded(groups, degW, plan, DegradedOptions{})
+		if errors.Is(err, ErrClusterDied) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if float64(got.Time) < float64(base.Time)*(1-1e-12) {
+			t.Errorf("seed %d: faults sped the job up: %v < %v", seed, got.Time, base.Time)
+		}
+		useful := 0.0
+		for _, wk := range got.Work {
+			if wk < -1e-6 {
+				t.Errorf("seed %d: negative group work %v", seed, wk)
+			}
+			useful += wk
+		}
+		if relErr(useful, degW) > 1e-6 {
+			t.Errorf("seed %d: useful work %v, want %v", seed, useful, degW)
+		}
+		if got.LostWork < 0 || got.WastedEnergy < 0 || got.Energy <= 0 {
+			t.Errorf("seed %d: negative accounting: %+v", seed, got)
+		}
+		if got.WastedEnergy > got.Energy {
+			t.Errorf("seed %d: wasted energy %v exceeds total %v", seed, got.WastedEnergy, got.Energy)
+		}
+	}
+}
+
+func TestDegradedValidation(t *testing.T) {
+	groups := degGroups(t)
+	if _, err := EvaluateDegraded(groups, -1, faults.Plan{}, DegradedOptions{}); err == nil {
+		t.Error("negative work accepted")
+	}
+	bad := faults.Plan{Events: []faults.Event{{Group: 5, Kind: faults.Crash, At: 1}}}
+	if _, err := EvaluateDegraded(groups, degW, bad, DegradedOptions{}); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	if _, err := EvaluateDegraded(groups, degW, faults.Plan{}, DegradedOptions{CheckpointCost: 1}); err == nil {
+		t.Error("checkpoint cost without interval accepted")
+	}
+	if _, err := EvaluateDegraded(groups, degW, faults.Plan{}, DegradedOptions{CheckpointEvery: -1}); err == nil {
+		t.Error("negative checkpoint interval accepted")
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,152 @@
+package dispatcher
+
+// Recovery-policy comparison on top of cluster.EvaluateDegraded: given a
+// configuration and a fault plan, how do the three classic answers to
+// node failure stack up on completion time and energy?
+//
+//   - FailStop: do nothing in advance. A permanent crash loses the dead
+//     node's whole contribution and the survivors recompute it.
+//   - CheckpointRestart: pause periodically to checkpoint, bounding a
+//     crash's loss to one interval at the price of the pauses.
+//   - Overprovision: provision spare nodes up front. The same faults
+//     hurt proportionally less, but every node draws power for the whole
+//     job — the paper's energy accounting makes the overhead explicit.
+//
+// ComparePolicies evaluates all three against the *same* plan so the
+// trade-off is apples to apples, which is what a provisioning loop needs
+// when it prices resilience into the energy-minimal configuration.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/faults"
+	"heteromix/internal/units"
+)
+
+// RecoveryPolicy names one failure-handling strategy.
+type RecoveryPolicy int
+
+const (
+	// FailStop rebalances to the survivors and recomputes lost work.
+	FailStop RecoveryPolicy = iota
+	// CheckpointRestart checkpoints periodically so a crash loses at
+	// most one interval's work.
+	CheckpointRestart
+	// Overprovision adds spare nodes up front and otherwise fail-stops.
+	Overprovision
+)
+
+// String names the policy.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case FailStop:
+		return "fail-stop"
+	case CheckpointRestart:
+		return "checkpoint-restart"
+	case Overprovision:
+		return "overprovision"
+	default:
+		return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+	}
+}
+
+// PolicyOptions tunes the non-trivial policies.
+type PolicyOptions struct {
+	// CheckpointEvery and CheckpointCost parameterize CheckpointRestart.
+	// Zero CheckpointEvery defaults to a tenth of the baseline time with
+	// a cost of 1% of the interval.
+	CheckpointEvery units.Seconds
+	CheckpointCost  units.Seconds
+	// SpareFraction is the extra capacity Overprovision adds to every
+	// group (each group's node count is scaled by 1+SpareFraction,
+	// rounded up, at least one spare). Zero defaults to 0.25.
+	SpareFraction float64
+}
+
+func (o PolicyOptions) validate() error {
+	if o.SpareFraction < 0 || math.IsNaN(o.SpareFraction) || math.IsInf(o.SpareFraction, 0) {
+		return fmt.Errorf("dispatcher: spare fraction %v must be non-negative and finite", o.SpareFraction)
+	}
+	return nil
+}
+
+// PolicyOutcome is one policy's prediction under the shared fault plan.
+type PolicyOutcome struct {
+	Policy RecoveryPolicy
+	// Completed is false when the plan killed the whole cluster before
+	// the job finished (Result is zero and only Policy is meaningful).
+	Completed bool
+	// Result is the failure-aware evaluation for this policy.
+	Result cluster.DegradedEvaluation
+	// Overhead is this policy's energy relative to the fault-free
+	// baseline of its own provisioning (>= 1 when completed).
+	Overhead float64
+}
+
+// ComparePolicies evaluates the same fault plan under each policy and
+// returns the outcomes indexed by RecoveryPolicy. The plan addresses the
+// original groups; spares added by Overprovision are never faulted,
+// which models the spares living outside the blast radius the plan
+// describes.
+func ComparePolicies(groups []cluster.Group, w float64, plan faults.Plan, opts PolicyOptions) ([]PolicyOutcome, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	base, err := cluster.Evaluate(groups, w)
+	if err != nil {
+		return nil, err
+	}
+
+	every, cost := opts.CheckpointEvery, opts.CheckpointCost
+	if every == 0 {
+		every = base.Time / 10
+		if cost == 0 {
+			cost = every / 100
+		}
+	}
+	spare := opts.SpareFraction
+	if spare == 0 {
+		spare = 0.25
+	}
+	spared := make([]cluster.Group, len(groups))
+	for i, g := range groups {
+		spared[i] = g
+		if g.Nodes > 0 {
+			extra := int(math.Ceil(float64(g.Nodes) * spare))
+			if extra < 1 {
+				extra = 1
+			}
+			spared[i].Nodes = g.Nodes + extra
+		}
+	}
+
+	runs := []struct {
+		policy RecoveryPolicy
+		groups []cluster.Group
+		opts   cluster.DegradedOptions
+	}{
+		{FailStop, groups, cluster.DegradedOptions{}},
+		{CheckpointRestart, groups, cluster.DegradedOptions{CheckpointEvery: every, CheckpointCost: cost}},
+		{Overprovision, spared, cluster.DegradedOptions{}},
+	}
+	out := make([]PolicyOutcome, len(runs))
+	for i, r := range runs {
+		out[i].Policy = r.policy
+		ev, err := cluster.EvaluateDegraded(r.groups, w, plan, r.opts)
+		if errors.Is(err, cluster.ErrClusterDied) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dispatcher: %s: %w", r.policy, err)
+		}
+		out[i].Completed = true
+		out[i].Result = ev
+		if ev.Baseline.Energy > 0 {
+			out[i].Overhead = float64(ev.Energy) / float64(ev.Baseline.Energy)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package dispatcher
+
+import (
+	"sync"
+	"testing"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/faults"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/workloads"
+)
+
+var (
+	policyModelsMu sync.Mutex
+	policyModels   = map[string]model.NodeModel{}
+)
+
+func policyModel(t *testing.T, spec hwsim.NodeSpec) model.NodeModel {
+	t.Helper()
+	policyModelsMu.Lock()
+	defer policyModelsMu.Unlock()
+	if nm, ok := policyModels[spec.Name]; ok {
+		return nm
+	}
+	w, err := workloads.ByName("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := model.Build(spec, w, model.BuildOptions{Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policyModels[spec.Name] = nm
+	return nm
+}
+
+// policyGroups builds a 4 ARM + 2 AMD configuration on the EP workload.
+func policyGroups(t *testing.T) []cluster.Group {
+	t.Helper()
+	arm := policyModel(t, hwsim.ARMCortexA9())
+	amd := policyModel(t, hwsim.AMDOpteronK10())
+	return []cluster.Group{
+		{Model: arm, Nodes: 4, Config: maxConfig(arm.Spec), NeedsSwitch: true},
+		{Model: amd, Nodes: 2, Config: maxConfig(amd.Spec)},
+	}
+}
+
+func maxConfig(spec hwsim.NodeSpec) hwsim.Config {
+	return hwsim.Config{Cores: spec.Cores, Frequency: spec.FMax()}
+}
+
+func TestComparePoliciesTradeoffs(t *testing.T) {
+	groups := policyGroups(t)
+	const w = 50e6
+	base, err := cluster.Evaluate(groups, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One late permanent crash in each group: the classic case where
+	// checkpointing pays off.
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 0, Kind: faults.Crash, At: base.Time * 3 / 4},
+		{Group: 1, Node: 0, Kind: faults.Crash, At: base.Time * 3 / 4},
+	}}
+	out, err := ComparePolicies(groups, w, plan, PolicyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(out))
+	}
+	byPolicy := map[RecoveryPolicy]PolicyOutcome{}
+	for _, o := range out {
+		byPolicy[o.Policy] = o
+		if !o.Completed {
+			t.Fatalf("%s did not complete", o.Policy)
+		}
+		if o.Overhead < 1 {
+			t.Errorf("%s overhead %v < 1", o.Policy, o.Overhead)
+		}
+	}
+	fs, cp, ov := byPolicy[FailStop], byPolicy[CheckpointRestart], byPolicy[Overprovision]
+
+	// Checkpointing bounds the loss for a late crash, so it recovers
+	// faster and wastes less work than fail-stop.
+	if cp.Result.Time >= fs.Result.Time {
+		t.Errorf("checkpoint-restart time %v not below fail-stop %v", cp.Result.Time, fs.Result.Time)
+	}
+	if cp.Result.LostWork >= fs.Result.LostWork {
+		t.Errorf("checkpoint-restart lost %v work, fail-stop %v", cp.Result.LostWork, fs.Result.LostWork)
+	}
+	if cp.Result.Checkpoints == 0 {
+		t.Error("checkpoint-restart took no checkpoints")
+	}
+	// Overprovision has more capacity, so it finishes faster than
+	// fail-stop on the same faults.
+	if ov.Result.Time >= fs.Result.Time {
+		t.Errorf("overprovision time %v not below fail-stop %v", ov.Result.Time, fs.Result.Time)
+	}
+	for gi, g := range groups {
+		if ov.Result.Survivors[gi] <= g.Nodes-1 {
+			t.Errorf("group %d: overprovision survivors %d should exceed faulted original %d",
+				gi, ov.Result.Survivors[gi], g.Nodes-1)
+		}
+	}
+}
+
+func TestComparePoliciesClusterDeath(t *testing.T) {
+	groups := policyGroups(t)[1:] // AMD group only, 2 nodes
+	const w = 50e6
+	base, err := cluster.Evaluate(groups, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Events: []faults.Event{
+		{Group: 0, Node: 0, Kind: faults.Crash, At: base.Time / 4},
+		{Group: 0, Node: 1, Kind: faults.Crash, At: base.Time / 4},
+	}}
+	out, err := ComparePolicies(groups, w, plan, PolicyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		switch o.Policy {
+		case Overprovision:
+			if !o.Completed {
+				t.Error("overprovision should survive losing all original nodes")
+			}
+		default:
+			if o.Completed {
+				t.Errorf("%s completed despite total loss", o.Policy)
+			}
+		}
+	}
+}
+
+func TestComparePoliciesValidation(t *testing.T) {
+	groups := policyGroups(t)
+	if _, err := ComparePolicies(groups, 50e6, faults.Plan{}, PolicyOptions{SpareFraction: -1}); err == nil {
+		t.Error("negative spare fraction accepted")
+	}
+	if _, err := ComparePolicies(nil, 50e6, faults.Plan{}, PolicyOptions{}); err == nil {
+		t.Error("empty groups accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[RecoveryPolicy]string{
+		FailStop: "fail-stop", CheckpointRestart: "checkpoint-restart",
+		Overprovision: "overprovision", RecoveryPolicy(7): "RecoveryPolicy(7)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), got, want)
+		}
+	}
+}

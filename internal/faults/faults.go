@@ -1,0 +1,241 @@
+// Package faults describes what can go wrong with a heterogeneous
+// cluster mid-job: nodes crash, nodes recover, nodes straggle. The
+// paper's mix-and-match split (§III) sizes every node type's work share
+// assuming all nodes survive at nominal speed; a Plan is the
+// deterministic counterfactual — a time-ordered list of per-node events
+// that cluster.EvaluateDegraded replays against the analytical model to
+// predict failure-aware completion time and energy.
+//
+// Plans are either hand-written (unit tests, what-if analyses) or drawn
+// from Generate, which is fully seedable: the same seed and options
+// always produce the same plan, so chaos experiments and regression
+// tests are reproducible bit for bit.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"heteromix/internal/units"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+const (
+	// Crash removes the node. With Duration zero the crash is permanent
+	// (fail-stop); with a positive Duration the outage is transient — the
+	// node contributes nothing while down and resumes with its completed
+	// work intact (a reboot, a network partition, a preemption).
+	Crash Kind = iota
+	// Straggle slows the node by Factor (>= 1): it keeps working but
+	// each work unit takes Factor times longer at the same average
+	// power. Duration zero straggles for the rest of the job.
+	Straggle
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Straggle:
+		return "straggle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one fault striking one node.
+type Event struct {
+	// Group indexes the cluster group (the order groups are passed to
+	// cluster.EvaluateDegraded); Node indexes the node within it.
+	Group int `json:"group"`
+	Node  int `json:"node"`
+	// Kind is what happens.
+	Kind Kind `json:"kind"`
+	// At is when the fault strikes, measured from job start.
+	At units.Seconds `json:"at"`
+	// Duration bounds transient crashes and straggles; zero means the
+	// effect is permanent for the rest of the job.
+	Duration units.Seconds `json:"duration,omitempty"`
+	// Factor is the straggler slowdown (ignored for crashes).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Permanent reports whether the event never ends.
+func (e Event) Permanent() bool { return e.Duration == 0 }
+
+// validate checks one event against the group sizes (nil sizes skips the
+// index checks, for plans validated before the cluster shape is known).
+func (e Event) validate(i int, sizes []int) error {
+	if e.Group < 0 || e.Node < 0 {
+		return fmt.Errorf("faults: event %d: negative group or node index", i)
+	}
+	if sizes != nil {
+		if e.Group >= len(sizes) {
+			return fmt.Errorf("faults: event %d: group %d out of range (have %d groups)", i, e.Group, len(sizes))
+		}
+		if e.Node >= sizes[e.Group] {
+			return fmt.Errorf("faults: event %d: node %d out of range (group %d has %d nodes)",
+				i, e.Node, e.Group, sizes[e.Group])
+		}
+	}
+	if math.IsNaN(float64(e.At)) || math.IsInf(float64(e.At), 0) || e.At < 0 {
+		return fmt.Errorf("faults: event %d: at %v must be non-negative and finite", i, e.At)
+	}
+	if math.IsNaN(float64(e.Duration)) || math.IsInf(float64(e.Duration), 0) || e.Duration < 0 {
+		return fmt.Errorf("faults: event %d: duration %v must be non-negative and finite", i, e.Duration)
+	}
+	switch e.Kind {
+	case Crash:
+		// Factor is ignored; allow zero only.
+		if e.Factor != 0 {
+			return fmt.Errorf("faults: event %d: crash with a straggle factor", i)
+		}
+	case Straggle:
+		if math.IsNaN(e.Factor) || math.IsInf(e.Factor, 0) || e.Factor < 1 {
+			return fmt.Errorf("faults: event %d: straggle factor %v must be >= 1", i, e.Factor)
+		}
+	default:
+		return fmt.Errorf("faults: event %d: unknown kind %d", i, int(e.Kind))
+	}
+	return nil
+}
+
+// Plan is a reproducible fault schedule for one job.
+type Plan struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Validate checks every event. sizes gives each group's node count; a
+// nil sizes skips the index-range checks.
+func (p Plan) Validate(sizes []int) error {
+	for i, e := range p.Events {
+		if err := e.validate(i, sizes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by strike time (stable, so
+// same-instant events keep their plan order).
+func (p Plan) Sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// GenOptions parameterizes Generate. Rates are per node per second of
+// plan horizon, the natural unit for "this board fails about once per
+// thousand hours" arithmetic scaled to job durations.
+type GenOptions struct {
+	// Seed fixes the random stream; equal seeds give equal plans.
+	Seed int64
+	// Horizon bounds event strike times: faults are drawn over
+	// [0, Horizon). Required (positive).
+	Horizon units.Seconds
+	// CrashRate is each node's permanent-crash hazard (events per
+	// node-second). A node crashes at most once.
+	CrashRate float64
+	// TransientRate is each node's transient-outage hazard; outages last
+	// TransientOutage (default Horizon/10).
+	TransientRate   float64
+	TransientOutage units.Seconds
+	// StraggleProb is the chance a node straggles at all; a straggler
+	// slows by a factor drawn uniformly from [MinFactor, MaxFactor]
+	// (defaults 1.5 and 4) starting at a uniform time in the horizon.
+	StraggleProb         float64
+	MinFactor, MaxFactor float64
+}
+
+// validate checks the generator options.
+func (o GenOptions) validate() error {
+	if o.Horizon <= 0 || math.IsNaN(float64(o.Horizon)) || math.IsInf(float64(o.Horizon), 0) {
+		return fmt.Errorf("faults: horizon must be positive and finite, got %v", o.Horizon)
+	}
+	for name, v := range map[string]float64{
+		"crash rate": o.CrashRate, "transient rate": o.TransientRate, "straggle probability": o.StraggleProb,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("faults: %s %v must be non-negative and finite", name, v)
+		}
+	}
+	if o.StraggleProb > 1 {
+		return fmt.Errorf("faults: straggle probability %v must be <= 1", o.StraggleProb)
+	}
+	if o.MinFactor != 0 && o.MinFactor < 1 {
+		return fmt.Errorf("faults: min straggle factor %v must be >= 1", o.MinFactor)
+	}
+	if o.MaxFactor != 0 && o.MaxFactor < o.MinFactor {
+		return fmt.Errorf("faults: max straggle factor %v below min %v", o.MaxFactor, o.MinFactor)
+	}
+	return nil
+}
+
+// Generate draws a deterministic plan for a cluster whose group g has
+// sizes[g] nodes. Each node independently suffers at most one permanent
+// crash (exponential arrival at CrashRate, kept if it lands inside the
+// horizon), transient outages (Poisson at TransientRate), and at most
+// one straggle episode. The returned plan is sorted by strike time and
+// always passes Validate(sizes).
+func Generate(sizes []int, opts GenOptions) (Plan, error) {
+	if err := opts.validate(); err != nil {
+		return Plan{}, err
+	}
+	for g, n := range sizes {
+		if n < 0 {
+			return Plan{}, fmt.Errorf("faults: group %d has negative size %d", g, n)
+		}
+	}
+	minF, maxF := opts.MinFactor, opts.MaxFactor
+	if minF == 0 {
+		minF = 1.5
+	}
+	if maxF == 0 {
+		maxF = 4
+	}
+	outage := opts.TransientOutage
+	if outage == 0 {
+		outage = opts.Horizon / 10
+	}
+	h := float64(opts.Horizon)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var p Plan
+	for g, n := range sizes {
+		for node := 0; node < n; node++ {
+			// The per-node draws happen in a fixed order so the stream is
+			// stable under option changes that disable a class (a zero rate
+			// still consumes no randomness only for its own class).
+			if opts.CrashRate > 0 {
+				if t := rng.ExpFloat64() / opts.CrashRate; t < h {
+					p.Events = append(p.Events, Event{
+						Group: g, Node: node, Kind: Crash, At: units.Seconds(t),
+					})
+				}
+			}
+			if opts.TransientRate > 0 {
+				for t := rng.ExpFloat64() / opts.TransientRate; t < h; t += rng.ExpFloat64() / opts.TransientRate {
+					p.Events = append(p.Events, Event{
+						Group: g, Node: node, Kind: Crash, At: units.Seconds(t), Duration: outage,
+					})
+				}
+			}
+			if opts.StraggleProb > 0 && rng.Float64() < opts.StraggleProb {
+				p.Events = append(p.Events, Event{
+					Group: g, Node: node, Kind: Straggle,
+					At:     units.Seconds(rng.Float64() * h),
+					Factor: minF + rng.Float64()*(maxF-minF),
+				})
+			}
+		}
+	}
+	p.Events = p.Sorted()
+	return p, nil
+}

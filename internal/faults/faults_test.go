@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"heteromix/internal/units"
+)
+
+func TestEventValidation(t *testing.T) {
+	sizes := []int{4, 2}
+	cases := map[string]Event{
+		"negative group":   {Group: -1, Kind: Crash, At: 1},
+		"group range":      {Group: 2, Kind: Crash, At: 1},
+		"node range":       {Group: 1, Node: 2, Kind: Crash, At: 1},
+		"negative at":      {Kind: Crash, At: -1},
+		"nan at":           {Kind: Crash, At: units.Seconds(nan())},
+		"negative dur":     {Kind: Crash, At: 1, Duration: -2},
+		"crash factor":     {Kind: Crash, At: 1, Factor: 2},
+		"straggle sub-1":   {Kind: Straggle, At: 1, Factor: 0.5},
+		"straggle no fact": {Kind: Straggle, At: 1},
+		"unknown kind":     {Kind: Kind(9), At: 1},
+	}
+	for name, ev := range cases {
+		if err := (Plan{Events: []Event{ev}}).Validate(sizes); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	ok := Plan{Events: []Event{
+		{Group: 0, Node: 3, Kind: Crash, At: 2},
+		{Group: 1, Node: 1, Kind: Crash, At: 0.5, Duration: 3},
+		{Group: 0, Node: 0, Kind: Straggle, At: 1, Factor: 2.5},
+	}}
+	if err := ok.Validate(sizes); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	// nil sizes skips range checks but keeps the value checks.
+	if err := (Plan{Events: []Event{{Group: 99, Node: 99, Kind: Crash, At: 1}}}).Validate(nil); err != nil {
+		t.Errorf("nil sizes should skip index checks: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestSortedIsStableByTime(t *testing.T) {
+	p := Plan{Events: []Event{
+		{Group: 0, Node: 1, Kind: Crash, At: 5},
+		{Group: 0, Node: 0, Kind: Crash, At: 2},
+		{Group: 1, Node: 0, Kind: Straggle, At: 2, Factor: 2},
+	}}
+	s := p.Sorted()
+	if s[0].At != 2 || s[1].At != 2 || s[2].At != 5 {
+		t.Fatalf("not sorted: %+v", s)
+	}
+	// Same-instant events keep plan order (node 0 crash before straggle).
+	if s[0].Kind != Crash || s[1].Kind != Straggle {
+		t.Errorf("sort not stable: %+v", s)
+	}
+	// The original plan is untouched.
+	if p.Events[0].At != 5 {
+		t.Error("Sorted mutated the plan")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sizes := []int{16, 4}
+	opts := GenOptions{
+		Seed: 7, Horizon: 1000,
+		CrashRate: 1e-3, TransientRate: 5e-4, StraggleProb: 0.25,
+	}
+	a, err := Generate(sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if a.Empty() {
+		t.Fatal("expected some events at these rates over 16+4 nodes")
+	}
+	if err := a.Validate(sizes); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	opts.Seed = 8
+	c, err := Generate(sizes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateClasses(t *testing.T) {
+	sizes := []int{64}
+	p, err := Generate(sizes, GenOptions{
+		Seed: 3, Horizon: 100,
+		CrashRate: 5e-3, TransientRate: 5e-3, StraggleProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perm, trans, strag int
+	crashed := map[int]int{}
+	for _, e := range p.Events {
+		switch {
+		case e.Kind == Crash && e.Permanent():
+			perm++
+			crashed[e.Node]++
+		case e.Kind == Crash:
+			trans++
+			if e.Duration != 10 { // default Horizon/10
+				t.Errorf("transient outage %v, want 10", e.Duration)
+			}
+		case e.Kind == Straggle:
+			strag++
+			if e.Factor < 1.5 || e.Factor > 4 {
+				t.Errorf("straggle factor %v outside default [1.5, 4]", e.Factor)
+			}
+		}
+	}
+	if perm == 0 || trans == 0 || strag == 0 {
+		t.Fatalf("missing a class: perm=%d trans=%d strag=%d", perm, trans, strag)
+	}
+	for node, n := range crashed {
+		if n > 1 {
+			t.Errorf("node %d permanently crashed %d times", node, n)
+		}
+	}
+}
+
+func TestGenerateOptionValidation(t *testing.T) {
+	cases := map[string]GenOptions{
+		"zero horizon":   {},
+		"negative rate":  {Horizon: 10, CrashRate: -1},
+		"prob over one":  {Horizon: 10, StraggleProb: 1.5},
+		"bad min factor": {Horizon: 10, MinFactor: 0.2},
+		"max below min":  {Horizon: 10, MinFactor: 3, MaxFactor: 2},
+	}
+	for name, o := range cases {
+		if _, err := Generate([]int{2}, o); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Generate([]int{-1}, GenOptions{Horizon: 10}); err == nil {
+		t.Error("negative group size accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Do without running the function when
+// the circuit is open (or a half-open probe is already in flight).
+// Callers treat it as "the dependency is known-bad right now — serve a
+// fallback instead of piling on".
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the classic three-state circuit.
+type BreakerState int
+
+const (
+	// Closed passes calls through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open rejects calls outright until the cooldown elapses.
+	Open
+	// HalfOpen admits a single probe; its outcome closes or re-opens.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerOptions tunes a Breaker. The zero value gets sane defaults.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Clock is the time source (default time.Now); injectable so tests
+	// step through cooldowns without sleeping.
+	Clock func() time.Time
+	// OnStateChange, when set, observes every transition.
+	OnStateChange func(from, to BreakerState)
+}
+
+// Breaker is a consecutive-failure circuit breaker safe for concurrent
+// use.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+// NewBreaker builds a breaker; zero-valued options take defaults.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Breaker{opts: opts}
+}
+
+// State reports the current state (refreshing open→half-open if the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && !b.opts.Clock().Before(b.openUntil) {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// transition moves to a state and fires the hook. The hook runs under
+// the lock, so keep hooks cheap (a counter bump).
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.opts.OnStateChange != nil {
+		b.opts.OnStateChange(from, to)
+	}
+}
+
+// Do runs fn through the breaker. When the circuit is open (or another
+// half-open probe is in flight) it returns ErrOpen without calling fn;
+// otherwise fn's error is returned verbatim and counted.
+func (b *Breaker) Do(fn func() error) error {
+	b.mu.Lock()
+	switch b.state {
+	case Open:
+		if b.opts.Clock().Before(b.openUntil) {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.transition(HalfOpen)
+		b.probing = true
+	case HalfOpen:
+		if b.probing {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.probing = true
+	}
+	b.mu.Unlock()
+
+	err := fn()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+		b.transition(Closed)
+		return nil
+	}
+	b.failures++
+	if b.state == HalfOpen || b.failures >= b.opts.FailureThreshold {
+		b.openUntil = b.opts.Clock().Add(b.opts.Cooldown)
+		b.transition(Open)
+	}
+	return err
+}

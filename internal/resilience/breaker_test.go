@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+var errBoom = errors.New("boom")
+
+func failing() error { return errBoom }
+func passing() error { return nil }
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clock := &fakeClock{}
+	var transitions []string
+	b := NewBreaker(BreakerOptions{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Clock:            clock.now,
+		OnStateChange: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+	for i := 0; i < 3; i++ {
+		if err := b.Do(failing); !errors.Is(err, errBoom) {
+			t.Fatalf("attempt %d: err = %v, want boom", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	// While open, calls short-circuit.
+	called := false
+	if err := b.Do(func() error { called = true; return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if called {
+		t.Fatal("open breaker ran the function")
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Errorf("transitions = %v", transitions)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clock := &fakeClock{}
+	b := NewBreaker(BreakerOptions{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock.now})
+	b.Do(failing)
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	// Before the cooldown: still rejecting.
+	if err := b.Do(passing); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v before cooldown", err)
+	}
+	clock.advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	// A failed probe re-opens for another full cooldown.
+	if err := b.Do(failing); !errors.Is(err, errBoom) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open")
+	}
+	clock.advance(time.Minute)
+	// A successful probe closes.
+	if err := b.Do(passing); err != nil {
+		t.Fatalf("probe err = %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after good probe, want closed", b.State())
+	}
+}
+
+func TestBreakerSingleProbe(t *testing.T) {
+	clock := &fakeClock{}
+	b := NewBreaker(BreakerOptions{FailureThreshold: 1, Cooldown: time.Second, Clock: clock.now})
+	b.Do(failing)
+	clock.advance(time.Second)
+
+	probeEntered := make(chan struct{})
+	probeRelease := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Do(func() error {
+			close(probeEntered)
+			<-probeRelease
+			return nil
+		})
+	}()
+	<-probeEntered
+	// While the probe is in flight, other callers are rejected.
+	if err := b.Do(passing); !errors.Is(err, ErrOpen) {
+		t.Fatalf("concurrent call err = %v, want ErrOpen", err)
+	}
+	close(probeRelease)
+	if err := <-done; err != nil {
+		t.Fatalf("probe err = %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatal("probe success did not close the breaker")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(BreakerOptions{FailureThreshold: 2})
+	b.Do(failing)
+	b.Do(passing)
+	b.Do(failing)
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.Do(failing)
+	if b.State() != Open {
+		t.Fatal("consecutive failures did not open the breaker")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		Closed: "closed", Open: "open", HalfOpen: "half-open", BreakerState(9): "BreakerState(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ChaosOptions describes what a chaos middleware injects. All
+// probabilities are per request in [0, 1]; the zero value injects
+// nothing.
+type ChaosOptions struct {
+	// LatencyProb adds Latency to a request's handling.
+	LatencyProb float64
+	Latency     time.Duration
+	// ErrorProb fails the request with 503 and an X-Chaos: error header
+	// before the handler runs.
+	ErrorProb float64
+	// PanicProb panics inside the handler chain — this is how the soak
+	// test proves the recovery middleware holds the line.
+	PanicProb float64
+	// TimeoutProb stalls the request until its context is done (the
+	// server's per-request timeout), exercising the slow-path handling.
+	TimeoutProb float64
+	// Seed fixes the random stream so chaos runs are reproducible.
+	Seed int64
+}
+
+// Enabled reports whether any injection can fire.
+func (o ChaosOptions) Enabled() bool {
+	return o.LatencyProb > 0 || o.ErrorProb > 0 || o.PanicProb > 0 || o.TimeoutProb > 0
+}
+
+// validate rejects malformed probabilities.
+func (o ChaosOptions) validate() error {
+	for name, p := range map[string]float64{
+		"latency": o.LatencyProb, "error": o.ErrorProb, "panic": o.PanicProb, "timeout": o.TimeoutProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("resilience: chaos %s probability %v outside [0, 1]", name, p)
+		}
+	}
+	if o.Latency < 0 {
+		return fmt.Errorf("resilience: negative chaos latency %v", o.Latency)
+	}
+	if o.LatencyProb > 0 && o.Latency == 0 {
+		return fmt.Errorf("resilience: chaos latency probability without a duration")
+	}
+	return nil
+}
+
+// ParseChaosSpec parses the -chaos flag syntax: comma-separated
+// key=value items, e.g.
+//
+//	latency=0.2:5ms,error=0.05,panic=0.01,timeout=0.01,seed=1
+//
+// where latency's value is prob:duration and the rest are plain
+// probabilities (seed is an integer). An empty spec disables chaos.
+func ParseChaosSpec(spec string) (ChaosOptions, error) {
+	var o ChaosOptions
+	if strings.TrimSpace(spec) == "" {
+		return o, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return ChaosOptions{}, fmt.Errorf("resilience: chaos item %q is not key=value", item)
+		}
+		switch key {
+		case "latency":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return ChaosOptions{}, fmt.Errorf("resilience: chaos latency %q is not prob:duration", val)
+			}
+			p, err := strconv.ParseFloat(probStr, 64)
+			if err != nil {
+				return ChaosOptions{}, fmt.Errorf("resilience: chaos latency probability: %w", err)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return ChaosOptions{}, fmt.Errorf("resilience: chaos latency duration: %w", err)
+			}
+			o.LatencyProb, o.Latency = p, d
+		case "error", "panic", "timeout":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return ChaosOptions{}, fmt.Errorf("resilience: chaos %s probability: %w", key, err)
+			}
+			switch key {
+			case "error":
+				o.ErrorProb = p
+			case "panic":
+				o.PanicProb = p
+			case "timeout":
+				o.TimeoutProb = p
+			}
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return ChaosOptions{}, fmt.Errorf("resilience: chaos seed: %w", err)
+			}
+			o.Seed = s
+		default:
+			return ChaosOptions{}, fmt.Errorf("resilience: unknown chaos key %q", key)
+		}
+	}
+	if err := o.validate(); err != nil {
+		return ChaosOptions{}, err
+	}
+	return o, nil
+}
+
+// Chaos injects faults into an HTTP handler chain. One injection fires
+// per request at most (drawn in a fixed order: error, panic, timeout,
+// latency), so probabilities compose predictably.
+type Chaos struct {
+	opts ChaosOptions
+	// OnInject, when set, observes every injection by kind
+	// ("error", "panic", "timeout", "latency").
+	OnInject func(kind string)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewChaos builds an injector; returns an error for malformed options.
+func NewChaos(opts ChaosOptions) (*Chaos, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Chaos{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}, nil
+}
+
+// draw picks at most one injection kind for a request.
+func (c *Chaos) draw() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.rng.Float64()
+	for _, k := range [...]struct {
+		kind string
+		p    float64
+	}{
+		{"error", c.opts.ErrorProb},
+		{"panic", c.opts.PanicProb},
+		{"timeout", c.opts.TimeoutProb},
+		{"latency", c.opts.LatencyProb},
+	} {
+		if u < k.p {
+			return k.kind
+		}
+		u -= k.p
+	}
+	return ""
+}
+
+// Middleware wraps next with fault injection. A nil or disabled Chaos
+// returns next unchanged.
+func (c *Chaos) Middleware(next http.Handler) http.Handler {
+	if c == nil || !c.opts.Enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch kind := c.draw(); kind {
+		case "error":
+			c.inject(kind)
+			w.Header().Set("X-Chaos", "error")
+			http.Error(w, "chaos: injected error", http.StatusServiceUnavailable)
+			return
+		case "panic":
+			c.inject(kind)
+			panic("chaos: injected panic")
+		case "timeout":
+			c.inject(kind)
+			// Stall until the request dies (per-request timeout or client
+			// disconnect), then answer like a gateway that gave up.
+			<-r.Context().Done()
+			w.Header().Set("X-Chaos", "timeout")
+			http.Error(w, "chaos: injected timeout", http.StatusGatewayTimeout)
+			return
+		case "latency":
+			c.inject(kind)
+			// Delay, then run the handler anyway — even if the context
+			// expired meanwhile, so the server's own timeout handling
+			// (not the injector) decides the response.
+			select {
+			case <-time.After(c.opts.Latency):
+			case <-r.Context().Done():
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (c *Chaos) inject(kind string) {
+	if c.OnInject != nil {
+		c.OnInject(kind)
+	}
+}

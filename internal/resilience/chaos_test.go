@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	o, err := ParseChaosSpec("latency=0.2:5ms,error=0.05,panic=0.01,timeout=0.01,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChaosOptions{
+		LatencyProb: 0.2, Latency: 5 * time.Millisecond,
+		ErrorProb: 0.05, PanicProb: 0.01, TimeoutProb: 0.01, Seed: 7,
+	}
+	if o != want {
+		t.Fatalf("parsed %+v, want %+v", o, want)
+	}
+	if !o.Enabled() {
+		t.Error("parsed spec not enabled")
+	}
+	empty, err := ParseChaosSpec("  ")
+	if err != nil || empty.Enabled() {
+		t.Errorf("empty spec: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{
+		"latency=0.2", "latency=x:5ms", "latency=0.2:xs", "error=2", "error=x",
+		"wibble=1", "panic", "seed=x", "latency=-0.5:5ms",
+	} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// comparableHandler has a comparable dynamic type, so the pass-through
+// tests can check handler identity with ==.
+type comparableHandler struct{}
+
+func (comparableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {}
+
+func TestChaosDisabledPassesThrough(t *testing.T) {
+	c, err := NewChaos(ChaosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := comparableHandler{}
+	if got := c.Middleware(next); got != http.Handler(next) {
+		t.Error("disabled chaos wrapped the handler")
+	}
+	var nilChaos *Chaos
+	if got := nilChaos.Middleware(next); got != http.Handler(next) {
+		t.Error("nil chaos wrapped the handler")
+	}
+}
+
+func TestChaosInjectsErrors(t *testing.T) {
+	c, err := NewChaos(ChaosOptions{ErrorProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	c.OnInject = func(k string) { kinds[k]++ }
+	h := c.Middleware(okHandler())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("X-Chaos") != "error" {
+		t.Error("missing X-Chaos header")
+	}
+	if kinds["error"] != 1 {
+		t.Errorf("OnInject saw %v", kinds)
+	}
+}
+
+func TestChaosInjectsPanics(t *testing.T) {
+	c, err := NewChaos(ChaosOptions{PanicProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Middleware(okHandler())
+	defer func() {
+		if v := recover(); v != "chaos: injected panic" {
+			t.Errorf("recovered %v", v)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	t.Fatal("no panic")
+}
+
+func TestChaosInjectsLatency(t *testing.T) {
+	c, err := NewChaos(ChaosOptions{LatencyProb: 1, Latency: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Middleware(okHandler())
+	start := time.Now()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("request took %v, want >= 30ms", d)
+	}
+	if rr.Code != http.StatusOK {
+		t.Errorf("latency injection changed the response: %d", rr.Code)
+	}
+}
+
+func TestChaosTimeoutRespectsContext(t *testing.T) {
+	c, err := NewChaos(ChaosOptions{TimeoutProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlerRan := false
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handlerRan = true
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rr := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rr, req.WithContext(ctx))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout injection did not release on context done")
+	}
+	if handlerRan {
+		t.Error("handler ran despite timeout injection")
+	}
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Errorf("code = %d, want 504", rr.Code)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	draws := func(seed int64) []string {
+		c, err := NewChaos(ChaosOptions{ErrorProb: 0.3, PanicProb: 0.2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for i := 0; i < 32; i++ {
+			out = append(out, c.draw())
+		}
+		return out
+	}
+	a, b := draws(5), draws(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosOptionValidation(t *testing.T) {
+	for name, o := range map[string]ChaosOptions{
+		"prob over 1":       {ErrorProb: 1.5},
+		"negative prob":     {PanicProb: -0.1},
+		"latency no dur":    {LatencyProb: 0.5},
+		"negative duration": {LatencyProb: 0.5, Latency: -time.Second},
+	} {
+		if _, err := NewChaos(o); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package resilience
+
+import (
+	"net/http"
+)
+
+// recordingWriter tracks whether the handler already wrote a header, so
+// the recovery path only sends a 500 when it still can.
+type recordingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recordingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (w *recordingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Recover wraps next so a handler panic becomes a 500 response instead
+// of a crashed daemon. onPanic (optional) observes the recovered value
+// — wire it to a metric and a log line. http.ErrAbortHandler passes
+// through untouched, preserving net/http's abort contract.
+func Recover(onPanic func(v any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &recordingWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v)
+			}
+			if !rw.wrote {
+				http.Error(rw, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(rw, r)
+	})
+}

@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var seen any
+	h := Recover(func(v any) { seen = v }, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rr.Code)
+	}
+	if seen != "kaboom" {
+		t.Errorf("onPanic saw %v", seen)
+	}
+}
+
+func TestRecoverPassesThroughCleanRequests(t *testing.T) {
+	h := Recover(func(v any) { t.Errorf("onPanic fired: %v", v) },
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+			io.WriteString(w, "tea")
+		}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusTeapot || rr.Body.String() != "tea" {
+		t.Fatalf("response mangled: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestRecoverDoesNotOverwriteStartedResponse(t *testing.T) {
+	h := Recover(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late panic")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("code = %d, recovery overwrote a started response", rr.Code)
+	}
+}
+
+func TestRecoverReRaisesAbortHandler(t *testing.T) {
+	h := Recover(func(v any) { t.Error("onPanic fired for ErrAbortHandler") },
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic(http.ErrAbortHandler)
+		}))
+	defer func() {
+		if v := recover(); v != http.ErrAbortHandler {
+			t.Errorf("recovered %v, want ErrAbortHandler", v)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	t.Fatal("abort did not propagate")
+}
+
+func TestRecoverKeepsDaemonServing(t *testing.T) {
+	var n int
+	h := Recover(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n%2 == 1 {
+			panic("every other request")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{500, 200, 500, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryOptions tunes the retrying Client. The zero value gets sane
+// defaults.
+type RetryOptions struct {
+	// MaxAttempts bounds total tries including the first (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: before attempt n the
+	// client sleeps a uniform draw from [0, min(MaxDelay, BaseDelay*2^n))
+	// — "full jitter", which spreads synchronized retriers evenly
+	// (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window and any Retry-After the server
+	// requests (default 5s).
+	MaxDelay time.Duration
+	// Seed fixes the jitter stream for reproducible tests.
+	Seed int64
+	// RetryStatus decides which response codes retry (default: 429 and
+	// all 5xx).
+	RetryStatus func(code int) bool
+	// sleep is injectable for tests; default waits on a timer or ctx.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client retries transient HTTP failures with capped exponential
+// backoff, full jitter, and Retry-After honoring. Safe for concurrent
+// use.
+type Client struct {
+	http *http.Client
+	opts RetryOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient wraps hc (nil means http.DefaultClient) with retries.
+func NewClient(hc *http.Client, opts RetryOptions) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 100 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 5 * time.Second
+	}
+	if opts.RetryStatus == nil {
+		opts.RetryStatus = func(code int) bool {
+			return code == http.StatusTooManyRequests || code >= 500
+		}
+	}
+	if opts.sleep == nil {
+		opts.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return &Client{http: hc, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Do issues req, retrying network errors and retryable statuses. A
+// request with a body must provide GetBody (http.NewRequest sets it for
+// the common body types) or it will not be retried. The last response
+// or error is returned after MaxAttempts.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err = c.http.Do(req)
+		retryable := err != nil || c.opts.RetryStatus(resp.StatusCode)
+		if !retryable || attempt+1 >= c.opts.MaxAttempts {
+			return resp, err
+		}
+		if req.Body != nil && req.GetBody == nil {
+			return resp, err // cannot replay the body
+		}
+		delay := c.backoff(attempt)
+		if resp != nil {
+			if ra, ok := retryAfter(resp, c.opts.MaxDelay); ok && ra > delay {
+				delay = ra
+			}
+			// Drain so the transport can reuse the connection.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if err := c.opts.sleep(req.Context(), delay); err != nil {
+			return nil, fmt.Errorf("resilience: retry wait: %w", err)
+		}
+		if req.GetBody != nil {
+			body, gerr := req.GetBody()
+			if gerr != nil {
+				return nil, fmt.Errorf("resilience: rewinding request body: %w", gerr)
+			}
+			req.Body = body
+		}
+	}
+}
+
+// backoff draws the full-jitter delay before retry number attempt+1.
+func (c *Client) backoff(attempt int) time.Duration {
+	window := c.opts.BaseDelay << uint(attempt)
+	if window <= 0 || window > c.opts.MaxDelay {
+		window = c.opts.MaxDelay
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Float64() * float64(window))
+}
+
+// retryAfter reads a Retry-After header (delta-seconds or HTTP-date),
+// capped at max.
+func retryAfter(resp *http.Response, max time.Duration) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		d := time.Duration(secs * float64(time.Second))
+		if d < 0 {
+			return 0, false
+		}
+		if d > max {
+			d = max
+		}
+		return d, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			return 0, false
+		}
+		if d > max {
+			d = max
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sleepRecorder replaces the client's sleeper so tests run instantly
+// and can assert the delays chosen.
+type sleepRecorder struct {
+	delays []time.Duration
+}
+
+func (s *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.delays = append(s.delays, d)
+	return nil
+}
+
+func newRetryClient(t *testing.T, srvURL string, opts RetryOptions) (*Client, *sleepRecorder) {
+	t.Helper()
+	rec := &sleepRecorder{}
+	opts.sleep = rec.sleep
+	return NewClient(nil, opts), rec
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			http.Error(w, "later", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, rec := newRetryClient(t, srv.URL, RetryOptions{MaxAttempts: 4, Seed: 1})
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want 3", calls)
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("slept %d times, want 2", len(rec.delays))
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c, _ := newRetryClient(t, srv.URL, RetryOptions{MaxAttempts: 3, Seed: 1})
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("code = %d", resp.StatusCode)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want exactly MaxAttempts", calls)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	// Base delay tiny so the jittered backoff can never reach 2s: the
+	// observed delay must come from the header.
+	c, rec := newRetryClient(t, srv.URL, RetryOptions{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second, Seed: 1,
+	})
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rec.delays) != 1 || rec.delays[0] != 2*time.Second {
+		t.Fatalf("delays = %v, want [2s] from Retry-After", rec.delays)
+	}
+}
+
+func TestRetryAfterCappedAtMaxDelay(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": {"3600"}}}
+	d, ok := retryAfter(resp, 5*time.Second)
+	if !ok || d != 5*time.Second {
+		t.Errorf("retryAfter = %v, %v; want capped 5s", d, ok)
+	}
+	resp.Header.Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+	if d, ok := retryAfter(resp, 5*time.Second); !ok || d != 5*time.Second {
+		t.Errorf("HTTP-date retryAfter = %v, %v; want capped 5s", d, ok)
+	}
+	resp.Header.Set("Retry-After", "garbage")
+	if _, ok := retryAfter(resp, 5*time.Second); ok {
+		t.Error("garbage Retry-After honored")
+	}
+}
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	c := NewClient(nil, RetryOptions{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 2})
+	for attempt := 0; attempt < 10; attempt++ {
+		window := 100 * time.Millisecond << uint(attempt)
+		if window <= 0 || window > time.Second {
+			window = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt); d < 0 || d >= window {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", attempt, d, window)
+			}
+		}
+	}
+}
+
+func TestRetryReplaysBody(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		if len(bodies) == 1 {
+			http.Error(w, "again", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, _ := newRetryClient(t, srv.URL, RetryOptions{MaxAttempts: 2, Seed: 1})
+	req, _ := http.NewRequest("POST", srv.URL, strings.NewReader(`{"x":1}`))
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != bodies[1] || bodies[1] != `{"x":1}` {
+		t.Fatalf("bodies = %q, want the payload twice", bodies)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewClient(nil, RetryOptions{MaxAttempts: 5, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	if _, err := c.Do(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryNetworkError(t *testing.T) {
+	// A server that is immediately closed: every dial fails.
+	srv := httptest.NewServer(okHandler())
+	url := srv.URL
+	srv.Close()
+
+	c, rec := newRetryClient(t, url, RetryOptions{MaxAttempts: 3, Seed: 1})
+	req, _ := http.NewRequest("GET", url, nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("expected a network error")
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("slept %d times, want 2 (retried the dial failures)", len(rec.delays))
+	}
+}

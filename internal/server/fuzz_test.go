@@ -3,8 +3,9 @@ package server
 // Fuzzes the JSON decode/validate layer of every POST endpoint with one
 // shared server. The property under test is the error contract: no
 // body — malformed JSON, unknown fields, NaN/Inf/negative work,
-// out-of-range node counts, junk trailing data — may ever produce a 5xx
-// or a panic; bad input is always a 400 with a JSON error body.
+// out-of-range node counts, junk trailing data, oversized payloads —
+// may ever produce a 5xx or a panic; bad input is always a 4xx (400,
+// or 413 for oversized bodies) with a JSON error body.
 // Seed inputs covering each rejection class are checked in under
 // testdata/fuzz/FuzzHandlersRejectBadInput.
 
@@ -28,9 +29,10 @@ var (
 func fuzzServer(t testing.TB) *Server {
 	fuzzOnce.Do(func() {
 		s, err := New(Options{
-			Models:    testSuite(),
-			MaxNodes:  12,
-			MaxPoints: 500,
+			Models:       testSuite(),
+			MaxNodes:     12,
+			MaxPoints:    500,
+			MaxBodyBytes: 4096,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -60,6 +62,9 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		`null`,
 		`[]`,
 		`{`,
+		// Oversized body: must answer 413, never a 5xx (the fuzz server
+		// caps bodies at 4096 bytes).
+		`{"workload":"ep","pad":"` + strings.Repeat("A", 8192) + `"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -9,6 +9,7 @@ package server
 // one cache entry.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"heteromix/internal/cluster"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/queueing"
+	"heteromix/internal/resilience"
 	"heteromix/internal/units"
 	"heteromix/internal/workloads"
 )
@@ -64,13 +66,19 @@ func writeRaw(w http.ResponseWriter, body []byte, cached bool) {
 }
 
 // decode reads and unmarshals the request body into T, rejecting
-// unknown fields. ok=false means a 400 was already written.
+// unknown fields. ok=false means an error status was already written:
+// 413 when the body exceeds MaxBodyBytes, 400 for everything else.
 func decode[T any](s *Server, w http.ResponseWriter, r *http.Request) (T, bool) {
 	var req T
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		if errors.As(err, new(*http.MaxBytesError)) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.opts.MaxBodyBytes)
+			return req, false
+		}
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return req, false
 	}
@@ -92,12 +100,17 @@ func badRequestf(format string, args ...any) error {
 }
 
 // replyError maps a handler error to a status: validation failures are
-// 400, timeouts 503, anything else 500.
+// 400, an open circuit breaker or a timeout 503, anything else 500.
 func replyError(w http.ResponseWriter, r *http.Request, err error) {
 	var br badRequest
 	switch {
 	case errors.As(err, &br):
 		writeError(w, http.StatusBadRequest, "%s", br.msg)
+	case errors.Is(err, resilience.ErrOpen):
+		// The compute path is known-bad and nothing cached could stand in;
+		// tell the client when the breaker will admit a probe.
+		w.Header().Set("Retry-After", shedRetryAfter())
+		writeError(w, http.StatusServiceUnavailable, "temporarily unavailable: %v", err)
 	case r.Context().Err() != nil:
 		writeError(w, http.StatusServiceUnavailable, "request timed out: %v", err)
 	default:
@@ -335,6 +348,10 @@ type EnumerateResponse struct {
 	Truncated    bool                   `json:"truncated,omitempty"`
 	FrontierOnly bool                   `json:"frontier_only,omitempty"`
 	Points       []cluster.PointSummary `json:"points"`
+	// Degraded marks a stale result served because the recompute path was
+	// failing (circuit open or compute error) — the numbers are from an
+	// expired cache entry, not a fresh evaluation.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) normalizeEnumerate(req EnumerateRequest) (EnumerateRequest, error) {
@@ -368,60 +385,96 @@ func (s *Server) normalizeEnumerate(req EnumerateRequest) (EnumerateRequest, err
 	return req, nil
 }
 
-func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) ([]byte, bool, error) {
+// enumerateBytes returns the marshaled response for a canonicalized
+// request. The compute path runs through the circuit breaker and the
+// cache's freshness bound: when the breaker is open or the compute
+// fails, an expired cache entry is served with degraded=true rather
+// than cascading the failure.
+func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) (body []byte, cached, degraded bool, err error) {
 	key := canonicalKey("enumerate", req)
 	ctx := r.Context()
-	v, cached, err := s.cache.Do(key, func() (any, error) {
-		tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
-		if err != nil {
-			return nil, err
-		}
-		resp := EnumerateResponse{
-			Workload:     req.Workload,
-			Work:         req.Work,
-			SpaceSize:    tbl.Size(req.MaxARM, req.MaxAMD),
-			FrontierOnly: req.FrontierOnly,
-		}
-		if req.FrontierOnly {
-			pts, _, err := tbl.Frontier(req.MaxARM, req.MaxAMD, req.Work)
+	v, cached, stale, err := s.cache.DoFresh(key, s.opts.CacheTTL, func() (any, error) {
+		var out []byte
+		berr := s.breaker.Do(func() error {
+			tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			resp.Points = make([]cluster.PointSummary, len(pts))
-			for i, p := range pts {
-				resp.Points[i] = p.Summary()
+			resp := EnumerateResponse{
+				Workload:     req.Workload,
+				Work:         req.Work,
+				SpaceSize:    tbl.Size(req.MaxARM, req.MaxAMD),
+				FrontierOnly: req.FrontierOnly,
 			}
-		} else {
-			resp.Points = make([]cluster.PointSummary, 0, min(req.Limit, resp.SpaceSize))
-			n := 0
-			err := tbl.ForEach(req.MaxARM, req.MaxAMD, req.Work, func(p cluster.Point) bool {
-				// The walk is pure arithmetic; poll for cancellation at
-				// coarse intervals so a timed-out request stops burning CPU.
-				n++
-				if n&0x1fff == 0 && ctx.Err() != nil {
-					return false
+			if req.FrontierOnly {
+				pts, _, err := tbl.Frontier(req.MaxARM, req.MaxAMD, req.Work)
+				if err != nil {
+					return err
 				}
-				if len(resp.Points) >= req.Limit {
-					resp.Truncated = true
-					return false
+				resp.Points = make([]cluster.PointSummary, len(pts))
+				for i, p := range pts {
+					resp.Points[i] = p.Summary()
 				}
-				resp.Points = append(resp.Points, p.Summary())
-				return true
-			})
+			} else {
+				resp.Points = make([]cluster.PointSummary, 0, min(req.Limit, resp.SpaceSize))
+				n := 0
+				err := tbl.ForEach(req.MaxARM, req.MaxAMD, req.Work, func(p cluster.Point) bool {
+					// The walk is pure arithmetic; poll for cancellation at
+					// coarse intervals so a timed-out request stops burning CPU.
+					n++
+					if n&0x1fff == 0 && ctx.Err() != nil {
+						return false
+					}
+					if len(resp.Points) >= req.Limit {
+						resp.Truncated = true
+						return false
+					}
+					resp.Points = append(resp.Points, p.Summary())
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+			}
+			resp.Returned = len(resp.Points)
+			b, err := json.Marshal(resp)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
+			out = b
+			return nil
+		})
+		if berr != nil {
+			return nil, berr
 		}
-		resp.Returned = len(resp.Points)
-		return json.Marshal(resp)
+		return out, nil
 	})
-	if err != nil {
-		return nil, false, err
+	if stale {
+		s.degraded.Inc()
+		return v.([]byte), false, true, nil
 	}
-	return v.([]byte), cached, nil
+	if err != nil {
+		return nil, false, false, err
+	}
+	return v.([]byte), cached, false, nil
+}
+
+// markDegraded splices "degraded":true into a marshaled response so a
+// stale body serves with the flag set without a re-marshal round trip.
+func markDegraded(body []byte) []byte {
+	trimmed := bytes.TrimRight(body, " \t\r\n")
+	if len(trimmed) < 2 || trimmed[len(trimmed)-1] != '}' {
+		return body
+	}
+	out := make([]byte, 0, len(trimmed)+len(`,"degraded":true}`))
+	out = append(out, trimmed[:len(trimmed)-1]...)
+	if trimmed[len(trimmed)-2] != '{' {
+		out = append(out, ',')
+	}
+	return append(out, `"degraded":true}`...)
 }
 
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
@@ -434,9 +487,14 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		replyError(w, r, err)
 		return
 	}
-	body, cached, err := s.enumerateBytes(r, norm)
+	body, cached, degraded, err := s.enumerateBytes(r, norm)
 	if err != nil {
 		replyError(w, r, err)
+		return
+	}
+	if degraded {
+		w.Header().Set("X-Degraded", "true")
+		writeRaw(w, markDegraded(body), false)
 		return
 	}
 	writeRaw(w, body, cached)
@@ -634,16 +692,23 @@ type HealthResponse struct {
 	Inflight      int64    `json:"inflight"`
 	Cache         HealthCache `json:"cache"`
 	KernelTables  uint64   `json:"kernel_table_builds"`
+	// Breaker is the enumerate circuit breaker's state
+	// ("closed", "open", "half-open").
+	Breaker           string `json:"breaker"`
+	DegradedResponses uint64 `json:"degraded_responses"`
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	Draining          bool   `json:"draining"`
 }
 
 // HealthCache is the cache's counters in wire form.
 type HealthCache struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	HitRatio  float64 `json:"hit_ratio"`
-	Entries   int     `json:"entries"`
-	Collapsed uint64  `json:"collapsed"`
-	Evictions uint64  `json:"evictions"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Entries     int     `json:"entries"`
+	Collapsed   uint64  `json:"collapsed"`
+	Evictions   uint64  `json:"evictions"`
+	StaleServes uint64  `json:"stale_serves"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -660,7 +725,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache: HealthCache{
 			Hits: st.Hits, Misses: st.Misses, HitRatio: st.HitRatio(),
 			Entries: st.Entries, Collapsed: st.Collapsed, Evictions: st.Evictions,
+			StaleServes: st.StaleServes,
 		},
-		KernelTables: s.tableBuilds.Value(),
+		KernelTables:      s.tableBuilds.Value(),
+		Breaker:           s.breaker.State().String(),
+		DegradedResponses: s.degraded.Value(),
+		PanicsRecovered:   s.panics.Value(),
+		Draining:          s.draining.Load(),
 	})
+}
+
+// --- /readyz ---------------------------------------------------------
+
+// ReadyResponse is the readiness probe body. Unlike /healthz (liveness:
+// "the process is up and sane"), /readyz answers "should this instance
+// receive new traffic" — it flips to 503 the moment graceful drain
+// begins, while in-flight requests keep completing.
+type ReadyResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
 }

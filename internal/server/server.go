@@ -22,15 +22,19 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heteromix/internal/buildinfo"
 	"heteromix/internal/cluster"
 	"heteromix/internal/metrics"
+	"heteromix/internal/resilience"
 	"heteromix/internal/servercache"
 )
 
@@ -65,10 +69,30 @@ type Options struct {
 	MaxBodyBytes int64
 	// Registry receives the server's metrics (default: a fresh one).
 	Registry *metrics.Registry
+	// CacheTTL bounds how long an enumerate result may serve without a
+	// recompute; 0 disables expiry. With a TTL set, a recompute failure
+	// serves the expired entry marked "degraded": true instead of an
+	// error (see the README's resilience section).
+	CacheTTL time.Duration
+	// BreakerThreshold and BreakerCooldown tune the circuit breaker on
+	// the enumerate compute path (defaults 5 failures, 5s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DrainDelay is how long Run keeps serving after flipping /readyz to
+	// 503 before closing the listener, giving load balancers time to
+	// stop routing here (default 0: shut down immediately).
+	DrainDelay time.Duration
+	// Chaos injects faults into the /v1 endpoints (latency, errors,
+	// panics, timeouts). Zero value: no injection. Gated behind the
+	// daemon's -chaos flag; never on by default.
+	Chaos resilience.ChaosOptions
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "budget", "queueing", "healthz"}
+var endpointNames = []string{"predict", "enumerate", "budget", "queueing", "healthz", "readyz"}
+
+// chaosKinds labels the chaos-injection counters.
+var chaosKinds = []string{"latency", "error", "panic", "timeout"}
 
 // endpointMetrics is one endpoint's instrument set.
 type endpointMetrics struct {
@@ -88,15 +112,25 @@ type Server struct {
 	sem    chan struct{}
 	start  time.Time
 
-	inflight    *metrics.Gauge
-	rejected    *metrics.Counter
-	timeouts    *metrics.Counter
-	tableBuilds *metrics.Counter
-	cacheHits   *metrics.Counter
-	cacheMisses *metrics.Counter
-	cacheCollap *metrics.Counter
-	cacheEvict  *metrics.Counter
-	byEndpoint  map[string]*endpointMetrics
+	chaos    *resilience.Chaos
+	breaker  *resilience.Breaker
+	draining atomic.Bool
+
+	inflight     *metrics.Gauge
+	rejected     *metrics.Counter
+	timeouts     *metrics.Counter
+	tableBuilds  *metrics.Counter
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	cacheCollap  *metrics.Counter
+	cacheEvict   *metrics.Counter
+	cacheStale   *metrics.Counter
+	panics       *metrics.Counter
+	degraded     *metrics.Counter
+	breakerState *metrics.Gauge
+	breakerOpens *metrics.Counter
+	chaosInject  map[string]*metrics.Counter
+	byEndpoint   map[string]*endpointMetrics
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -135,6 +169,16 @@ func New(opts Options) (*Server, error) {
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	chaos, err := resilience.NewChaos(opts.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 
 	s := &Server{
 		opts:   opts,
@@ -144,8 +188,20 @@ func New(opts Options) (*Server, error) {
 		mux:    http.NewServeMux(),
 		sem:    make(chan struct{}, opts.MaxConcurrent),
 		start:  time.Now(),
+		chaos:  chaos,
 	}
 	s.registerMetrics()
+	s.chaos.OnInject = func(kind string) { s.chaosInject[kind].Inc() }
+	s.breaker = resilience.NewBreaker(resilience.BreakerOptions{
+		FailureThreshold: opts.BreakerThreshold,
+		Cooldown:         opts.BreakerCooldown,
+		OnStateChange: func(_, to resilience.BreakerState) {
+			s.breakerState.Set(int64(to))
+			if to == resilience.Open {
+				s.breakerOpens.Inc()
+			}
+		},
+	})
 	s.registerRoutes()
 	return s, nil
 }
@@ -168,6 +224,21 @@ func (s *Server) registerMetrics() {
 		"requests that shared another request's computation (singleflight)")
 	s.cacheEvict = r.NewCounter("heteromixd_cache_evictions_total",
 		"result cache LRU evictions")
+	s.cacheStale = r.NewCounter("heteromixd_cache_stale_serves_total",
+		"expired cache entries served because the recompute failed")
+	s.panics = r.NewCounter("heteromixd_panics_recovered_total",
+		"handler panics contained by the recovery middleware")
+	s.degraded = r.NewCounter("heteromixd_degraded_responses_total",
+		"responses served stale and marked degraded")
+	s.breakerState = r.NewGauge("heteromixd_breaker_state",
+		"enumerate circuit breaker state (0 closed, 1 open, 2 half-open)")
+	s.breakerOpens = r.NewCounter("heteromixd_breaker_opens_total",
+		"times the enumerate circuit breaker tripped open")
+	s.chaosInject = make(map[string]*metrics.Counter, len(chaosKinds))
+	for _, kind := range chaosKinds {
+		s.chaosInject[kind] = r.NewCounter("heteromixd_chaos_injections_total",
+			"chaos faults injected", metrics.Label{Key: "kind", Value: kind})
+	}
 	s.byEndpoint = make(map[string]*endpointMetrics, len(endpointNames))
 	for _, ep := range endpointNames {
 		s.byEndpoint[ep] = &endpointMetrics{
@@ -196,6 +267,7 @@ func (s *Server) syncCacheMetrics() {
 	s.cacheMisses.Store(st.Misses)
 	s.cacheCollap.Store(st.Collapsed)
 	s.cacheEvict.Store(st.Evictions)
+	s.cacheStale.Store(st.StaleServes)
 }
 
 func (s *Server) registerRoutes() {
@@ -204,6 +276,7 @@ func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
 	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.syncCacheMetrics()
 		s.reg.Handler().ServeHTTP(w, r)
@@ -234,11 +307,32 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// shedRetryAfter returns a jittered Retry-After value in [1, 3] seconds
+// so a shed herd does not retry in lockstep and re-shed itself.
+func shedRetryAfter() string {
+	return strconv.Itoa(1 + rand.Intn(3))
+}
+
 // instrument wraps a handler with the serving policy: in-flight
 // accounting, the concurrency limiter (limited endpoints only), the
-// per-request timeout, panic containment and per-endpoint metrics.
+// per-request timeout, chaos injection (limited endpoints, when
+// enabled), panic containment via resilience.Recover and per-endpoint
+// metrics.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
 	em := s.byEndpoint[endpoint]
+	// Chaos sits inside Recover so injected panics exercise the same
+	// containment a real handler bug would. The test hook runs innermost,
+	// inside both, so hook-injected panics and stalls are also contained.
+	var inner http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.testHookStart != nil {
+			s.testHookStart(endpoint)
+		}
+		h(w, r)
+	})
+	if limited {
+		inner = s.chaos.Middleware(inner)
+	}
+	inner = resilience.Recover(func(any) { s.panics.Inc() }, inner)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		em.requests.Inc()
 		s.inflight.Inc()
@@ -251,7 +345,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			default:
 				s.rejected.Inc()
 				em.errors.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", shedRetryAfter())
 				writeError(w, http.StatusServiceUnavailable,
 					"over capacity (%d concurrent requests)", s.opts.MaxConcurrent)
 				return
@@ -261,24 +355,9 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		defer cancel()
 		r = r.WithContext(ctx)
 
-		if s.testHookStart != nil {
-			s.testHookStart(endpoint)
-		}
-
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		startAt := time.Now()
-		func() {
-			defer func() {
-				if p := recover(); p != nil {
-					// A handler bug must not take the daemon down; the
-					// request is answered 500 and the panic contained.
-					if !sw.wrote {
-						writeError(sw, http.StatusInternalServerError, "internal error: %v", p)
-					}
-				}
-			}()
-			h(sw, r)
-		}()
+		inner.ServeHTTP(sw, r)
 		em.latency.Observe(time.Since(startAt).Seconds())
 		if sw.code >= 400 {
 			em.errors.Inc()
@@ -327,12 +406,29 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+	// Record the bound address (addr may have asked for port 0).
+	s.httpSrv.Addr = l.Addr().String()
+	s.mu.Unlock()
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.Serve(l) }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+		// Flip readiness first so load balancers stop routing here, keep
+		// serving for DrainDelay, then close the listener and drain
+		// in-flight requests.
+		s.draining.Store(true)
+		if s.opts.DrainDelay > 0 {
+			time.Sleep(s.opts.DrainDelay)
+		}
 		drain, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
 		defer cancel()
 		if err := s.Shutdown(drain); err != nil {
@@ -341,6 +437,12 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		return <-errCh
 	}
 }
+
+// Draining reports whether graceful shutdown has begun (readyz is 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BreakerState exposes the enumerate breaker's state (for tests/logs).
+func (s *Server) BreakerState() resilience.BreakerState { return s.breaker.State() }
 
 // Addr returns the bound address once Serve has been called via Run;
 // empty otherwise. Intended for logs.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"heteromix/internal/experiments"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/queueing"
+	"heteromix/internal/resilience"
 	"heteromix/internal/units"
 )
 
@@ -39,6 +41,15 @@ func newTestServer(t testing.TB, opts Options) *Server {
 	t.Helper()
 	if opts.Models == nil {
 		opts.Models = testSuite()
+	}
+	// `make chaos` reruns this suite with fault injection layered onto
+	// every test server; tests that configure their own chaos keep it.
+	if spec := os.Getenv("HETEROMIX_CHAOS"); spec != "" && !opts.Chaos.Enabled() {
+		co, err := resilience.ParseChaosSpec(spec)
+		if err != nil {
+			t.Fatalf("HETEROMIX_CHAOS: %v", err)
+		}
+		opts.Chaos = co
 	}
 	s, err := New(opts)
 	if err != nil {
@@ -417,8 +428,32 @@ func TestBodyTooLargeRejected(t *testing.T) {
 	s := newTestServer(t, Options{MaxBodyBytes: 64})
 	body := `{"workload":"ep","arm":{"nodes":1},"work":` +
 		strings.Repeat("1", 100) + `}`
-	if rr := post(t, s, "/v1/predict", body); rr.Code != http.StatusBadRequest {
-		t.Errorf("oversized body status %d, want 400", rr.Code)
+	rr := post(t, s, "/v1/predict", body)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d, want 413", rr.Code)
+	}
+	if e := decodeBody[errorResponse](t, rr); e.Error == "" {
+		t.Error("413 without a JSON error body")
+	}
+	// A body exactly at the limit is not oversized.
+	if rr := post(t, s, "/v1/queueing", `{"arrival_rate":1,"service_time_seconds":0.5}`); rr.Code != http.StatusOK {
+		t.Errorf("in-bounds body status %d: %s", rr.Code, rr.Body)
+	}
+}
+
+// shedRetryAfter must stay inside [1, 3] seconds and actually jitter —
+// a constant would make a shed herd retry in lockstep.
+func TestShedRetryAfterJitterBounds(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := shedRetryAfter()
+		if v != "1" && v != "2" && v != "3" {
+			t.Fatalf("Retry-After %q outside [1, 3]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("200 draws produced only %v; no jitter", seen)
 	}
 }
 

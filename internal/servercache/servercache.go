@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // shardCount is a power of two so shard selection is a mask. 16 shards
@@ -29,17 +30,20 @@ type shard struct {
 	m   map[string]*list.Element
 }
 
-// lruEntry is a recency-list payload.
+// lruEntry is a recency-list payload. storedAt supports DoFresh's
+// staleness checks; plain Get/Do ignore it.
 type lruEntry struct {
-	key string
-	val any
+	key      string
+	val      any
+	storedAt time.Time
 }
 
 // call is one in-flight singleflight computation.
 type call struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	wg    sync.WaitGroup
+	val   any
+	stale bool
+	err   error
 }
 
 // Stats is a point-in-time view of the cache's effectiveness.
@@ -51,6 +55,9 @@ type Stats struct {
 	// Collapsed counts Do callers that waited on another caller's
 	// computation instead of running their own.
 	Collapsed uint64
+	// StaleServes counts DoFresh computations that failed and fell back
+	// to an expired entry (degraded serving).
+	StaleServes uint64
 	// Entries is the current number of cached values.
 	Entries int
 }
@@ -68,10 +75,13 @@ func (s Stats) HitRatio() float64 {
 type Cache struct {
 	shards [shardCount]shard
 
+	// now is the staleness clock, injectable in tests.
+	now func() time.Time
+
 	flightMu sync.Mutex
 	flight   map[string]*call
 
-	hits, misses, evictions, collapsed atomic.Uint64
+	hits, misses, evictions, collapsed, staleServes atomic.Uint64
 }
 
 // New returns a cache holding at most capacity entries in total
@@ -80,7 +90,7 @@ func New(capacity int) *Cache {
 	if capacity < shardCount {
 		capacity = shardCount
 	}
-	c := &Cache{flight: make(map[string]*call)}
+	c := &Cache{now: time.Now, flight: make(map[string]*call)}
 	per := (capacity + shardCount - 1) / shardCount
 	for i := range c.shards {
 		c.shards[i] = shard{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
@@ -124,11 +134,12 @@ func (c *Cache) Add(key string, val any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val, e.storedAt = val, c.now()
 		s.ll.MoveToFront(el)
 		return
 	}
-	s.m[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	s.m[key] = s.ll.PushFront(&lruEntry{key: key, val: val, storedAt: c.now()})
 	if s.ll.Len() > s.cap {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
@@ -177,6 +188,90 @@ func (c *Cache) Do(key string, fn func() (any, error)) (val any, cached bool, er
 	return cl.val, false, cl.err
 }
 
+// getFresh returns the cached value only if it is younger than maxAge
+// (maxAge <= 0 disables the check, matching Get). Counts hits/misses.
+func (c *Cache) getFresh(key string, maxAge time.Duration) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		e := el.Value.(*lruEntry)
+		if maxAge <= 0 || c.now().Sub(e.storedAt) < maxAge {
+			s.ll.MoveToFront(el)
+			c.hits.Add(1)
+			return e.val, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// peek returns the cached value regardless of age, without touching the
+// hit/miss counters (it backs the stale-fallback path, which already
+// counted a miss).
+func (c *Cache) peek(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).val, true
+	}
+	return nil, false
+}
+
+// DoFresh is Do with a freshness bound and graceful degradation: a
+// cached value older than maxAge is recomputed, and when the recompute
+// fails an expired entry is served anyway. cached reports a fresh hit
+// (no compute ran or was waited on, as in Do); the stale flag and error
+// distinguish the remaining cases:
+//
+//   - fresh hit or successful compute: (val, _, false, nil)
+//   - compute failed, stale entry available: (staleVal, false, true, err)
+//     — the caller serves the stale value marked degraded and can
+//     inspect err
+//   - compute failed, nothing cached: (nil, false, false, err)
+//
+// Errors never overwrite the cached entry, so a failing dependency
+// cannot poison the cache. Concurrent callers for the same key collapse
+// exactly like Do and share the same outcome, including the stale flag
+// and error.
+func (c *Cache) DoFresh(key string, maxAge time.Duration, fn func() (any, error)) (val any, cached, stale bool, err error) {
+	if v, ok := c.getFresh(key, maxAge); ok {
+		return v, true, false, nil
+	}
+	c.flightMu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		c.collapsed.Add(1)
+		cl.wg.Wait()
+		return cl.val, false, cl.stale, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.flightMu.Unlock()
+
+	// Re-check under flight ownership, as in Do.
+	if v, ok := c.getFresh(key, maxAge); ok {
+		cl.val = v
+	} else if v, ferr := fn(); ferr == nil {
+		cl.val = v
+		c.Add(key, v)
+	} else if sv, sok := c.peek(key); sok {
+		cl.val, cl.stale, cl.err = sv, true, ferr
+		c.staleServes.Add(1)
+	} else {
+		cl.err = ferr
+	}
+
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	cl.wg.Done()
+	return cl.val, false, cl.stale, cl.err
+}
+
 // Len returns the current number of cached entries.
 func (c *Cache) Len() int {
 	n := 0
@@ -204,10 +299,11 @@ func (c *Cache) Reset() {
 // Stats returns the cache's counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Collapsed: c.collapsed.Load(),
-		Entries:   c.Len(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Collapsed:   c.collapsed.Load(),
+		StaleServes: c.staleServes.Load(),
+		Entries:     c.Len(),
 	}
 }
