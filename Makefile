@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race chaos bench bench-server ci
+.PHONY: all build vet test race server-race chaos bench bench-generic bench-server ci
 
 all: ci
 
@@ -49,6 +49,15 @@ bench:
 		-bench 'BenchmarkEnumerate10x10|BenchmarkEnumerateStreaming10x10|BenchmarkEnumerateParallel10x10' \
 		-benchmem -benchtime=100x
 
+# The generic N-type enumeration paths on the tri-cluster space
+# (384,344 points): serial materialization, domination-pruned, streaming
+# frontier, and the production pruned+parallel+frontier path that must
+# stay ≥20× under the seed serial numbers (see README Performance).
+bench-generic:
+	$(GO) test ./internal/cluster -run '^$$' \
+		-bench 'BenchmarkEnumerateGroups(Serial|Pruned|Parallel|Frontier)' \
+		-benchmem -benchtime=3x
+
 # Throughput gate for the daemon's cached predict path (~0.8 µs and
 # 3 allocs/op warm vs ~34 µs cold; see README Performance).
 bench-server:
@@ -56,4 +65,4 @@ bench-server:
 		-bench 'BenchmarkServePredictCached|BenchmarkServePredictCold' \
 		-benchmem -benchtime=1000x
 
-ci: vet build race server-race chaos bench bench-server
+ci: vet build race server-race chaos bench bench-generic bench-server

@@ -8,8 +8,9 @@
 // Usage:
 //
 //	heteromixd [-addr :8080] [-cache n] [-max-concurrent n]
-//	           [-timeout d] [-max-nodes n] [-noise s] [-seed n]
-//	           [-cache-ttl d] [-drain-delay d] [-chaos spec]
+//	           [-timeout d] [-max-nodes n] [-max-generic-space n]
+//	           [-noise s] [-seed n] [-cache-ttl d] [-drain-delay d]
+//	           [-chaos spec]
 package main
 
 import (
@@ -32,15 +33,16 @@ import (
 // daemonConfig is everything the flags select; split from main so tests
 // can build a serving instance without a flag set.
 type daemonConfig struct {
-	noise         float64
-	seed          int64
-	cache         int
-	maxConcurrent int
-	maxNodes      int
-	timeout       time.Duration
-	cacheTTL      time.Duration
-	drainDelay    time.Duration
-	chaosSpec     string
+	noise           float64
+	seed            int64
+	cache           int
+	maxConcurrent   int
+	maxNodes        int
+	maxGenericSpace uint64
+	timeout         time.Duration
+	cacheTTL        time.Duration
+	drainDelay      time.Duration
+	chaosSpec       string
 }
 
 func main() {
@@ -50,6 +52,7 @@ func main() {
 	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "max concurrent model requests (0 = 4x GOMAXPROCS)")
 	flag.DurationVar(&cfg.timeout, "timeout", 15*time.Second, "per-request computation timeout")
 	flag.IntVar(&cfg.maxNodes, "max-nodes", 128, "largest per-side node count a request may ask for")
+	flag.Uint64Var(&cfg.maxGenericSpace, "max-generic-space", 2_000_000, "largest N-type configuration space /v1/enumerate-generic may walk after pruning")
 	flag.Float64Var(&cfg.noise, "noise", 0.03, "measurement noise sigma for the model-fitting runs")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the model-fitting pipeline")
 	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "enumerate result freshness bound (0 = never expires); expired entries serve marked degraded when the recompute fails")
@@ -85,13 +88,14 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 	}
 	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: cfg.noise, Seed: cfg.seed})
 	return server.New(server.Options{
-		Models:         suite,
-		CacheEntries:   cfg.cache,
-		MaxConcurrent:  cfg.maxConcurrent,
-		MaxNodes:       cfg.maxNodes,
-		RequestTimeout: cfg.timeout,
-		CacheTTL:       cfg.cacheTTL,
-		DrainDelay:     cfg.drainDelay,
-		Chaos:          chaos,
+		Models:          suite,
+		CacheEntries:    cfg.cache,
+		MaxConcurrent:   cfg.maxConcurrent,
+		MaxNodes:        cfg.maxNodes,
+		MaxGenericSpace: cfg.maxGenericSpace,
+		RequestTimeout:  cfg.timeout,
+		CacheTTL:        cfg.cacheTTL,
+		DrainDelay:      cfg.drainDelay,
+		Chaos:           chaos,
 	})
 }

@@ -34,6 +34,35 @@ func TestNewServerServes(t *testing.T) {
 	}
 }
 
+func TestGenericSpaceBoundPlumbsThrough(t *testing.T) {
+	body := `{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}]}`
+
+	cfg := testConfig()
+	cfg.maxGenericSpace = 2 // below the 1-type space's 40 points
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic",
+		strings.NewReader(body)))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("tiny bound: got %d %s, want 400", rr.Code, rr.Body)
+	}
+
+	cfg.maxGenericSpace = 1000
+	srv, err = newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic",
+		strings.NewReader(body)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("roomy bound: got %d %s, want 200", rr.Code, rr.Body)
+	}
+}
+
 func TestNewServerRejectsBadChaosSpec(t *testing.T) {
 	cfg := testConfig()
 	cfg.chaosSpec = "wibble=1"

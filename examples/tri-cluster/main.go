@@ -4,11 +4,12 @@
 // efficient) and AMD Opteron K10 (fast, power-hungry) plus an ARM
 // Cortex-A15 that sits between them.
 //
-// For the compute-bound EP workload the example enumerates the full
-// three-type configuration space, derives the energy-deadline Pareto
-// frontier, and shows which types the optimizer picks as the deadline
-// tightens — the A15 earns a place on the frontier exactly in the
-// deadline band where A9s are too slow and K10s too costly.
+// For the compute-bound EP workload the example prunes each type to its
+// domination-surviving per-node configurations, streams the reduced
+// space through the online Pareto frontier (never materializing the
+// full space), and shows which types the optimizer picks as the
+// deadline tightens — the A15 earns a place on the frontier exactly in
+// the deadline band where A9s are too slow and K10s too costly.
 //
 // Run with:
 //
@@ -58,20 +59,20 @@ func main() {
 	fmt.Println()
 
 	const job = 50e6
-	points, err := cluster.EnumerateGroups(types, job)
+	// Domination pruning drops per-node configurations that are no faster
+	// and no cheaper than another; the cluster frontier is provably
+	// unchanged while the walked space shrinks several-fold.
+	fullSize := cluster.GenericSpaceSize(types)
+	pruned, err := cluster.PruneGroupTypes(types)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tes := make([]pareto.TE, len(points))
-	for i, p := range points {
-		tes[i] = pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i}
-	}
-	frontier, err := pareto.Frontier(tes)
+	points, frontier, err := cluster.GenericFrontierOf(pruned, job)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("three-type space: %d configurations, %d on the frontier\n\n",
-		len(points), len(frontier))
+	fmt.Printf("three-type space: %d configurations (%d after pruning), %d on the frontier\n\n",
+		fullSize, cluster.GenericSpaceSize(pruned), len(frontier))
 
 	fmt.Printf("%-12s %-24s %10s %10s\n", "deadline", "mix on frontier", "time", "energy")
 	for _, deadlineMs := range []float64{60, 100, 150, 250, 400, 800} {

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
 
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
+	"heteromix/internal/pareto"
 	"heteromix/internal/units"
 )
 
@@ -13,7 +16,12 @@ import (
 // of node types, realizing the paper's claim that the methodology
 // "determine[s] a generic mix of heterogeneous nodes" (§II-A). Evaluate
 // already accepts arbitrary group lists; what follows adds enumeration
-// over N-type count/configuration cartesian products.
+// over N-type count/configuration cartesian products, at feature parity
+// with the optimized two-type path: precomputed kernels
+// (generic_kernel.go), streaming (EnumerateGroupsFunc), per-type
+// domination pruning (PruneGroupTypes), parallel evaluation
+// (EnumerateGroupsParallel) and online Pareto frontiers
+// (GenericFrontierOf / GenericFrontierOfParallel).
 
 // GroupType describes one node type available to a generic cluster.
 type GroupType struct {
@@ -23,6 +31,10 @@ type GroupType struct {
 	MaxNodes int
 	// NeedsSwitch marks types whose nodes hang off dedicated switches.
 	NeedsSwitch bool
+	// Configs, when non-nil, restricts the per-node settings enumerated
+	// for this type; nil selects every configuration of the spec.
+	// PruneGroupTypes fills it with the domination survivors.
+	Configs []hwsim.Config
 }
 
 // GenericPoint is one evaluated N-type configuration.
@@ -38,141 +50,312 @@ type GenericPoint struct {
 	Work []float64
 }
 
-// Label renders the point's mix like "a9 8 : a15 4 : k10 2".
+// Clone deep-copies the point. Streaming consumers that retain a point
+// past its yield call must Clone it: the streamed point's slices are
+// scratch buffers reused for the next point.
+func (p GenericPoint) Clone() GenericPoint {
+	q := p
+	q.Counts = append([]int(nil), p.Counts...)
+	q.Configs = append([]hwsim.Config(nil), p.Configs...)
+	q.Work = append([]float64(nil), p.Work...)
+	return q
+}
+
+// typeName labels type i, falling back to "type<i>" beyond names.
+func typeName(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("type%d", i)
+}
+
+// Label renders the point's mix like "a9 8 : k10 2". Types with zero
+// nodes are skipped, so the label names exactly the types the
+// configuration uses.
 func (p GenericPoint) Label(names []string) string {
 	parts := make([]string, 0, len(p.Counts))
 	for i, n := range p.Counts {
-		name := fmt.Sprintf("type%d", i)
-		if i < len(names) {
-			name = names[i]
+		if n == 0 {
+			continue
 		}
-		parts = append(parts, fmt.Sprintf("%s %d", name, n))
+		parts = append(parts, fmt.Sprintf("%s %d", typeName(names, i), n))
 	}
 	return strings.Join(parts, " : ")
+}
+
+// GenericGroupSummary is one used type of a GenericPointSummary.
+type GenericGroupSummary struct {
+	Type         string  `json:"type"`
+	Nodes        int     `json:"nodes"`
+	Cores        int     `json:"cores"`
+	GHz          float64 `json:"ghz"`
+	WorkFraction float64 `json:"work_fraction"`
+}
+
+// GenericPointSummary is a GenericPoint flattened to JSON-friendly
+// scalars, the wire form the serving layer returns for generic
+// enumeration queries. Absent types are omitted from Groups.
+type GenericPointSummary struct {
+	Groups       []GenericGroupSummary `json:"groups"`
+	TimeSeconds  float64               `json:"time_seconds"`
+	EnergyJoules float64               `json:"energy_joules"`
+	Label        string                `json:"label"`
+}
+
+// Summary flattens the point for serialization; names labels each type
+// positionally (Label's "type<i>" fallback applies beyond it).
+func (p GenericPoint) Summary(names []string) GenericPointSummary {
+	s := GenericPointSummary{
+		TimeSeconds:  float64(p.Time),
+		EnergyJoules: float64(p.Energy),
+		Label:        p.Label(names),
+	}
+	total := 0.0
+	for _, w := range p.Work {
+		total += w
+	}
+	for i, n := range p.Counts {
+		if n == 0 {
+			continue
+		}
+		g := GenericGroupSummary{
+			Type:  typeName(names, i),
+			Nodes: n,
+			Cores: p.Configs[i].Cores,
+			GHz:   p.Configs[i].Frequency.GHzValue(),
+		}
+		if total > 0 {
+			g.WorkFraction = p.Work[i] / total
+		}
+		s.Groups = append(s.Groups, g)
+	}
+	return s
 }
 
 // EnumerateGroups evaluates every configuration of the generic space:
 // all node-count vectors (0..MaxNodes per type, not all zero) crossed
 // with all per-node configurations of the used types. The space grows
-// quickly with type count and bounds — callers should keep MaxNodes
-// small or pre-prune per-type configurations with PrunedNodeConfigs.
+// as the product of MaxNodes × per-type configurations over all types —
+// callers should pre-prune with PruneGroupTypes, stream aggregates with
+// EnumerateGroupsFunc/GenericFrontierOf, or fan out with
+// EnumerateGroupsParallel.
 //
-// Like the two-type enumerators, EnumerateGroups runs on precomputed
-// evaluation kernels: each type's per-unit coefficients are derived once,
-// and each point pays only the matching-split arithmetic plus its output
-// slices.
+// Like the two-type enumerators, the generic path runs on precomputed
+// evaluation kernels: each type's per-unit coefficients are derived
+// once, each point pays only the matching-split arithmetic, and the
+// output's Counts/Configs/Work slices are carved from three flat
+// backing arrays instead of being allocated per point.
 func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
-	if len(types) == 0 {
-		return nil, fmt.Errorf("cluster: no node types")
-	}
-	for i, gt := range types {
-		if gt.MaxNodes < 0 {
-			return nil, fmt.Errorf("cluster: type %d has MaxNodes %d", i, gt.MaxNodes)
-		}
-	}
-	if err := validWork(w); err != nil {
+	t, err := newGenericTable(types, w)
+	if err != nil {
 		return nil, err
 	}
-
-	// Per-type option lists: (count, kernel) pairs including the absent
-	// option (count 0). Types with MaxNodes 0 are never evaluated, so
-	// their models are not touched (matching Evaluate's treatment of
-	// zero-node groups).
-	type option struct {
-		count int
-		k     kernelEntry
+	n, err := t.intSize()
+	if err != nil {
+		return nil, err
 	}
-	options := make([][]option, len(types))
-	switchW := make([]float64, len(types))
-	for i, gt := range types {
-		opts := []option{{count: 0}}
-		if gt.MaxNodes > 0 {
-			entries, err := typeKernels(gt.Model, hwsim.Configs(gt.Model.Spec))
-			if err != nil {
-				return nil, fmt.Errorf("cluster: type %d: %w", i, err)
-			}
-			for n := 1; n <= gt.MaxNodes; n++ {
-				for _, k := range entries {
-					opts = append(opts, option{count: n, k: k})
-				}
-			}
-		}
-		options[i] = opts
-		if gt.NeedsSwitch {
-			switchW[i] = float64(SwitchPower)
-		}
-	}
-
-	var out []GenericPoint
-	pick := make([]int, len(types))
-	thr := make([]float64, len(types))
-	var rec func(depth int)
-	rec = func(depth int) {
-		if depth == len(types) {
-			// Matching split over the chosen options, as in Evaluate:
-			// throughputs accumulate in type order, every group finishes
-			// at w / sum(thr).
-			total := 0.0
-			for i, oi := range pick {
-				opt := options[i][oi]
-				thr[i] = 0
-				if opt.count > 0 {
-					thr[i] = float64(opt.count) / opt.k.k
-					total += thr[i]
-				}
-			}
-			if total == 0 {
-				return // the all-absent vector
-			}
-			t := w / total
-			counts := make([]int, len(types))
-			configs := make([]hwsim.Config, len(types))
-			work := make([]float64, len(types))
-			energy := 0.0
-			for i, oi := range pick {
-				opt := options[i][oi]
-				counts[i] = opt.count
-				if opt.count == 0 {
-					continue
-				}
-				configs[i] = opt.k.cfg
-				work[i] = w * thr[i] / total
-				e := opt.k.epu * work[i]
-				if switchW[i] > 0 {
-					e += switchW[i] * float64(armSwitches(opt.count)) * t
-				}
-				energy += e
-			}
-			out = append(out, GenericPoint{
-				Counts:  counts,
-				Configs: configs,
-				Time:    units.Seconds(t),
-				Energy:  units.Joule(energy),
-				Work:    work,
-			})
-			return
-		}
-		for oi := range options[depth] {
-			pick[depth] = oi
-			rec(depth + 1)
-		}
-	}
-	rec(0)
-	if len(out) == 0 {
+	if n == 0 {
 		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	out := make([]GenericPoint, 0, n)
+	bk := newGenBacking(n, len(types))
+	t.forEach(t.newCursor(), func(p GenericPoint) bool {
+		out = append(out, bk.copy(p))
+		return true
+	})
+	return out, nil
+}
+
+// EnumerateGroupsFunc streams every point of the generic space to
+// yield, in EnumerateGroups's order, without materializing anything.
+// The yielded point's slices are scratch buffers valid only during the
+// call — Clone to retain. Returning false from yield stops the
+// enumeration early (not an error).
+func EnumerateGroupsFunc(types []GroupType, w float64, yield func(GenericPoint) bool) error {
+	t, err := newGenericTable(types, w)
+	if err != nil {
+		return err
+	}
+	if t.size == 0 {
+		return fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	t.forEach(t.newCursor(), yield)
+	return nil
+}
+
+// EnumerateGroupsParallel evaluates the same space as EnumerateGroups,
+// fanned out over a pool of worker goroutines with the dynamic
+// atomic-cursor chunking of the two-type EnumerateParallel: workers
+// claim fixed-size index chunks off a shared cursor (subdividing the
+// outermost type's option runs, so no static block imbalance), write
+// results by index for a merge that is deterministic and bit-identical
+// to the serial order, and the first error cancels the rest at their
+// next chunk boundary. workers <= 0 selects GOMAXPROCS.
+func EnumerateGroupsParallel(types []GroupType, w float64, workers int) ([]GenericPoint, error) {
+	t, err := newGenericTable(types, w)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.intSize()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]GenericPoint, n)
+	err = parallelFor(n, workers, parallelChunk, func(lo, hi int) error {
+		c := t.newCursor()
+		bk := newGenBacking(hi-lo, len(types))
+		for i := lo; i < hi; i++ {
+			// Point indices are 1-based: index 0 is the all-absent vector.
+			t.at(c, uint64(i)+1)
+			out[i] = bk.copy(c.p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// GenericSpaceSize returns the number of points EnumerateGroups yields.
-func GenericSpaceSize(types []GroupType) int {
-	prod := 1
-	for _, gt := range types {
-		per := 1 // the absent option
-		if gt.MaxNodes > 0 {
-			per += gt.MaxNodes * len(hwsim.Configs(gt.Model.Spec))
-		}
-		prod *= per
+// GenericFrontierOf enumerates the generic space and returns only its
+// Pareto-optimal points, maintained online as the enumeration streams:
+// the space is never materialized and only retained points are copied
+// out of the scratch buffers. The returned TE slice is time-ascending
+// with each Index pointing into the returned point slice. Prune types
+// first (PruneGroupTypes) for the fast path — the pruned frontier
+// provably equals the full one.
+func GenericFrontierOf(types []GroupType, w float64) ([]GenericPoint, []pareto.TE, error) {
+	t, err := newGenericTable(types, w)
+	if err != nil {
+		return nil, nil, err
 	}
-	return prod - 1 // minus the all-absent vector
+	if t.size == 0 {
+		return nil, nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	tr := pareto.Tracked[GenericPoint]{Clone: GenericPoint.Clone}
+	var insErr error
+	t.forEach(t.newCursor(), func(p GenericPoint) bool {
+		_, err := tr.Insert(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy)}, p)
+		if err != nil {
+			insErr = err
+			return false
+		}
+		return true
+	})
+	if insErr != nil {
+		return nil, nil, insErr
+	}
+	pts, tes := tr.Frontier()
+	return pts, tes, nil
+}
+
+// genericFrontierChunk is the per-claim index run of the parallel
+// frontier: large enough to amortize the per-chunk cursor and frontier,
+// small enough that the dynamic scheduler balances uneven chunks.
+const genericFrontierChunk = 8192
+
+// GenericFrontierOfParallel is GenericFrontierOf fanned out over a
+// worker pool: each claimed chunk maintains its own online frontier
+// over scratch buffers, and the chunk frontiers are merged in
+// enumeration order, so the result is identical to the serial path
+// (including first-offered-wins among exact duplicates). The space is
+// never materialized — at most the per-chunk frontiers live at once.
+// workers <= 0 selects GOMAXPROCS.
+func GenericFrontierOfParallel(types []GroupType, w float64, workers int) ([]GenericPoint, []pareto.TE, error) {
+	t, err := newGenericTable(types, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := t.intSize()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numChunks := (n + genericFrontierChunk - 1) / genericFrontierChunk
+	locals := make([]pareto.Tracked[GenericPoint], numChunks)
+	err = parallelFor(n, workers, genericFrontierChunk, func(lo, hi int) error {
+		// parallelFor claims start at chunk multiples, so lo identifies
+		// the chunk's slot in the ordered merge below.
+		tr := &locals[lo/genericFrontierChunk]
+		tr.Clone = GenericPoint.Clone
+		c := t.newCursor()
+		for i := lo; i < hi; i++ {
+			t.at(c, uint64(i)+1)
+			if _, err := tr.Insert(pareto.TE{Time: float64(c.p.Time), Energy: float64(c.p.Energy)}, c.p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Merge chunk frontiers in enumeration order; chunk payloads are
+	// already cloned, so the merged frontier can alias them.
+	var merged pareto.Tracked[GenericPoint]
+	for ci := range locals {
+		pts, tes := locals[ci].Frontier()
+		for j := range tes {
+			if _, err := merged.Insert(pareto.TE{Time: tes[j].Time, Energy: tes[j].Energy}, pts[j]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	pts, tes := merged.Frontier()
+	return pts, tes, nil
+}
+
+// PruneGroupTypes returns a copy of types with each used type's
+// per-node configurations restricted to its (time-per-unit,
+// average-power) domination survivors (PrunedNodeConfigs). Under the
+// matching split, replacing a node configuration with one no slower
+// and no hungrier weakly improves both axes of every cluster
+// configuration containing it, so the pruned generic space has exactly
+// the full space's Pareto frontier — asserted by
+// TestGenericPrunedFrontierEqualsFull — at a fraction of the cost.
+func PruneGroupTypes(types []GroupType) ([]GroupType, error) {
+	out := append([]GroupType(nil), types...)
+	for i := range out {
+		if out[i].MaxNodes <= 0 {
+			continue
+		}
+		cfgs, err := PrunedNodeConfigs(out[i].Model)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: type %d: %w", i, err)
+		}
+		out[i].Configs = cfgs
+	}
+	return out, nil
+}
+
+// GenericSpaceSize returns the number of points EnumerateGroups yields:
+// the product over types of (1 + MaxNodes × configurations), minus the
+// all-absent vector. The product is computed in uint64 and saturates at
+// math.MaxUint64 instead of silently wrapping for large bounds or many
+// types; enumerators independently refuse spaces too large to
+// materialize.
+func GenericSpaceSize(types []GroupType) uint64 {
+	prod := uint64(1)
+	for _, gt := range types {
+		per := uint64(1)
+		if gt.MaxNodes > 0 {
+			per = satAdd(1, satMul(uint64(gt.MaxNodes), uint64(len(typeConfigs(gt)))))
+		}
+		prod = satMul(prod, per)
+	}
+	if prod == math.MaxUint64 {
+		return prod
+	}
+	return prod - 1
 }

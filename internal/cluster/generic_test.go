@@ -71,7 +71,7 @@ func TestGenericSpaceSizeAndEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != want {
+	if uint64(len(points)) != want {
 		t.Fatalf("enumerated %d points, want %d", len(points), want)
 	}
 	for _, p := range points {
@@ -170,6 +170,264 @@ func TestGenericLabel(t *testing.T) {
 	if got := p.Label(nil); got != "type0 8 : type1 4 : type2 2" {
 		t.Errorf("unnamed Label = %q", got)
 	}
+	// Absent types are skipped, so the label names exactly the used mix.
+	p = GenericPoint{Counts: []int{8, 0, 2}}
+	if got := p.Label([]string{"a9", "a15", "k10"}); got != "a9 8 : k10 2" {
+		t.Errorf("absent-skipping Label = %q", got)
+	}
+	p = GenericPoint{Counts: []int{0, 4, 0}}
+	if got := p.Label([]string{"a9"}); got != "type1 4" {
+		t.Errorf("short-names Label = %q", got)
+	}
+}
+
+func TestGenericSpaceSizeSaturates(t *testing.T) {
+	cfgs := make([]hwsim.Config, 20)
+	// One enormous type saturates the per-type term.
+	huge := []GroupType{{MaxNodes: math.MaxInt, Configs: cfgs}}
+	if got := GenericSpaceSize(huge); got != math.MaxUint64 {
+		t.Errorf("saturating size = %d, want MaxUint64", got)
+	}
+	// Types that individually fit but whose product overflows must
+	// saturate too, not wrap to a small value.
+	big := GroupType{MaxNodes: 1 << 40, Configs: cfgs}
+	if got := GenericSpaceSize([]GroupType{big, big, big}); got != math.MaxUint64 {
+		t.Errorf("product overflow size = %d, want MaxUint64", got)
+	}
+	// A large-but-exact case stays exact: (1+3*1)^2 - 1.
+	one := make([]hwsim.Config, 1)
+	small := []GroupType{{MaxNodes: 3, Configs: one}, {MaxNodes: 3, Configs: one}}
+	if got := GenericSpaceSize(small); got != 15 {
+		t.Errorf("exact size = %d, want 15", got)
+	}
+	// MaxNodes 0 contributes a factor of 1, not 1+0*len.
+	if got := GenericSpaceSize([]GroupType{{MaxNodes: 0, Configs: cfgs}, {MaxNodes: 3, Configs: one}}); got != 3 {
+		t.Errorf("zero-type size = %d, want 3", got)
+	}
+}
+
+func TestEnumerateGroupsRefusesHugeSpaces(t *testing.T) {
+	// Five real types at 4 nodes each: 81*65*73*81*73 - 1 ≈ 2.27e9
+	// points, past the materialization bound but cheap to reject (the
+	// guard fires before any evaluation).
+	tri := triTypes(t, 4, 4, 4)
+	types := []GroupType{tri[0], tri[1], tri[2], tri[0], tri[2]}
+	if _, err := EnumerateGroups(types, 50e6); err == nil {
+		t.Error("materializing a >2^31-point space should error")
+	}
+	if _, err := EnumerateGroupsParallel(types, 50e6, 2); err == nil {
+		t.Error("parallel materialization of a >2^31-point space should error")
+	}
+}
+
+// Streaming yields exactly EnumerateGroups's points in exactly its
+// order; retained copies must survive the scratch-buffer reuse.
+func TestGenericStreamingMatchesMaterialized(t *testing.T) {
+	types := triTypes(t, 2, 2, 2)
+	materialized, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err = EnumerateGroupsFunc(types, 50e6, func(p GenericPoint) bool {
+		if i >= len(materialized) {
+			t.Fatalf("stream yielded more than %d points", len(materialized))
+		}
+		if !genericPointsEqual(p, materialized[i]) {
+			t.Fatalf("stream point %d = %+v, want %+v", i, p, materialized[i])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(materialized) {
+		t.Fatalf("stream yielded %d points, want %d", i, len(materialized))
+	}
+
+	// Early stop is honored and is not an error.
+	n := 0
+	err = EnumerateGroupsFunc(types, 50e6, func(GenericPoint) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early stop after %d points, want 10", n)
+	}
+}
+
+func TestGenericParallelMatchesSerial(t *testing.T) {
+	types := triTypes(t, 3, 2, 3)
+	serial, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := EnumerateGroupsParallel(types, 50e6, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if !genericPointsEqual(par[i], serial[i]) {
+				t.Fatalf("workers=%d: point %d = %+v, want %+v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// The streamed online frontier equals the frontier computed from the
+// fully materialized space, and the parallel chunk-merged frontier
+// equals the serial one — all bit-identical.
+func TestGenericFrontierMatchesMaterialized(t *testing.T) {
+	types := triTypes(t, 2, 2, 2)
+	pts, err := EnumerateGroups(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pareto.Frontier(genericTE(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpts, ftes, err := GenericFrontierOf(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ftes) != len(want) {
+		t.Fatalf("streamed frontier has %d points, want %d", len(ftes), len(want))
+	}
+	for i := range want {
+		if ftes[i].Time != want[i].Time || ftes[i].Energy != want[i].Energy {
+			t.Fatalf("frontier point %d = (%v, %v), want (%v, %v)",
+				i, ftes[i].Time, ftes[i].Energy, want[i].Time, want[i].Energy)
+		}
+		if !genericPointsEqual(fpts[ftes[i].Index], pts[want[i].Index]) {
+			t.Fatalf("frontier payload %d = %+v, want %+v", i, fpts[ftes[i].Index], pts[want[i].Index])
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		ppts, ptes, err := GenericFrontierOfParallel(types, 50e6, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ptes) != len(ftes) {
+			t.Fatalf("workers=%d: parallel frontier has %d points, want %d", workers, len(ptes), len(ftes))
+		}
+		for i := range ftes {
+			if ptes[i] != ftes[i] || !genericPointsEqual(ppts[i], fpts[i]) {
+				t.Fatalf("workers=%d: parallel frontier point %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// The domination-pruned generic space has exactly the full space's
+// Pareto frontier — the proof-by-test behind PruneGroupTypes.
+func TestGenericPrunedFrontierEqualsFull(t *testing.T) {
+	types := triTypes(t, 3, 3, 3)
+	pruned, err := PruneGroupTypes(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := GenericSpaceSize(types)
+	reduced := GenericSpaceSize(pruned)
+	if reduced >= full {
+		t.Fatalf("pruning did not shrink the space: %d -> %d", full, reduced)
+	}
+	fullPts, fullTEs, err := GenericFrontierOf(types, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedPts, prunedTEs, err := GenericFrontierOf(pruned, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prunedTEs) != len(fullTEs) {
+		t.Fatalf("pruned frontier has %d points, full has %d", len(prunedTEs), len(fullTEs))
+	}
+	for i := range fullTEs {
+		if prunedTEs[i].Time != fullTEs[i].Time || prunedTEs[i].Energy != fullTEs[i].Energy {
+			t.Fatalf("frontier point %d: pruned (%v, %v) vs full (%v, %v)",
+				i, prunedTEs[i].Time, prunedTEs[i].Energy, fullTEs[i].Time, fullTEs[i].Energy)
+		}
+		if !genericPointsEqual(prunedPts[i], fullPts[i]) {
+			t.Fatalf("frontier payload %d differs between pruned and full", i)
+		}
+	}
+}
+
+func TestGenericPointCloneAndSummary(t *testing.T) {
+	types := triTypes(t, 1, 1, 1)
+	var clone GenericPoint
+	err := EnumerateGroupsFunc(types, 50e6, func(p GenericPoint) bool {
+		// Keep a deep copy of the first tri-type mix; the scratch point
+		// keeps mutating afterwards.
+		total := 0
+		for _, n := range p.Counts {
+			if n > 0 {
+				total++
+			}
+		}
+		if total == 3 {
+			clone = p.Clone()
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Counts == nil {
+		t.Fatal("no tri-type mix found")
+	}
+	want := clone.Clone()
+	// Re-running the stream to completion must not disturb the clone.
+	if err := EnumerateGroupsFunc(types, 50e6, func(GenericPoint) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if !genericPointsEqual(clone, want) {
+		t.Fatal("Clone shares storage with the scratch point")
+	}
+
+	s := clone.Summary([]string{"a9", "a15", "k10"})
+	if len(s.Groups) != 3 {
+		t.Fatalf("summary has %d groups, want 3", len(s.Groups))
+	}
+	fracs := 0.0
+	for _, g := range s.Groups {
+		if g.Nodes <= 0 || g.Cores <= 0 || g.GHz <= 0 {
+			t.Fatalf("bad group summary %+v", g)
+		}
+		fracs += g.WorkFraction
+	}
+	if math.Abs(fracs-1) > 1e-12 {
+		t.Fatalf("work fractions sum to %v", fracs)
+	}
+	if s.TimeSeconds != float64(clone.Time) || s.EnergyJoules != float64(clone.Energy) {
+		t.Fatal("summary scalars differ from the point")
+	}
+	if s.Label != clone.Label([]string{"a9", "a15", "k10"}) {
+		t.Fatalf("summary label %q", s.Label)
+	}
+}
+
+func genericPointsEqual(a, b GenericPoint) bool {
+	if a.Time != b.Time || a.Energy != b.Energy ||
+		len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] || a.Configs[i] != b.Configs[i] || a.Work[i] != b.Work[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestEnumerateGroupsErrors(t *testing.T) {

@@ -35,33 +35,17 @@ func FrontierOf(s Space, maxARM, maxAMD int, w float64) ([]Point, []pareto.TE, e
 }
 
 // frontierOfStream runs an online Pareto frontier over any streaming
-// enumeration, mirroring frontier splices onto a parallel Point slice;
-// the shared core of FrontierOf and Table.Frontier.
+// enumeration via pareto.Tracked; the shared core of FrontierOf and
+// Table.Frontier. Points need no Clone hook: the two-type enumerators
+// yield value-type Points with no retained backing storage.
 func frontierOfStream(enumerate func(yield func(Point) bool) error) ([]Point, []pareto.TE, error) {
-	var f pareto.OnlineFrontier
-	var pts []Point
+	var tr pareto.Tracked[Point]
 	var addErr error
-	i := 0
 	err := enumerate(func(p Point) bool {
-		pos, removed, added, err := f.Insert(pareto.TE{
-			Time: float64(p.Time), Energy: float64(p.Energy), Index: i,
-		})
-		i++
+		_, err := tr.Insert(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy)}, p)
 		if err != nil {
 			addErr = err
 			return false
-		}
-		if !added {
-			return true
-		}
-		// Mirror the frontier's splice onto the payload slice.
-		if removed > 0 {
-			pts[pos] = p
-			pts = append(pts[:pos+1], pts[pos+removed:]...)
-		} else {
-			pts = append(pts, Point{})
-			copy(pts[pos+1:], pts[pos:])
-			pts[pos] = p
 		}
 		return true
 	})
@@ -71,9 +55,6 @@ func frontierOfStream(enumerate func(yield func(Point) bool) error) ([]Point, []
 	if addErr != nil {
 		return nil, nil, addErr
 	}
-	tes := f.Frontier()
-	for i := range tes {
-		tes[i].Index = i
-	}
+	pts, tes := tr.Frontier()
 	return pts, tes, nil
 }

@@ -33,6 +33,9 @@ func fuzzServer(t testing.TB) *Server {
 			MaxNodes:     12,
 			MaxPoints:    500,
 			MaxBodyBytes: 4096,
+			// Small enough that the priciest admitted generic request stays
+			// cheap under a hostile mutation mix.
+			MaxGenericSpace: 200_000,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -49,6 +52,14 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		`{"workload":"memcached","max_arm":3,"max_amd":2,"frontier_only":true}`,
 		`{"workload":"ep","budget_watts":200}`,
 		`{"arrival_rate":0.5,"service_time_seconds":1,"scv":0.5}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2,"needs_switch":true},{"node":"amd-opteron-k10","max_nodes":2}],"frontier_only":true}`,
+		// Generic rejection classes: unknown node, negative bound, a space
+		// past the size guard, an empty and an oversized type list.
+		`{"workload":"ep","types":[{"node":"intel-xeon","max_nodes":2}]}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":-1}]}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":12},{"node":"arm-cortex-a15","max_nodes":12},{"node":"amd-opteron-k10","max_nodes":12}]}`,
+		`{"workload":"ep","types":[]}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1}]}`,
 		// Rejection classes named in the contract.
 		`{"workload":"ep","arm":{"nodes":1},"work":NaN}`,
 		`{"workload":"ep","arm":{"nodes":1},"work":-1}`,
@@ -69,7 +80,7 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
-	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/budget", "/v1/queueing"}
+	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/enumerate-generic", "/v1/budget", "/v1/queueing"}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := fuzzServer(t)
 		for _, ep := range endpoints {

@@ -1,0 +1,284 @@
+package server
+
+// The /v1/enumerate-generic endpoint: the N-type configuration space
+// behind the same serving policy as /v1/enumerate — canonicalized
+// requests as cache keys, TTL freshness with degraded-stale fallback,
+// the circuit breaker on the compute path, and a size guard that
+// rejects absurd spaces with a 400 before any enumeration runs.
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+)
+
+// NodeModelSource provides per-type fitted models for generic N-type
+// requests. *experiments.Suite implements it; a ModelSource that does
+// not cannot serve /v1/enumerate-generic.
+type NodeModelSource interface {
+	Model(workload string, spec hwsim.NodeSpec) (model.NodeModel, error)
+}
+
+// maxGenericTypes caps the type list: every additional type multiplies
+// the space, and the paper's scenarios need at most a handful.
+const maxGenericTypes = 8
+
+// GenericTypeRequest selects one node type of a generic space.
+type GenericTypeRequest struct {
+	// Node names the hardware spec (e.g. "arm-cortex-a9",
+	// "arm-cortex-a15", "amd-opteron-k10").
+	Node string `json:"node"`
+	// MaxNodes bounds this type's node count; 0 leaves the type out.
+	MaxNodes int `json:"max_nodes"`
+	// NeedsSwitch charges dedicated-switch power to this type's groups.
+	NeedsSwitch bool `json:"needs_switch,omitempty"`
+}
+
+// EnumerateGenericRequest asks for a bounded N-type space.
+type EnumerateGenericRequest struct {
+	Workload string               `json:"workload"`
+	Types    []GenericTypeRequest `json:"types"`
+	Work     float64              `json:"work,omitempty"`
+	// FrontierOnly returns just the Pareto-optimal points, streamed
+	// through the online frontier over the domination-pruned space (the
+	// pruned frontier provably equals the full one).
+	FrontierOnly bool `json:"frontier_only,omitempty"`
+	// Limit caps returned points when FrontierOnly is false (default
+	// 1000, capped by the server's MaxPoints).
+	Limit int `json:"limit,omitempty"`
+	// Prune restricts each type to its (time, power) domination
+	// survivors before enumeration. Implied by FrontierOnly.
+	Prune bool `json:"prune,omitempty"`
+}
+
+// EnumerateGenericResponse carries the points (or frontier) of the
+// generic space.
+type EnumerateGenericResponse struct {
+	Workload string  `json:"workload"`
+	Work     float64 `json:"work"`
+	// TypeNames labels Points' groups positionally.
+	TypeNames []string `json:"type_names"`
+	// SpaceSize is the full space; PrunedSize the enumerated one when
+	// pruning was applied.
+	SpaceSize  uint64 `json:"space_size"`
+	PrunedSize uint64 `json:"pruned_size,omitempty"`
+	// Returned is len(Points); Truncated marks a Limit cut.
+	Returned     int                           `json:"returned"`
+	Truncated    bool                          `json:"truncated,omitempty"`
+	FrontierOnly bool                          `json:"frontier_only,omitempty"`
+	Points       []cluster.GenericPointSummary `json:"points"`
+	// Degraded marks a stale result served because the recompute path
+	// was failing, as in EnumerateResponse.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// genericPlan is the resolved, validated form of a request: the types
+// to enumerate and the sizes the response reports.
+type genericPlan struct {
+	types     []cluster.GroupType
+	names     []string
+	spaceSize uint64
+	// prunedSize is the enumerated size when pruning applied, else 0.
+	prunedSize uint64
+}
+
+// enumeratedSize returns how many points the plan evaluates.
+func (p genericPlan) enumeratedSize() uint64 {
+	if p.prunedSize > 0 {
+		return p.prunedSize
+	}
+	return p.spaceSize
+}
+
+// normalizeEnumerateGeneric validates and canonicalizes the request and
+// resolves it to a plan. Every rejection — unknown nodes, negative or
+// oversized bounds, a space past MaxGenericSpace — is a badRequest
+// taken before any enumeration, so clients cannot buy arbitrary compute
+// or trip the breaker with nonsense.
+func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (EnumerateGenericRequest, genericPlan, error) {
+	var plan genericPlan
+	_, work, err := validWorkload(req.Workload, req.Work)
+	if err != nil {
+		return req, plan, err
+	}
+	req.Work = work
+	if len(req.Types) == 0 {
+		return req, plan, badRequestf("types is required (1 to %d entries)", maxGenericTypes)
+	}
+	if len(req.Types) > maxGenericTypes {
+		return req, plan, badRequestf("at most %d types, got %d", maxGenericTypes, len(req.Types))
+	}
+	specs := make([]hwsim.NodeSpec, len(req.Types))
+	total := 0
+	for i, tr := range req.Types {
+		spec, err := hwsim.ByName(tr.Node)
+		if err != nil {
+			return req, plan, badRequestf("types[%d].node: %v", i, err)
+		}
+		specs[i] = spec
+		if tr.MaxNodes < 0 || tr.MaxNodes > s.opts.MaxNodes {
+			return req, plan, badRequestf("types[%d].max_nodes must be in [0, %d], got %d",
+				i, s.opts.MaxNodes, tr.MaxNodes)
+		}
+		total += tr.MaxNodes
+	}
+	if total == 0 {
+		return req, plan, badRequestf("at least one types[].max_nodes must be positive")
+	}
+	if req.Limit < 0 {
+		return req, plan, badRequestf("limit must be non-negative, got %d", req.Limit)
+	}
+	if req.FrontierOnly {
+		// The pruned frontier equals the full frontier, so frontier
+		// requests always take the pruned fast path; canonicalizing the
+		// flag keeps the cache key shared with explicit prune=true.
+		req.Prune = true
+		req.Limit = 0
+	} else {
+		if req.Limit == 0 {
+			req.Limit = 1000
+		}
+		if req.Limit > s.opts.MaxPoints {
+			req.Limit = s.opts.MaxPoints
+		}
+	}
+
+	nms, ok := s.models.(NodeModelSource)
+	if !ok {
+		return req, plan, badRequestf("generic enumeration is not supported by this server's model source")
+	}
+	plan.types = make([]cluster.GroupType, len(req.Types))
+	plan.names = make([]string, len(req.Types))
+	for i, tr := range req.Types {
+		nm, err := nms.Model(req.Workload, specs[i])
+		if err != nil {
+			return req, plan, err
+		}
+		plan.types[i] = cluster.GroupType{
+			Model:       nm,
+			MaxNodes:    tr.MaxNodes,
+			NeedsSwitch: tr.NeedsSwitch,
+		}
+		plan.names[i] = tr.Node
+	}
+	plan.spaceSize = cluster.GenericSpaceSize(plan.types)
+	if req.Prune {
+		pruned, err := cluster.PruneGroupTypes(plan.types)
+		if err != nil {
+			return req, plan, err
+		}
+		plan.types = pruned
+		plan.prunedSize = cluster.GenericSpaceSize(pruned)
+	}
+	// The guard applies to the space that would actually be walked, so a
+	// pruned request may be admitted where its full form is refused.
+	if size := plan.enumeratedSize(); size > s.opts.MaxGenericSpace {
+		return req, plan, badRequestf(
+			"generic space of %d points exceeds the server bound %d; lower max_nodes or set prune/frontier_only",
+			size, s.opts.MaxGenericSpace)
+	}
+	return req, plan, nil
+}
+
+// genericBytes returns the marshaled response for a canonicalized
+// request, with /v1/enumerate's breaker + freshness semantics.
+func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan genericPlan) (body []byte, cached, degraded bool, err error) {
+	key := canonicalKey("enumerate-generic", req)
+	ctx := r.Context()
+	v, cached, stale, err := s.cache.DoFresh(key, s.opts.CacheTTL, func() (any, error) {
+		var out []byte
+		berr := s.breaker.Do(func() error {
+			resp := EnumerateGenericResponse{
+				Workload:     req.Workload,
+				Work:         req.Work,
+				TypeNames:    plan.names,
+				SpaceSize:    plan.spaceSize,
+				PrunedSize:   plan.prunedSize,
+				FrontierOnly: req.FrontierOnly,
+			}
+			if req.FrontierOnly {
+				pts, _, err := cluster.GenericFrontierOfParallel(plan.types, req.Work, 0)
+				if err != nil {
+					return err
+				}
+				s.genericPoints.Add(plan.enumeratedSize())
+				resp.Points = make([]cluster.GenericPointSummary, len(pts))
+				for i, p := range pts {
+					resp.Points[i] = p.Summary(plan.names)
+				}
+			} else {
+				resp.Points = make([]cluster.GenericPointSummary, 0, req.Limit)
+				n := 0
+				err := cluster.EnumerateGroupsFunc(plan.types, req.Work, func(p cluster.GenericPoint) bool {
+					// Pure arithmetic walk: poll for cancellation at coarse
+					// intervals, as in enumerateBytes.
+					n++
+					if n&0x1fff == 0 && ctx.Err() != nil {
+						return false
+					}
+					if len(resp.Points) >= req.Limit {
+						resp.Truncated = true
+						return false
+					}
+					resp.Points = append(resp.Points, p.Summary(plan.names))
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				s.genericPoints.Add(uint64(n))
+			}
+			if plan.prunedSize > 0 {
+				s.genericPruned.Add(plan.spaceSize - plan.prunedSize)
+			}
+			resp.Returned = len(resp.Points)
+			b, err := json.Marshal(resp)
+			if err != nil {
+				return err
+			}
+			out = b
+			return nil
+		})
+		if berr != nil {
+			return nil, berr
+		}
+		return out, nil
+	})
+	if stale {
+		s.degraded.Inc()
+		return v.([]byte), false, true, nil
+	}
+	if err != nil {
+		return nil, false, false, err
+	}
+	return v.([]byte), cached, false, nil
+}
+
+func (s *Server) handleEnumerateGeneric(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[EnumerateGenericRequest](s, w, r)
+	if !ok {
+		return
+	}
+	norm, plan, err := s.normalizeEnumerateGeneric(req)
+	if err != nil {
+		replyError(w, r, err)
+		return
+	}
+	body, cached, degraded, err := s.genericBytes(r, norm, plan)
+	if err != nil {
+		replyError(w, r, err)
+		return
+	}
+	if degraded {
+		w.Header().Set("X-Degraded", "true")
+		writeRaw(w, markDegraded(body), false)
+		return
+	}
+	writeRaw(w, body, cached)
+}

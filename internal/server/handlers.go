@@ -709,6 +709,8 @@ type HealthCache struct {
 	Collapsed   uint64  `json:"collapsed"`
 	Evictions   uint64  `json:"evictions"`
 	StaleServes uint64  `json:"stale_serves"`
+	// Bytes is the resident size of cached response bodies.
+	Bytes int64 `json:"bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -725,7 +727,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache: HealthCache{
 			Hits: st.Hits, Misses: st.Misses, HitRatio: st.HitRatio(),
 			Entries: st.Entries, Collapsed: st.Collapsed, Evictions: st.Evictions,
-			StaleServes: st.StaleServes,
+			StaleServes: st.StaleServes, Bytes: st.Bytes,
 		},
 		KernelTables:      s.tableBuilds.Value(),
 		Breaker:           s.breaker.State().String(),

@@ -65,6 +65,10 @@ type Options struct {
 	// MaxPoints caps the number of materialized points one enumerate
 	// response may carry (default 20000).
 	MaxPoints int
+	// MaxGenericSpace caps how many points one /v1/enumerate-generic
+	// request may walk after pruning; larger spaces get a 400 before any
+	// enumeration runs (default 2,000,000).
+	MaxGenericSpace uint64
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
 	// Registry receives the server's metrics (default: a fresh one).
@@ -89,7 +93,7 @@ type Options struct {
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "budget", "queueing", "healthz", "readyz"}
+var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "healthz", "readyz"}
 
 // chaosKinds labels the chaos-injection counters.
 var chaosKinds = []string{"latency", "error", "panic", "timeout"}
@@ -116,21 +120,23 @@ type Server struct {
 	breaker  *resilience.Breaker
 	draining atomic.Bool
 
-	inflight     *metrics.Gauge
-	rejected     *metrics.Counter
-	timeouts     *metrics.Counter
-	tableBuilds  *metrics.Counter
-	cacheHits    *metrics.Counter
-	cacheMisses  *metrics.Counter
-	cacheCollap  *metrics.Counter
-	cacheEvict   *metrics.Counter
-	cacheStale   *metrics.Counter
-	panics       *metrics.Counter
-	degraded     *metrics.Counter
-	breakerState *metrics.Gauge
-	breakerOpens *metrics.Counter
-	chaosInject  map[string]*metrics.Counter
-	byEndpoint   map[string]*endpointMetrics
+	inflight      *metrics.Gauge
+	rejected      *metrics.Counter
+	timeouts      *metrics.Counter
+	tableBuilds   *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	cacheCollap   *metrics.Counter
+	cacheEvict    *metrics.Counter
+	cacheStale    *metrics.Counter
+	panics        *metrics.Counter
+	degraded      *metrics.Counter
+	genericPoints *metrics.Counter
+	genericPruned *metrics.Counter
+	breakerState  *metrics.Gauge
+	breakerOpens  *metrics.Counter
+	chaosInject   map[string]*metrics.Counter
+	byEndpoint    map[string]*endpointMetrics
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -165,6 +171,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.MaxGenericSpace == 0 {
+		opts.MaxGenericSpace = 2_000_000
 	}
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
@@ -230,6 +239,10 @@ func (s *Server) registerMetrics() {
 		"handler panics contained by the recovery middleware")
 	s.degraded = r.NewCounter("heteromixd_degraded_responses_total",
 		"responses served stale and marked degraded")
+	s.genericPoints = r.NewCounter("heteromixd_generic_points_evaluated_total",
+		"N-type configurations evaluated by /v1/enumerate-generic")
+	s.genericPruned = r.NewCounter("heteromixd_generic_points_pruned_total",
+		"N-type configurations skipped by domination pruning")
 	s.breakerState = r.NewGauge("heteromixd_breaker_state",
 		"enumerate circuit breaker state (0 closed, 1 open, 2 half-open)")
 	s.breakerOpens = r.NewCounter("heteromixd_breaker_opens_total",
@@ -273,6 +286,7 @@ func (s *Server) syncCacheMetrics() {
 func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", true, s.handlePredict))
 	s.mux.Handle("POST /v1/enumerate", s.instrument("enumerate", true, s.handleEnumerate))
+	s.mux.Handle("POST /v1/enumerate-generic", s.instrument("enumerate-generic", true, s.handleEnumerateGeneric))
 	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
 	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))

@@ -28,6 +28,8 @@ type shard struct {
 	cap int
 	ll  *list.List
 	m   map[string]*list.Element
+	// bytes sums the sizes of the shard's byte-slice values (see sizeOf).
+	bytes int64
 }
 
 // lruEntry is a recency-list payload. storedAt supports DoFresh's
@@ -60,6 +62,10 @@ type Stats struct {
 	StaleServes uint64
 	// Entries is the current number of cached values.
 	Entries int
+	// Bytes is the summed length of cached []byte values (marshaled
+	// response bodies). Non-byte-slice values (kernel tables) count as
+	// zero — the number tracks response-body residency, not total heap.
+	Bytes int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), 0 when nothing was asked.
@@ -96,6 +102,15 @@ func New(capacity int) *Cache {
 		c.shards[i] = shard{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
 	}
 	return c
+}
+
+// sizeOf is the byte accounting applied to cached values: the length of
+// a []byte body, zero for anything else.
+func sizeOf(val any) int64 {
+	if b, ok := val.([]byte); ok {
+		return int64(len(b))
+	}
+	return 0
 }
 
 // fnv1a hashes the key for shard selection.
@@ -135,15 +150,19 @@ func (c *Cache) Add(key string, val any) {
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		e := el.Value.(*lruEntry)
+		s.bytes += sizeOf(val) - sizeOf(e.val)
 		e.val, e.storedAt = val, c.now()
 		s.ll.MoveToFront(el)
 		return
 	}
 	s.m[key] = s.ll.PushFront(&lruEntry{key: key, val: val, storedAt: c.now()})
+	s.bytes += sizeOf(val)
 	if s.ll.Len() > s.cap {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
-		delete(s.m, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(s.m, e.key)
+		s.bytes -= sizeOf(e.val)
 		c.evictions.Add(1)
 	}
 }
@@ -292,8 +311,21 @@ func (c *Cache) Reset() {
 		s.mu.Lock()
 		s.ll.Init()
 		s.m = make(map[string]*list.Element)
+		s.bytes = 0
 		s.mu.Unlock()
 	}
+}
+
+// Bytes returns the summed length of cached []byte values.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the cache's counters.
@@ -305,5 +337,6 @@ func (c *Cache) Stats() Stats {
 		Collapsed:   c.collapsed.Load(),
 		StaleServes: c.staleServes.Load(),
 		Entries:     c.Len(),
+		Bytes:       c.Bytes(),
 	}
 }

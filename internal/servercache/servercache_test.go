@@ -199,3 +199,39 @@ func TestReset(t *testing.T) {
 		t.Error("entry survived Reset")
 	}
 }
+
+func TestBytesTracksByteSliceValues(t *testing.T) {
+	c := New(64)
+	if c.Bytes() != 0 {
+		t.Fatalf("empty cache Bytes() = %d", c.Bytes())
+	}
+	c.Add("body", make([]byte, 100))
+	c.Add("table", struct{ x int }{1}) // non-byte values count as zero
+	if got := c.Bytes(); got != 100 {
+		t.Fatalf("Bytes() = %d, want 100", got)
+	}
+	// Refresh replaces, not accumulates.
+	c.Add("body", make([]byte, 40))
+	if got := c.Bytes(); got != 40 {
+		t.Fatalf("refreshed Bytes() = %d, want 40", got)
+	}
+	if st := c.Stats(); st.Bytes != 40 {
+		t.Fatalf("Stats().Bytes = %d, want 40", st.Bytes)
+	}
+	c.Reset()
+	if c.Bytes() != 0 {
+		t.Fatalf("post-Reset Bytes() = %d", c.Bytes())
+	}
+}
+
+func TestBytesReleasedOnEviction(t *testing.T) {
+	// Capacity 16 → one entry per shard; stuffing many bodies must keep
+	// the accounted bytes equal to the surviving entries' sizes.
+	c := New(16)
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("key-%d", i), make([]byte, 10))
+	}
+	if got, want := c.Bytes(), int64(c.Len()*10); got != want {
+		t.Fatalf("Bytes() = %d, want %d for %d resident entries", got, want, c.Len())
+	}
+}
