@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race chaos bench bench-generic bench-server ci
+.PHONY: all build vet test race server-race chaos bench bench-generic bench-server bench-batch ci
 
 all: ci
 
@@ -65,4 +65,13 @@ bench-server:
 		-bench 'BenchmarkServePredictCached|BenchmarkServePredictCold' \
 		-benchmem -benchtime=1000x
 
-ci: vet build race server-race chaos bench bench-generic bench-server
+# Amortization gate for /v1/batch and the compiled-table LRU: one warm
+# 64-item batch must stay ≥5x cheaper than 64 sequential /v1/predict
+# round trips, and a warm-table generic enumeration must beat the
+# cold-table build. Baselines recorded in BENCH_serving.json.
+bench-batch:
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'Benchmark(Batch64WarmPredicts|Sequential64WarmPredicts|GenericColdTable|GenericWarmTable)' \
+		-benchmem -benchtime=1000x
+
+ci: vet build race server-race chaos bench bench-generic bench-server bench-batch

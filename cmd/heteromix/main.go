@@ -28,9 +28,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"heteromix/internal/cliutil"
 	"heteromix/internal/experiments"
@@ -42,6 +47,7 @@ func main() {
 	noise := flag.Float64("noise", 0.03, "measurement noise sigma for baseline runs")
 	seed := flag.Int64("seed", 1, "random seed for the whole pipeline")
 	dir := flag.String("dir", "report", "output directory for the report command")
+	serial := flag.Bool("serial", false, "run the all command's stages sequentially instead of in parallel")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Usage = func() {
@@ -66,7 +72,12 @@ func main() {
 		} else {
 			fmt.Printf("wrote %s (figures alongside)\n", path)
 		}
-	} else if err := run(s, flag.Arg(0)); err != nil {
+	} else if flag.Arg(0) == "all" {
+		if err := runAll(s, os.Stdout, *serial); err != nil {
+			fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
+			code = 1
+		}
+	} else if err := run(s, flag.Arg(0), os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "heteromix: %v\n", err)
 		code = 1
 	}
@@ -79,34 +90,38 @@ func main() {
 	os.Exit(code)
 }
 
-func run(s *experiments.Suite, cmd string) error {
+// allStages is the order the all command presents its sections in —
+// also the byte-layout contract the parallel runner preserves.
+var allStages = []string{"table3", "table4", "ppr", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablation"}
+
+func run(s *experiments.Suite, cmd string, out io.Writer) error {
 	switch cmd {
 	case "table3":
 		rows, err := s.Table3()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatTable3(rows))
+		fmt.Fprint(out, experiments.FormatTable3(rows))
 	case "table4":
 		rows, err := s.Table4()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatTable4(rows))
+		fmt.Fprint(out, experiments.FormatTable4(rows))
 	case "ppr":
 		rows, err := s.Table5()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatTable5(rows))
+		fmt.Fprint(out, experiments.FormatTable5(rows))
 	case "fig2":
 		r, err := s.Figure2()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Figure 2: max relative spread of WPI/SPIcore across problem sizes: %.2f%%\n", r.MaxRelSpread*100)
+		fmt.Fprintf(out, "Figure 2: max relative spread of WPI/SPIcore across problem sizes: %.2f%%\n", r.MaxRelSpread*100)
 		for _, p := range r.Points {
-			fmt.Printf("  %-16s class %s (%.3g units): WPI=%.3f SPIcore=%.3f\n",
+			fmt.Fprintf(out, "  %-16s class %s (%.3g units): WPI=%.3f SPIcore=%.3f\n",
 				p.Node, p.Class, p.Units, p.WPI, p.SPICore)
 		}
 	case "fig3":
@@ -114,41 +129,41 @@ func run(s *experiments.Suite, cmd string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Figure 3: SPImem linear in frequency, min r^2 = %.3f\n", r.MinR2)
+		fmt.Fprintf(out, "Figure 3: SPImem linear in frequency, min r^2 = %.3f\n", r.MinR2)
 		for _, series := range r.Series {
-			fmt.Printf("  %-16s cores=%d: slope=%.3f SPImem/GHz, r^2=%.3f\n",
+			fmt.Fprintf(out, "  %-16s cores=%d: slope=%.3f SPImem/GHz, r^2=%.3f\n",
 				series.Node, series.Cores, series.Slope, series.R2)
 		}
 	case "fig4":
-		return frontier(s, "ep")
+		return frontier(s, "ep", out)
 	case "fig5":
-		return frontier(s, "memcached")
+		return frontier(s, "memcached", out)
 	case "fig6":
-		return mixSeries(s.Figure6())
+		return mixSeries(out)(s.Figure6())
 	case "fig7":
-		return mixSeries(s.Figure7())
+		return mixSeries(out)(s.Figure7())
 	case "fig8":
-		return mixSeries(s.Figure8())
+		return mixSeries(out)(s.Figure8())
 	case "fig9":
-		return mixSeries(s.Figure9())
+		return mixSeries(out)(s.Figure9())
 	case "fig10":
 		r, err := s.Figure10()
 		if err != nil {
 			return err
 		}
-		fmt.Print(r.Format())
+		fmt.Fprint(out, r.Format())
 		ascii, err := r.Chart().RenderASCII(72, 20)
 		if err != nil {
 			return err
 		}
-		fmt.Println(ascii)
+		fmt.Fprintln(out, ascii)
 	case "headline":
 		for _, w := range []string{"ep", "memcached"} {
 			h, err := s.Headline(w)
 			if err != nil {
 				return err
 			}
-			fmt.Println(h.Format())
+			fmt.Fprintln(out, h.Format())
 		}
 	case "ablation":
 		for _, w := range []string{"ep", "memcached"} {
@@ -156,96 +171,154 @@ func run(s *experiments.Suite, cmd string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.FormatSplitAblation(w, split))
+			fmt.Fprint(out, experiments.FormatSplitAblation(w, split))
 		}
 		dvfs, err := s.DVFSAblation("ep", 6, 6)
 		if err != nil {
 			return err
 		}
-		fmt.Print(dvfs.Format())
+		fmt.Fprint(out, dvfs.Format())
 		for _, w := range []string{"ep", "memcached"} {
 			pr, err := s.Pruning(w, 6, 6)
 			if err != nil {
 				return err
 			}
-			fmt.Print(pr.Format())
+			fmt.Fprint(out, pr.Format())
 		}
 		qv, err := s.QueueModelValidation(0.026, []float64{0.05, 0.25, 0.5, 0.8}, 200000)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatQueueValidation(qv))
+		fmt.Fprint(out, experiments.FormatQueueValidation(qv))
 		prop, err := s.Proportionality()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatProportionality(prop))
+		fmt.Fprint(out, experiments.FormatProportionality(prop))
 		e2e, err := s.EndToEndValidation(0.25, 500)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatEndToEnd(e2e))
+		fmt.Fprint(out, experiments.FormatEndToEnd(e2e))
 		bt, err := s.BottleneckClassification()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.FormatBottlenecks(bt))
+		fmt.Fprint(out, experiments.FormatBottlenecks(bt))
 		for _, w := range []string{"ep", "memcached"} {
 			ad, err := s.AdaptiveScheduling(w, 0.05, 0.5, 0.2)
 			if err != nil {
 				return err
 			}
-			fmt.Print(ad.Format())
+			fmt.Fprint(out, ad.Format())
 		}
 		for _, w := range []string{"ep", "rsa2048"} {
 			sens, err := s.Sensitivity(w, 0.10, 12)
 			if err != nil {
 				return err
 			}
-			fmt.Print(sens.Format())
+			fmt.Fprint(out, sens.Format())
 		}
 		wq, err := s.WorkQueue("ep", 1.4)
 		if err != nil {
 			return err
 		}
-		fmt.Print(wq.Format())
+		fmt.Fprint(out, wq.Format())
 	case "all":
-		for _, c := range []string{"table3", "table4", "ppr", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline", "ablation"} {
-			fmt.Printf("==== %s ====\n", c)
-			if err := run(s, c); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
+		return runAll(s, out, true)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
 }
 
-func frontier(s *experiments.Suite, workload string) error {
+// runAll executes every stage of the all command. Serial mode streams
+// each stage to out in order, exactly as before. Parallel mode (the
+// default) first warms the model cache in the serial build order — the
+// models' seeds depend on that order, so this is what keeps the numbers
+// identical — then fans the stages across a bounded worker pool, each
+// writing into its own buffer, and splices the buffers in stage order:
+// the output is byte-identical to the serial run, the wall clock is the
+// slowest stage instead of the sum.
+func runAll(s *experiments.Suite, out io.Writer, serial bool) error {
+	if serial {
+		for _, c := range allStages {
+			fmt.Fprintf(out, "==== %s ====\n", c)
+			if err := run(s, c, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	if err := s.WarmModels(); err != nil {
+		return err
+	}
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, len(allStages))
+	workers := min(runtime.GOMAXPROCS(0), len(allStages))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(allStages) {
+					return
+				}
+				r := &results[i]
+				fmt.Fprintf(&r.buf, "==== %s ====\n", allStages[i])
+				if r.err = run(s, allStages[i], &r.buf); r.err == nil {
+					fmt.Fprintln(&r.buf)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		// A failing stage's buffer is flushed too (header plus whatever
+		// it printed before the error), matching what a serial run would
+		// have streamed before stopping.
+		if _, err := out.Write(results[i].buf.Bytes()); err != nil {
+			return err
+		}
+		if results[i].err != nil {
+			return results[i].err
+		}
+	}
+	return nil
+}
+
+func frontier(s *experiments.Suite, workload string, out io.Writer) error {
 	r, err := s.FrontierAnalysis(workload, 10, 10, 0)
 	if err != nil {
 		return err
 	}
-	fmt.Print(r.FormatFrontier())
+	fmt.Fprint(out, r.FormatFrontier())
 	ascii, err := r.Chart().RenderASCII(72, 20)
 	if err != nil {
 		return err
 	}
-	fmt.Println(ascii)
+	fmt.Fprintln(out, ascii)
 	return nil
 }
 
-func mixSeries(r experiments.MixSeriesResult, err error) error {
-	if err != nil {
-		return err
+func mixSeries(out io.Writer) func(experiments.MixSeriesResult, error) error {
+	return func(r experiments.MixSeriesResult, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Format())
+		ascii, err := r.Chart().RenderASCII(72, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ascii)
+		return nil
 	}
-	fmt.Print(r.Format())
-	ascii, err := r.Chart().RenderASCII(72, 20)
-	if err != nil {
-		return err
-	}
-	fmt.Println(ascii)
-	return nil
 }

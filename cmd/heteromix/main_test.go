@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"runtime"
 	"testing"
 
 	"heteromix/internal/experiments"
@@ -11,31 +14,55 @@ func testSuite() *experiments.Suite {
 }
 
 func TestRunUnknownCommand(t *testing.T) {
-	if err := run(testSuite(), "make-coffee"); err == nil {
+	if err := run(testSuite(), "make-coffee", io.Discard); err == nil {
 		t.Error("unknown command should error")
 	}
 }
 
 func TestRunPPR(t *testing.T) {
-	if err := run(testSuite(), "ppr"); err != nil {
+	if err := run(testSuite(), "ppr", io.Discard); err != nil {
 		t.Errorf("ppr: %v", err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run(testSuite(), "fig3"); err != nil {
+	if err := run(testSuite(), "fig3", io.Discard); err != nil {
 		t.Errorf("fig3: %v", err)
 	}
 }
 
 func TestRunFig2(t *testing.T) {
-	if err := run(testSuite(), "fig2"); err != nil {
+	if err := run(testSuite(), "fig2", io.Discard); err != nil {
 		t.Errorf("fig2: %v", err)
 	}
 }
 
 func TestRunHeadline(t *testing.T) {
-	if err := run(testSuite(), "headline"); err != nil {
+	if err := run(testSuite(), "headline", io.Discard); err != nil {
 		t.Errorf("headline: %v", err)
+	}
+}
+
+// TestParallelAllMatchesSerial is the core determinism contract of the
+// parallel runner: for the same seed, the concurrent `all` must produce
+// the serial run's bytes exactly. Each mode gets a fresh suite so the
+// parallel run cannot ride on caches a serial run populated.
+func TestParallelAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full all run is slow")
+	}
+	// The worker count follows GOMAXPROCS; pin it above 1 so the stages
+	// genuinely interleave even on a single-core CI box.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	var serial, parallel bytes.Buffer
+	if err := runAll(testSuite(), &serial, true); err != nil {
+		t.Fatalf("serial all: %v", err)
+	}
+	if err := runAll(testSuite(), &parallel, false); err != nil {
+		t.Fatalf("parallel all: %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("parallel all output differs from serial: %d vs %d bytes",
+			parallel.Len(), serial.Len())
 	}
 }

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	heteromixd [-addr :8080] [-cache n] [-max-concurrent n]
-//	           [-timeout d] [-max-nodes n] [-max-generic-space n]
+//	heteromixd [-addr :8080] [-cache n] [-table-cache n]
+//	           [-max-concurrent n] [-timeout d] [-max-nodes n]
+//	           [-max-generic-space n] [-max-batch-items n]
 //	           [-noise s] [-seed n] [-cache-ttl d] [-drain-delay d]
-//	           [-chaos spec]
+//	           [-chaos spec] [-pprof]
 package main
 
 import (
@@ -36,19 +37,25 @@ type daemonConfig struct {
 	noise           float64
 	seed            int64
 	cache           int
+	tableCache      int
 	maxConcurrent   int
 	maxNodes        int
 	maxGenericSpace uint64
+	maxBatchItems   int
 	timeout         time.Duration
 	cacheTTL        time.Duration
 	drainDelay      time.Duration
 	chaosSpec       string
+	pprof           bool
 }
 
 func main() {
 	var cfg daemonConfig
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.IntVar(&cfg.cache, "cache", 4096, "result cache capacity in entries")
+	flag.IntVar(&cfg.tableCache, "table-cache", 0, "compiled kernel-table cache capacity in entries (0 = default)")
+	flag.IntVar(&cfg.maxBatchItems, "max-batch-items", 256, "largest item count one /v1/batch request may carry")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "max concurrent model requests (0 = 4x GOMAXPROCS)")
 	flag.DurationVar(&cfg.timeout, "timeout", 15*time.Second, "per-request computation timeout")
 	flag.IntVar(&cfg.maxNodes, "max-nodes", 128, "largest per-side node count a request may ask for")
@@ -88,14 +95,17 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 	}
 	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: cfg.noise, Seed: cfg.seed})
 	return server.New(server.Options{
-		Models:          suite,
-		CacheEntries:    cfg.cache,
-		MaxConcurrent:   cfg.maxConcurrent,
-		MaxNodes:        cfg.maxNodes,
-		MaxGenericSpace: cfg.maxGenericSpace,
-		RequestTimeout:  cfg.timeout,
-		CacheTTL:        cfg.cacheTTL,
-		DrainDelay:      cfg.drainDelay,
-		Chaos:           chaos,
+		Models:            suite,
+		CacheEntries:      cfg.cache,
+		TableCacheEntries: cfg.tableCache,
+		MaxConcurrent:     cfg.maxConcurrent,
+		MaxNodes:          cfg.maxNodes,
+		MaxGenericSpace:   cfg.maxGenericSpace,
+		MaxBatchItems:     cfg.maxBatchItems,
+		RequestTimeout:    cfg.timeout,
+		CacheTTL:          cfg.cacheTTL,
+		DrainDelay:        cfg.drainDelay,
+		Chaos:             chaos,
+		EnablePprof:       cfg.pprof,
 	})
 }

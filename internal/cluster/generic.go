@@ -3,7 +3,6 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
 
 	"heteromix/internal/hwsim"
@@ -146,24 +145,11 @@ func (p GenericPoint) Summary(names []string) GenericPointSummary {
 // output's Counts/Configs/Work slices are carved from three flat
 // backing arrays instead of being allocated per point.
 func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
-	t, err := newGenericTable(types, w)
+	g, err := NewGenericTable(types)
 	if err != nil {
 		return nil, err
 	}
-	n, err := t.intSize()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
-	}
-	out := make([]GenericPoint, 0, n)
-	bk := newGenBacking(n, len(types))
-	t.forEach(t.newCursor(), func(p GenericPoint) bool {
-		out = append(out, bk.copy(p))
-		return true
-	})
-	return out, nil
+	return g.Enumerate(w)
 }
 
 // EnumerateGroupsFunc streams every point of the generic space to
@@ -172,15 +158,11 @@ func EnumerateGroups(types []GroupType, w float64) ([]GenericPoint, error) {
 // call — Clone to retain. Returning false from yield stops the
 // enumeration early (not an error).
 func EnumerateGroupsFunc(types []GroupType, w float64, yield func(GenericPoint) bool) error {
-	t, err := newGenericTable(types, w)
+	g, err := NewGenericTable(types)
 	if err != nil {
 		return err
 	}
-	if t.size == 0 {
-		return fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
-	}
-	t.forEach(t.newCursor(), yield)
-	return nil
+	return g.ForEach(w, yield)
 }
 
 // EnumerateGroupsParallel evaluates the same space as EnumerateGroups,
@@ -192,35 +174,11 @@ func EnumerateGroupsFunc(types []GroupType, w float64, yield func(GenericPoint) 
 // to the serial order, and the first error cancels the rest at their
 // next chunk boundary. workers <= 0 selects GOMAXPROCS.
 func EnumerateGroupsParallel(types []GroupType, w float64, workers int) ([]GenericPoint, error) {
-	t, err := newGenericTable(types, w)
+	g, err := NewGenericTable(types)
 	if err != nil {
 		return nil, err
 	}
-	n, err := t.intSize()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out := make([]GenericPoint, n)
-	err = parallelFor(n, workers, parallelChunk, func(lo, hi int) error {
-		c := t.newCursor()
-		bk := newGenBacking(hi-lo, len(types))
-		for i := lo; i < hi; i++ {
-			// Point indices are 1-based: index 0 is the all-absent vector.
-			t.at(c, uint64(i)+1)
-			out[i] = bk.copy(c.p)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return g.EnumerateParallel(w, workers)
 }
 
 // GenericFrontierOf enumerates the generic space and returns only its
@@ -231,28 +189,11 @@ func EnumerateGroupsParallel(types []GroupType, w float64, workers int) ([]Gener
 // first (PruneGroupTypes) for the fast path — the pruned frontier
 // provably equals the full one.
 func GenericFrontierOf(types []GroupType, w float64) ([]GenericPoint, []pareto.TE, error) {
-	t, err := newGenericTable(types, w)
+	g, err := NewGenericTable(types)
 	if err != nil {
 		return nil, nil, err
 	}
-	if t.size == 0 {
-		return nil, nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
-	}
-	tr := pareto.Tracked[GenericPoint]{Clone: GenericPoint.Clone}
-	var insErr error
-	t.forEach(t.newCursor(), func(p GenericPoint) bool {
-		_, err := tr.Insert(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy)}, p)
-		if err != nil {
-			insErr = err
-			return false
-		}
-		return true
-	})
-	if insErr != nil {
-		return nil, nil, insErr
-	}
-	pts, tes := tr.Frontier()
-	return pts, tes, nil
+	return g.Frontier(w)
 }
 
 // genericFrontierChunk is the per-claim index run of the parallel
@@ -268,52 +209,11 @@ const genericFrontierChunk = 8192
 // never materialized — at most the per-chunk frontiers live at once.
 // workers <= 0 selects GOMAXPROCS.
 func GenericFrontierOfParallel(types []GroupType, w float64, workers int) ([]GenericPoint, []pareto.TE, error) {
-	t, err := newGenericTable(types, w)
+	g, err := NewGenericTable(types)
 	if err != nil {
 		return nil, nil, err
 	}
-	n, err := t.intSize()
-	if err != nil {
-		return nil, nil, err
-	}
-	if n == 0 {
-		return nil, nil, fmt.Errorf("cluster: generic space is empty (all MaxNodes zero?)")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	numChunks := (n + genericFrontierChunk - 1) / genericFrontierChunk
-	locals := make([]pareto.Tracked[GenericPoint], numChunks)
-	err = parallelFor(n, workers, genericFrontierChunk, func(lo, hi int) error {
-		// parallelFor claims start at chunk multiples, so lo identifies
-		// the chunk's slot in the ordered merge below.
-		tr := &locals[lo/genericFrontierChunk]
-		tr.Clone = GenericPoint.Clone
-		c := t.newCursor()
-		for i := lo; i < hi; i++ {
-			t.at(c, uint64(i)+1)
-			if _, err := tr.Insert(pareto.TE{Time: float64(c.p.Time), Energy: float64(c.p.Energy)}, c.p); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	// Merge chunk frontiers in enumeration order; chunk payloads are
-	// already cloned, so the merged frontier can alias them.
-	var merged pareto.Tracked[GenericPoint]
-	for ci := range locals {
-		pts, tes := locals[ci].Frontier()
-		for j := range tes {
-			if _, err := merged.Insert(pareto.TE{Time: tes[j].Time, Energy: tes[j].Energy}, pts[j]); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	pts, tes := merged.Frontier()
-	return pts, tes, nil
+	return g.FrontierParallel(w, workers)
 }
 
 // PruneGroupTypes returns a copy of types with each used type's

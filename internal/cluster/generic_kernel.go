@@ -10,13 +10,15 @@ import (
 
 // This file is the evaluation-kernel layer under the generic N-type
 // enumerators, the analogue of spaceKernels for any number of node
-// types. A genericTable is built once per Enumerate* call: every
-// (count, per-node configuration) option of every type gets its
+// types. A genericTable is built once per cluster spec (type list):
+// every (count, per-node configuration) option of every type gets its
 // model.Kernel coefficients precomputed, so evaluating one point of the
 // cartesian space is pure float arithmetic over scratch buffers — no
 // validation, no model walks, and no allocation. All error paths
-// (model validation, bad work volumes, bad bounds) are taken during
-// table construction; per-point evaluation is infallible.
+// (model validation, bad bounds) are taken during table construction;
+// the work volume enters only the per-point arithmetic, so one table
+// serves every work size (validated per call) and per-point evaluation
+// is infallible.
 //
 // The point arithmetic is expression-for-expression the same as the
 // two-type spaceKernels.point (throughputs accumulate in type order,
@@ -34,8 +36,9 @@ type genOption struct {
 }
 
 // genericTable is the precomputed evaluation table of an N-type space.
+// It is independent of the work volume: w is a per-call parameter of
+// eval/forEach/at, so one table serves every work size.
 type genericTable struct {
-	w       float64
 	opts    [][]genOption // per type: absent first, then count-major options
 	switchW []float64     // per type: per-switch watts (0 unless NeedsSwitch)
 	radix   []uint64      // len(opts[i])
@@ -76,7 +79,7 @@ func typeConfigs(gt GroupType) []hwsim.Config {
 // kernel coefficients. Types with MaxNodes 0 are never evaluated, so
 // their models are not touched (matching Evaluate's treatment of
 // zero-node groups).
-func newGenericTable(types []GroupType, w float64) (*genericTable, error) {
+func newGenericTable(types []GroupType) (*genericTable, error) {
 	if len(types) == 0 {
 		return nil, fmt.Errorf("cluster: no node types")
 	}
@@ -85,11 +88,7 @@ func newGenericTable(types []GroupType, w float64) (*genericTable, error) {
 			return nil, fmt.Errorf("cluster: type %d has MaxNodes %d", i, gt.MaxNodes)
 		}
 	}
-	if err := validWork(w); err != nil {
-		return nil, err
-	}
 	t := &genericTable{
-		w:       w,
 		opts:    make([][]genOption, len(types)),
 		switchW: make([]float64, len(types)),
 		radix:   make([]uint64, len(types)),
@@ -160,12 +159,12 @@ func (t *genericTable) newCursor() *genCursor {
 	}
 }
 
-// eval fills p from the option picks: the matching split (throughputs
-// accumulate in type order, every group finishes at w / Σ thr), then
-// the summed group energies including switch draw over the duration.
-// It reports false only for the all-absent vector. p.Work doubles as
-// the throughput scratch, so eval needs no allocation.
-func (t *genericTable) eval(pick []int, p *GenericPoint) bool {
+// eval fills p from the option picks for w work units: the matching
+// split (throughputs accumulate in type order, every group finishes at
+// w / Σ thr), then the summed group energies including switch draw over
+// the duration. It reports false only for the all-absent vector. p.Work
+// doubles as the throughput scratch, so eval needs no allocation.
+func (t *genericTable) eval(pick []int, w float64, p *GenericPoint) bool {
 	total := 0.0
 	for i, oi := range pick {
 		opt := &t.opts[i][oi]
@@ -181,14 +180,14 @@ func (t *genericTable) eval(pick []int, p *GenericPoint) bool {
 	if total == 0 {
 		return false
 	}
-	tt := t.w / total
+	tt := w / total
 	energy := 0.0
 	for i, oi := range pick {
 		if p.Counts[i] == 0 {
 			continue
 		}
 		opt := &t.opts[i][oi]
-		wk := t.w * p.Work[i] / total
+		wk := w * p.Work[i] / total
 		p.Work[i] = wk
 		e := opt.epu * wk
 		if t.switchW[i] > 0 {
@@ -206,7 +205,7 @@ func (t *genericTable) eval(pick []int, p *GenericPoint) bool {
 // EnumerateGroups materializes). The yielded point is c's scratch:
 // valid only during the call, Clone to retain. Reports whether the
 // walk ran to completion.
-func (t *genericTable) forEach(c *genCursor, yield func(GenericPoint) bool) bool {
+func (t *genericTable) forEach(c *genCursor, w float64, yield func(GenericPoint) bool) bool {
 	pick := c.pick
 	for i := range pick {
 		pick[i] = 0
@@ -227,7 +226,7 @@ func (t *genericTable) forEach(c *genCursor, yield func(GenericPoint) bool) bool
 		if i < 0 {
 			return true
 		}
-		if !t.eval(pick, &c.p) {
+		if !t.eval(pick, w, &c.p) {
 			continue
 		}
 		if !yield(c.p) {
@@ -239,11 +238,11 @@ func (t *genericTable) forEach(c *genCursor, yield func(GenericPoint) bool) bool
 // at evaluates the point at linear index idx of forEach's order into
 // c's scratch (idx 1..size; index 0 is the all-absent vector) — the
 // random-access view the dynamic parallel scheduler uses.
-func (t *genericTable) at(c *genCursor, idx uint64) bool {
+func (t *genericTable) at(c *genCursor, idx uint64, w float64) bool {
 	for i := range c.pick {
 		c.pick[i] = int(idx / t.stride[i] % t.radix[i])
 	}
-	return t.eval(c.pick, &c.p)
+	return t.eval(c.pick, w, &c.p)
 }
 
 // genBacking carves materialized points' slices out of three flat

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"unsafe"
 
 	"heteromix/internal/hwsim"
 	"heteromix/internal/pareto"
@@ -86,6 +87,19 @@ func (t *Table) Evaluate(cfg Configuration, w float64) (Point, error) {
 
 // Size returns how many points ForEach yields for the bounds.
 func (t *Table) Size(maxARM, maxAMD int) int { return t.kt.size(maxARM, maxAMD) }
+
+// SizeBytes estimates the table's resident size for cache accounting:
+// the kernel-entry arrays and the config-index maps (counted at a flat
+// per-entry overhead), plus the struct itself.
+func (t *Table) SizeBytes() int {
+	const entrySize = int(unsafe.Sizeof(kernelEntry{}))
+	// A map entry costs roughly its key+value plus bucket overhead.
+	const mapEntry = int(unsafe.Sizeof(hwsim.Config{})) + 8 + 16
+	n := int(unsafe.Sizeof(Table{}))
+	n += (len(t.kt.arm) + len(t.kt.amd)) * entrySize
+	n += (len(t.arm) + len(t.amd)) * mapEntry
+	return n
+}
 
 // ForEach streams every point of the bounded space to yield in
 // Enumerate's order; yield returning false stops the walk early (not an

@@ -66,19 +66,21 @@ func (s *Suite) frontierAnalysis(workload string, maxARM, maxAMD int, jobUnits f
 	if jobUnits <= 0 {
 		jobUnits = w.AnalysisUnits
 	}
-	space, err := s.Space(workload)
+	// The suite's shared table serves the enumeration: the kernel walk
+	// is bit-identical to Space.EnumerateFunc, and concurrent stages
+	// (fig4, fig5, headline) compile each workload's table only once.
+	tbl, err := s.Table(workload, noSwitch)
 	if err != nil {
 		return FrontierResult{}, err
 	}
-	space.NoSwitchEnergy = noSwitch
 	// One streaming pass builds the point slice (part of the result API)
 	// while three online frontiers — the main one plus the homogeneous
 	// envelopes — absorb each point as it is produced, replacing three
 	// full sorts of the 36,380-point space.
-	points := make([]cluster.Point, 0, space.SpaceSize(maxARM, maxAMD))
+	points := make([]cluster.Point, 0, tbl.Space().SpaceSize(maxARM, maxAMD))
 	var full, armF, amdF pareto.OnlineFrontier
 	var insErr error
-	err = space.EnumerateFunc(maxARM, maxAMD, jobUnits, func(p cluster.Point) bool {
+	err = tbl.ForEach(maxARM, maxAMD, jobUnits, func(p cluster.Point) bool {
 		te := pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: len(points)}
 		points = append(points, p)
 		if _, insErr = full.Add(te); insErr != nil {

@@ -75,7 +75,10 @@ func (s *Suite) MixSeries(workload string, mixes []budget.Mix, jobUnits float64)
 	if jobUnits <= 0 {
 		jobUnits = w.AnalysisUnits
 	}
-	space, err := s.Space(workload)
+	// One shared compiled table serves every mix of the series (and
+	// every other stage touching this workload); the walk is
+	// bit-identical to Space.EnumerateFunc.
+	tbl, err := s.Table(workload, false)
 	if err != nil {
 		return MixSeriesResult{}, err
 	}
@@ -87,7 +90,7 @@ func (s *Suite) MixSeries(workload string, mixes []budget.Mix, jobUnits float64)
 		var f pareto.OnlineFrontier
 		var insErr error
 		i := 0
-		err := space.EnumerateFunc(m.ARM, m.AMD, jobUnits, func(p cluster.Point) bool {
+		err := tbl.ForEach(m.ARM, m.AMD, jobUnits, func(p cluster.Point) bool {
 			_, insErr = f.Add(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy), Index: i})
 			i++
 			return insErr == nil

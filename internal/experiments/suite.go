@@ -19,6 +19,7 @@ import (
 	"heteromix/internal/cluster"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
+	"heteromix/internal/tablecache"
 	"heteromix/internal/workloads"
 )
 
@@ -40,6 +41,12 @@ type Suite struct {
 
 	mu     sync.Mutex
 	models map[string]model.NodeModel // key: workload + "/" + node name
+
+	// tables memoizes compiled kernel tables per (workload,
+	// switch-accounting) pair, shared across every experiment of the
+	// suite — the parallel `all` runner's stages each reuse one compiled
+	// table instead of rebuilding the kernel arrays per stage.
+	tables *tablecache.Cache
 }
 
 // NewSuite creates a Suite with the paper's two node types.
@@ -52,6 +59,7 @@ func NewSuite(opts SuiteOptions) *Suite {
 		AMD:    hwsim.AMDOpteronK10(),
 		Opts:   opts,
 		models: make(map[string]model.NodeModel),
+		tables: tablecache.New(0),
 	}
 }
 
@@ -77,6 +85,42 @@ func (s *Suite) Model(workload string, spec hwsim.NodeSpec) (model.NodeModel, er
 	}
 	s.models[key] = nm
 	return nm, nil
+}
+
+// WarmModels builds every registered workload's models in the canonical
+// order — name-sorted workloads, the AMD spec then the ARM spec per
+// workload, exactly the order a serial Table 3 pass establishes. Model
+// seeds depend on build order (Seed + len(models) at build time), so
+// concurrent experiment stages must warm the cache through this method
+// first to reproduce a serial run's numbers bit for bit.
+func (s *Suite) WarmModels() error {
+	for _, w := range workloads.All() {
+		for _, spec := range []hwsim.NodeSpec{s.AMD, s.ARM} {
+			if _, err := s.Model(w.Name(), spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table returns the memoized compiled kernel table for a workload's
+// space with the given switch accounting. Concurrent callers collapse
+// onto one build; the table is immutable and shared.
+func (s *Suite) Table(workload string, noSwitch bool) (*cluster.Table, error) {
+	space, err := s.Space(workload)
+	if err != nil {
+		return nil, err
+	}
+	space.NoSwitchEnergy = noSwitch
+	key := fmt.Sprintf("table|%s|%t", workload, noSwitch)
+	v, _, err := s.tables.Do(key, func() (tablecache.Artifact, error) {
+		return space.NewTable()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*cluster.Table), nil
 }
 
 // Space returns the two-type configuration space for a workload.

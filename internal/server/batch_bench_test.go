@@ -1,0 +1,137 @@
+package server
+
+// Benchmarks for the batch + table-cache amortization story, the make
+// bench-batch gate. The headline pair: 64 warm predicts through one
+// /v1/batch request versus the same 64 predicts as sequential
+// single-endpoint requests in the same httptest harness — the batch
+// must be at least ~5x cheaper per operation, since it pays the HTTP
+// routing, decode and instrumentation tax once instead of 64 times.
+// The generic pair measures what the compiled-table cache buys: a cold
+// iteration recompiles the N-type tables, a warm one reuses them and
+// pays only the enumeration.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// batch64 builds one batch body of 64 distinct predict items and the
+// matching single-endpoint bodies.
+func batch64() (string, []string) {
+	singles := make([]string, 64)
+	var b strings.Builder
+	b.WriteString(`{"items":[`)
+	for i := range singles {
+		body := fmt.Sprintf(`{"workload":"ep","arm":{"nodes":%d},"amd":{"nodes":%d}}`, i%8+1, i/8)
+		singles[i] = body
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"kind":"predict","request":`)
+		b.WriteString(body)
+		b.WriteByte('}')
+	}
+	b.WriteString(`]}`)
+	return b.String(), singles
+}
+
+func BenchmarkBatch64WarmPredicts(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	batch, _ := batch64()
+	// Prewarm: the measured iterations serve every item from cache.
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(batch))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		b.Fatalf("prewarm status %d: %s", rr.Code, rr.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(batch))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d", rr.Code)
+		}
+	}
+}
+
+func BenchmarkSequential64WarmPredicts(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	_, singles := batch64()
+	for _, body := range singles { // prewarm
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range singles {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	}
+}
+
+// BenchmarkGenericColdTable pays the full price every iteration: both
+// caches cleared, so the N-type tables recompile and the space
+// re-enumerates.
+func BenchmarkGenericColdTable(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	body := triBody + `,"work":1e6,"frontier_only":true}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		s.tables.Reset()
+		req := httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body)
+		}
+	}
+}
+
+// BenchmarkGenericWarmTable varies the work size every iteration so the
+// result cache always misses while the compiled tables are reused —
+// the delta against cold is what the table cache buys.
+func BenchmarkGenericWarmTable(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	// Prewarm the table cache.
+	req := httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic",
+		strings.NewReader(triBody+`,"work":1e6,"frontier_only":true}`))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		b.Fatalf("prewarm status %d: %s", rr.Code, rr.Body)
+	}
+	builds := s.TableBuilds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`%s,"work":%d,"frontier_only":true}`, triBody, 1_000_000+i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body)
+		}
+	}
+	b.StopTimer()
+	if got := s.TableBuilds(); got != builds {
+		b.Fatalf("warm iterations built tables: %d → %d", builds, got)
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+// Tests for /v1/batch: the bit-identity property (a batch of N items
+// answers exactly the bodies N single-endpoint calls would), the error
+// contract (envelope problems 400, item problems per-item objects under
+// a 200), deterministic ordering under the worker pool, and table
+// sharing across a batch's items.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// batchItemOut mirrors one spliced item for decoding; RawMessage keeps
+// the body bytes verbatim for exact comparison.
+type batchItemOut struct {
+	Kind   string          `json:"kind"`
+	Status int             `json:"status"`
+	Cached bool            `json:"cached"`
+	Body   json.RawMessage `json:"body"`
+}
+
+type batchOut struct {
+	Items  []batchItemOut `json:"items"`
+	Errors int            `json:"errors"`
+}
+
+func postBatch(t *testing.T, s *Server, body string) batchOut {
+	t.Helper()
+	rr := post(t, s, "/v1/batch", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rr.Code, rr.Body)
+	}
+	var out batchOut
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("batch response is not valid JSON: %v\n%s", err, rr.Body)
+	}
+	return out
+}
+
+// TestBatchBitIdenticalToSingles is the property test: every item body
+// in a heterogeneous batch must be byte-for-byte the body the single
+// endpoint answers for the same request, in request order.
+func TestBatchBitIdenticalToSingles(t *testing.T) {
+	s := newTestServer(t, Options{BatchWorkers: 3})
+	type single struct{ kind, path, body string }
+	singles := []single{
+		{"predict", "/v1/predict", `{"workload":"ep","arm":{"nodes":2},"amd":{"nodes":1}}`},
+		{"predict", "/v1/predict", `{"workload":"ep","arm":{"nodes":1},"work":1e6}`},
+		{"queueing", "/v1/queueing", `{"arrival_rate":0.5,"service_time_seconds":1,"scv":0.5,"window_seconds":60,"per_job_joules":100,"idle_power_watts":20}`},
+		{"budget", "/v1/budget", `{"workload":"ep","budget_watts":400}`},
+		{"predict", "/v1/predict", `{"workload":"memcached","amd":{"nodes":3}}`},
+		{"queueing", "/v1/queueing", `{"arrival_rate":2,"service_time_seconds":0.25}`},
+	}
+	want := make([]string, len(singles))
+	for i, sg := range singles {
+		rr := post(t, s, sg.path, sg.body)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("single %d (%s) status %d: %s", i, sg.path, rr.Code, rr.Body)
+		}
+		want[i] = rr.Body.String()
+	}
+
+	batch := `{"items":[`
+	for i, sg := range singles {
+		if i > 0 {
+			batch += ","
+		}
+		batch += `{"kind":"` + sg.kind + `","request":` + sg.body + `}`
+	}
+	batch += `]}`
+	out := postBatch(t, s, batch)
+	if len(out.Items) != len(singles) {
+		t.Fatalf("batch returned %d items, want %d", len(out.Items), len(singles))
+	}
+	if out.Errors != 0 {
+		t.Fatalf("batch reported %d errors, want 0", out.Errors)
+	}
+	for i, it := range out.Items {
+		if it.Kind != singles[i].kind || it.Status != http.StatusOK {
+			t.Errorf("item %d: kind=%q status=%d, want kind=%q status=200", i, it.Kind, it.Status, singles[i].kind)
+		}
+		if string(it.Body) != want[i] {
+			t.Errorf("item %d body differs from single endpoint:\nbatch:  %s\nsingle: %s", i, it.Body, want[i])
+		}
+	}
+}
+
+// TestBatchPerItemErrors: one bad item never fails the batch; its error
+// object carries the status and body the single endpoint would answer.
+func TestBatchPerItemErrors(t *testing.T) {
+	s := newTestServer(t, Options{})
+	badPredict := `{"workload":"nope"}`
+	single := post(t, s, "/v1/predict", badPredict)
+	if single.Code != http.StatusBadRequest {
+		t.Fatalf("single bad predict status %d", single.Code)
+	}
+
+	out := postBatch(t, s, `{"items":[
+		{"kind":"predict","request":{"workload":"ep","arm":{"nodes":1}}},
+		{"kind":"predict","request":`+badPredict+`},
+		{"kind":"transmogrify","request":{}},
+		{"kind":"predict"},
+		{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}}]}`)
+	if len(out.Items) != 5 {
+		t.Fatalf("got %d items, want 5", len(out.Items))
+	}
+	if out.Errors != 3 {
+		t.Errorf("errors = %d, want 3", out.Errors)
+	}
+	wantStatus := []int{200, 400, 400, 400, 200}
+	for i, it := range out.Items {
+		if it.Status != wantStatus[i] {
+			t.Errorf("item %d status = %d, want %d (body %s)", i, it.Status, wantStatus[i], it.Body)
+		}
+	}
+	if string(out.Items[1].Body) != single.Body.String() {
+		t.Errorf("bad item body differs from single endpoint:\nbatch:  %s\nsingle: %s",
+			out.Items[1].Body, single.Body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(out.Items[2].Body, &e); err != nil || e.Error == "" {
+		t.Errorf("unknown-kind item should carry a JSON error body, got %s", out.Items[2].Body)
+	}
+}
+
+// TestBatchEnvelopeValidation: envelope-level problems are a 400 for
+// the whole batch, and the size guard fires before any item runs.
+func TestBatchEnvelopeValidation(t *testing.T) {
+	s := newTestServer(t, Options{MaxBatchItems: 3})
+	for name, body := range map[string]string{
+		"malformed":     `{"items":`,
+		"unknown field": `{"items":[],"mode":"fast"}`,
+		"no items":      `{"items":[]}`,
+		"null items":    `{}`,
+		"oversized": `{"items":[{"kind":"predict","request":{}},{"kind":"predict","request":{}},
+			{"kind":"predict","request":{}},{"kind":"predict","request":{}}]}`,
+	} {
+		rr := post(t, s, "/v1/batch", body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rr.Code, rr.Body)
+		}
+	}
+	if got := s.TableBuilds(); got != 0 {
+		t.Errorf("rejected batches built %d tables, want 0", got)
+	}
+}
+
+// TestBatchSharesOneTable: a cold batch of predicts over one cluster
+// builds its kernel table exactly once, however many items it carries.
+func TestBatchSharesOneTable(t *testing.T) {
+	s := newTestServer(t, Options{BatchWorkers: 4})
+	batch := `{"items":[`
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			batch += ","
+		}
+		batch += `{"kind":"predict","request":{"workload":"ep","arm":{"nodes":` +
+			string(rune('1'+i%4)) + `},"work":` + string(rune('1'+i/4)) + `e6}}`
+	}
+	batch += `]}`
+	out := postBatch(t, s, batch)
+	if out.Errors != 0 {
+		t.Fatalf("batch errors = %d: %+v", out.Errors, out.Items)
+	}
+	if got := s.TableBuilds(); got != 1 {
+		t.Errorf("cold 16-item batch built %d tables, want 1", got)
+	}
+}

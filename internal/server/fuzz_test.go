@@ -36,6 +36,8 @@ func fuzzServer(t testing.TB) *Server {
 			// Small enough that the priciest admitted generic request stays
 			// cheap under a hostile mutation mix.
 			MaxGenericSpace: 200_000,
+			// Small enough that the oversized-batch seed fits MaxBodyBytes.
+			MaxBatchItems: 8,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -76,11 +78,22 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		// Oversized body: must answer 413, never a 5xx (the fuzz server
 		// caps bodies at 4096 bytes).
 		`{"workload":"ep","pad":"` + strings.Repeat("A", 8192) + `"}`,
+		// Batch envelopes: a valid heterogeneous batch, a batch whose bad
+		// item must answer a per-item error (batch 200), an unknown kind,
+		// an empty items list, and a batch past MaxBatchItems — the size
+		// guard must 400 before any item runs.
+		`{"items":[{"kind":"predict","request":{"workload":"ep","arm":{"nodes":1}}},{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}}]}`,
+		`{"items":[{"kind":"predict","request":{"workload":"nope"}},{"kind":"budget","request":{"budget_watts":-1}}]}`,
+		`{"items":[{"kind":"transmogrify","request":{}}]}`,
+		`{"items":[{"kind":"predict"}]}`,
+		`{"items":[]}`,
+		`{"items":[` + strings.Repeat(`{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}},`, 8) +
+			`{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
-	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/enumerate-generic", "/v1/budget", "/v1/queueing"}
+	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/enumerate-generic", "/v1/budget", "/v1/queueing", "/v1/batch"}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := fuzzServer(t)
 		for _, ep := range endpoints {

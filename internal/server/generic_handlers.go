@@ -7,12 +7,14 @@ package server
 // rejects absurd spaces with a 400 before any enumeration runs.
 
 import (
-	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
 
 	"heteromix/internal/cluster"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
+	"heteromix/internal/tablecache"
 )
 
 // NodeModelSource provides per-type fitted models for generic N-type
@@ -75,10 +77,69 @@ type EnumerateGenericResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
-// genericPlan is the resolved, validated form of a request: the types
-// to enumerate and the sizes the response reports.
+// genericTables is the compiled artifact one generic cluster spec
+// yields: the full table and its domination-pruned counterpart, built
+// together so the prune flag never enters the cache key — a request
+// with prune=true and one without share the artifact.
+type genericTables struct {
+	full, pruned *cluster.GenericTable
+}
+
+// SizeBytes implements tablecache.Artifact.
+func (g *genericTables) SizeBytes() int {
+	return g.full.SizeBytes() + g.pruned.SizeBytes()
+}
+
+// genericKey canonicalizes the cluster spec of a generic request —
+// workload plus the positional (node, max_nodes, needs_switch) list —
+// deliberately excluding every per-request parameter (work size, limit,
+// prune and frontier flags), so repeated traffic against the same
+// cluster shares one compiled artifact.
+func genericKey(workload string, types []GenericTypeRequest) string {
+	var b strings.Builder
+	b.WriteString("generic|")
+	b.WriteString(workload)
+	for _, tr := range types {
+		fmt.Fprintf(&b, "|%s:%d:%t", tr.Node, tr.MaxNodes, tr.NeedsSwitch)
+	}
+	return b.String()
+}
+
+// genericTablesFor memoizes the compiled artifact for a cluster spec.
+// Concurrent requests for the same cluster collapse onto one build, and
+// build failures are never cached.
+func (s *Server) genericTablesFor(workload string, reqTypes []GenericTypeRequest, full []cluster.GroupType) (*genericTables, error) {
+	key := genericKey(workload, reqTypes)
+	v, _, err := s.tables.Do(key, func() (tablecache.Artifact, error) {
+		prunedTypes, err := cluster.PruneGroupTypes(full)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := cluster.NewGenericTable(full)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := cluster.NewGenericTable(prunedTypes)
+		if err != nil {
+			return nil, err
+		}
+		s.tableBuilds.Add(2)
+		return &genericTables{full: ft, pruned: pt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*genericTables), nil
+}
+
+// genericPlan is the resolved, validated form of a request: the
+// compiled tables to enumerate and the sizes the response reports.
 type genericPlan struct {
-	types     []cluster.GroupType
+	tables *genericTables
+	// walk is the table the enumeration actually uses: the pruned one
+	// under req.Prune (and so under frontier_only), the full one
+	// otherwise.
+	walk      *cluster.GenericTable
 	names     []string
 	spaceSize uint64
 	// prunedSize is the enumerated size when pruning applied, else 0.
@@ -150,28 +211,32 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 	if !ok {
 		return req, plan, badRequestf("generic enumeration is not supported by this server's model source")
 	}
-	plan.types = make([]cluster.GroupType, len(req.Types))
+	fullTypes := make([]cluster.GroupType, len(req.Types))
 	plan.names = make([]string, len(req.Types))
 	for i, tr := range req.Types {
 		nm, err := nms.Model(req.Workload, specs[i])
 		if err != nil {
 			return req, plan, err
 		}
-		plan.types[i] = cluster.GroupType{
+		fullTypes[i] = cluster.GroupType{
 			Model:       nm,
 			MaxNodes:    tr.MaxNodes,
 			NeedsSwitch: tr.NeedsSwitch,
 		}
 		plan.names[i] = tr.Node
 	}
-	plan.spaceSize = cluster.GenericSpaceSize(plan.types)
+	// Table compilation is cheap (cost ∝ option count, not space size)
+	// and amortized across requests by the table cache, so it runs before
+	// the size guard: the guard protects enumeration, not compilation.
+	plan.tables, err = s.genericTablesFor(req.Workload, req.Types, fullTypes)
+	if err != nil {
+		return req, plan, err
+	}
+	plan.spaceSize = plan.tables.full.Size()
+	plan.walk = plan.tables.full
 	if req.Prune {
-		pruned, err := cluster.PruneGroupTypes(plan.types)
-		if err != nil {
-			return req, plan, err
-		}
-		plan.types = pruned
-		plan.prunedSize = cluster.GenericSpaceSize(pruned)
+		plan.prunedSize = plan.tables.pruned.Size()
+		plan.walk = plan.tables.pruned
 	}
 	// The guard applies to the space that would actually be walked, so a
 	// pruned request may be admitted where its full form is refused.
@@ -186,9 +251,9 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 // genericBytes returns the marshaled response for a canonicalized
 // request, with /v1/enumerate's breaker + freshness semantics.
 func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan genericPlan) (body []byte, cached, degraded bool, err error) {
-	key := canonicalKey("enumerate-generic", req)
+	key, keyed := canonicalKey("enumerate-generic", req)
 	ctx := r.Context()
-	v, cached, stale, err := s.cache.DoFresh(key, s.opts.CacheTTL, func() (any, error) {
+	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
 		var out []byte
 		berr := s.breaker.Do(func() error {
 			resp := EnumerateGenericResponse{
@@ -200,7 +265,7 @@ func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan
 				FrontierOnly: req.FrontierOnly,
 			}
 			if req.FrontierOnly {
-				pts, _, err := cluster.GenericFrontierOfParallel(plan.types, req.Work, 0)
+				pts, _, err := plan.walk.FrontierParallel(req.Work, 0)
 				if err != nil {
 					return err
 				}
@@ -212,7 +277,7 @@ func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan
 			} else {
 				resp.Points = make([]cluster.GenericPointSummary, 0, req.Limit)
 				n := 0
-				err := cluster.EnumerateGroupsFunc(plan.types, req.Work, func(p cluster.GenericPoint) bool {
+				err := plan.walk.ForEach(req.Work, func(p cluster.GenericPoint) bool {
 					// Pure arithmetic walk: poll for cancellation at coarse
 					// intervals, as in enumerateBytes.
 					n++
@@ -238,7 +303,7 @@ func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan
 				s.genericPruned.Add(plan.spaceSize - plan.prunedSize)
 			}
 			resp.Returned = len(resp.Points)
-			b, err := json.Marshal(resp)
+			b, err := encodeBody(resp)
 			if err != nil {
 				return err
 			}

@@ -24,6 +24,7 @@ import (
 	"heteromix/internal/hwsim"
 	"heteromix/internal/queueing"
 	"heteromix/internal/resilience"
+	"heteromix/internal/tablecache"
 	"heteromix/internal/units"
 	"heteromix/internal/workloads"
 )
@@ -192,22 +193,45 @@ func (s *Server) resolveGroup(side string, g GroupRequest, spec hwsim.NodeSpec) 
 	return g, hwsim.Config{Cores: g.Cores, Frequency: freq}, nil
 }
 
-// canonicalKey renders a canonicalized request as a cache key.
-func canonicalKey(endpoint string, v any) string {
+// canonicalKey renders a canonicalized request as a cache key. keyed is
+// false when the value cannot marshal: such requests must bypass the
+// cache entirely — a shared fallback key would alias every unmarshalable
+// request onto one entry and serve one request's body for another's.
+func canonicalKey(endpoint string, v any) (key string, keyed bool) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		// Normalized request types always marshal; keep a unique fallback
-		// that simply never hits.
-		return endpoint + "|unkeyable"
+		return "", false
 	}
-	return endpoint + "|" + string(b)
+	return endpoint + "|" + string(b), true
 }
 
-// tableFor memoizes one kernel table per (workload, switch-accounting)
-// pair. Concurrent identical requests collapse onto one build.
+// doCached runs compute through the result cache under key, or directly
+// and uncached when keyed is false (the canonicalKey fallback).
+func (s *Server) doCached(key string, keyed bool, compute func() (any, error)) (any, bool, error) {
+	if !keyed {
+		v, err := compute()
+		return v, false, err
+	}
+	return s.cache.Do(key, compute)
+}
+
+// doFresh is doCached for the TTL + degraded-stale paths.
+func (s *Server) doFresh(key string, keyed bool, compute func() (any, error)) (v any, cached, stale bool, err error) {
+	if !keyed {
+		v, err = compute()
+		return v, false, false, err
+	}
+	return s.cache.DoFresh(key, s.opts.CacheTTL, compute)
+}
+
+// tableFor memoizes one compiled kernel table per (workload,
+// switch-accounting) pair in the table cache — keyed by the cluster
+// spec alone, never by per-request parameters, so every work size and
+// deadline against the same cluster shares one artifact. Concurrent
+// identical requests collapse onto one build.
 func (s *Server) tableFor(workload string, noSwitch bool) (*cluster.Table, error) {
 	key := fmt.Sprintf("table|%s|%t", workload, noSwitch)
-	v, _, err := s.cache.Do(key, func() (any, error) {
+	v, _, err := s.tables.Do(key, func() (tablecache.Artifact, error) {
 		space, err := s.models.Space(workload)
 		if err != nil {
 			return nil, fmt.Errorf("building models for %q: %w", workload, err)
@@ -279,8 +303,8 @@ func (s *Server) normalizePredict(req PredictRequest) (PredictRequest, cluster.C
 // predictBytes returns the marshaled response for a canonicalized
 // request, from cache when possible.
 func (s *Server) predictBytes(req PredictRequest, cfg cluster.Configuration) ([]byte, bool, error) {
-	key := canonicalKey("predict", req)
-	v, cached, err := s.cache.Do(key, func() (any, error) {
+	key, keyed := canonicalKey("predict", req)
+	v, cached, err := s.doCached(key, keyed, func() (any, error) {
 		tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
 		if err != nil {
 			return nil, err
@@ -391,9 +415,9 @@ func (s *Server) normalizeEnumerate(req EnumerateRequest) (EnumerateRequest, err
 // fails, an expired cache entry is served with degraded=true rather
 // than cascading the failure.
 func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) (body []byte, cached, degraded bool, err error) {
-	key := canonicalKey("enumerate", req)
+	key, keyed := canonicalKey("enumerate", req)
 	ctx := r.Context()
-	v, cached, stale, err := s.cache.DoFresh(key, s.opts.CacheTTL, func() (any, error) {
+	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
 		var out []byte
 		berr := s.breaker.Do(func() error {
 			tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
@@ -440,7 +464,7 @@ func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) (body []b
 				}
 			}
 			resp.Returned = len(resp.Points)
-			b, err := json.Marshal(resp)
+			b, err := encodeBody(resp)
 			if err != nil {
 				return err
 			}
@@ -545,8 +569,8 @@ func (s *Server) normalizeBudget(req BudgetRequest) (BudgetRequest, error) {
 }
 
 func (s *Server) budgetBytes(req BudgetRequest) ([]byte, bool, error) {
-	key := canonicalKey("budget", req)
-	v, cached, err := s.cache.Do(key, func() (any, error) {
+	key, keyed := canonicalKey("budget", req)
+	v, cached, err := s.doCached(key, keyed, func() (any, error) {
 		tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
 		if err != nil {
 			return nil, err
@@ -645,11 +669,10 @@ type QueueingResponse struct {
 	EnergyJoules *float64 `json:"energy_joules,omitempty"`
 }
 
-func (s *Server) handleQueueing(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[QueueingRequest](s, w, r)
-	if !ok {
-		return
-	}
+// queueingResult computes the response for a decoded request; every
+// failure is a badRequest. Shared by the single endpoint and /v1/batch
+// so both answer identical bodies for identical items.
+func queueingResult(req QueueingRequest) (QueueingResponse, error) {
 	q := queueing.MG1{
 		ArrivalRate: req.ArrivalRate,
 		MeanService: units.Seconds(req.ServiceTimeSeconds),
@@ -658,23 +681,33 @@ func (s *Server) handleQueueing(w http.ResponseWriter, r *http.Request) {
 	if err := q.Validate(); err != nil {
 		// Every Validate failure — including an unstable rho >= 1 — is a
 		// property of the client's parameters.
-		replyError(w, r, badRequestf("%v", err))
-		return
+		return QueueingResponse{}, badRequestf("%v", err)
 	}
 	resp := QueueingResponse{Summary: q.Summary()}
 	if req.WindowSeconds != 0 || req.PerJobJoules != 0 || req.IdlePowerWatts != 0 {
 		if req.WindowSeconds <= 0 || math.IsNaN(req.WindowSeconds) || math.IsInf(req.WindowSeconds, 0) {
-			replyError(w, r, badRequestf("window_seconds must be positive and finite for energy accounting"))
-			return
+			return QueueingResponse{}, badRequestf("window_seconds must be positive and finite for energy accounting")
 		}
 		e, err := q.EnergyOverWindow(units.Seconds(req.WindowSeconds),
 			units.Joule(req.PerJobJoules), units.Watt(req.IdlePowerWatts))
 		if err != nil {
-			replyError(w, r, badRequestf("%v", err))
-			return
+			return QueueingResponse{}, badRequestf("%v", err)
 		}
 		ej := float64(e)
 		resp.EnergyJoules = &ej
+	}
+	return resp, nil
+}
+
+func (s *Server) handleQueueing(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[QueueingRequest](s, w, r)
+	if !ok {
+		return
+	}
+	resp, err := queueingResult(req)
+	if err != nil {
+		replyError(w, r, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,28 @@
+package server
+
+// The pprof mount is opt-in: profiling endpoints expose internals, so
+// they must be unreachable unless Options.EnablePprof (the daemon's
+// -pprof flag) asked for them.
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestPprofGatedByOption(t *testing.T) {
+	off := newTestServer(t, Options{})
+	if rr := get(t, off, "/debug/pprof/"); rr.Code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ answered %d, want 404", rr.Code)
+	}
+
+	on := newTestServer(t, Options{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if rr := get(t, on, path); rr.Code != http.StatusOK {
+			t.Errorf("pprof on: %s answered %d, want 200", path, rr.Code)
+		}
+	}
+	// The index serves named profiles by path too.
+	if rr := get(t, on, "/debug/pprof/goroutine"); rr.Code != http.StatusOK {
+		t.Errorf("pprof on: goroutine profile answered %d, want 200", rr.Code)
+	}
+}

@@ -5,17 +5,20 @@
 //	POST /v1/enumerate  a configuration space → points or Pareto frontier
 //	POST /v1/budget     power-budget substitution series
 //	POST /v1/queueing   M/D/1–M/G/1 wait/energy under job arrivals
+//	POST /v1/batch      heterogeneous predict/queueing/budget batch
 //	GET  /healthz       build identity, uptime, cache effectiveness
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/vars    expvar
 //
-// Underneath, a sharded LRU (internal/servercache) memoizes kernel
-// tables and marshaled results keyed on canonicalized request hashes,
-// with singleflight collapse so a thundering herd of identical
-// enumerations computes each space once. Every request runs under a
-// per-request timeout and a configurable concurrency limiter (excess
-// load is shed with 503 rather than queued without bound), and Run
-// drains in-flight requests on shutdown.
+// Underneath, a sharded LRU (internal/servercache) memoizes marshaled
+// results keyed on canonicalized request hashes, with singleflight
+// collapse so a thundering herd of identical enumerations computes each
+// space once; a second cache (internal/tablecache) holds compiled
+// kernel tables keyed by the cluster spec alone, so every work size and
+// deadline against one cluster shares a single compiled artifact. Every
+// request runs under a per-request timeout and a configurable
+// concurrency limiter (excess load is shed with 503 rather than queued
+// without bound), and Run drains in-flight requests on shutdown.
 package server
 
 import (
@@ -25,6 +28,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -36,6 +40,7 @@ import (
 	"heteromix/internal/metrics"
 	"heteromix/internal/resilience"
 	"heteromix/internal/servercache"
+	"heteromix/internal/tablecache"
 )
 
 // ModelSource provides fitted two-type spaces per workload.
@@ -51,6 +56,12 @@ type Options struct {
 	Models ModelSource
 	// CacheEntries bounds the result cache (default 4096 entries).
 	CacheEntries int
+	// TableCacheEntries bounds the compiled kernel-table cache (default
+	// tablecache.DefaultCapacity). Unlike the result cache, its keys
+	// canonicalize only the cluster spec — never work size, deadline or
+	// prune flag — so every request shape against the same cluster shares
+	// one compiled artifact.
+	TableCacheEntries int
 	// MaxConcurrent bounds simultaneously executing /v1/* requests;
 	// excess requests receive 503 (default 4×GOMAXPROCS).
 	MaxConcurrent int
@@ -71,6 +82,12 @@ type Options struct {
 	MaxGenericSpace uint64
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems caps how many items one /v1/batch request may carry;
+	// larger batches get a 400 before any item runs (default 256).
+	MaxBatchItems int
+	// BatchWorkers bounds the worker pool one /v1/batch request fans its
+	// items across (default GOMAXPROCS).
+	BatchWorkers int
 	// Registry receives the server's metrics (default: a fresh one).
 	Registry *metrics.Registry
 	// CacheTTL bounds how long an enumerate result may serve without a
@@ -90,10 +107,14 @@ type Options struct {
 	// panics, timeouts). Zero value: no injection. Gated behind the
 	// daemon's -chaos flag; never on by default.
 	Chaos resilience.ChaosOptions
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profile endpoints expose internals and can run for
+	// tens of seconds, so they are opt-in via the daemon's -pprof flag.
+	EnablePprof bool
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "healthz", "readyz"}
+var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "healthz", "readyz"}
 
 // chaosKinds labels the chaos-injection counters.
 var chaosKinds = []string{"latency", "error", "panic", "timeout"}
@@ -111,6 +132,7 @@ type Server struct {
 	opts   Options
 	models ModelSource
 	cache  *servercache.Cache
+	tables *tablecache.Cache
 	reg    *metrics.Registry
 	mux    *http.ServeMux
 	sem    chan struct{}
@@ -129,6 +151,12 @@ type Server struct {
 	cacheCollap   *metrics.Counter
 	cacheEvict    *metrics.Counter
 	cacheStale    *metrics.Counter
+	tcacheHits    *metrics.Counter
+	tcacheMisses  *metrics.Counter
+	tcacheEvict   *metrics.Counter
+	tcacheBytes   *metrics.Gauge
+	batchItems    *metrics.Counter
+	batchErrors   *metrics.Counter
 	panics        *metrics.Counter
 	degraded      *metrics.Counter
 	genericPoints *metrics.Counter
@@ -175,6 +203,12 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxGenericSpace == 0 {
 		opts.MaxGenericSpace = 2_000_000
 	}
+	if opts.MaxBatchItems <= 0 {
+		opts.MaxBatchItems = 256
+	}
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
@@ -193,6 +227,7 @@ func New(opts Options) (*Server, error) {
 		opts:   opts,
 		models: opts.Models,
 		cache:  servercache.New(opts.CacheEntries),
+		tables: tablecache.New(opts.TableCacheEntries),
 		reg:    opts.Registry,
 		mux:    http.NewServeMux(),
 		sem:    make(chan struct{}, opts.MaxConcurrent),
@@ -235,6 +270,18 @@ func (s *Server) registerMetrics() {
 		"result cache LRU evictions")
 	s.cacheStale = r.NewCounter("heteromixd_cache_stale_serves_total",
 		"expired cache entries served because the recompute failed")
+	s.tcacheHits = r.NewCounter("heteromixd_table_cache_hits_total",
+		"compiled kernel-table cache hits")
+	s.tcacheMisses = r.NewCounter("heteromixd_table_cache_misses_total",
+		"compiled kernel-table cache misses")
+	s.tcacheEvict = r.NewCounter("heteromixd_table_cache_evictions_total",
+		"compiled kernel-table cache LRU evictions")
+	s.tcacheBytes = r.NewGauge("heteromixd_table_cache_bytes",
+		"resident size of cached compiled kernel tables")
+	s.batchItems = r.NewCounter("heteromixd_batch_items_total",
+		"items received inside /v1/batch requests")
+	s.batchErrors = r.NewCounter("heteromixd_batch_item_errors_total",
+		"batch items that answered a per-item error object")
 	s.panics = r.NewCounter("heteromixd_panics_recovered_total",
 		"handler panics contained by the recovery middleware")
 	s.degraded = r.NewCounter("heteromixd_degraded_responses_total",
@@ -281,6 +328,11 @@ func (s *Server) syncCacheMetrics() {
 	s.cacheCollap.Store(st.Collapsed)
 	s.cacheEvict.Store(st.Evictions)
 	s.cacheStale.Store(st.StaleServes)
+	ts := s.tables.Stats()
+	s.tcacheHits.Store(ts.Hits)
+	s.tcacheMisses.Store(ts.Misses)
+	s.tcacheEvict.Store(ts.Evictions)
+	s.tcacheBytes.Set(ts.Bytes)
 }
 
 func (s *Server) registerRoutes() {
@@ -289,6 +341,7 @@ func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/enumerate-generic", s.instrument("enumerate-generic", true, s.handleEnumerateGeneric))
 	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
 	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
+	s.mux.Handle("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +349,16 @@ func (s *Server) registerRoutes() {
 		s.reg.Handler().ServeHTTP(w, r)
 	}))
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.opts.EnablePprof {
+		// Deliberately outside instrument(): profiling must stay reachable
+		// when the limiter is shedding, and a 30s CPU profile must not
+		// trip the request timeout.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // Handler returns the fully routed handler.
@@ -471,6 +534,9 @@ func (s *Server) Addr() string {
 
 // CacheStats exposes the result cache's counters (for tests and logs).
 func (s *Server) CacheStats() servercache.Stats { return s.cache.Stats() }
+
+// TableCacheStats exposes the compiled kernel-table cache's counters.
+func (s *Server) TableCacheStats() tablecache.Stats { return s.tables.Stats() }
 
 // TableBuilds reports how many kernel tables have been built — the
 // number a singleflight-collapsed herd keeps at one per distinct space.

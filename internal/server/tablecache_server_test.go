@@ -1,0 +1,136 @@
+package server
+
+// Tests for the compiled kernel-table cache behind the handlers: warm
+// requests over an already-seen cluster must never rebuild a table, and
+// the canonicalKey fallback must bypass the result cache instead of
+// aliasing every unmarshalable value onto one shared key.
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestGenericTableCacheReuseAcrossRequests pins the tentpole property:
+// the table cache keys on the cluster spec alone, so a second
+// /v1/enumerate-generic request over the same cluster with a different
+// work size (a different result-cache key) performs zero table builds.
+func TestGenericTableCacheReuseAcrossRequests(t *testing.T) {
+	s := newTestServer(t, Options{MaxNodes: 8})
+	cold := post(t, s, "/v1/enumerate-generic", triBody+`,"work":1e6}`)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold status %d: %s", cold.Code, cold.Body)
+	}
+	builds := s.TableBuilds()
+	if builds == 0 {
+		t.Fatal("cold request should have built tables")
+	}
+	warmStats := s.TableCacheStats()
+
+	// Different work and different flags → result-cache misses, but the
+	// same cluster spec → table-cache hits, zero further builds.
+	for i, body := range []string{
+		triBody + `,"work":2e6}`,
+		triBody + `,"work":3e6,"prune":true}`,
+		triBody + `,"work":2e6,"frontier_only":true}`,
+	} {
+		rr := post(t, s, "/v1/enumerate-generic", body)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("warm request %d: status %d: %s", i, rr.Code, rr.Body)
+		}
+		if rr.Header().Get("X-Cache") != "miss" {
+			t.Fatalf("warm request %d should miss the result cache (distinct request)", i)
+		}
+	}
+	if got := s.TableBuilds(); got != builds {
+		t.Errorf("warm requests built tables: %d → %d, want 0 increments", builds, got)
+	}
+	if st := s.TableCacheStats(); st.Hits <= warmStats.Hits {
+		t.Errorf("warm requests should hit the table cache: %+v", st)
+	}
+}
+
+// TestPredictTableCacheSharedAcrossWork is the two-type analogue: the
+// compiled cluster.Table is keyed by (workload, switch accounting), so
+// distinct predict requests share it.
+func TestPredictTableCacheSharedAcrossWork(t *testing.T) {
+	s := newTestServer(t, Options{})
+	post(t, s, "/v1/predict", `{"workload":"ep","arm":{"nodes":1}}`)
+	if got := s.TableBuilds(); got != 1 {
+		t.Fatalf("table builds after first predict = %d, want 1", got)
+	}
+	post(t, s, "/v1/predict", `{"workload":"ep","arm":{"nodes":2},"work":1e6}`)
+	post(t, s, "/v1/predict", `{"workload":"ep","amd":{"nodes":3},"work":2e6}`)
+	if got := s.TableBuilds(); got != 1 {
+		t.Errorf("table builds after warm predicts = %d, want 1", got)
+	}
+	if st := s.TableCacheStats(); st.Hits < 2 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("table cache stats = %+v, want >=2 hits, 1 entry, positive bytes", st)
+	}
+}
+
+// TestTableCacheMetricsExposed checks the scrape carries the
+// table_cache_{hits,misses,evictions,bytes} series.
+func TestTableCacheMetricsExposed(t *testing.T) {
+	s := newTestServer(t, Options{})
+	post(t, s, "/v1/predict", `{"workload":"ep","arm":{"nodes":1}}`)
+	post(t, s, "/v1/predict", `{"workload":"ep","arm":{"nodes":2}}`)
+	rr := get(t, s, "/metrics")
+	body := rr.Body.String()
+	for _, want := range []string{
+		"heteromixd_table_cache_hits_total 1",
+		"heteromixd_table_cache_misses_total",
+		"heteromixd_table_cache_evictions_total 0",
+		"heteromixd_table_cache_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestCanonicalKeyFallbackBypassesCache is the regression test for the
+// fallback collision: two different unmarshalable values used to share
+// the key endpoint+"|unkeyable" — the first one cached would have been
+// served for every later one. The fallback now disables caching for the
+// request entirely.
+func TestCanonicalKeyFallbackBypassesCache(t *testing.T) {
+	if _, keyed := canonicalKey("predict", struct{ C chan int }{}); keyed {
+		t.Fatal("unmarshalable value should report keyed=false")
+	}
+	if key, keyed := canonicalKey("predict", map[string]int{"a": 1}); !keyed || key != `predict|{"a":1}` {
+		t.Fatalf("marshalable value should key canonically, got (%q, %v)", key, keyed)
+	}
+
+	s := newTestServer(t, Options{})
+	runs := 0
+	compute := func() (any, error) {
+		runs++
+		return []byte(`{"n":` + string(rune('0'+runs)) + `}`), nil
+	}
+	// keyed=false: every call computes, nothing is cached.
+	for i := 1; i <= 2; i++ {
+		v, cached, err := s.doCached("", false, compute)
+		if err != nil || cached {
+			t.Fatalf("unkeyed call %d: cached=%v err=%v", i, cached, err)
+		}
+		want := `{"n":` + string(rune('0'+i)) + `}`
+		if got := string(v.([]byte)); got != want {
+			t.Fatalf("unkeyed call %d served %q, want %q — stale cross-request body", i, got, want)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("compute ran %d times for 2 unkeyed calls, want 2", runs)
+	}
+	// Sanity: the same compute under a real key caches normally.
+	if _, _, err := s.doCached("k", true, compute); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := s.doCached("k", true, compute)
+	if err != nil || !cached {
+		t.Fatalf("keyed call should hit: cached=%v err=%v", cached, err)
+	}
+	if runs != 3 {
+		t.Fatalf("compute ran %d times, want 3", runs)
+	}
+}

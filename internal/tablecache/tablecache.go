@@ -1,0 +1,212 @@
+// Package tablecache caches compiled kernel tables — artifacts that are
+// expensive to build (a model walk per node type) but answer every
+// request against the same cluster — behind an LRU with singleflight.
+// It differs from the serving layer's result cache (internal/servercache)
+// in what a key means: result-cache keys canonicalize the *full* request,
+// so two requests over the same cluster with different deadlines or work
+// sizes occupy distinct entries and each pays the table build inside its
+// compute closure; tablecache keys canonicalize only the cluster spec —
+// per-request parameters (work size, deadline, prune flag) are
+// deliberately excluded — so the compiled artifact is shared across every
+// request shape the cluster can take.
+//
+// The cache holds few, large values, so it is a single-lock LRU (no
+// sharding: a build takes milliseconds, a lock hold nanoseconds) with
+// per-entry byte accounting via the Artifact contract. Errors are never
+// cached: a failed build leaves the cache untouched and the next caller
+// retries.
+package tablecache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Artifact is a compiled table the cache can hold: anything that can
+// report its resident size for byte accounting. Artifacts must be
+// immutable (they are shared across goroutines without copying).
+type Artifact interface {
+	SizeBytes() int
+}
+
+// Stats is a point-in-time view of the cache's effectiveness.
+type Stats struct {
+	// Hits and Misses count lookup outcomes (Do's fast path counts too).
+	Hits, Misses uint64
+	// Evictions counts LRU entries dropped to capacity pressure.
+	Evictions uint64
+	// Collapsed counts Do callers that waited on another caller's build
+	// instead of running their own.
+	Collapsed uint64
+	// Entries is the current number of cached artifacts.
+	Entries int
+	// Bytes is the summed SizeBytes of cached artifacts.
+	Bytes int64
+}
+
+// call is one in-flight singleflight build.
+type call struct {
+	wg  sync.WaitGroup
+	val Artifact
+	err error
+}
+
+// Cache is an LRU of compiled artifacts with singleflight builds. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	m     map[string]*list.Element
+	bytes int64
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	hits, misses, evictions, collapsed atomic.Uint64
+}
+
+// lruEntry is a recency-list payload.
+type lruEntry struct {
+	key string
+	val Artifact
+}
+
+// DefaultCapacity bounds the cache when the caller passes a
+// non-positive capacity: generous for the handful of distinct clusters
+// a deployment serves, small enough that even worst-case tables stay
+// within tens of megabytes.
+const DefaultCapacity = 64
+
+// New returns a cache holding at most capacity artifacts (capacity <= 0
+// selects DefaultCapacity).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:    capacity,
+		ll:     list.New(),
+		m:      make(map[string]*list.Element),
+		flight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached artifact for key, marking it most recently
+// used.
+func (c *Cache) Get(key string) (Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry).val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Add stores key → val, evicting the least recently used artifact if
+// the cache is full. Re-adding an existing key refreshes its value and
+// recency.
+func (c *Cache) Add(key string, val Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += int64(val.SizeBytes()) - int64(e.val.SizeBytes())
+		e.val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.bytes += int64(val.SizeBytes())
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*lruEntry)
+		delete(c.m, e.key)
+		c.bytes -= int64(e.val.SizeBytes())
+		c.evictions.Add(1)
+	}
+}
+
+// Do returns the cached artifact for key, building it with build on a
+// miss. Concurrent Do calls for the same key collapse: one caller runs
+// build, the rest block and share its result. Successful builds are
+// cached; errors are returned to every collapsed caller and nothing is
+// stored, so the next Do retries. cached reports whether the artifact
+// came from the cache without running or waiting on build.
+func (c *Cache) Do(key string, build func() (Artifact, error)) (val Artifact, cached bool, err error) {
+	if v, ok := c.Get(key); ok {
+		return v, true, nil
+	}
+	c.flightMu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		c.collapsed.Add(1)
+		cl.wg.Wait()
+		return cl.val, false, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.flightMu.Unlock()
+
+	// Re-check under flight ownership: another caller may have completed
+	// and cached between our Get miss and claiming the flight slot.
+	if v, ok := c.Get(key); ok {
+		cl.val = v
+	} else {
+		cl.val, cl.err = build()
+		if cl.err == nil {
+			c.Add(key, cl.val)
+		}
+	}
+
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	cl.wg.Done()
+	return cl.val, false, cl.err
+}
+
+// Len returns the current number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the summed SizeBytes of cached artifacts.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Reset empties the cache (statistics are kept; they describe the
+// process, not the current contents).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Collapsed: c.collapsed.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
