@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race chaos bench bench-generic bench-server bench-batch ci
+.PHONY: all build vet test race server-race fleet-race chaos bench bench-generic bench-server bench-batch bench-fleet ci
 
 all: ci
 
@@ -33,6 +33,14 @@ race:
 # concurrency lives (sharded LRU, singleflight, limiter, shutdown).
 server-race:
 	$(GO) test -race -count=1 ./internal/server ./internal/servercache ./internal/metrics
+
+# The fleet scatter-gather layer under the race detector: Feistel
+# permutations, shard walkers, coordinator fan-out/merge/caching, the
+# shard-down degraded path and consistent-hash routing all run
+# concurrently by design.
+fleet-race:
+	$(GO) test -race -count=1 -run 'Fleet|Shard|Route|Ring|Feistel|Permutation' \
+		./internal/server ./internal/shard ./internal/cluster ./internal/pareto
 
 # The server suite again, but with latency-only chaos injected into
 # every test server (HETEROMIX_CHAOS is parsed by newTestServer) and the
@@ -74,4 +82,15 @@ bench-batch:
 		-bench 'Benchmark(Batch64WarmPredicts|Sequential64WarmPredicts|GenericColdTable|GenericWarmTable)' \
 		-benchmem -benchtime=1000x
 
-ci: vet build race server-race chaos bench bench-generic bench-server bench-batch
+# Fleet-mode scatter-gather: the ≥3x cold-speedup gate (enforced on
+# hosts with ≥4 CPUs; it skips below that, where the four shard walks
+# cannot run in parallel) plus fixed-iteration fan-out benchmarks.
+# Baselines in BENCH_serving.json.
+bench-fleet:
+	HETEROMIX_FLEET_GATE=1 $(GO) test ./internal/server -count=1 \
+		-run 'TestFleetColdSpeedupGate' -v
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'BenchmarkFleetEnumerate(1Shard|4Shards)' \
+		-benchmem -benchtime=3x
+
+ci: vet build race server-race fleet-race chaos bench bench-generic bench-server bench-batch bench-fleet

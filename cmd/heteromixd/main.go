@@ -12,6 +12,14 @@
 //	           [-max-generic-space n] [-max-batch-items n]
 //	           [-noise s] [-seed n] [-cache-ttl d] [-drain-delay d]
 //	           [-chaos spec] [-pprof]
+//	           [-shard i/n] [-replicas url,url,...] [-route-key key]
+//
+// The last three select fleet mode: -shard makes this instance serve
+// slice i/n of frontier-only generic enumerations, -replicas makes it a
+// coordinator that fans sharded requests out across the listed base
+// URLs, and -route-key ("workload" or "cluster") routes predict/batch
+// traffic to each workload's consistent-hash owner. See the README
+// "Fleet mode" section.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,6 +38,7 @@ import (
 	"heteromix/internal/experiments"
 	"heteromix/internal/resilience"
 	"heteromix/internal/server"
+	"heteromix/internal/shard"
 )
 
 // daemonConfig is everything the flags select; split from main so tests
@@ -47,6 +57,9 @@ type daemonConfig struct {
 	drainDelay      time.Duration
 	chaosSpec       string
 	pprof           bool
+	shardSpec       string
+	replicas        string
+	routeKey        string
 }
 
 func main() {
@@ -65,6 +78,9 @@ func main() {
 	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 0, "enumerate result freshness bound (0 = never expires); expired entries serve marked degraded when the recompute fails")
 	flag.DurationVar(&cfg.drainDelay, "drain-delay", 0, "how long /readyz answers 503 before the listener closes on shutdown")
 	flag.StringVar(&cfg.chaosSpec, "chaos", "", `fault injection spec, e.g. "latency=0.2:5ms,error=0.05,panic=0.01,timeout=0.01,seed=1" (default: none)`)
+	flag.StringVar(&cfg.shardSpec, "shard", "", `serve slice "i/n" of frontier-only generic enumerations (fleet replica mode)`)
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated replica base URLs; enables coordinator fan-out for sharded requests")
+	flag.StringVar(&cfg.routeKey, "route-key", "", `consistent-hash routing of predict/batch across -replicas: "workload" or "cluster" (default: none)`)
 	cliutil.Parse(0)
 
 	srv, err := newServer(cfg)
@@ -93,6 +109,21 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var defaultShard shard.Shard
+	if cfg.shardSpec != "" {
+		defaultShard, err = shard.Parse(cfg.shardSpec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var replicas []string
+	if cfg.replicas != "" {
+		for _, u := range strings.Split(cfg.replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+	}
 	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: cfg.noise, Seed: cfg.seed})
 	return server.New(server.Options{
 		Models:            suite,
@@ -107,5 +138,8 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		DrainDelay:        cfg.drainDelay,
 		Chaos:             chaos,
 		EnablePprof:       cfg.pprof,
+		DefaultShard:      defaultShard,
+		Replicas:          replicas,
+		RouteKey:          cfg.routeKey,
 	})
 }

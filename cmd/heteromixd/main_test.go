@@ -90,3 +90,60 @@ func TestRunStopsOnCancel(t *testing.T) {
 		t.Fatal("Run did not stop on context cancel")
 	}
 }
+
+func TestNewServerRejectsBadFleetFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*daemonConfig)
+	}{
+		{"bad shard spec", func(c *daemonConfig) { c.shardSpec = "x/y" }},
+		{"out-of-range shard", func(c *daemonConfig) { c.shardSpec = "4/4" }},
+		{"bad replica URL", func(c *daemonConfig) { c.replicas = "not-a-url" }},
+		{"replica with path", func(c *daemonConfig) { c.replicas = "http://a:1/v1" }},
+		{"unknown route key", func(c *daemonConfig) { c.routeKey = "wibble" }},
+		{"route key without replicas", func(c *daemonConfig) { c.routeKey = "workload" }},
+	} {
+		cfg := testConfig()
+		tc.mutate(&cfg)
+		if _, err := newServer(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFleetFlagsPlumbThrough(t *testing.T) {
+	// A replica started with -shard answers frontier requests with its
+	// slice and the serial indices the coordinator merges on.
+	cfg := testConfig()
+	cfg.shardSpec = "1/4"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic",
+		strings.NewReader(`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"frontier_only":true}`)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sharded replica: %d %s", rr.Code, rr.Body)
+	}
+	if !strings.Contains(rr.Body.String(), `"shard":"1/4"`) || !strings.Contains(rr.Body.String(), `"indices":[`) {
+		t.Fatalf("shard slice not served: %s", rr.Body)
+	}
+
+	// A coordinator started with -replicas admits shards > 0 past the
+	// fleet gate (the fan-out itself then fails against the dead URL,
+	// answering 503 — not the 400 a fleet-disabled server gives).
+	cfg = testConfig()
+	cfg.replicas = "http://127.0.0.1:1, http://127.0.0.1:2"
+	cfg.routeKey = "workload"
+	srv, err = newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/enumerate-generic",
+		strings.NewReader(`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"frontier_only":true,"shards":2}`)))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("coordinator with dead replicas: %d %s, want 503", rr.Code, rr.Body)
+	}
+}

@@ -1,0 +1,83 @@
+package pareto
+
+import "sort"
+
+// TrackedIndexed is Tracked with an order-independent duplicate rule:
+// alongside each retained payload it carries the point's index in some
+// canonical enumeration order, and among exact (time, energy)
+// duplicates it keeps the smallest-indexed offer no matter the order
+// offers arrive. Tracked's first-offered-wins rule equals this only
+// when points are offered in canonical order; a sharded walker visits
+// its slice in permuted order, so it needs the index rule for its
+// partial frontier — and a merge of partial frontiers needs it again —
+// to land bit-identical to the serial walk.
+type TrackedIndexed[T any] struct {
+	// Clone, as in Tracked, copies a value out of a producer's scratch
+	// buffer at the moment it is retained.
+	Clone func(T) T
+
+	f       OnlineFrontier
+	payload []T
+	index   []uint64
+}
+
+// Insert offers (te, v) carrying canonical index idx. When te joins the
+// frontier the value and index are retained (mirroring the frontier's
+// splice); when te exactly duplicates a retained point and idx is
+// smaller, the retained payload and index are replaced in place — the
+// frontier's (time, energy) sequence is unchanged, so added stays
+// false.
+func (t *TrackedIndexed[T]) Insert(te TE, idx uint64, v T) (added bool, err error) {
+	pos, removed, added, err := t.f.Insert(te)
+	if err != nil {
+		return false, err
+	}
+	if added {
+		if t.Clone != nil {
+			v = t.Clone(v)
+		}
+		if removed > 0 {
+			t.payload[pos] = v
+			t.payload = append(t.payload[:pos+1], t.payload[pos+removed:]...)
+			t.index[pos] = idx
+			t.index = append(t.index[:pos+1], t.index[pos+removed:]...)
+		} else {
+			var zero T
+			t.payload = append(t.payload, zero)
+			copy(t.payload[pos+1:], t.payload[pos:])
+			t.payload[pos] = v
+			t.index = append(t.index, 0)
+			copy(t.index[pos+1:], t.index[pos:])
+			t.index[pos] = idx
+		}
+		return true, nil
+	}
+	// Rejected offers are usually dominated and cost nothing more; only
+	// an exact duplicate of a retained point can displace it, and only
+	// toward a smaller canonical index.
+	p := sort.Search(len(t.f.pts), func(i int) bool { return t.f.pts[i].Time >= te.Time })
+	if p < len(t.f.pts) && t.f.pts[p].Time == te.Time && t.f.pts[p].Energy == te.Energy && idx < t.index[p] {
+		if t.Clone != nil {
+			v = t.Clone(v)
+		}
+		t.payload[p] = v
+		t.index[p] = idx
+	}
+	return false, nil
+}
+
+// Len returns the current frontier size.
+func (t *TrackedIndexed[T]) Len() int { return t.f.Len() }
+
+// Frontier returns the retained payloads, their TEs (time-ascending,
+// Index rewritten to the payload position, as in Tracked) and each
+// point's canonical enumeration index.
+func (t *TrackedIndexed[T]) Frontier() ([]T, []TE, []uint64) {
+	tes := t.f.Frontier()
+	for i := range tes {
+		tes[i].Index = i
+	}
+	return append([]T(nil), t.payload...),
+		tes,
+		append([]uint64(nil), t.index...)
+}

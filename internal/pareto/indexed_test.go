@@ -1,0 +1,126 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTrackedIndexedOrderIndependence is the property TrackedIndexed
+// exists for: feeding an indexed point set in ANY order yields exactly
+// what Tracked yields when fed in canonical index order — same TEs,
+// same payloads, same indices.
+func TestTrackedIndexedOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type ipt struct {
+		te  TE
+		idx uint64
+		v   int
+	}
+	// A point cloud with deliberate exact duplicates (the same (t, e)
+	// under several indices) and same-time different-energy collisions.
+	var pts []ipt
+	for i := 0; i < 400; i++ {
+		tm := float64(1+rng.Intn(20)) / 4
+		en := float64(1+rng.Intn(20)) * 3
+		pts = append(pts, ipt{te: TE{Time: tm, Energy: en}, idx: uint64(i), v: i})
+	}
+
+	// Reference: canonical order through Tracked (first-offered-wins ==
+	// smallest index when offered ascending).
+	var ref Tracked[int]
+	for _, p := range pts {
+		if _, err := ref.Insert(p.te, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refPts, refTEs := ref.Frontier()
+
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]ipt(nil), pts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var ti TrackedIndexed[int]
+		for _, p := range shuffled {
+			if _, err := ti.Insert(p.te, p.idx, p.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotPts, gotTEs, gotIdx := ti.Frontier()
+		if len(gotTEs) != len(refTEs) {
+			t.Fatalf("trial %d: frontier size %d, want %d", trial, len(gotTEs), len(refTEs))
+		}
+		for i := range refTEs {
+			if gotTEs[i] != refTEs[i] {
+				t.Fatalf("trial %d: TE[%d] = %+v, want %+v", trial, i, gotTEs[i], refTEs[i])
+			}
+			if gotPts[i] != refPts[i] {
+				t.Fatalf("trial %d: payload[%d] = %d, want %d", trial, i, gotPts[i], refPts[i])
+			}
+			if gotIdx[i] != uint64(refPts[i]) {
+				t.Fatalf("trial %d: index[%d] = %d, want %d", trial, i, gotIdx[i], refPts[i])
+			}
+		}
+	}
+}
+
+// TestTrackedIndexedDuplicateReplacement pins the in-place replacement:
+// a later exact duplicate with a smaller index displaces the payload
+// without touching the frontier shape; a larger index does not.
+func TestTrackedIndexedDuplicateReplacement(t *testing.T) {
+	var ti TrackedIndexed[string]
+	ins := func(tm, en float64, idx uint64, v string, wantAdded bool) {
+		t.Helper()
+		added, err := ti.Insert(TE{Time: tm, Energy: en}, idx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != wantAdded {
+			t.Fatalf("Insert(%v,%v,#%d) added=%v, want %v", tm, en, idx, added, wantAdded)
+		}
+	}
+	ins(2, 10, 7, "late", true)
+	ins(2, 10, 3, "early", false) // exact dup, smaller index: replaces
+	ins(2, 10, 5, "middle", false)
+	ins(1, 20, 0, "fast", true)
+	pts, tes, idxs := ti.Frontier()
+	if len(pts) != 2 || pts[0] != "fast" || pts[1] != "early" {
+		t.Fatalf("payloads = %v", pts)
+	}
+	if idxs[0] != 0 || idxs[1] != 3 {
+		t.Fatalf("indices = %v", idxs)
+	}
+	if tes[0].Time != 1 || tes[1].Time != 2 {
+		t.Fatalf("tes = %v", tes)
+	}
+}
+
+// TestTrackedIndexedClone: retained and replacement payloads pass
+// through Clone, so scratch-buffer producers are safe.
+func TestTrackedIndexedClone(t *testing.T) {
+	scratch := []int{1}
+	var ti TrackedIndexed[[]int]
+	ti.Clone = func(v []int) []int { return append([]int(nil), v...) }
+	if _, err := ti.Insert(TE{Time: 1, Energy: 1}, 9, scratch); err != nil {
+		t.Fatal(err)
+	}
+	scratch[0] = 42
+	if _, err := ti.Insert(TE{Time: 1, Energy: 1}, 2, scratch); err != nil {
+		t.Fatal(err) // duplicate with smaller index: replacement clones too
+	}
+	scratch[0] = 99
+	pts, _, idxs := ti.Frontier()
+	if pts[0][0] != 42 || idxs[0] != 2 {
+		t.Fatalf("retained %v #%v; scratch mutation leaked", pts[0], idxs[0])
+	}
+}
+
+// TestTrackedIndexedInvalid: invalid points error exactly like
+// OnlineFrontier.
+func TestTrackedIndexedInvalid(t *testing.T) {
+	var ti TrackedIndexed[int]
+	if _, err := ti.Insert(TE{Time: 0, Energy: 1}, 0, 1); err == nil {
+		t.Fatal("non-positive time accepted")
+	}
+	if _, err := ti.Insert(TE{Time: 1, Energy: -1}, 0, 1); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+}

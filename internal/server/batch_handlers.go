@@ -205,6 +205,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		replyError(w, r, badRequestf("at most %d items per batch, got %d", s.opts.MaxBatchItems, len(req.Items)))
 		return
 	}
+	// A batch whose items all address one workload routes to that
+	// workload's consistent-hash owner as a unit (mixed-workload batches
+	// compute locally — splitting them would break the one-round-trip
+	// contract).
+	if s.ring != nil {
+		if wl, ok := batchWorkload(req.Items); ok && s.routeForward(w, r, "/v1/batch", wl, req) {
+			return
+		}
+	}
 
 	// Bounded worker pool over an atomic cursor; results land by index,
 	// so the response order is the request order no matter which worker

@@ -1,0 +1,402 @@
+package server
+
+// Fleet mode: scatter-gather enumeration and consistent-hash routing
+// across a replica set.
+//
+// A coordinator receives /v1/enumerate-generic with shards: n, rewrites
+// it into n shard requests ("shard": "i/n"), fans them out across its
+// replica URLs through the retrying client and per-replica circuit
+// breakers, and merges the partial frontiers deterministically
+// (cluster.MergeShardFrontiers), so the merged body is byte-identical
+// to what an unsharded walk of the same space would have served — and
+// is cached under the unsharded request's key, letting fleet and
+// single-process traffic share one entry. When some (not all) shards
+// fail, the merge of the surviving slices is served marked degraded
+// with the failed shard indices listed, and is never cached; when every
+// shard fails the request answers 503, never 500.
+//
+// Routing: with a RouteKey configured, predict and single-workload
+// batch requests are forwarded to the consistent-hash owner of their
+// workload, so each replica's compiled-table cache stays hot for the
+// clusters it owns. Forwarded requests carry X-Heteromix-Routed; a
+// request already carrying it is always served locally, which bounds
+// every request to at most one hop. A forward that fails (network,
+// 5xx, open breaker) falls back to local compute.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"heteromix/internal/cluster"
+	"heteromix/internal/pareto"
+	"heteromix/internal/resilience"
+	"heteromix/internal/shard"
+)
+
+const (
+	// maxFleetShards bounds a coordinator fan-out; more shards than this
+	// is a client error, not a bigger fleet.
+	maxFleetShards = 64
+	// maxFleetReplicas bounds the replica set, configured or per-request.
+	maxFleetReplicas = 16
+	// maxFleetBody bounds one replica response read.
+	maxFleetBody = 64 << 20
+	// routedHeader marks a request as already routed/fanned-out once;
+	// servers never forward a request that carries it.
+	routedHeader = "X-Heteromix-Routed"
+)
+
+// errFleetUnavailable marks a fan-out in which every shard failed; it
+// maps to 503 like an open breaker, never 500.
+var errFleetUnavailable = errors.New("fleet unavailable")
+
+// errFleetPartial carries a degraded partial-merge body out of the
+// cache's compute path as an error, so the body serves this once but is
+// never cached — exactly the errors-are-never-cached rule everywhere
+// else in the server.
+type errFleetPartial struct{ body []byte }
+
+func (e errFleetPartial) Error() string { return "fleet: partial result" }
+
+// validReplicaURL admits http(s) base URLs with a host and no path, the
+// only shapes the fan-out and router will join endpoints onto.
+func validReplicaURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("invalid URL %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("replica URL must be http(s)://host[:port], got %q", raw)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return fmt.Errorf("replica URL must be a bare base URL, got %q", raw)
+	}
+	return nil
+}
+
+// fleetClient is the coordinator's transport: a retrying HTTP client
+// shared across replicas plus one circuit breaker per replica URL, so a
+// dead replica fails its shards fast instead of eating the retry budget
+// on every fan-out.
+type fleetClient struct {
+	c          *resilience.Client
+	newBreaker func() *resilience.Breaker
+
+	mu       sync.Mutex
+	breakers map[string]*resilience.Breaker
+}
+
+func newFleetClient(newBreaker func() *resilience.Breaker) *fleetClient {
+	return &fleetClient{
+		c: resilience.NewClient(nil, resilience.RetryOptions{
+			MaxAttempts: 2,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+		}),
+		newBreaker: newBreaker,
+		breakers:   map[string]*resilience.Breaker{},
+	}
+}
+
+// breakerFor returns the breaker guarding one replica URL, creating it
+// on first sight.
+func (f *fleetClient) breakerFor(target string) *resilience.Breaker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.breakers[target]
+	if !ok {
+		b = f.newBreaker()
+		f.breakers[target] = b
+	}
+	return b
+}
+
+// post sends body to target's endpoint through the retry client, with
+// the routed marker set. The response body is fully read and returned
+// with the status.
+func (f *fleetClient) post(r *http.Request, target, endpoint string, body []byte) (int, []byte, error) {
+	u := strings.TrimSuffix(target, "/") + endpoint
+	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(routedHeader, "1")
+	resp, err := f.c.Do(hreq)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxFleetBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// fleetTargets resolves the fan-out's replica URLs: the request's
+// override when present (normalize only admits one on a fleet-enabled
+// server), the configured set otherwise.
+func (s *Server) fleetTargets(req EnumerateGenericRequest) []string {
+	if len(req.Replicas) > 0 {
+		return req.Replicas
+	}
+	return s.opts.Replicas
+}
+
+// fanOutGeneric scatters req.Shards shard requests across the replica
+// set and gathers the partial frontiers. It returns the deterministic
+// merge of the slices that answered, the indices of shards that failed,
+// and whether any surviving slice was itself served degraded.
+func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (merged cluster.ShardFrontier[cluster.GenericPointSummary], failed []int, degraded bool, err error) {
+	targets := s.fleetTargets(req)
+	n := req.Shards
+	s.fleetFanouts.Inc()
+	type result struct {
+		part cluster.ShardFrontier[cluster.GenericPointSummary]
+		deg  bool
+		err  error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			part, deg, err := s.shardRequest(r, targets[i%len(targets)], req, i, n)
+			results[i] = result{part: part, deg: deg, err: err}
+		}(i)
+	}
+	wg.Wait()
+	parts := make([]cluster.ShardFrontier[cluster.GenericPointSummary], 0, n)
+	for i, res := range results {
+		if res.err != nil {
+			s.fleetShardErrors.Inc()
+			failed = append(failed, i)
+			continue
+		}
+		degraded = degraded || res.deg
+		parts = append(parts, res.part)
+	}
+	if len(parts) == 0 {
+		return merged, failed, false, fmt.Errorf("%w: all %d shards failed", errFleetUnavailable, n)
+	}
+	merged, err = cluster.MergeShardFrontiers(parts)
+	if err != nil {
+		return merged, failed, false, err
+	}
+	return merged, failed, degraded, nil
+}
+
+// shardRequest asks one replica for slice i/n of req's space, through
+// that replica's breaker, and converts the answer into a mergeable
+// partial frontier.
+func (s *Server) shardRequest(r *http.Request, target string, req EnumerateGenericRequest, i, n int) (part cluster.ShardFrontier[cluster.GenericPointSummary], degraded bool, err error) {
+	sub := req
+	sub.Shards = 0
+	sub.Replicas = nil
+	sub.Shard = shard.Shard{Index: i, Count: n}.String()
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return part, false, err
+	}
+	berr := s.fleet.breakerFor(target).Do(func() error {
+		status, b, err := s.fleet.post(r, target, "/v1/enumerate-generic", body)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("shard %s: %s answered %d", sub.Shard, target, status)
+		}
+		var er EnumerateGenericResponse
+		if err := json.Unmarshal(b, &er); err != nil {
+			return fmt.Errorf("shard %s: %s: %v", sub.Shard, target, err)
+		}
+		// A replica that disagrees on the slice or answers ragged arrays
+		// would corrupt the merge; treat it as a failed shard.
+		if er.Shard != sub.Shard || len(er.Points) != len(er.Indices) {
+			return fmt.Errorf("shard %s: %s answered shard %q with %d points, %d indices",
+				sub.Shard, target, er.Shard, len(er.Points), len(er.Indices))
+		}
+		part.Points = er.Points
+		part.Indices = er.Indices
+		part.TEs = summariesToTEs(er.Points)
+		degraded = er.Degraded
+		return nil
+	})
+	if berr != nil {
+		return cluster.ShardFrontier[cluster.GenericPointSummary]{}, false, berr
+	}
+	return part, degraded, nil
+}
+
+// fleetGenericBytes is the coordinator's analogue of genericBytes: the
+// fan-out runs under the UNSHARDED request's cache key, so a merged
+// fleet result serves later unsharded traffic (and vice versa), and
+// degraded partial merges ride the error path out of the cache so they
+// are never stored.
+func (s *Server) fleetGenericBytes(r *http.Request, req EnumerateGenericRequest, plan genericPlan) (body []byte, cached, degraded bool, failedBody []byte, err error) {
+	base := req
+	base.Shard = ""
+	base.Shards = 0
+	base.Replicas = nil
+	key, keyed := canonicalKey("enumerate-generic", base)
+	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
+		merged, failedShards, partDegraded, err := s.fanOutGeneric(r, req)
+		if err != nil {
+			return nil, err
+		}
+		resp := EnumerateGenericResponse{
+			Workload:     req.Workload,
+			Work:         req.Work,
+			TypeNames:    plan.names,
+			SpaceSize:    plan.spaceSize,
+			PrunedSize:   plan.prunedSize,
+			FrontierOnly: req.FrontierOnly,
+			Points:       merged.Points,
+			Returned:     len(merged.Points),
+		}
+		if plan.prunedSize > 0 {
+			s.genericPruned.Add(plan.spaceSize - plan.prunedSize)
+		}
+		if len(failedShards) > 0 || partDegraded {
+			resp.FailedShards = failedShards
+			b, err := encodeBody(resp)
+			if err != nil {
+				return nil, err
+			}
+			return nil, errFleetPartial{body: b}
+		}
+		return encodeBody(resp)
+	})
+	if stale {
+		s.degraded.Inc()
+		return v.([]byte), false, true, nil, nil
+	}
+	var fp errFleetPartial
+	if errors.As(err, &fp) {
+		s.degraded.Inc()
+		return nil, false, true, fp.body, nil
+	}
+	if err != nil {
+		return nil, false, false, nil, err
+	}
+	return v.([]byte), cached, false, nil, nil
+}
+
+// handleFleetGeneric serves a coordinator request end to end.
+func (s *Server) handleFleetGeneric(w http.ResponseWriter, r *http.Request, req EnumerateGenericRequest, plan genericPlan) {
+	body, cached, degraded, failedBody, err := s.fleetGenericBytes(r, req, plan)
+	w.Header().Set("X-Fleet-Shards", strconv.Itoa(req.Shards))
+	if err != nil {
+		replyError(w, r, err)
+		return
+	}
+	if degraded {
+		w.Header().Set("X-Degraded", "true")
+		if failedBody != nil {
+			// A live partial merge: failed_shards is already in the body.
+			writeRaw(w, markDegraded(failedBody), false)
+			return
+		}
+		// A stale cached full merge served because this fan-out failed.
+		writeRaw(w, markDegraded(body), false)
+		return
+	}
+	writeRaw(w, body, cached)
+}
+
+// --- consistent-hash routing -----------------------------------------
+
+// routeKeyPredict derives the routing key for a canonicalized predict
+// request under the configured RouteKey mode.
+func (s *Server) routeKeyPredict(req PredictRequest) string {
+	if s.opts.RouteKey == "cluster" {
+		return req.Workload + "|" + strconv.FormatBool(req.NoSwitchEnergy)
+	}
+	return req.Workload
+}
+
+// batchWorkload peeks the single workload a batch addresses, when there
+// is one: every item must name the same non-empty workload for the
+// batch to be routable as a unit.
+func batchWorkload(items []BatchItem) (string, bool) {
+	wl := ""
+	for _, it := range items {
+		var peek struct {
+			Workload string `json:"workload"`
+		}
+		if json.Unmarshal(it.Request, &peek) != nil || peek.Workload == "" {
+			return "", false
+		}
+		if wl == "" {
+			wl = peek.Workload
+		} else if peek.Workload != wl {
+			return "", false
+		}
+	}
+	return wl, wl != ""
+}
+
+// routeForward forwards a request to the consistent-hash owner of key
+// and relays the answer. It returns false — caller computes locally —
+// when routing is off, the request was already routed once, this server
+// owns the key's replica slot itself, or the forward fails (counted as
+// a fallback; the owner's breaker absorbs repeated failures).
+func (s *Server) routeForward(w http.ResponseWriter, r *http.Request, endpoint, key string, req any) bool {
+	if s.ring == nil || r.Header.Get(routedHeader) != "" {
+		return false
+	}
+	target := s.ring.Lookup(key)
+	if target == "" {
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	var status int
+	var respBody []byte
+	berr := s.fleet.breakerFor(target).Do(func() error {
+		st, b, err := s.fleet.post(r, target, endpoint, body)
+		if err != nil {
+			return err
+		}
+		if st >= 500 {
+			return fmt.Errorf("%s answered %d", target, st)
+		}
+		status, respBody = st, b
+		return nil
+	})
+	if berr != nil {
+		s.routeFallbacks.Inc()
+		return false
+	}
+	s.routedReqs.Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Routed-To", target)
+	w.WriteHeader(status)
+	w.Write(respBody)
+	return true
+}
+
+// summariesToTEs lifts point summaries to frontier TEs for the merge.
+// JSON round-trips float64 exactly, so these are bit-equal to the
+// replica's own frontier coordinates.
+func summariesToTEs(pts []cluster.GenericPointSummary) []pareto.TE {
+	tes := make([]pareto.TE, len(pts))
+	for i, p := range pts {
+		tes[i] = pareto.TE{Time: p.TimeSeconds, Energy: p.EnergyJoules, Index: i}
+	}
+	return tes
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"heteromix/internal/resilience"
+)
+
+// fleetTri extends the canonical tri-type request (triBody, shared with
+// the generic-handler tests) to the frontier-only form fleet mode
+// shards: all three node types, switch accounting on the ARM side, and
+// domination pruning in play.
+const fleetTri = triBody + `,"frontier_only":true`
+
+func fleetShardedBody(shards int) string {
+	return fmt.Sprintf(`%s,"shards":%d}`, fleetTri, shards)
+}
+
+// testFleet is the fleet-in-one harness: n replica Servers each behind
+// a real HTTP listener, and a coordinator configured with their URLs —
+// a whole fleet inside one test process.
+type testFleet struct {
+	coord    *Server
+	replicas []*Server
+	backends []*httptest.Server
+	urls     []string
+}
+
+// newFleet builds the harness. coordOpts.Replicas is filled in; set any
+// other knob before calling.
+func newFleet(t testing.TB, n int, coordOpts, replicaOpts Options) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		rs := newTestServer(t, replicaOpts)
+		hs := httptest.NewServer(rs.Handler())
+		t.Cleanup(hs.Close)
+		f.replicas = append(f.replicas, rs)
+		f.backends = append(f.backends, hs)
+		f.urls = append(f.urls, hs.URL)
+	}
+	coordOpts.Replicas = f.urls
+	f.coord = newTestServer(t, coordOpts)
+	return f
+}
+
+// TestFleetMergedBitIdenticalToUnsharded is the tentpole's serving-layer
+// acceptance: the coordinator's 4-shard scatter-gather answers the very
+// bytes a single unsharded server computes for the same space.
+func TestFleetMergedBitIdenticalToUnsharded(t *testing.T) {
+	plain := newTestServer(t, Options{})
+	want := post(t, plain, "/v1/enumerate-generic", fleetTri+"}")
+	if want.Code != http.StatusOK {
+		t.Fatalf("unsharded: %d %s", want.Code, want.Body)
+	}
+
+	f := newFleet(t, 4, Options{}, Options{})
+	got := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(4))
+	if got.Code != http.StatusOK {
+		t.Fatalf("fleet: %d %s", got.Code, got.Body)
+	}
+	if got.Header().Get("X-Fleet-Shards") != "4" {
+		t.Errorf("X-Fleet-Shards = %q, want 4", got.Header().Get("X-Fleet-Shards"))
+	}
+	if got.Body.String() != want.Body.String() {
+		t.Fatalf("fleet merge is not byte-identical to the unsharded response\n fleet: %s\nsingle: %s",
+			got.Body, want.Body)
+	}
+	// 7 shards over 4 replicas: uneven assignment must merge identically
+	// too.
+	got7 := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(7))
+	if got7.Code != http.StatusOK || got7.Body.String() != want.Body.String() {
+		t.Fatalf("7-shard merge differs: %d %s", got7.Code, got7.Body)
+	}
+}
+
+// TestFleetSharesCacheWithUnsharded: a successful fleet merge lands
+// under the unsharded request's cache key, so fleet and single-process
+// traffic serve each other's entries.
+func TestFleetSharesCacheWithUnsharded(t *testing.T) {
+	f := newFleet(t, 2, Options{}, Options{})
+	first := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(2))
+	if first.Code != http.StatusOK || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("fleet miss: %d cache=%q", first.Code, first.Header().Get("X-Cache"))
+	}
+	// The unsharded spelling of the same request hits the merged entry.
+	unsharded := post(t, f.coord, "/v1/enumerate-generic", fleetTri+"}")
+	if unsharded.Code != http.StatusOK || unsharded.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("unsharded after fleet: %d cache=%q", unsharded.Code, unsharded.Header().Get("X-Cache"))
+	}
+	if unsharded.Body.String() != first.Body.String() {
+		t.Fatal("cached unsharded body differs from the fleet merge")
+	}
+	// And the reverse: a fleet request hits an entry the local path wrote.
+	again := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(2))
+	if again.Code != http.StatusOK || again.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("fleet after cache: %d cache=%q", again.Code, again.Header().Get("X-Cache"))
+	}
+}
+
+// TestFleetShardDownDegrades is the chaos-path satellite: with one
+// replica dead, the coordinator serves the surviving slices marked
+// degraded with the failed shard listed, never caches the partial, and
+// trips the dead replica's breaker after repeated fan-outs.
+func TestFleetShardDownDegrades(t *testing.T) {
+	f := newFleet(t, 4, Options{BreakerThreshold: 2, BreakerCooldown: time.Minute}, Options{})
+	f.backends[2].Close() // shard 2 of 4 now lands on a dead URL
+
+	for round := 0; round < 3; round++ {
+		rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(4))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("round %d: %d %s", round, rr.Code, rr.Body)
+		}
+		if rr.Header().Get("X-Degraded") != "true" {
+			t.Fatalf("round %d: partial merge not marked degraded", round)
+		}
+		if rr.Header().Get("X-Cache") == "hit" {
+			t.Fatalf("round %d: degraded partial was served from cache", round)
+		}
+		body := rr.Body.String()
+		if !strings.Contains(body, `"degraded":true`) || !strings.Contains(body, `"failed_shards":[2]`) {
+			t.Fatalf("round %d: body lacks degraded/failed_shards markers: %s", round, body)
+		}
+	}
+	snap := f.coord.reg.Snapshot()
+	if snap["heteromixd_fleet_shard_errors_total"] < 3 {
+		t.Errorf("fleet_shard_errors_total = %v, want >= 3", snap["heteromixd_fleet_shard_errors_total"])
+	}
+	if snap["heteromixd_fleet_breaker_opens_total"] < 1 {
+		t.Errorf("fleet_breaker_opens_total = %v, want >= 1 (threshold 2, 3 failed fan-outs)",
+			snap["heteromixd_fleet_breaker_opens_total"])
+	}
+	if snap["heteromixd_degraded_responses_total"] < 3 {
+		t.Errorf("degraded_responses_total = %v, want >= 3", snap["heteromixd_degraded_responses_total"])
+	}
+}
+
+// TestFleetAllShardsDownAnswers503: total fan-out failure is an
+// availability condition, not a server bug.
+func TestFleetAllShardsDownAnswers503(t *testing.T) {
+	f := newFleet(t, 2, Options{}, Options{})
+	f.backends[0].Close()
+	f.backends[1].Close()
+	rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(2))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-down fleet: %d %s, want 503", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestFleetValidation pins the 400 surface of the new request fields on
+// a fleet-enabled coordinator and a plain server.
+func TestFleetValidation(t *testing.T) {
+	f := newFleet(t, 2, Options{}, Options{})
+	plain := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		s    *Server
+		body string
+	}{
+		{"shard without frontier_only", plain, `{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"shard":"0/2"}`},
+		{"malformed shard", plain, `{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"frontier_only":true,"shard":"x/y"}`},
+		{"shard index past count", plain, `{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"frontier_only":true,"shard":"3/2"}`},
+		{"shard and shards together", f.coord, fmt.Sprintf(`%s,"shard":"0/2","shards":2}`, fleetTri)},
+		{"negative shards", f.coord, fmt.Sprintf(`%s,"shards":-1}`, triBody)},
+		{"shards past the cap", f.coord, fmt.Sprintf(`%s,"shards":%d}`, triBody, maxFleetShards+1)},
+		{"shards without frontier_only", f.coord, `{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1}],"shards":2}`},
+		{"replicas without shards", f.coord, fmt.Sprintf(`%s,"replicas":["http://127.0.0.1:1"]}`, triBody)},
+		{"bad replica URL", f.coord, fmt.Sprintf(`%s,"shards":2,"replicas":["ftp://x"]}`, triBody)},
+		{"fleet on a non-fleet server", plain, fmt.Sprintf(`%s,"shards":2}`, triBody)},
+		{"request replicas on a non-fleet server", plain, fmt.Sprintf(`%s,"shards":2,"replicas":["http://127.0.0.1:1"]}`, triBody)},
+	}
+	for _, tc := range cases {
+		rr := post(t, tc.s, "/v1/enumerate-generic", tc.body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", tc.name, rr.Code, rr.Body)
+		}
+	}
+}
+
+// TestShardedReplicaServesSlice: a replica answering shard requests
+// reports its slice and indices, and distinct slices cache separately.
+func TestShardedReplicaServesSlice(t *testing.T) {
+	s := newTestServer(t, Options{})
+	a := post(t, s, "/v1/enumerate-generic", fmt.Sprintf(`%s,"shard":"0/2"}`, fleetTri))
+	b := post(t, s, "/v1/enumerate-generic", fmt.Sprintf(`%s,"shard":"1/2"}`, fleetTri))
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("shard requests: %d / %d", a.Code, b.Code)
+	}
+	ra := decodeBody[EnumerateGenericResponse](t, a)
+	rb := decodeBody[EnumerateGenericResponse](t, b)
+	if ra.Shard != "0/2" || rb.Shard != "1/2" {
+		t.Fatalf("echoed shards %q, %q", ra.Shard, rb.Shard)
+	}
+	if len(ra.Indices) != len(ra.Points) || len(rb.Indices) != len(rb.Points) {
+		t.Fatal("indices not parallel to points")
+	}
+	if b.Header().Get("X-Cache") != "miss" {
+		t.Error("distinct slices shared a cache entry")
+	}
+	// Same slice again: cached.
+	a2 := post(t, s, "/v1/enumerate-generic", fmt.Sprintf(`%s,"shard":"0/2"}`, fleetTri))
+	if a2.Header().Get("X-Cache") != "hit" {
+		t.Error("identical slice request missed the cache")
+	}
+}
+
+// TestRoutePredictForwards: with a route key configured, predict lands
+// on its workload's consistent-hash owner exactly once (the routed
+// marker stops a second hop), and batch requests route as a unit only
+// when all items share a workload.
+func TestRoutePredictForwards(t *testing.T) {
+	f := newFleet(t, 2, Options{RouteKey: "workload"}, Options{})
+	body := `{"workload":"ep","arm":{"nodes":2}}`
+	rr := post(t, f.coord, "/v1/predict", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("routed predict: %d %s", rr.Code, rr.Body)
+	}
+	target := rr.Header().Get("X-Routed-To")
+	if target != f.urls[0] && target != f.urls[1] {
+		t.Fatalf("X-Routed-To = %q, want one of %v", target, f.urls)
+	}
+	// The replica's own answer for the canonicalized request, for
+	// comparison: forwarding must not change the body.
+	direct := post(t, newTestServer(t, Options{}), "/v1/predict", body)
+	if rr.Body.String() != direct.Body.String() {
+		t.Fatalf("routed body differs from direct compute:\n%s\n%s", rr.Body, direct.Body)
+	}
+
+	// A request already carrying the routed marker is served locally.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	req.Header.Set(routedHeader, "1")
+	loop := httptest.NewRecorder()
+	f.coord.Handler().ServeHTTP(loop, req)
+	if loop.Code != http.StatusOK || loop.Header().Get("X-Routed-To") != "" {
+		t.Fatalf("marked request was forwarded again: %d %q", loop.Code, loop.Header().Get("X-Routed-To"))
+	}
+
+	// Single-workload batches route as a unit; mixed ones stay local.
+	batch := `{"items":[{"kind":"predict","request":{"workload":"ep","arm":{"nodes":1}}},` +
+		`{"kind":"predict","request":{"workload":"ep","amd":{"nodes":1}}}]}`
+	rb := post(t, f.coord, "/v1/batch", batch)
+	if rb.Code != http.StatusOK || rb.Header().Get("X-Routed-To") == "" {
+		t.Fatalf("single-workload batch not routed: %d %q", rb.Code, rb.Header().Get("X-Routed-To"))
+	}
+	mixed := `{"items":[{"kind":"predict","request":{"workload":"ep","arm":{"nodes":1}}},` +
+		`{"kind":"queueing","request":{"arrival_rate":1,"service_time_seconds":0.1}}]}`
+	rm := post(t, f.coord, "/v1/batch", mixed)
+	if rm.Code != http.StatusOK || rm.Header().Get("X-Routed-To") != "" {
+		t.Fatalf("mixed batch was routed: %d %q", rm.Code, rm.Header().Get("X-Routed-To"))
+	}
+
+	snap := f.coord.reg.Snapshot()
+	if snap["heteromixd_routed_requests_total"] < 2 {
+		t.Errorf("routed_requests_total = %v, want >= 2", snap["heteromixd_routed_requests_total"])
+	}
+}
+
+// TestRouteFallsBackWhenOwnerDead: a failed forward computes locally —
+// routing is an optimization, never an availability dependency.
+func TestRouteFallsBackWhenOwnerDead(t *testing.T) {
+	f := newFleet(t, 2, Options{RouteKey: "workload"}, Options{})
+	f.backends[0].Close()
+	f.backends[1].Close()
+	rr := post(t, f.coord, "/v1/predict", `{"workload":"ep","arm":{"nodes":2}}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fallback predict: %d %s", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("X-Routed-To") != "" {
+		t.Error("dead-owner request claims to have been routed")
+	}
+	if snap := f.coord.reg.Snapshot(); snap["heteromixd_route_fallbacks_total"] < 1 {
+		t.Errorf("route_fallbacks_total = %v, want >= 1", snap["heteromixd_route_fallbacks_total"])
+	}
+}
+
+// TestFleetChaosSoak extends the chaos soak to the fan-out path:
+// replicas inject errors and panics under the coordinator while it
+// scatter-gathers, and the fleet keeps answering only 200/503/504 with
+// degraded partials where slices failed.
+func TestFleetChaosSoak(t *testing.T) {
+	replicaOpts := Options{
+		Chaos: resilience.ChaosOptions{
+			ErrorProb: 0.3,
+			PanicProb: 0.1,
+			Seed:      11,
+		},
+		BreakerThreshold: 100, // keep replica-side breakers out of the way
+	}
+	f := newFleet(t, 3, Options{BreakerThreshold: 50, CacheTTL: time.Millisecond}, replicaOpts)
+	sawOK, sawDegraded := false, false
+	for round := 0; round < 25; round++ {
+		rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(3))
+		switch rr.Code {
+		case http.StatusOK:
+			sawOK = true
+			if rr.Header().Get("X-Degraded") == "true" {
+				sawDegraded = true
+				if !strings.Contains(rr.Body.String(), `"degraded":true`) {
+					t.Fatalf("round %d: degraded header without degraded body", round)
+				}
+			}
+		case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// All shards down this round (or breakers open): acceptable.
+		default:
+			t.Fatalf("round %d: status %d: %s", round, rr.Code, rr.Body)
+		}
+		time.Sleep(2 * time.Millisecond) // let the TTL lapse so rounds recompute
+	}
+	if !sawOK {
+		t.Error("no fan-out round succeeded under chaos")
+	}
+	if !sawDegraded {
+		t.Error("no round served a degraded partial under 30% shard errors")
+	}
+	if hz := get(t, f.coord, "/healthz"); hz.Code != http.StatusOK {
+		t.Fatalf("coordinator unhealthy after soak: %d", hz.Code)
+	}
+}

@@ -62,6 +62,21 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":12},{"node":"arm-cortex-a15","max_nodes":12},{"node":"amd-opteron-k10","max_nodes":12}]}`,
 		`{"workload":"ep","types":[]}`,
 		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1},{"node":"arm-cortex-a9","max_nodes":1}]}`,
+		// Fleet/shard surface: a valid replica-slice request, malformed
+		// and out-of-range shard specs, shard without frontier_only,
+		// shard+shards together, negative/oversized shard counts, and
+		// fleet fields on this server (which has no -replicas, so every
+		// fan-out spelling must be a fast 400, never an outbound call).
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shard":"0/4"}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shard":"x/y"}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shard":"3/2"}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"shard":"0/2"}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shard":"0/2","shards":2}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shards":4}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shards":-1}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shards":65}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shards":4,"replicas":["not-a-url"]}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"replicas":["http://127.0.0.1:1"]}`,
 		// Rejection classes named in the contract.
 		`{"workload":"ep","arm":{"nodes":1},"work":NaN}`,
 		`{"workload":"ep","arm":{"nodes":1},"work":-1}`,

@@ -7,6 +7,7 @@ package server
 // rejects absurd spaces with a 400 before any enumeration runs.
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -14,6 +15,8 @@ import (
 	"heteromix/internal/cluster"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
+	"heteromix/internal/pareto"
+	"heteromix/internal/shard"
 	"heteromix/internal/tablecache"
 )
 
@@ -54,6 +57,22 @@ type EnumerateGenericRequest struct {
 	// Prune restricts each type to its (time, power) domination
 	// survivors before enumeration. Implied by FrontierOnly.
 	Prune bool `json:"prune,omitempty"`
+	// Shard restricts this server's walk to slice "i/n" of the
+	// Feistel-permuted space (see internal/shard). Requires
+	// frontier_only; the response then carries per-point serial indices
+	// so a coordinator can merge slices deterministically.
+	Shard string `json:"shard,omitempty"`
+	// Shards, when positive, makes this server a coordinator: the
+	// request fans out as that many shard requests across the replica
+	// set and the partial frontiers merge back bit-identical to an
+	// unsharded walk. Requires frontier_only and a fleet-enabled server.
+	// Mutually exclusive with Shard.
+	Shards int `json:"shards,omitempty"`
+	// Replicas overrides the configured replica URLs for one fan-out.
+	// Only honored on a server that already has replicas configured, so
+	// a non-fleet instance can never be steered into fetching arbitrary
+	// URLs.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // EnumerateGenericResponse carries the points (or frontier) of the
@@ -72,8 +91,17 @@ type EnumerateGenericResponse struct {
 	Truncated    bool                          `json:"truncated,omitempty"`
 	FrontierOnly bool                          `json:"frontier_only,omitempty"`
 	Points       []cluster.GenericPointSummary `json:"points"`
+	// Shard echoes a shard request's slice, and Indices carries each
+	// point's index in the serial enumeration order (parallel to
+	// Points) — the coordinator's merge key.
+	Shard   string   `json:"shard,omitempty"`
+	Indices []uint64 `json:"indices,omitempty"`
+	// FailedShards lists the shard indices whose replicas failed when a
+	// coordinator served a degraded partial merge.
+	FailedShards []int `json:"failed_shards,omitempty"`
 	// Degraded marks a stale result served because the recompute path
-	// was failing, as in EnumerateResponse.
+	// was failing, as in EnumerateResponse — or a fleet merge missing
+	// the FailedShards slices.
 	Degraded bool `json:"degraded,omitempty"`
 }
 
@@ -144,6 +172,9 @@ type genericPlan struct {
 	spaceSize uint64
 	// prunedSize is the enumerated size when pruning applied, else 0.
 	prunedSize uint64
+	// shard is the parsed slice of a shard request; Count 0 when
+	// unsharded.
+	shard shard.Shard
 }
 
 // enumeratedSize returns how many points the plan evaluates.
@@ -206,6 +237,49 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 			req.Limit = s.opts.MaxPoints
 		}
 	}
+	// A replica started with -shard serves its slice for every frontier
+	// request that did not ask for sharding itself.
+	if req.Shard == "" && req.Shards == 0 && req.FrontierOnly && s.opts.DefaultShard.Count > 0 {
+		req.Shard = s.opts.DefaultShard.String()
+	}
+	if req.Shard != "" {
+		if req.Shards != 0 {
+			return req, plan, badRequestf("shard and shards are mutually exclusive")
+		}
+		if !req.FrontierOnly {
+			return req, plan, badRequestf("shard requires frontier_only")
+		}
+		sh, err := shard.Parse(req.Shard)
+		if err != nil {
+			return req, plan, badRequestf("%v", err)
+		}
+		plan.shard = sh
+		req.Shard = sh.String()
+	}
+	if req.Shards < 0 || req.Shards > maxFleetShards {
+		return req, plan, badRequestf("shards must be in [0, %d], got %d", maxFleetShards, req.Shards)
+	}
+	if req.Shards > 0 && !req.FrontierOnly {
+		return req, plan, badRequestf("shards requires frontier_only")
+	}
+	if len(req.Replicas) > 0 && req.Shards == 0 {
+		return req, plan, badRequestf("replicas requires shards")
+	}
+	if req.Shards > 0 {
+		// The fleet gate: fan-out — to configured or request-supplied
+		// URLs — only on a server explicitly started as a coordinator.
+		if len(s.opts.Replicas) == 0 {
+			return req, plan, badRequestf("fleet mode is not enabled on this server (start with -replicas)")
+		}
+		if len(req.Replicas) > maxFleetReplicas {
+			return req, plan, badRequestf("at most %d replicas, got %d", maxFleetReplicas, len(req.Replicas))
+		}
+		for i, u := range req.Replicas {
+			if err := validReplicaURL(u); err != nil {
+				return req, plan, badRequestf("replicas[%d]: %v", i, err)
+			}
+		}
+	}
 
 	nms, ok := s.models.(NodeModelSource)
 	if !ok {
@@ -248,6 +322,39 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 	return req, plan, nil
 }
 
+// shardFrontier walks this server's slice of the plan's space through
+// an order-independent indexed frontier (duplicates resolve toward the
+// smallest serial index, so the coordinator's merge is deterministic),
+// polling for cancellation at the same coarse interval as every other
+// enumeration walk. walked reports how many points were evaluated.
+func (s *Server) shardFrontier(ctx context.Context, plan genericPlan, req EnumerateGenericRequest) (sf cluster.ShardFrontier[cluster.GenericPoint], walked uint64, err error) {
+	tr := pareto.TrackedIndexed[cluster.GenericPoint]{Clone: cluster.GenericPoint.Clone}
+	n := 0
+	var insErr error
+	err = plan.walk.ForEachShard(req.Work, plan.shard, func(p cluster.GenericPoint, idx uint64) bool {
+		n++
+		if n&0x1fff == 0 && ctx.Err() != nil {
+			return false
+		}
+		if _, err := tr.Insert(pareto.TE{Time: float64(p.Time), Energy: float64(p.Energy)}, idx, p); err != nil {
+			insErr = err
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = insErr
+	}
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return sf, 0, err
+	}
+	pts, tes, idxs := tr.Frontier()
+	return cluster.ShardFrontier[cluster.GenericPoint]{Points: pts, TEs: tes, Indices: idxs}, uint64(n), nil
+}
+
 // genericBytes returns the marshaled response for a canonicalized
 // request, with /v1/enumerate's breaker + freshness semantics.
 func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan genericPlan) (body []byte, cached, degraded bool, err error) {
@@ -264,7 +371,19 @@ func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan
 				PrunedSize:   plan.prunedSize,
 				FrontierOnly: req.FrontierOnly,
 			}
-			if req.FrontierOnly {
+			if plan.shard.Count > 0 {
+				sf, walked, err := s.shardFrontier(ctx, plan, req)
+				if err != nil {
+					return err
+				}
+				s.genericPoints.Add(walked)
+				resp.Shard = req.Shard
+				resp.Points = make([]cluster.GenericPointSummary, len(sf.Points))
+				for i, p := range sf.Points {
+					resp.Points[i] = p.Summary(plan.names)
+				}
+				resp.Indices = sf.Indices
+			} else if req.FrontierOnly {
 				pts, _, err := plan.walk.FrontierParallel(req.Work, 0)
 				if err != nil {
 					return err
@@ -333,6 +452,10 @@ func (s *Server) handleEnumerateGeneric(w http.ResponseWriter, r *http.Request) 
 	norm, plan, err := s.normalizeEnumerateGeneric(req)
 	if err != nil {
 		replyError(w, r, err)
+		return
+	}
+	if norm.Shards > 0 {
+		s.handleFleetGeneric(w, r, norm, plan)
 		return
 	}
 	body, cached, degraded, err := s.genericBytes(r, norm, plan)

@@ -18,8 +18,8 @@ import (
 	"net/http"
 	"time"
 
-	"heteromix/internal/buildinfo"
 	"heteromix/internal/budget"
+	"heteromix/internal/buildinfo"
 	"heteromix/internal/cluster"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/queueing"
@@ -107,9 +107,11 @@ func replyError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.As(err, &br):
 		writeError(w, http.StatusBadRequest, "%s", br.msg)
-	case errors.Is(err, resilience.ErrOpen):
+	case errors.Is(err, resilience.ErrOpen), errors.Is(err, errFleetUnavailable):
 		// The compute path is known-bad and nothing cached could stand in;
-		// tell the client when the breaker will admit a probe.
+		// tell the client when the breaker will admit a probe. A fleet
+		// fan-out with every shard down is the same situation, not a
+		// server bug, so it maps to 503 too.
 		w.Header().Set("Retry-After", shedRetryAfter())
 		writeError(w, http.StatusServiceUnavailable, "temporarily unavailable: %v", err)
 	case r.Context().Err() != nil:
@@ -337,6 +339,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		replyError(w, r, err)
 		return
 	}
+	// With routing configured, the canonicalized request goes to the
+	// consistent-hash owner of its workload so that replica's table
+	// cache serves it hot; a failed forward computes locally instead.
+	if s.routeForward(w, r, "/v1/predict", s.routeKeyPredict(norm), norm) {
+		return
+	}
 	body, cached, err := s.predictBytes(norm, cfg)
 	if err != nil {
 		replyError(w, r, err)
@@ -349,9 +357,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // EnumerateRequest asks for a bounded configuration space.
 type EnumerateRequest struct {
-	Workload string `json:"workload"`
-	MaxARM   int    `json:"max_arm"`
-	MaxAMD   int    `json:"max_amd"`
+	Workload string  `json:"workload"`
+	MaxARM   int     `json:"max_arm"`
+	MaxAMD   int     `json:"max_amd"`
 	Work     float64 `json:"work,omitempty"`
 	// FrontierOnly returns just the Pareto-optimal points, streamed
 	// through the online frontier — the space is never materialized.
@@ -364,9 +372,9 @@ type EnumerateRequest struct {
 
 // EnumerateResponse carries the points (or frontier) of the space.
 type EnumerateResponse struct {
-	Workload  string `json:"workload"`
+	Workload  string  `json:"workload"`
 	Work      float64 `json:"work"`
-	SpaceSize int    `json:"space_size"`
+	SpaceSize int     `json:"space_size"`
 	// Returned is len(Points); Truncated marks a Limit cut.
 	Returned     int                    `json:"returned"`
 	Truncated    bool                   `json:"truncated,omitempty"`
@@ -529,30 +537,30 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 // BudgetRequest asks for the constant-peak-power substitution series
 // within a budget (the paper's §IV-C analysis).
 type BudgetRequest struct {
-	Workload    string  `json:"workload"`
-	BudgetWatts float64 `json:"budget_watts"`
-	Work        float64 `json:"work,omitempty"`
-	NoSwitchEnergy bool `json:"no_switch_energy,omitempty"`
+	Workload       string  `json:"workload"`
+	BudgetWatts    float64 `json:"budget_watts"`
+	Work           float64 `json:"work,omitempty"`
+	NoSwitchEnergy bool    `json:"no_switch_energy,omitempty"`
 }
 
 // BudgetMix is one generated mix, evaluated at both types' maximum
 // settings (the operating point of Figures 6–7).
 type BudgetMix struct {
-	ARM       int     `json:"arm"`
-	AMD       int     `json:"amd"`
-	PeakWatts float64 `json:"peak_watts"`
+	ARM       int                  `json:"arm"`
+	AMD       int                  `json:"amd"`
+	PeakWatts float64              `json:"peak_watts"`
 	Point     cluster.PointSummary `json:"point"`
 }
 
 // BudgetResponse is the substitution series.
 type BudgetResponse struct {
-	Workload          string  `json:"workload"`
-	Work              float64 `json:"work"`
-	BudgetWatts       float64 `json:"budget_watts"`
-	SubstitutionRatio int     `json:"substitution_ratio"`
-	ARMPeakWatts      float64 `json:"arm_peak_watts"`
-	AMDPeakWatts      float64 `json:"amd_peak_watts"`
-	SwitchWatts       float64 `json:"switch_watts"`
+	Workload          string      `json:"workload"`
+	Work              float64     `json:"work"`
+	BudgetWatts       float64     `json:"budget_watts"`
+	SubstitutionRatio int         `json:"substitution_ratio"`
+	ARMPeakWatts      float64     `json:"arm_peak_watts"`
+	AMDPeakWatts      float64     `json:"amd_peak_watts"`
+	SwitchWatts       float64     `json:"switch_watts"`
 	Mixes             []BudgetMix `json:"mixes"`
 }
 
@@ -716,15 +724,15 @@ func (s *Server) handleQueueing(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse reports liveness, identity and cache effectiveness.
 type HealthResponse struct {
-	Status        string   `json:"status"`
-	Version       string   `json:"version"`
-	Commit        string   `json:"commit"`
-	GoVersion     string   `json:"go_version"`
-	UptimeSeconds float64  `json:"uptime_seconds"`
-	Workloads     []string `json:"workloads"`
-	Inflight      int64    `json:"inflight"`
+	Status        string      `json:"status"`
+	Version       string      `json:"version"`
+	Commit        string      `json:"commit"`
+	GoVersion     string      `json:"go_version"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Workloads     []string    `json:"workloads"`
+	Inflight      int64       `json:"inflight"`
 	Cache         HealthCache `json:"cache"`
-	KernelTables  uint64   `json:"kernel_table_builds"`
+	KernelTables  uint64      `json:"kernel_table_builds"`
 	// Breaker is the enumerate circuit breaker's state
 	// ("closed", "open", "half-open").
 	Breaker           string `json:"breaker"`

@@ -243,10 +243,10 @@ func TestPanicContainedByRecoveryMiddleware(t *testing.T) {
 
 func TestMarkDegraded(t *testing.T) {
 	cases := map[string]string{
-		`{"a":1}`:   `{"a":1,"degraded":true}`,
-		`{}`:        `{"degraded":true}`,
+		`{"a":1}`:        `{"a":1,"degraded":true}`,
+		`{}`:             `{"degraded":true}`,
 		`{"a":1}` + "\n": `{"a":1,"degraded":true}`,
-		`[1,2]`:     `[1,2]`, // non-object passes through untouched
+		`[1,2]`:          `[1,2]`, // non-object passes through untouched
 	}
 	for in, want := range cases {
 		if got := string(markDegraded([]byte(in))); got != want {

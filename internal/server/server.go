@@ -40,6 +40,7 @@ import (
 	"heteromix/internal/metrics"
 	"heteromix/internal/resilience"
 	"heteromix/internal/servercache"
+	"heteromix/internal/shard"
 	"heteromix/internal/tablecache"
 )
 
@@ -111,6 +112,22 @@ type Options struct {
 	// default: the profile endpoints expose internals and can run for
 	// tens of seconds, so they are opt-in via the daemon's -pprof flag.
 	EnablePprof bool
+	// Replicas lists fleet replica base URLs ("http://host:port"). With
+	// replicas configured, the server coordinates sharded
+	// /v1/enumerate-generic fan-out (requests with shards > 0) and, with
+	// RouteKey set, routes predict/batch traffic by consistent hash so
+	// each replica's compiled-table cache stays hot for the workloads it
+	// owns.
+	Replicas []string
+	// RouteKey selects what predict/batch routing hashes on: "workload",
+	// "cluster" (workload + switch accounting), or ""/"none" for no
+	// routing. Only meaningful with Replicas.
+	RouteKey string
+	// DefaultShard, when Count > 0, restricts every frontier-only
+	// /v1/enumerate-generic request that does not ask for sharding
+	// itself to this replica's slice — how a fleet member started with
+	// -shard serves coordination-free.
+	DefaultShard shard.Shard
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
@@ -141,30 +158,37 @@ type Server struct {
 	chaos    *resilience.Chaos
 	breaker  *resilience.Breaker
 	draining atomic.Bool
+	fleet    *fleetClient
+	ring     *shard.Ring
 
-	inflight      *metrics.Gauge
-	rejected      *metrics.Counter
-	timeouts      *metrics.Counter
-	tableBuilds   *metrics.Counter
-	cacheHits     *metrics.Counter
-	cacheMisses   *metrics.Counter
-	cacheCollap   *metrics.Counter
-	cacheEvict    *metrics.Counter
-	cacheStale    *metrics.Counter
-	tcacheHits    *metrics.Counter
-	tcacheMisses  *metrics.Counter
-	tcacheEvict   *metrics.Counter
-	tcacheBytes   *metrics.Gauge
-	batchItems    *metrics.Counter
-	batchErrors   *metrics.Counter
-	panics        *metrics.Counter
-	degraded      *metrics.Counter
-	genericPoints *metrics.Counter
-	genericPruned *metrics.Counter
-	breakerState  *metrics.Gauge
-	breakerOpens  *metrics.Counter
-	chaosInject   map[string]*metrics.Counter
-	byEndpoint    map[string]*endpointMetrics
+	inflight          *metrics.Gauge
+	rejected          *metrics.Counter
+	timeouts          *metrics.Counter
+	tableBuilds       *metrics.Counter
+	cacheHits         *metrics.Counter
+	cacheMisses       *metrics.Counter
+	cacheCollap       *metrics.Counter
+	cacheEvict        *metrics.Counter
+	cacheStale        *metrics.Counter
+	tcacheHits        *metrics.Counter
+	tcacheMisses      *metrics.Counter
+	tcacheEvict       *metrics.Counter
+	tcacheBytes       *metrics.Gauge
+	batchItems        *metrics.Counter
+	batchErrors       *metrics.Counter
+	panics            *metrics.Counter
+	degraded          *metrics.Counter
+	genericPoints     *metrics.Counter
+	genericPruned     *metrics.Counter
+	breakerState      *metrics.Gauge
+	breakerOpens      *metrics.Counter
+	fleetFanouts      *metrics.Counter
+	fleetShardErrors  *metrics.Counter
+	fleetBreakerOpens *metrics.Counter
+	routedReqs        *metrics.Counter
+	routeFallbacks    *metrics.Counter
+	chaosInject       map[string]*metrics.Counter
+	byEndpoint        map[string]*endpointMetrics
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -222,6 +246,27 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if len(opts.Replicas) > maxFleetReplicas {
+		return nil, fmt.Errorf("server: at most %d replicas, got %d", maxFleetReplicas, len(opts.Replicas))
+	}
+	for i, u := range opts.Replicas {
+		if err := validReplicaURL(u); err != nil {
+			return nil, fmt.Errorf("server: replicas[%d]: %v", i, err)
+		}
+	}
+	switch opts.RouteKey {
+	case "", "none", "workload", "cluster":
+	default:
+		return nil, fmt.Errorf("server: route key must be one of workload, cluster, none; got %q", opts.RouteKey)
+	}
+	if opts.RouteKey != "" && opts.RouteKey != "none" && len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("server: route key %q requires replicas", opts.RouteKey)
+	}
+	if opts.DefaultShard.Count != 0 {
+		if err := opts.DefaultShard.Validate(); err != nil {
+			return nil, fmt.Errorf("server: %v", err)
+		}
+	}
 
 	s := &Server{
 		opts:   opts,
@@ -246,6 +291,24 @@ func New(opts Options) (*Server, error) {
 			}
 		},
 	})
+	if len(opts.Replicas) > 0 {
+		// One breaker per replica URL: a dead replica fails its shards
+		// fast; every open transition is counted fleet-wide.
+		s.fleet = newFleetClient(func() *resilience.Breaker {
+			return resilience.NewBreaker(resilience.BreakerOptions{
+				FailureThreshold: opts.BreakerThreshold,
+				Cooldown:         opts.BreakerCooldown,
+				OnStateChange: func(_, to resilience.BreakerState) {
+					if to == resilience.Open {
+						s.fleetBreakerOpens.Inc()
+					}
+				},
+			})
+		})
+		if opts.RouteKey == "workload" || opts.RouteKey == "cluster" {
+			s.ring = shard.NewRing(opts.Replicas, 0)
+		}
+	}
 	s.registerRoutes()
 	return s, nil
 }
@@ -294,6 +357,16 @@ func (s *Server) registerMetrics() {
 		"enumerate circuit breaker state (0 closed, 1 open, 2 half-open)")
 	s.breakerOpens = r.NewCounter("heteromixd_breaker_opens_total",
 		"times the enumerate circuit breaker tripped open")
+	s.fleetFanouts = r.NewCounter("heteromixd_fleet_fanouts_total",
+		"coordinator scatter-gather fan-outs issued")
+	s.fleetShardErrors = r.NewCounter("heteromixd_fleet_shard_errors_total",
+		"shard requests that failed within a fan-out")
+	s.fleetBreakerOpens = r.NewCounter("heteromixd_fleet_breaker_opens_total",
+		"times a per-replica circuit breaker tripped open")
+	s.routedReqs = r.NewCounter("heteromixd_routed_requests_total",
+		"requests forwarded to their consistent-hash owner")
+	s.routeFallbacks = r.NewCounter("heteromixd_route_fallbacks_total",
+		"forwards that failed and fell back to local compute")
 	s.chaosInject = make(map[string]*metrics.Counter, len(chaosKinds))
 	for _, kind := range chaosKinds {
 		s.chaosInject[kind] = r.NewCounter("heteromixd_chaos_injections_total",

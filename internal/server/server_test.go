@@ -247,12 +247,12 @@ func TestEnumerateLimitTruncates(t *testing.T) {
 func TestEnumerateValidation(t *testing.T) {
 	s := newTestServer(t, Options{MaxNodes: 16})
 	for name, body := range map[string]string{
-		"no bounds":       `{"workload":"ep"}`,
-		"negative bound":  `{"workload":"ep","max_arm":-1,"max_amd":2}`,
-		"too large":       `{"workload":"ep","max_arm":17}`,
-		"negative limit":  `{"workload":"ep","max_arm":2,"limit":-1}`,
-		"unknown field":   `{"workload":"ep","max_arm":2,"points":true}`,
-		"bad workload":    `{"workload":"x","max_arm":2}`,
+		"no bounds":      `{"workload":"ep"}`,
+		"negative bound": `{"workload":"ep","max_arm":-1,"max_amd":2}`,
+		"too large":      `{"workload":"ep","max_arm":17}`,
+		"negative limit": `{"workload":"ep","max_arm":2,"limit":-1}`,
+		"unknown field":  `{"workload":"ep","max_arm":2,"points":true}`,
+		"bad workload":   `{"workload":"x","max_arm":2}`,
 	} {
 		if rr := post(t, s, "/v1/enumerate", body); rr.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", name, rr.Code, rr.Body)
@@ -293,9 +293,9 @@ func TestBudgetSeries(t *testing.T) {
 func TestBudgetValidation(t *testing.T) {
 	s := newTestServer(t, Options{MaxNodes: 32})
 	for name, body := range map[string]string{
-		"zero budget":     `{"workload":"ep","budget_watts":0}`,
-		"negative budget": `{"workload":"ep","budget_watts":-100}`,
-		"below one node":  `{"workload":"ep","budget_watts":10}`,
+		"zero budget":      `{"workload":"ep","budget_watts":0}`,
+		"negative budget":  `{"workload":"ep","budget_watts":-100}`,
+		"below one node":   `{"workload":"ep","budget_watts":10}`,
 		"beyond max nodes": `{"workload":"ep","budget_watts":100000}`,
 	} {
 		if rr := post(t, s, "/v1/budget", body); rr.Code != http.StatusBadRequest {
