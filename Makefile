@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race fleet-race chaos bench bench-generic bench-server bench-batch bench-fleet ci
+.PHONY: all build vet test race server-race fleet-race calib-race chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit ci
 
 all: ci
 
@@ -41,6 +41,13 @@ server-race:
 fleet-race:
 	$(GO) test -race -count=1 -run 'Fleet|Shard|Route|Ring|Feistel|Permutation' \
 		./internal/server ./internal/shard ./internal/cluster ./internal/pareto
+
+# The online-calibration subsystem under the race detector: concurrent
+# /v1/fit ingests, drift-triggered refits, version bumps and the cache
+# sweeps they fire all race against warm serving traffic by design.
+calib-race:
+	$(GO) test -race -count=1 -run 'Calib|Fit|Profile|Drift|Refit|Snapshot|Invalidat|Bump|Degenerate' \
+		./internal/calib ./internal/server ./internal/stats ./cmd/fitmodel ./cmd/heteromixd
 
 # The server suite again, but with latency-only chaos injected into
 # every test server (HETEROMIX_CHAOS is parsed by newTestServer) and the
@@ -93,4 +100,14 @@ bench-fleet:
 		-bench 'BenchmarkFleetEnumerate(1Shard|4Shards)' \
 		-benchmem -benchtime=3x
 
-ci: vet build race server-race fleet-race chaos bench bench-generic bench-server bench-batch bench-fleet
+# Calibration gates: refit latency through the HTTP handler (the full
+# validate + drift + least-squares + bump + sweep loop) and the cost a
+# profile bump extracts from the first warm predict after it, read
+# against the steady-state warm baseline. Baselines in
+# BENCH_serving.json.
+bench-fit:
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'BenchmarkFitRefit|BenchmarkWarmPredict(SteadyState|AfterBump)' \
+		-benchmem -benchtime=200x
+
+ci: vet build race server-race fleet-race calib-race chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit

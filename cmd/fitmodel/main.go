@@ -2,13 +2,16 @@
 // pipeline: it reads a measurement trace produced by `characterize
 // -trace` (JSON) or exported as CSV, fits the analytical model's workload
 // profile for one (workload, node) pair, combines it with a power
-// characterization, and writes the fitted model as JSON for later use
-// with model.Load. This is the workflow a deployment would follow:
-// measure once on one node of each type, fit offline, ship the model.
+// characterization, and writes the fitted model as a versioned profile
+// snapshot — the same content-hashed format heteromixd's -profile-snapshot
+// persistence uses, loadable through calib.Registry (and embedding the
+// model.Load form verbatim). This is the workflow a deployment would
+// follow: measure once on one node of each type, fit offline, ship the
+// profile.
 //
 // Usage:
 //
-//	fitmodel -in trace.json [-csv] -workload ep -node arm-cortex-a9 [-o model.json] [-rate r]
+//	fitmodel -in trace.json [-csv] -workload ep -node arm-cortex-a9 [-o profile.json] [-rate r]
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteromix/internal/calib"
 	"heteromix/internal/cliutil"
 	"heteromix/internal/hwsim"
 	"heteromix/internal/model"
@@ -99,15 +103,19 @@ func run(in string, csvIn bool, workload, node, out string, rate, noise float64,
 		cfg.Cores, cfg.Frequency, pred.Time, pred.AvgPower)
 
 	if out != "" {
+		hash, err := calib.HashModel(nm)
+		if err != nil {
+			return err
+		}
 		of, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer of.Close()
-		if err := model.Save(of, nm); err != nil {
+		if err := calib.WriteProfile(of, workload, node, nm, "fitmodel"); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s (profile version 1, hash %s)\n", out, hash)
 	}
 	return nil
 }

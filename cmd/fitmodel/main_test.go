@@ -5,8 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"heteromix/internal/calib"
 	"heteromix/internal/hwsim"
-	"heteromix/internal/model"
 	"heteromix/internal/perfcounter"
 	"heteromix/internal/workloads"
 )
@@ -51,16 +51,25 @@ func TestRunFitsFromJSONAndCSV(t *testing.T) {
 			in = filepath.Join(dir, "trace.csv")
 		}
 		writeTrace(t, in, csvIn)
-		out := filepath.Join(dir, "model.json")
+		out := filepath.Join(dir, "profile.json")
 		if err := run(in, csvIn, "ep", "arm-cortex-a9", out, -1, 0, 1); err != nil {
 			t.Fatalf("csv=%v: %v", csvIn, err)
 		}
-		mf, err := os.Open(out)
-		if err != nil {
-			t.Fatal(err)
+		// The output is a versioned profile snapshot: it round-trips
+		// through the calibration registry (hash verified on load) and
+		// serves the fitted model.
+		reg := calib.NewRegistry(nil, calib.Options{})
+		if err := reg.LoadSnapshotFile(out); err != nil {
+			t.Fatalf("csv=%v: loading profile: %v", csvIn, err)
 		}
-		nm, err := model.Load(mf)
-		mf.Close()
+		if reg.Version("ep") != 1 {
+			t.Errorf("loaded profile version = %d, want 1", reg.Version("ep"))
+		}
+		entries := reg.Overrides()
+		if len(entries) != 1 || entries[0].Hash == "" {
+			t.Fatalf("overrides = %+v, want one hashed entry", entries)
+		}
+		nm, err := reg.Model("ep", hwsim.ARMCortexA9())
 		if err != nil {
 			t.Fatal(err)
 		}

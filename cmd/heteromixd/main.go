@@ -13,6 +13,8 @@
 //	           [-noise s] [-seed n] [-cache-ttl d] [-drain-delay d]
 //	           [-chaos spec] [-pprof]
 //	           [-shard i/n] [-replicas url,url,...] [-route-key key]
+//	           [-refit-threshold e] [-max-fit-samples n]
+//	           [-profile-snapshot file]
 //
 // The last three select fleet mode: -shard makes this instance serve
 // slice i/n of frontier-only generic enumerations, -replicas makes it a
@@ -60,6 +62,9 @@ type daemonConfig struct {
 	shardSpec       string
 	replicas        string
 	routeKey        string
+	refitThreshold  float64
+	maxFitSamples   int
+	profileSnapshot string
 }
 
 func main() {
@@ -81,6 +86,9 @@ func main() {
 	flag.StringVar(&cfg.shardSpec, "shard", "", `serve slice "i/n" of frontier-only generic enumerations (fleet replica mode)`)
 	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated replica base URLs; enables coordinator fan-out for sharded requests")
 	flag.StringVar(&cfg.routeKey, "route-key", "", `consistent-hash routing of predict/batch across -replicas: "workload" or "cluster" (default: none)`)
+	flag.Float64Var(&cfg.refitThreshold, "refit-threshold", 0.10, "rolling mean relative prediction error above which /v1/fit samples trigger an automatic profile refit")
+	flag.IntVar(&cfg.maxFitSamples, "max-fit-samples", 256, "calibration samples kept per (workload, node) pair")
+	flag.StringVar(&cfg.profileSnapshot, "profile-snapshot", "", "file refit profiles persist to on every version bump and load from at startup")
 	cliutil.Parse(0)
 
 	srv, err := newServer(cfg)
@@ -141,5 +149,8 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		DefaultShard:      defaultShard,
 		Replicas:          replicas,
 		RouteKey:          cfg.routeKey,
+		RefitThreshold:    cfg.refitThreshold,
+		MaxFitSamples:     cfg.maxFitSamples,
+		ProfileSnapshot:   cfg.profileSnapshot,
 	})
 }

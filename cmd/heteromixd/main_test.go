@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -108,6 +109,28 @@ func TestNewServerRejectsBadFleetFlags(t *testing.T) {
 		if _, err := newServer(cfg); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+func TestCalibFlagsPlumbThrough(t *testing.T) {
+	cfg := testConfig()
+	cfg.refitThreshold = 0.2
+	cfg.maxFitSamples = 64
+	cfg.profileSnapshot = filepath.Join(t.TempDir(), "profiles.json")
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/fit",
+		strings.NewReader(`{"workload":"ep","node":"arm-cortex-a9","samples":[{"cores":1,"ghz":0.8,"time_seconds":2.5,"energy_joules":40}]}`)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fit: %d %s", rr.Code, rr.Body)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/profiles", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"refit_threshold":0.2`) {
+		t.Fatalf("profiles did not reflect -refit-threshold: %d %s", rr.Code, rr.Body)
 	}
 }
 

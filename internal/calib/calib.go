@@ -1,0 +1,211 @@
+// Package calib is the online recalibration subsystem: it ingests
+// observed (workload, node, config, T, E) samples, tracks how far the
+// active model's predictions have drifted from reality, and refits the
+// model's measured parameters when drift crosses a threshold.
+//
+// The paper's model separates datasheet facts (NodeSpec) from measured
+// parameters — Table 2's "+" entries: the fitted instruction count
+// I_Ps and the power characterization. Those measured parameters are
+// exactly what drifts in production (software updates change the
+// instruction stream, hardware aging and firmware change power draw —
+// see PAPERS.md: Sîrbu & Babaoglu maintain power models from live
+// telemetry at supercomputer scale; Abdurachmanov et al. observe
+// measured energy shifting under software changes). A refit therefore
+// adjusts only those measured parameters, as a pair of least-squares
+// scale corrections:
+//
+//   - a time scale s_T on Profile.InstructionsPerUnit, fitted through
+//     the origin on (T_pred, T_obs) — for CPU-bound workloads T is
+//     proportional to I_Ps, so the correction is exact;
+//   - an energy scale s_E on every power level of the
+//     power.Characterization, fitted on (E_pred, E_obs) after the time
+//     correction — the paper's E is a sum of power×time terms, each
+//     linear in its power level, so scaling all levels scales E
+//     exactly.
+//
+// Both fits run through stats.ProportionalFit, which answers typed
+// errors for degenerate inputs instead of NaN slopes; a degenerate or
+// absurd fit is reported and skipped, never installed.
+package calib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/model"
+	"heteromix/internal/power"
+	"heteromix/internal/stats"
+	"heteromix/internal/units"
+)
+
+// Sample is one observed execution: the resolved configuration a job
+// ran under, the work it completed, and the measured time and energy.
+type Sample struct {
+	// Cores and GHz are the node configuration, already resolved to an
+	// exact core count and P-state by the caller (the server's /v1/fit
+	// validation snaps them like every other endpoint).
+	Cores int     `json:"cores"`
+	GHz   float64 `json:"ghz"`
+	// Work is the job size in work units.
+	Work float64 `json:"work"`
+	// TimeSeconds and EnergyJoules are the measurements.
+	TimeSeconds  float64 `json:"time_seconds"`
+	EnergyJoules float64 `json:"energy_joules"`
+}
+
+// Config returns the sample's hwsim configuration.
+func (s Sample) Config() hwsim.Config {
+	return hwsim.Config{Cores: s.Cores, Frequency: units.Hertz(s.GHz * 1e9)}
+}
+
+// ErrBadSample marks a sample the active model cannot evaluate (bad
+// config, nonsense measurements). The server maps it to a 400.
+var ErrBadSample = errors.New("calib: bad sample")
+
+// ErrDegenerateFit marks a refit attempt the data cannot support: the
+// proportional fits failed or produced scales outside sane bounds. It
+// is a skip reason, not a request error — the samples stay stored and
+// a later, richer batch may succeed.
+var ErrDegenerateFit = errors.New("calib: degenerate fit")
+
+// Refit scale bounds: a fitted correction outside [minScale, maxScale]
+// says the observations do not describe this hardware at all (wrong
+// units, wrong node); installing it would be worse than keeping the
+// stale model.
+const (
+	minScale = 0.05
+	maxScale = 20.0
+)
+
+// Quality reports a refit's fit statistics, the r² story of the
+// paper's Figure 3 applied online.
+type Quality struct {
+	// Samples is how many stored observations backed the fit.
+	Samples int `json:"samples"`
+	// TimeScale and EnergyScale are the installed corrections s_T, s_E.
+	TimeScale   float64 `json:"time_scale"`
+	EnergyScale float64 `json:"energy_scale"`
+	// TimeR2 and EnergyR2 are the coefficients of determination of the
+	// two proportional fits.
+	TimeR2   float64 `json:"time_r2"`
+	EnergyR2 float64 `json:"energy_r2"`
+	// MeanRelErrBefore/After are the mean relative prediction errors
+	// (max of time and energy error per sample) against the pre- and
+	// post-refit models — After < Before is what a refit buys.
+	MeanRelErrBefore float64 `json:"mean_rel_err_before"`
+	MeanRelErrAfter  float64 `json:"mean_rel_err_after"`
+}
+
+// relErr is one sample's relative prediction error against a model:
+// the worse of the time and energy errors, as a fraction (0.5 = 50%).
+func relErr(nm model.NodeModel, s Sample) (float64, error) {
+	pred, err := nm.Predict(s.Config(), s.Work)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadSample, err)
+	}
+	et := math.Abs(float64(pred.Time)-s.TimeSeconds) / s.TimeSeconds
+	ee := math.Abs(float64(pred.Energy)-s.EnergyJoules) / s.EnergyJoules
+	return math.Max(et, ee), nil
+}
+
+// scalePower returns a deep copy of c with every power level scaled by
+// s. The copy matters: base models share their characterization maps,
+// and a refit must never mutate the base in place.
+func scalePower(c power.Characterization, s float64) power.Characterization {
+	out := c
+	out.CoreActive = make(map[units.Hertz]units.Watt, len(c.CoreActive))
+	for f, w := range c.CoreActive {
+		out.CoreActive[f] = units.Watt(float64(w) * s)
+	}
+	out.CoreStall = make(map[units.Hertz]units.Watt, len(c.CoreStall))
+	for f, w := range c.CoreStall {
+		out.CoreStall[f] = units.Watt(float64(w) * s)
+	}
+	out.MemActive = units.Watt(float64(c.MemActive) * s)
+	out.NICActive = units.Watt(float64(c.NICActive) * s)
+	out.Idle = units.Watt(float64(c.Idle) * s)
+	return out
+}
+
+// checkScale rejects non-finite or out-of-bounds corrections.
+func checkScale(name string, s float64) error {
+	if math.IsNaN(s) || math.IsInf(s, 0) || s < minScale || s > maxScale {
+		return fmt.Errorf("%w: %s scale %v outside [%v, %v]",
+			ErrDegenerateFit, name, s, minScale, maxScale)
+	}
+	return nil
+}
+
+// Refit fits the scale corrections against base — always the original
+// fitted model, never a previous refit, so repeated refits converge on
+// the data instead of compounding corrections — and returns the
+// corrected model with its fit quality. The base model is not
+// modified. Degenerate data answers ErrDegenerateFit (wrapped).
+func Refit(base model.NodeModel, samples []Sample) (model.NodeModel, Quality, error) {
+	n := len(samples)
+	q := Quality{Samples: n}
+	if n < 2 {
+		return base, q, fmt.Errorf("%w: need at least 2 samples, have %d", ErrDegenerateFit, n)
+	}
+	tPred := make([]float64, n)
+	tObs := make([]float64, n)
+	eObs := make([]float64, n)
+	var errBefore float64
+	for i, smp := range samples {
+		pred, err := base.Predict(smp.Config(), smp.Work)
+		if err != nil {
+			return base, q, fmt.Errorf("%w: %v", ErrBadSample, err)
+		}
+		tPred[i] = float64(pred.Time)
+		tObs[i] = smp.TimeSeconds
+		eObs[i] = smp.EnergyJoules
+		et := math.Abs(float64(pred.Time)-smp.TimeSeconds) / smp.TimeSeconds
+		ee := math.Abs(float64(pred.Energy)-smp.EnergyJoules) / smp.EnergyJoules
+		errBefore += math.Max(et, ee)
+	}
+	q.MeanRelErrBefore = errBefore / float64(n)
+
+	tFit, err := stats.ProportionalFit(tPred, tObs)
+	if err != nil {
+		return base, q, fmt.Errorf("%w: time fit: %v", ErrDegenerateFit, err)
+	}
+	if err := checkScale("time", tFit.Slope); err != nil {
+		return base, q, err
+	}
+	out := base
+	out.Profile.InstructionsPerUnit *= tFit.Slope
+	q.TimeScale, q.TimeR2 = tFit.Slope, tFit.R2
+
+	// Energy correction on the time-corrected model: E is linear in the
+	// power levels, so a single scale on all of them is exact.
+	ePred := make([]float64, n)
+	for i, smp := range samples {
+		pred, err := out.Predict(smp.Config(), smp.Work)
+		if err != nil {
+			return base, q, fmt.Errorf("%w: %v", ErrBadSample, err)
+		}
+		ePred[i] = float64(pred.Energy)
+	}
+	eFit, err := stats.ProportionalFit(ePred, eObs)
+	if err != nil {
+		return base, q, fmt.Errorf("%w: energy fit: %v", ErrDegenerateFit, err)
+	}
+	if err := checkScale("energy", eFit.Slope); err != nil {
+		return base, q, err
+	}
+	out.Power = scalePower(out.Power, eFit.Slope)
+	q.EnergyScale, q.EnergyR2 = eFit.Slope, eFit.R2
+
+	var errAfter float64
+	for _, smp := range samples {
+		e, err := relErr(out, smp)
+		if err != nil {
+			return base, q, err
+		}
+		errAfter += e
+	}
+	q.MeanRelErrAfter = errAfter / float64(n)
+	return out, q, nil
+}

@@ -108,6 +108,8 @@ func errorStatus(err error) int {
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest
+	case errors.As(err, new(errProfileConflict)):
+		return http.StatusConflict
 	case errors.Is(err, resilience.ErrOpen), errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
@@ -137,9 +139,15 @@ func errorResult(err error) batchResult {
 // entries in the bounded LRU, never extra compute beyond the first
 // sighting. Errors are never cached: a failed item recomputes on every
 // sighting, like everywhere else in the server.
+//
+// Raw bytes never reveal their workload without a decode, so raw keys
+// cannot carry a per-workload profile tag; they carry the global
+// profile generation instead — any bump anywhere retires every raw
+// entry, the coarse but always-correct tier of invalidation.
 func (s *Server) runItem(it BatchItem) batchResult {
 	var innerCached bool
-	v, cached, err := s.cache.Do("batchraw|"+it.Kind+"|"+string(it.Request), func() (any, error) {
+	key := "batchraw|g" + strconv.FormatUint(s.calib.Generation(), 10) + "|" + it.Kind + "|" + string(it.Request)
+	v, cached, err := s.cache.Do(key, func() (any, error) {
 		body, c, err := s.computeItem(it)
 		innerCached = c
 		return body, err

@@ -1,0 +1,105 @@
+package server
+
+// Benchmarks for the online-calibration subsystem, the make bench-fit
+// gate. BenchmarkFitRefit is the refit latency: one /v1/fit ingest
+// whose drift crosses the threshold, so every iteration pays the full
+// loop — validation, drift measurement, least-squares refit from the
+// base model, version bump and both cache sweeps. The WarmPredict pair
+// bounds what a bump costs the serving path: steady-state warm hits
+// versus the first predict after every bump (table recompile + result
+// recompute), the price one invalidation extracts from one request.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"heteromix/internal/hwsim"
+)
+
+// BenchmarkFitRefit measures one drift-triggered refit end to end
+// through the HTTP handler. Alternating the observed scale between
+// iterations (1.5x, then 1.0x) keeps the active model wrong every time,
+// so every ingest re-crosses the threshold and installs a new profile.
+func BenchmarkFitRefit(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	bodies := [2]string{
+		fitBodyScaled(b, "ep", "arm-cortex-a9", 1.5, 1.3),
+		fitBodyScaled(b, "ep", "arm-cortex-a9", 1.0, 1.0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	refits := 0
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/fit", strings.NewReader(bodies[i%2]))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body)
+		}
+		if strings.Contains(rr.Body.String(), `"refit":true`) {
+			refits++
+		}
+	}
+	b.StopTimer()
+	if b.N > 1 && refits == 0 {
+		b.Fatal("no iteration refit — the benchmark measured plain ingest")
+	}
+}
+
+// BenchmarkWarmPredictSteadyState is the baseline the bump benchmark is
+// read against: the same predict served entirely from the result cache.
+func BenchmarkWarmPredictSteadyState(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	const body = `{"workload":"ep","arm":{"nodes":2}}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), req) // prewarm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d", rr.Code)
+		}
+	}
+}
+
+// BenchmarkWarmPredictAfterBump installs a perturbed profile before
+// every predict, so each iteration pays the post-invalidation cold
+// path: version-bumped key, table recompile, fresh computation. The
+// delta against SteadyState is the per-request cost of a profile bump.
+func BenchmarkWarmPredictAfterBump(b *testing.B) {
+	s, _ := benchServer(b)
+	h := s.Handler()
+	const body = `{"workload":"ep","arm":{"nodes":2}}`
+	spec := hwsim.ARMCortexA9()
+	base, err := testSuite().Model("ep", spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate between two distinct hashes so every Install bumps.
+		nm := base
+		nm.Profile.InstructionsPerUnit *= 1.01 + 0.01*float64(i%2)
+		if _, err := s.calib.Install("ep", spec.Name, nm, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body)
+		}
+		if c := rr.Header().Get("X-Cache"); c != "miss" {
+			b.Fatalf("iteration served %q — the bump did not invalidate", c)
+		}
+	}
+}

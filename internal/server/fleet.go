@@ -205,6 +205,11 @@ func (s *Server) shardRequest(r *http.Request, target string, req EnumerateGener
 	sub.Shards = 0
 	sub.Replicas = nil
 	sub.Shard = shard.Shard{Index: i, Count: n}.String()
+	// Pin the shard to the coordinator's active profile version: a
+	// replica that has drifted (bumped or lagging) answers 409 and its
+	// slice counts as failed, so the merge can never mix slices computed
+	// under different profiles.
+	sub.ProfileVersion = s.calib.Version(req.Workload)
 	body, err := json.Marshal(sub)
 	if err != nil {
 		return part, false, err
@@ -249,7 +254,8 @@ func (s *Server) fleetGenericBytes(r *http.Request, req EnumerateGenericRequest,
 	base.Shard = ""
 	base.Shards = 0
 	base.Replicas = nil
-	key, keyed := canonicalKey("enumerate-generic", base)
+	base.ProfileVersion = 0
+	key, keyed := s.versionedKey("enumerate-generic", base.Workload, base)
 	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
 		merged, failedShards, partDegraded, err := s.fanOutGeneric(r, req)
 		if err != nil {

@@ -38,6 +38,10 @@ func fuzzServer(t testing.TB) *Server {
 			MaxGenericSpace: 200_000,
 			// Small enough that the oversized-batch seed fits MaxBodyBytes.
 			MaxBatchItems: 8,
+			// Small enough that the oversized-fit seed fits MaxBodyBytes,
+			// and that a mutation stream of valid samples cannot grow the
+			// per-pair stores without bound.
+			MaxFitBatch: 4,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -104,11 +108,28 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		`{"items":[]}`,
 		`{"items":[` + strings.Repeat(`{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}},`, 8) +
 			`{"kind":"queueing","request":{"arrival_rate":0.5,"service_time_seconds":1}}]}`,
+		// Calibration surface: a valid fit batch (mutations explore the
+		// accept/reject border, and accepted samples may legitimately
+		// trigger refits mid-fuzz — the contract must hold across bumps),
+		// then each rejection class: unknown workload/node, empty and
+		// oversized sample lists, non-finite/negative/overflowing
+		// measurements, an off-lattice config, and a version-pinned
+		// request whose 409 must never decay into a 5xx.
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"cores":1,"ghz":0.8,"time_seconds":2.5,"energy_joules":40}]}`,
+		`{"workload":"nope","node":"arm-cortex-a9","samples":[{"time_seconds":1,"energy_joules":1}]}`,
+		`{"workload":"ep","node":"intel-xeon","samples":[{"time_seconds":1,"energy_joules":1}]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"time_seconds":1,"energy_joules":1},{"time_seconds":1,"energy_joules":1},{"time_seconds":1,"energy_joules":1},{"time_seconds":1,"energy_joules":1},{"time_seconds":1,"energy_joules":1}]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"time_seconds":NaN,"energy_joules":1}]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"time_seconds":-1,"energy_joules":1}]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"time_seconds":1,"energy_joules":1e999}]}`,
+		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"cores":99,"ghz":7.7,"time_seconds":1,"energy_joules":1}]}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"profile_version":99}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
-	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/enumerate-generic", "/v1/budget", "/v1/queueing", "/v1/batch"}
+	endpoints := []string{"/v1/predict", "/v1/enumerate", "/v1/enumerate-generic", "/v1/budget", "/v1/queueing", "/v1/batch", "/v1/fit"}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := fuzzServer(t)
 		for _, ep := range endpoints {

@@ -73,6 +73,13 @@ type EnumerateGenericRequest struct {
 	// a non-fleet instance can never be steered into fetching arbitrary
 	// URLs.
 	Replicas []string `json:"replicas,omitempty"`
+	// ProfileVersion, when positive, pins the request to that profile
+	// version of its workload: a server whose active version differs
+	// answers 409 (retryable) instead of silently computing under other
+	// parameters. The fleet coordinator stamps its own version onto
+	// every shard sub-request, so a profile bump racing a fan-out can
+	// never merge slices computed under different profiles.
+	ProfileVersion uint64 `json:"profile_version,omitempty"`
 }
 
 // EnumerateGenericResponse carries the points (or frontier) of the
@@ -119,14 +126,15 @@ func (g *genericTables) SizeBytes() int {
 }
 
 // genericKey canonicalizes the cluster spec of a generic request —
-// workload plus the positional (node, max_nodes, needs_switch) list —
-// deliberately excluding every per-request parameter (work size, limit,
-// prune and frontier flags), so repeated traffic against the same
-// cluster shares one compiled artifact.
-func genericKey(workload string, types []GenericTypeRequest) string {
+// the workload's profile tag plus the positional (node, max_nodes,
+// needs_switch) list — deliberately excluding every per-request
+// parameter (work size, limit, prune and frontier flags), so repeated
+// traffic against the same cluster shares one compiled artifact. The
+// profile tag retires the artifact on a version bump.
+func genericKey(profileTag string, types []GenericTypeRequest) string {
 	var b strings.Builder
 	b.WriteString("generic|")
-	b.WriteString(workload)
+	b.WriteString(profileTag)
 	for _, tr := range types {
 		fmt.Fprintf(&b, "|%s:%d:%t", tr.Node, tr.MaxNodes, tr.NeedsSwitch)
 	}
@@ -137,7 +145,7 @@ func genericKey(workload string, types []GenericTypeRequest) string {
 // Concurrent requests for the same cluster collapse onto one build, and
 // build failures are never cached.
 func (s *Server) genericTablesFor(workload string, reqTypes []GenericTypeRequest, full []cluster.GroupType) (*genericTables, error) {
-	key := genericKey(workload, reqTypes)
+	key := genericKey(s.profileTag(workload), reqTypes)
 	v, _, err := s.tables.Do(key, func() (tablecache.Artifact, error) {
 		prunedTypes, err := cluster.PruneGroupTypes(full)
 		if err != nil {
@@ -197,6 +205,15 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 		return req, plan, err
 	}
 	req.Work = work
+	// A pinned profile version must match the active one; a matched pin
+	// canonicalizes away so pinned and unpinned requests share one cache
+	// entry (they are computed under identical parameters).
+	if req.ProfileVersion != 0 {
+		if cur := s.calib.Version(req.Workload); req.ProfileVersion != cur {
+			return req, plan, errProfileConflict{Workload: req.Workload, Want: req.ProfileVersion, Have: cur}
+		}
+		req.ProfileVersion = 0
+	}
 	if len(req.Types) == 0 {
 		return req, plan, badRequestf("types is required (1 to %d entries)", maxGenericTypes)
 	}
@@ -281,14 +298,13 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 		}
 	}
 
-	nms, ok := s.models.(NodeModelSource)
-	if !ok {
+	if !s.genericOK {
 		return req, plan, badRequestf("generic enumeration is not supported by this server's model source")
 	}
 	fullTypes := make([]cluster.GroupType, len(req.Types))
 	plan.names = make([]string, len(req.Types))
 	for i, tr := range req.Types {
-		nm, err := nms.Model(req.Workload, specs[i])
+		nm, err := s.calib.Model(req.Workload, specs[i])
 		if err != nil {
 			return req, plan, err
 		}
@@ -358,7 +374,7 @@ func (s *Server) shardFrontier(ctx context.Context, plan genericPlan, req Enumer
 // genericBytes returns the marshaled response for a canonicalized
 // request, with /v1/enumerate's breaker + freshness semantics.
 func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan genericPlan) (body []byte, cached, degraded bool, err error) {
-	key, keyed := canonicalKey("enumerate-generic", req)
+	key, keyed := s.versionedKey("enumerate-generic", req.Workload, req)
 	ctx := r.Context()
 	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
 		var out []byte

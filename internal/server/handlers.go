@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"heteromix/internal/budget"
@@ -101,12 +102,18 @@ func badRequestf(format string, args ...any) error {
 }
 
 // replyError maps a handler error to a status: validation failures are
-// 400, an open circuit breaker or a timeout 503, anything else 500.
+// 400, a profile-version conflict 409 (retryable: the caller re-reads
+// the active version), an open circuit breaker or a timeout 503,
+// anything else 500.
 func replyError(w http.ResponseWriter, r *http.Request, err error) {
 	var br badRequest
+	var pc errProfileConflict
 	switch {
 	case errors.As(err, &br):
 		writeError(w, http.StatusBadRequest, "%s", br.msg)
+	case errors.As(err, &pc):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, resilience.ErrOpen), errors.Is(err, errFleetUnavailable):
 		// The compute path is known-bad and nothing cached could stand in;
 		// tell the client when the breaker will admit a probe. A fleet
@@ -207,6 +214,25 @@ func canonicalKey(endpoint string, v any) (key string, keyed bool) {
 	return endpoint + "|" + string(b), true
 }
 
+// profileTag renders the versioned workload component every cache key
+// embeds: "<workload>@v<version>". A profile bump changes the tag, so
+// keys minted under the old version become unreachable the instant the
+// registry's version moves — the invalidation sweep only reclaims their
+// memory.
+func (s *Server) profileTag(workload string) string {
+	return workload + "@v" + strconv.FormatUint(s.calib.Version(workload), 10)
+}
+
+// versionedKey is canonicalKey with the workload's profile tag spliced
+// in: "endpoint|workload@vN|{json}".
+func (s *Server) versionedKey(endpoint, workload string, v any) (key string, keyed bool) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", false
+	}
+	return endpoint + "|" + s.profileTag(workload) + "|" + string(b), true
+}
+
 // doCached runs compute through the result cache under key, or directly
 // and uncached when keyed is false (the canonicalKey fallback).
 func (s *Server) doCached(key string, keyed bool, compute func() (any, error)) (any, bool, error) {
@@ -232,7 +258,7 @@ func (s *Server) doFresh(key string, keyed bool, compute func() (any, error)) (v
 // deadline against the same cluster shares one artifact. Concurrent
 // identical requests collapse onto one build.
 func (s *Server) tableFor(workload string, noSwitch bool) (*cluster.Table, error) {
-	key := fmt.Sprintf("table|%s|%t", workload, noSwitch)
+	key := fmt.Sprintf("table|%s|%t", s.profileTag(workload), noSwitch)
 	v, _, err := s.tables.Do(key, func() (tablecache.Artifact, error) {
 		space, err := s.models.Space(workload)
 		if err != nil {
@@ -305,7 +331,7 @@ func (s *Server) normalizePredict(req PredictRequest) (PredictRequest, cluster.C
 // predictBytes returns the marshaled response for a canonicalized
 // request, from cache when possible.
 func (s *Server) predictBytes(req PredictRequest, cfg cluster.Configuration) ([]byte, bool, error) {
-	key, keyed := canonicalKey("predict", req)
+	key, keyed := s.versionedKey("predict", req.Workload, req)
 	v, cached, err := s.doCached(key, keyed, func() (any, error) {
 		tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
 		if err != nil {
@@ -423,7 +449,7 @@ func (s *Server) normalizeEnumerate(req EnumerateRequest) (EnumerateRequest, err
 // fails, an expired cache entry is served with degraded=true rather
 // than cascading the failure.
 func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) (body []byte, cached, degraded bool, err error) {
-	key, keyed := canonicalKey("enumerate", req)
+	key, keyed := s.versionedKey("enumerate", req.Workload, req)
 	ctx := r.Context()
 	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
 		var out []byte
@@ -577,7 +603,7 @@ func (s *Server) normalizeBudget(req BudgetRequest) (BudgetRequest, error) {
 }
 
 func (s *Server) budgetBytes(req BudgetRequest) ([]byte, bool, error) {
-	key, keyed := canonicalKey("budget", req)
+	key, keyed := s.versionedKey("budget", req.Workload, req)
 	v, cached, err := s.doCached(key, keyed, func() (any, error) {
 		tbl, err := s.tableFor(req.Workload, req.NoSwitchEnergy)
 		if err != nil {
@@ -739,6 +765,9 @@ type HealthResponse struct {
 	DegradedResponses uint64 `json:"degraded_responses"`
 	PanicsRecovered   uint64 `json:"panics_recovered"`
 	Draining          bool   `json:"draining"`
+	// ProfileGeneration is the global profile generation: 1 at start,
+	// incremented on every calibration version bump.
+	ProfileGeneration uint64 `json:"profile_generation"`
 }
 
 // HealthCache is the cache's counters in wire form.
@@ -775,6 +804,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		DegradedResponses: s.degraded.Value(),
 		PanicsRecovered:   s.panics.Value(),
 		Draining:          s.draining.Load(),
+		ProfileGeneration: s.calib.Generation(),
 	})
 }
 

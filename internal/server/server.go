@@ -23,12 +23,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"heteromix/internal/buildinfo"
+	"heteromix/internal/calib"
 	"heteromix/internal/cluster"
 	"heteromix/internal/metrics"
 	"heteromix/internal/resilience"
@@ -128,10 +131,24 @@ type Options struct {
 	// itself to this replica's slice — how a fleet member started with
 	// -shard serves coordination-free.
 	DefaultShard shard.Shard
+	// RefitThreshold is the rolling mean relative prediction error above
+	// which /v1/fit ingests trigger an automatic profile refit (default
+	// 0.10, i.e. 10%).
+	RefitThreshold float64
+	// MaxFitSamples bounds each (workload, node) pair's calibration
+	// sample store (default 256).
+	MaxFitSamples int
+	// MaxFitBatch caps how many samples one /v1/fit request may carry
+	// (default 256).
+	MaxFitBatch int
+	// ProfileSnapshot, when set, names the file profiles persist to on
+	// every version bump and load from at startup. A missing file is a
+	// normal first start; a corrupt or hash-mismatched one fails New.
+	ProfileSnapshot string
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "healthz", "readyz"}
+var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "fit", "profiles", "healthz", "readyz"}
 
 // chaosKinds labels the chaos-injection counters.
 var chaosKinds = []string{"latency", "error", "panic", "timeout"}
@@ -154,6 +171,14 @@ type Server struct {
 	mux    *http.ServeMux
 	sem    chan struct{}
 	start  time.Time
+
+	// calib versions every profile; all model and cache-key resolution
+	// runs through it. genericOK records whether the BASE model source
+	// supports per-spec models — the registry always implements
+	// NodeModelSource itself, so the capability must be captured before
+	// wrapping.
+	calib     *calib.Registry
+	genericOK bool
 
 	chaos    *resilience.Chaos
 	breaker  *resilience.Breaker
@@ -187,6 +212,11 @@ type Server struct {
 	fleetBreakerOpens *metrics.Counter
 	routedReqs        *metrics.Counter
 	routeFallbacks    *metrics.Counter
+	calibSamples      *metrics.Counter
+	calibRefits       *metrics.Counter
+	calibInvalid      *metrics.Counter
+	calibSnapErrors   *metrics.Counter
+	calibDrift        *metrics.Gauge
 	chaosInject       map[string]*metrics.Counter
 	byEndpoint        map[string]*endpointMetrics
 
@@ -242,6 +272,15 @@ func New(opts Options) (*Server, error) {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 5 * time.Second
 	}
+	if opts.RefitThreshold <= 0 {
+		opts.RefitThreshold = 0.10
+	}
+	if opts.MaxFitSamples <= 0 {
+		opts.MaxFitSamples = 256
+	}
+	if opts.MaxFitBatch <= 0 {
+		opts.MaxFitBatch = 256
+	}
 	chaos, err := resilience.NewChaos(opts.Chaos)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -270,7 +309,6 @@ func New(opts Options) (*Server, error) {
 
 	s := &Server{
 		opts:   opts,
-		models: opts.Models,
 		cache:  servercache.New(opts.CacheEntries),
 		tables: tablecache.New(opts.TableCacheEntries),
 		reg:    opts.Registry,
@@ -278,6 +316,22 @@ func New(opts Options) (*Server, error) {
 		sem:    make(chan struct{}, opts.MaxConcurrent),
 		start:  time.Now(),
 		chaos:  chaos,
+	}
+	// All model resolution runs through the calibration registry: the
+	// base source with versioned refit overrides overlaid. The generic
+	// endpoint's capability gate keys on the base source, not the
+	// registry (which always implements NodeModelSource).
+	_, s.genericOK = opts.Models.(NodeModelSource)
+	s.calib = calib.NewRegistry(opts.Models, calib.Options{
+		RefitThreshold: opts.RefitThreshold,
+		MaxSamples:     opts.MaxFitSamples,
+		OnBump:         func(ev calib.BumpEvent) { s.onProfileBump(ev) },
+	})
+	s.models = s.calib
+	if opts.ProfileSnapshot != "" {
+		if err := s.calib.LoadSnapshotFile(opts.ProfileSnapshot); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("server: loading profile snapshot %s: %w", opts.ProfileSnapshot, err)
+		}
 	}
 	s.registerMetrics()
 	s.chaos.OnInject = func(kind string) { s.chaosInject[kind].Inc() }
@@ -367,6 +421,16 @@ func (s *Server) registerMetrics() {
 		"requests forwarded to their consistent-hash owner")
 	s.routeFallbacks = r.NewCounter("heteromixd_route_fallbacks_total",
 		"forwards that failed and fell back to local compute")
+	s.calibSamples = r.NewCounter("heteromixd_calib_samples_total",
+		"calibration samples accepted by /v1/fit")
+	s.calibRefits = r.NewCounter("heteromixd_calib_refits_total",
+		"automatic profile refits installed")
+	s.calibInvalid = r.NewCounter("heteromixd_calib_invalidations_total",
+		"cache entries invalidated by profile version bumps")
+	s.calibSnapErrors = r.NewCounter("heteromixd_calib_snapshot_errors_total",
+		"profile snapshot writes that failed")
+	s.calibDrift = r.NewGauge("heteromixd_calib_drift_ppm",
+		"worst rolling mean relative prediction error across calibrated pairs, parts per million")
 	s.chaosInject = make(map[string]*metrics.Counter, len(chaosKinds))
 	for _, kind := range chaosKinds {
 		s.chaosInject[kind] = r.NewCounter("heteromixd_chaos_injections_total",
@@ -415,6 +479,8 @@ func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
 	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
 	s.mux.Handle("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
+	s.mux.Handle("POST /v1/fit", s.instrument("fit", true, s.handleFit))
+	s.mux.Handle("GET /v1/profiles", s.instrument("profiles", false, s.handleProfiles))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

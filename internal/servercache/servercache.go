@@ -303,6 +303,31 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// DeleteFunc removes every entry whose key satisfies pred and returns
+// the number removed. It walks all shards under their locks, so a
+// concurrent Add racing the sweep may land after it — callers that use
+// DeleteFunc for invalidation must also stop producing the doomed keys
+// (the server does: invalidated keys carry a profile version that no
+// new request resolves to).
+func (c *Cache) DeleteFunc(pred func(key string) bool) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.m {
+			if !pred(key) {
+				continue
+			}
+			s.ll.Remove(el)
+			delete(s.m, key)
+			s.bytes -= sizeOf(el.Value.(*lruEntry).val)
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Reset empties the cache (statistics are kept; they describe the
 // process, not the current contents).
 func (c *Cache) Reset() {

@@ -3,6 +3,7 @@ package servercache
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -233,5 +234,39 @@ func TestBytesReleasedOnEviction(t *testing.T) {
 	}
 	if got, want := c.Bytes(), int64(c.Len()*10); got != want {
 		t.Fatalf("Bytes() = %d, want %d for %d resident entries", got, want, c.Len())
+	}
+}
+
+// DeleteFunc removes exactly the matching entries across all shards,
+// fixes the byte accounting, and leaves the rest servable.
+func TestDeleteFunc(t *testing.T) {
+	c := New(256)
+	// Spread keys over shards; every ep@v1 key must go regardless of
+	// which shard hashed it.
+	for i := 0; i < 40; i++ {
+		c.Add(fmt.Sprintf("predict|ep@v1|{\"i\":%d}", i), []byte("0123456789"))
+		c.Add(fmt.Sprintf("predict|ep@v2|{\"i\":%d}", i), []byte("01234"))
+	}
+	before := c.Bytes()
+	n := c.DeleteFunc(func(key string) bool { return strings.Contains(key, "|ep@v1|") })
+	if n != 40 {
+		t.Fatalf("DeleteFunc removed %d, want 40", n)
+	}
+	if c.Len() != 40 {
+		t.Errorf("Len after delete = %d, want 40", c.Len())
+	}
+	if got, want := c.Bytes(), before-400; got != want {
+		t.Errorf("Bytes after delete = %d, want %d", got, want)
+	}
+	for i := 0; i < 40; i++ {
+		if _, ok := c.Get(fmt.Sprintf("predict|ep@v1|{\"i\":%d}", i)); ok {
+			t.Fatalf("invalidated key %d still reachable", i)
+		}
+		if _, ok := c.Get(fmt.Sprintf("predict|ep@v2|{\"i\":%d}", i)); !ok {
+			t.Fatalf("surviving key %d was dropped", i)
+		}
+	}
+	if n := c.DeleteFunc(func(string) bool { return false }); n != 0 {
+		t.Errorf("no-match DeleteFunc removed %d", n)
 	}
 }

@@ -10,6 +10,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -17,6 +18,23 @@ import (
 // ErrInsufficientData is returned when an operation needs more samples
 // than were provided.
 var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// ErrDegenerate is returned when a fit cannot be computed from the given
+// series even though enough samples were provided: constant x (zero
+// variance) or non-finite values. Callers that refit models online must
+// be able to distinguish "the data cannot support a fit" from a numeric
+// accident, so these cases are typed errors rather than NaN/Inf slopes.
+var ErrDegenerate = errors.New("stats: degenerate input")
+
+// allFinite reports whether every element of xs is a finite float64.
+func allFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
@@ -111,13 +129,18 @@ type Linear struct {
 func (l Linear) At(x float64) float64 { return l.Slope*x + l.Intercept }
 
 // LinearFit computes the ordinary least-squares regression of ys on xs.
-// It requires at least two points and non-zero variance in xs.
+// It requires at least two points, finite inputs, and non-zero variance
+// in xs; violations answer a typed error (ErrInsufficientData or
+// ErrDegenerate), never a NaN/Inf slope.
 func LinearFit(xs, ys []float64) (Linear, error) {
 	if len(xs) != len(ys) {
 		return Linear{}, errors.New("stats: mismatched sample lengths")
 	}
 	if len(xs) < 2 {
 		return Linear{}, ErrInsufficientData
+	}
+	if !allFinite(xs) || !allFinite(ys) {
+		return Linear{}, fmt.Errorf("%w: non-finite sample", ErrDegenerate)
 	}
 	mx, my := Mean(xs), Mean(ys)
 	sxx, sxy := 0.0, 0.0
@@ -127,7 +150,7 @@ func LinearFit(xs, ys []float64) (Linear, error) {
 		sxy += dx * (ys[i] - my)
 	}
 	if sxx == 0 {
-		return Linear{}, errors.New("stats: zero variance in x")
+		return Linear{}, fmt.Errorf("%w: zero variance in x", ErrDegenerate)
 	}
 	slope := sxy / sxx
 	intercept := my - slope*mx
@@ -148,14 +171,18 @@ func LinearFit(xs, ys []float64) (Linear, error) {
 }
 
 // Pearson returns the Pearson product-moment correlation coefficient of
-// xs and ys. It requires at least two points and non-zero variance in
-// both variables.
+// xs and ys. It requires at least two points, finite inputs, and
+// non-zero variance in both variables; violations answer a typed error
+// (ErrInsufficientData or ErrDegenerate), never NaN.
 func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, errors.New("stats: mismatched sample lengths")
 	}
 	if len(xs) < 2 {
 		return 0, ErrInsufficientData
+	}
+	if !allFinite(xs) || !allFinite(ys) {
+		return 0, fmt.Errorf("%w: non-finite sample", ErrDegenerate)
 	}
 	mx, my := Mean(xs), Mean(ys)
 	sxx, syy, sxy := 0.0, 0.0, 0.0
@@ -166,9 +193,57 @@ func Pearson(xs, ys []float64) (float64, error) {
 		sxy += dx * dy
 	}
 	if sxx == 0 || syy == 0 {
-		return 0, errors.New("stats: zero variance")
+		return 0, fmt.Errorf("%w: zero variance", ErrDegenerate)
 	}
 	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ProportionalFit computes the least-squares through-origin fit
+// y = Slope*x (Intercept forced to 0): Slope = Σxy/Σx². It is the
+// natural estimator for online recalibration, where an observed series
+// is modeled as a pure scale of a predicted one (T_obs ≈ s·T_pred,
+// E_obs ≈ s·E_pred — every term of the paper's energy model is linear
+// in the power levels, so a scale on E is exact). R2 is reported
+// against the mean of ys as usual. Degenerate inputs (all-zero x,
+// non-finite values, fewer than two points) answer typed errors.
+func ProportionalFit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	if !allFinite(xs) || !allFinite(ys) {
+		return Linear{}, fmt.Errorf("%w: non-finite sample", ErrDegenerate)
+	}
+	sxx, sxy := 0.0, 0.0
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("%w: all-zero x", ErrDegenerate)
+	}
+	slope := sxy / sxx
+	if math.IsNaN(slope) || math.IsInf(slope, 0) {
+		return Linear{}, fmt.Errorf("%w: overflow in through-origin fit", ErrDegenerate)
+	}
+	my := Mean(ys)
+	ssTot, ssRes := 0.0, 0.0
+	for i := range xs {
+		dy := ys[i] - my
+		ssTot += dy * dy
+		r := ys[i] - slope*xs[i]
+		ssRes += r * r
+	}
+	r2 := 0.0
+	switch {
+	case ssTot > 0:
+		r2 = 1 - ssRes/ssTot
+	case ssRes == 0:
+		r2 = 1
+	}
+	return Linear{Slope: slope, R2: r2}, nil
 }
 
 // RelativeError returns |predicted-measured|/|measured| expressed as a

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -254,5 +255,66 @@ func TestSummarizeErrors(t *testing.T) {
 	}
 	if _, err := SummarizeErrors([]float64{1}, []float64{0}); err != ErrInsufficientData {
 		t.Errorf("all-zero measured should give ErrInsufficientData, got %v", err)
+	}
+}
+
+// Degenerate inputs to the fitting functions must answer typed errors,
+// never NaN/Inf coefficients — an online refit that trusted a NaN slope
+// would poison every downstream prediction.
+func TestFitsRejectDegenerateInputsTyped(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := [][2][]float64{
+		{{1, 1, 1, 1}, {1, 2, 3, 4}}, // constant x
+		{{1, nan, 3}, {1, 2, 3}},     // NaN in x
+		{{1, 2, 3}, {1, inf, 3}},     // Inf in y
+		{{nan, nan}, {nan, nan}},     // all NaN
+	}
+	for i, pair := range bad {
+		if _, err := LinearFit(pair[0], pair[1]); !errors.Is(err, ErrDegenerate) {
+			t.Errorf("LinearFit case %d: err = %v, want ErrDegenerate", i, err)
+		}
+		if _, err := Pearson(pair[0], pair[1]); !errors.Is(err, ErrDegenerate) {
+			t.Errorf("Pearson case %d: err = %v, want ErrDegenerate", i, err)
+		}
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("LinearFit len<2: err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := ProportionalFit([]float64{0, 0}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("ProportionalFit all-zero x should be ErrDegenerate")
+	}
+	if _, err := ProportionalFit([]float64{1, nan}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("ProportionalFit NaN x should be ErrDegenerate")
+	}
+	if _, err := ProportionalFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Error("ProportionalFit len<2 should be ErrInsufficientData")
+	}
+}
+
+func TestProportionalFit(t *testing.T) {
+	// Exact scale: y = 1.5x recovers slope 1.5 with R2 = 1.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1.5, 3, 4.5, 6}
+	fit, err := ProportionalFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(fit.Slope, 1.5, 1e-12) || fit.Intercept != 0 || !close(fit.R2, 1, 1e-12) {
+		t.Errorf("exact scale fit = %+v", fit)
+	}
+	// The through-origin normal equation: slope = sum(xy)/sum(x^2),
+	// residuals orthogonal to x.
+	xs2 := []float64{1, 2, 3, 4, 5}
+	ys2 := []float64{1.1, 2.3, 2.7, 4.4, 4.8}
+	fit2, err := ProportionalFit(xs2, ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumRX := 0.0
+	for i := range xs2 {
+		sumRX += (ys2[i] - fit2.Slope*xs2[i]) * xs2[i]
+	}
+	if math.Abs(sumRX) > 1e-9 {
+		t.Errorf("residuals not orthogonal to x: %v", sumRX)
 	}
 }

@@ -186,6 +186,27 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
+// DeleteFunc removes every artifact whose key satisfies pred and
+// returns the number removed. A concurrent Do racing the sweep may
+// re-add a matching key afterwards — callers invalidating by key
+// component must also stop producing the doomed keys (the server does:
+// table keys carry a profile version no new request resolves to).
+func (c *Cache) DeleteFunc(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.m {
+		if !pred(key) {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.bytes -= int64(el.Value.(*lruEntry).val.SizeBytes())
+		n++
+	}
+	return n
+}
+
 // Reset empties the cache (statistics are kept; they describe the
 // process, not the current contents).
 func (c *Cache) Reset() {

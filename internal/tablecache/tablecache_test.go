@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -154,5 +155,33 @@ func TestResetAndDefaultCapacity(t *testing.T) {
 	}
 	if c.Stats().Evictions != 10 {
 		t.Fatalf("evictions survive reset, got %d want 10", c.Stats().Evictions)
+	}
+}
+
+// DeleteFunc removes exactly the matching artifacts, fixes the byte
+// accounting, and leaves the rest servable.
+func TestDeleteFunc(t *testing.T) {
+	c := New(8)
+	c.Add("table|ep@v1|false", fakeArtifact{id: 1, size: 100})
+	c.Add("table|ep@v1|true", fakeArtifact{id: 2, size: 50})
+	c.Add("table|memcached@v1|false", fakeArtifact{id: 3, size: 30})
+	n := c.DeleteFunc(func(key string) bool { return strings.Contains(key, "|ep@v1|") })
+	if n != 2 {
+		t.Fatalf("DeleteFunc removed %d, want 2", n)
+	}
+	if _, ok := c.Get("table|ep@v1|false"); ok {
+		t.Error("invalidated artifact still reachable")
+	}
+	if _, ok := c.Get("table|memcached@v1|false"); !ok {
+		t.Error("unrelated artifact was dropped")
+	}
+	if got := c.Bytes(); got != 30 {
+		t.Errorf("Bytes after delete = %d, want 30", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after delete = %d, want 1", c.Len())
+	}
+	if n := c.DeleteFunc(func(string) bool { return false }); n != 0 {
+		t.Errorf("no-match DeleteFunc removed %d", n)
 	}
 }
