@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race fleet-race calib-race chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit ci
+.PHONY: all build vet test race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit ci
 
 all: ci
 
@@ -48,6 +48,16 @@ fleet-race:
 calib-race:
 	$(GO) test -race -count=1 -run 'Calib|Fit|Profile|Drift|Refit|Snapshot|Invalidat|Bump|Degenerate' \
 		./internal/calib ./internal/server ./internal/stats ./cmd/fitmodel ./cmd/heteromixd
+
+# The self-healing layer under the race detector: the replica prober's
+# state machine, kill/revive soaks with failover and bit-identical
+# merges, hedged fan-out (including loser cancellation and goroutine
+# accounting), deadline propagation and the breaker's half-open races
+# all run concurrently by design.
+fleet-heal:
+	$(GO) test -race -count=1 \
+		-run 'Heal|Failover|KillRevive|Hedge|Deadline|Replica|Prober|Probe|Breaker|Successor' \
+		./internal/server ./internal/fleethealth ./internal/resilience ./internal/shard
 
 # The server suite again, but with latency-only chaos injected into
 # every test server (HETEROMIX_CHAOS is parsed by newTestServer) and the
@@ -91,13 +101,14 @@ bench-batch:
 
 # Fleet-mode scatter-gather: the ≥3x cold-speedup gate (enforced on
 # hosts with ≥4 CPUs; it skips below that, where the four shard walks
-# cannot run in parallel) plus fixed-iteration fan-out benchmarks.
-# Baselines in BENCH_serving.json.
+# cannot run in parallel) plus fixed-iteration fan-out benchmarks,
+# including the slow-replica pair whose hedged/no-hedge gap is the
+# tail-latency win hedging buys. Baselines in BENCH_serving.json.
 bench-fleet:
 	HETEROMIX_FLEET_GATE=1 $(GO) test ./internal/server -count=1 \
 		-run 'TestFleetColdSpeedupGate' -v
 	$(GO) test ./internal/server -run '^$$' \
-		-bench 'BenchmarkFleetEnumerate(1Shard|4Shards)' \
+		-bench 'BenchmarkFleet(Enumerate(1Shard|4Shards)|SlowReplica(Hedged|NoHedge))' \
 		-benchmem -benchtime=3x
 
 # Calibration gates: refit latency through the HTTP handler (the full
@@ -110,4 +121,4 @@ bench-fit:
 		-bench 'BenchmarkFitRefit|BenchmarkWarmPredict(SteadyState|AfterBump)' \
 		-benchmem -benchtime=200x
 
-ci: vet build race server-race fleet-race calib-race chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit
+ci: vet build race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit

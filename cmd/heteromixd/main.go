@@ -13,15 +13,21 @@
 //	           [-noise s] [-seed n] [-cache-ttl d] [-drain-delay d]
 //	           [-chaos spec] [-pprof]
 //	           [-shard i/n] [-replicas url,url,...] [-route-key key]
+//	           [-probe-interval d] [-suspect-after n] [-dead-after n]
+//	           [-hedge-quantile q]
 //	           [-refit-threshold e] [-max-fit-samples n]
 //	           [-profile-snapshot file]
 //
-// The last three select fleet mode: -shard makes this instance serve
-// slice i/n of frontier-only generic enumerations, -replicas makes it a
-// coordinator that fans sharded requests out across the listed base
-// URLs, and -route-key ("workload" or "cluster") routes predict/batch
-// traffic to each workload's consistent-hash owner. See the README
-// "Fleet mode" section.
+// -shard makes this instance serve slice i/n of frontier-only generic
+// enumerations, -replicas makes it a coordinator that fans sharded
+// requests out across the listed base URLs, and -route-key ("workload"
+// or "cluster") routes predict/batch traffic to each workload's
+// consistent-hash owner. A coordinator probes its replicas' /readyz
+// every -probe-interval, marks one suspect after -suspect-after
+// consecutive failures and dead after -dead-after, fails shards over
+// along the hash ring, and hedges slow shard requests at the
+// -hedge-quantile of observed shard latency (0 disables hedging). See
+// the README "Fleet mode" and "Fleet self-healing" sections.
 package main
 
 import (
@@ -62,6 +68,10 @@ type daemonConfig struct {
 	shardSpec       string
 	replicas        string
 	routeKey        string
+	probeInterval   time.Duration
+	suspectAfter    int
+	deadAfter       int
+	hedgeQuantile   float64
 	refitThreshold  float64
 	maxFitSamples   int
 	profileSnapshot string
@@ -86,6 +96,10 @@ func main() {
 	flag.StringVar(&cfg.shardSpec, "shard", "", `serve slice "i/n" of frontier-only generic enumerations (fleet replica mode)`)
 	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated replica base URLs; enables coordinator fan-out for sharded requests")
 	flag.StringVar(&cfg.routeKey, "route-key", "", `consistent-hash routing of predict/batch across -replicas: "workload" or "cluster" (default: none)`)
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", 2*time.Second, "how often a coordinator probes each replica's /readyz")
+	flag.IntVar(&cfg.suspectAfter, "suspect-after", 1, "consecutive probe failures before a replica is suspect")
+	flag.IntVar(&cfg.deadAfter, "dead-after", 3, "consecutive probe failures before a replica is dead (unroutable until it recovers)")
+	flag.Float64Var(&cfg.hedgeQuantile, "hedge-quantile", 0.9, "shard-latency quantile that sets the hedged-request delay (0 disables hedging)")
 	flag.Float64Var(&cfg.refitThreshold, "refit-threshold", 0.10, "rolling mean relative prediction error above which /v1/fit samples trigger an automatic profile refit")
 	flag.IntVar(&cfg.maxFitSamples, "max-fit-samples", 256, "calibration samples kept per (workload, node) pair")
 	flag.StringVar(&cfg.profileSnapshot, "profile-snapshot", "", "file refit profiles persist to on every version bump and load from at startup")
@@ -133,6 +147,13 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		}
 	}
 	suite := experiments.NewSuite(experiments.SuiteOptions{NoiseSigma: cfg.noise, Seed: cfg.seed})
+	// Model seeds depend on build order, so warm the whole registry in
+	// canonical order before serving: a restarted fleet replica must
+	// rejoin computing the exact numbers its peers serve, not whatever
+	// its first few requests would have lazily fit.
+	if err := suite.WarmAllModels(); err != nil {
+		return nil, err
+	}
 	return server.New(server.Options{
 		Models:            suite,
 		CacheEntries:      cfg.cache,
@@ -149,6 +170,11 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		DefaultShard:      defaultShard,
 		Replicas:          replicas,
 		RouteKey:          cfg.routeKey,
+		ProbeInterval:     cfg.probeInterval,
+		SuspectAfter:      cfg.suspectAfter,
+		DeadAfter:         cfg.deadAfter,
+		HedgeQuantile:     cfg.hedgeQuantile,
+		DisableHedge:      cfg.hedgeQuantile == 0,
 		RefitThreshold:    cfg.refitThreshold,
 		MaxFitSamples:     cfg.maxFitSamples,
 		ProfileSnapshot:   cfg.profileSnapshot,

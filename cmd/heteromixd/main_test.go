@@ -103,6 +103,23 @@ func TestNewServerRejectsBadFleetFlags(t *testing.T) {
 		{"replica with path", func(c *daemonConfig) { c.replicas = "http://a:1/v1" }},
 		{"unknown route key", func(c *daemonConfig) { c.routeKey = "wibble" }},
 		{"route key without replicas", func(c *daemonConfig) { c.routeKey = "workload" }},
+		{"negative probe interval", func(c *daemonConfig) {
+			c.replicas = "http://a:1"
+			c.probeInterval = -time.Second
+		}},
+		{"hedge quantile above 1", func(c *daemonConfig) {
+			c.replicas = "http://a:1"
+			c.hedgeQuantile = 1.5
+		}},
+		{"negative suspect-after", func(c *daemonConfig) {
+			c.replicas = "http://a:1"
+			c.suspectAfter = -1
+		}},
+		{"dead-after below suspect-after", func(c *daemonConfig) {
+			c.replicas = "http://a:1"
+			c.suspectAfter = 3
+			c.deadAfter = 2
+		}},
 	} {
 		cfg := testConfig()
 		tc.mutate(&cfg)
@@ -169,4 +186,41 @@ func TestFleetFlagsPlumbThrough(t *testing.T) {
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("coordinator with dead replicas: %d %s, want 503", rr.Code, rr.Body)
 	}
+	srv.Close()
+}
+
+func TestHealFlagsPlumbThrough(t *testing.T) {
+	// A coordinator with the self-healing flags set exposes its probed
+	// replica view in /healthz and the labeled state gauges in /metrics.
+	cfg := testConfig()
+	cfg.replicas = "http://127.0.0.1:1"
+	cfg.probeInterval = time.Hour // transitions only when tests ask
+	cfg.suspectAfter = 2
+	cfg.deadAfter = 5
+	cfg.hedgeQuantile = 0.95
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK ||
+		!strings.Contains(rr.Body.String(), `"url":"http://127.0.0.1:1"`) ||
+		!strings.Contains(rr.Body.String(), `"state":"healthy"`) {
+		t.Fatalf("healthz has no fleet replica view: %d %s", rr.Code, rr.Body)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), `heteromixd_fleet_replica_state{target="http://127.0.0.1:1"}`) {
+		t.Fatalf("metrics missing fleet_replica_state gauge: %s", rr.Body)
+	}
+
+	// -hedge-quantile 0 disables hedging rather than failing validation.
+	cfg.hedgeQuantile = 0
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("hedge-quantile 0: %v", err)
+	}
+	srv2.Close()
 }

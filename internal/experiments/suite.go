@@ -104,6 +104,34 @@ func (s *Suite) WarmModels() error {
 	return nil
 }
 
+// WarmAllModels extends WarmModels over the whole node registry: first
+// the canonical AMD/ARM pass (so those models keep the seeds a serial
+// Table 3 run assigns), then every remaining registry node per
+// name-sorted workload. After it returns, no request mix can trigger a
+// lazy build, so two processes that warmed at startup serve
+// bit-identical numbers regardless of the traffic each has seen — the
+// property fleet replicas need to survive being restarted (a revived
+// replica that refit lazily in request order would rejoin the fleet
+// computing subtly different energies and silently break merge
+// bit-identity).
+func (s *Suite) WarmAllModels() error {
+	if err := s.WarmModels(); err != nil {
+		return err
+	}
+	for _, w := range workloads.All() {
+		for _, name := range hwsim.Names() {
+			spec, err := hwsim.ByName(name)
+			if err != nil {
+				return err
+			}
+			if _, err := s.Model(w.Name(), spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Table returns the memoized compiled kernel table for a workload's
 // space with the given switch accounting. Concurrent callers collapse
 // onto one build; the table is immutable and shared.

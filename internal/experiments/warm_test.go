@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"heteromix/internal/hwsim"
+	"heteromix/internal/workloads"
+)
+
+// TestWarmAllModelsPinsFitOrder: model seeds depend on build order
+// (Seed + models-built-so-far), so two processes that fit lazily under
+// different traffic end up with different models. WarmAllModels is the
+// antidote: after warming, every (workload, node) model is identical no
+// matter what order it is then asked for — the property a restarted
+// fleet replica needs to rejoin its peers bit-identically.
+func TestWarmAllModelsPinsFitOrder(t *testing.T) {
+	opts := SuiteOptions{NoiseSigma: 0.03, Seed: 7}
+	a15, err := hwsim.ByName("arm-cortex-a15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := workloads.Names()
+	if len(names) < 2 {
+		t.Fatal("need at least two workloads")
+	}
+
+	// First, the hazard this guards against: without warming, asking two
+	// fresh suites for the same model in different positions of the lazy
+	// build sequence yields different fits — here names[1]/a15 is the
+	// first model lazyA ever builds but the second lazyB does.
+	lazyA := NewSuite(opts)
+	lazyB := NewSuite(opts)
+	if _, err := lazyB.Model(names[0], lazyB.ARM); err != nil {
+		t.Fatal(err)
+	}
+	mA, err := lazyA.Model(names[1], a15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := lazyB.Model(names[1], a15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(mA, mB) {
+		t.Fatal("lazy fits in different orders agreed; the warm-at-startup rationale is stale")
+	}
+
+	// Warmed suites agree on every pair regardless of later query order.
+	warmA, warmB := NewSuite(opts), NewSuite(opts)
+	if err := warmA.WarmAllModels(); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmB.WarmAllModels(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := append([]string{}, hwsim.Names()...)
+	for _, w := range names {
+		for i := range nodes {
+			// Query A forward and B backward through the registry.
+			specA, _ := hwsim.ByName(nodes[i])
+			specB, _ := hwsim.ByName(nodes[len(nodes)-1-i])
+			ma, err := warmA.Model(w, specA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := warmB.Model(w, specA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ma, mb) {
+				t.Fatalf("warmed suites disagree on %s/%s", w, specA.Name)
+			}
+			if _, err := warmB.Model(w, specB); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// And warming preserves the canonical WarmModels seeds: the AMD/ARM
+	// models a serial Table 3 pass fits are untouched by the extension.
+	canon := NewSuite(opts)
+	if err := canon.WarmModels(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range names {
+		for _, spec := range []hwsim.NodeSpec{canon.AMD, canon.ARM} {
+			mc, err := canon.Model(w, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mw, err := warmA.Model(w, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mc, mw) {
+				t.Fatalf("WarmAllModels changed the canonical %s/%s fit", w, spec.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,484 @@
+// Package fleethealth turns a static replica URL list into a live,
+// health-probed replica set. An active Prober issues periodic /readyz
+// checks (jittered intervals, per-probe timeout, backoff on dead
+// targets) and drives a per-replica state machine
+//
+//	healthy → suspect → dead → recovering → healthy
+//
+// with consecutive-success/failure thresholds and hysteresis: a single
+// failed probe only makes a replica suspect (still routable, so a lost
+// probe never sheds traffic), sustained failures make it dead (shards
+// fail over away from it), and a dead replica must answer ReviveAfter
+// consecutive probes before it is routable again — so a flapping
+// replica cannot thrash routing on every oscillation.
+//
+// The state of the whole set is published as a versioned ReplicaSet
+// snapshot behind an atomic pointer: coordinators read it lock-free on
+// every fan-out, and the version increments on every state transition
+// so observers can cheaply detect change.
+package fleethealth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one replica's position in the health state machine.
+type State int
+
+const (
+	// Healthy replicas take traffic and primary shard assignments.
+	Healthy State = iota
+	// Suspect replicas have missed recent probes but not enough to be
+	// declared dead; they still take traffic (hedging and failover cover
+	// the risk) so one lost probe never sheds a healthy replica.
+	Suspect
+	// Dead replicas have missed DeadAfter consecutive probes; shards
+	// fail over away from them and routing skips them.
+	Dead
+	// Recovering replicas have answered a probe after being dead but
+	// have not yet answered ReviveAfter in a row; they stay out of
+	// routing until they do (hysteresis against flapping).
+	Recovering
+)
+
+// String names the state (also its JSON wire form).
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Recovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ParseState inverts String for the JSON forms.
+func ParseState(s string) (State, error) {
+	switch s {
+	case "healthy":
+		return Healthy, nil
+	case "suspect":
+		return Suspect, nil
+	case "dead":
+		return Dead, nil
+	case "recovering":
+		return Recovering, nil
+	default:
+		return 0, fmt.Errorf("fleethealth: unknown state %q", s)
+	}
+}
+
+// Routable reports whether a replica in this state should receive
+// traffic: healthy and suspect do, dead and recovering do not.
+func (s State) Routable() bool { return s == Healthy || s == Suspect }
+
+// MarshalJSON renders the state as its name.
+func (s State) MarshalJSON() ([]byte, error) {
+	if s < Healthy || s > Recovering {
+		return nil, fmt.Errorf("fleethealth: cannot marshal %v", s)
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a state name; unknown names are an error, never
+// a panic (this surface is fuzzed).
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	st, err := ParseState(name)
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
+}
+
+// Replica is one target's published health.
+type Replica struct {
+	URL   string `json:"url"`
+	State State  `json:"state"`
+	// ConsecutiveFailures / ConsecutiveSuccesses are the streak counters
+	// the thresholds read; exactly one is nonzero.
+	ConsecutiveFailures  int `json:"consecutive_failures,omitempty"`
+	ConsecutiveSuccesses int `json:"consecutive_successes,omitempty"`
+	// LastError is the most recent probe failure, empty after a success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReplicaSet is an immutable snapshot of the whole set. Version
+// increments on every state transition, so two snapshots with equal
+// versions carry equal states.
+type ReplicaSet struct {
+	Version  uint64    `json:"version"`
+	Replicas []Replica `json:"replicas"`
+}
+
+// Routable reports whether url may receive traffic. Unknown URLs are
+// routable: an operator-supplied override the prober does not track is
+// the caller's responsibility.
+func (rs *ReplicaSet) Routable(url string) bool {
+	for i := range rs.Replicas {
+		if rs.Replicas[i].URL == url {
+			return rs.Replicas[i].State.Routable()
+		}
+	}
+	return true
+}
+
+// Get returns url's entry.
+func (rs *ReplicaSet) Get(url string) (Replica, bool) {
+	for i := range rs.Replicas {
+		if rs.Replicas[i].URL == url {
+			return rs.Replicas[i], true
+		}
+	}
+	return Replica{}, false
+}
+
+// Options tunes a Prober. Zero values take the documented defaults.
+type Options struct {
+	// Targets are the replica base URLs to probe. Required, order is
+	// preserved in snapshots.
+	Targets []string
+	// Interval is the base probe period per target (default 2s). Each
+	// wait is jittered ±Jitter so a fleet of probers never phase-locks.
+	Interval time.Duration
+	// Jitter is the fractional spread applied to Interval (default 0.2,
+	// must be in [0, 1)).
+	Jitter float64
+	// Timeout bounds one probe (default Interval/2, floored at 1ms).
+	Timeout time.Duration
+	// SuspectAfter is the consecutive-failure count that demotes healthy
+	// to suspect (default 1).
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count that declares a replica
+	// dead (default 3; must be >= SuspectAfter).
+	DeadAfter int
+	// ReviveAfter is the consecutive-success count a dead replica needs
+	// to be routable again (default 2). Any failure while recovering
+	// drops it straight back to dead.
+	ReviveAfter int
+	// MaxBackoff caps the stretched probe period for dead targets
+	// (default 4×Interval): a long-dead replica is probed lazily, a
+	// freshly dead one aggressively.
+	MaxBackoff time.Duration
+	// Probe checks one target, nil error meaning ready. Default: HTTP
+	// GET target+"/readyz" validated by ReadyzOK.
+	Probe func(ctx context.Context, target string) error
+	// OnTransition observes every state change (called outside the
+	// snapshot publish, may be used for gauges/logs; keep it cheap).
+	OnTransition func(target string, from, to State)
+	// Seed fixes the jitter streams for reproducible tests.
+	Seed int64
+}
+
+// probeStatus is one target's mutable state, guarded by Prober.mu.
+type probeStatus struct {
+	state     State
+	failures  int
+	successes int
+	lastErr   string
+}
+
+// Prober runs the probe loops and publishes snapshots. Construct with
+// New; safe for concurrent use.
+type Prober struct {
+	opts Options
+
+	snap atomic.Pointer[ReplicaSet]
+
+	mu      sync.Mutex
+	states  []probeStatus
+	version uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// New validates opts and builds a stopped Prober; call Start to begin
+// probing. Every target starts healthy (optimistic: routing works
+// before the first probe lands; request-time failover covers a target
+// that was already dead).
+func New(opts Options) (*Prober, error) {
+	if len(opts.Targets) == 0 {
+		return nil, errors.New("fleethealth: at least one target is required")
+	}
+	if opts.Interval < 0 {
+		return nil, fmt.Errorf("fleethealth: negative probe interval %v", opts.Interval)
+	}
+	if opts.Interval == 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Jitter < 0 || opts.Jitter >= 1 {
+		return nil, fmt.Errorf("fleethealth: jitter must be in [0, 1), got %v", opts.Jitter)
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.2
+	}
+	if opts.Timeout < 0 {
+		return nil, fmt.Errorf("fleethealth: negative probe timeout %v", opts.Timeout)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = max(opts.Interval/2, time.Millisecond)
+	}
+	if opts.SuspectAfter < 0 || opts.DeadAfter < 0 || opts.ReviveAfter < 0 {
+		return nil, errors.New("fleethealth: thresholds must be positive")
+	}
+	if opts.SuspectAfter == 0 {
+		opts.SuspectAfter = 1
+	}
+	if opts.DeadAfter == 0 {
+		opts.DeadAfter = 3
+	}
+	if opts.ReviveAfter == 0 {
+		opts.ReviveAfter = 2
+	}
+	if opts.DeadAfter < opts.SuspectAfter {
+		return nil, fmt.Errorf("fleethealth: dead-after %d below suspect-after %d",
+			opts.DeadAfter, opts.SuspectAfter)
+	}
+	if opts.MaxBackoff < 0 {
+		return nil, fmt.Errorf("fleethealth: negative max backoff %v", opts.MaxBackoff)
+	}
+	if opts.MaxBackoff == 0 {
+		opts.MaxBackoff = 4 * opts.Interval
+	}
+	if opts.Probe == nil {
+		opts.Probe = HTTPReadyzProbe(nil)
+	}
+	p := &Prober{opts: opts, states: make([]probeStatus, len(opts.Targets))}
+	p.version = 1
+	p.publishLocked()
+	return p, nil
+}
+
+// Start launches one probe loop per target. Idempotent.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.cancel = cancel
+		for i := range p.opts.Targets {
+			p.wg.Add(1)
+			go p.loop(ctx, i)
+		}
+	})
+}
+
+// Stop halts the probe loops and waits for them. Idempotent; a Prober
+// that was never started stops trivially.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		p.wg.Wait()
+	})
+}
+
+// Snapshot returns the current versioned view. Lock-free: one atomic
+// pointer load, safe to call on every request.
+func (p *Prober) Snapshot() *ReplicaSet { return p.snap.Load() }
+
+// ProbeNow probes every target once, synchronously, and applies the
+// results — how tests (and an operator endpoint) force a round without
+// waiting out the interval.
+func (p *Prober) ProbeNow(ctx context.Context) {
+	for i := range p.opts.Targets {
+		p.probeOne(ctx, i)
+	}
+}
+
+// loop is one target's probe cadence: jittered interval while routable,
+// stretched toward MaxBackoff while dead.
+func (p *Prober) loop(ctx context.Context, i int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(p.opts.Seed + int64(i)*0x9e3779b9))
+	for {
+		d := p.nextDelay(i, rng)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.probeOne(ctx, i)
+	}
+}
+
+// nextDelay draws the jittered wait before target i's next probe.
+func (p *Prober) nextDelay(i int, rng *rand.Rand) time.Duration {
+	base := p.opts.Interval
+	p.mu.Lock()
+	st := p.states[i]
+	p.mu.Unlock()
+	if st.state == Dead && st.failures > p.opts.DeadAfter {
+		// Already-confirmed-dead targets back off exponentially so a
+		// long outage does not burn probe traffic, capped so revival is
+		// still noticed within MaxBackoff.
+		extra := st.failures - p.opts.DeadAfter
+		if extra > 8 {
+			extra = 8
+		}
+		base <<= uint(extra)
+		if base > p.opts.MaxBackoff || base <= 0 {
+			base = p.opts.MaxBackoff
+		}
+	}
+	j := p.opts.Jitter
+	f := 1 + j*(2*rng.Float64()-1) // uniform in [1-j, 1+j]
+	return time.Duration(float64(base) * f)
+}
+
+// probeOne runs one probe against target i and records the outcome.
+// Outcomes observed while the prober itself is shutting down are
+// discarded: a cancelled probe says nothing about the replica.
+func (p *Prober) probeOne(ctx context.Context, i int) {
+	pctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+	err := p.opts.Probe(pctx, p.opts.Targets[i])
+	cancel()
+	if ctx.Err() != nil {
+		return
+	}
+	p.record(i, err)
+}
+
+// record applies one probe outcome to target i's state machine and
+// publishes a fresh snapshot when anything changed.
+func (p *Prober) record(i int, err error) {
+	p.mu.Lock()
+	st := &p.states[i]
+	from := st.state
+	if err == nil {
+		st.successes++
+		st.failures = 0
+		st.lastErr = ""
+		switch st.state {
+		case Suspect:
+			// One good probe clears suspicion: hysteresis guards only the
+			// dead→routable edge, where flapping is expensive.
+			st.state = Healthy
+		case Dead:
+			st.state = Recovering
+			if st.successes >= p.opts.ReviveAfter {
+				st.state = Healthy
+			}
+		case Recovering:
+			if st.successes >= p.opts.ReviveAfter {
+				st.state = Healthy
+			}
+		}
+	} else {
+		st.failures++
+		st.successes = 0
+		st.lastErr = err.Error()
+		switch st.state {
+		case Healthy:
+			if st.failures >= p.opts.SuspectAfter {
+				st.state = Suspect
+			}
+			if st.failures >= p.opts.DeadAfter {
+				st.state = Dead
+			}
+		case Suspect:
+			if st.failures >= p.opts.DeadAfter {
+				st.state = Dead
+			}
+		case Recovering:
+			// A failure mid-recovery re-confirms death; the success streak
+			// must be consecutive.
+			st.state = Dead
+		}
+	}
+	to := st.state
+	if to != from {
+		p.version++
+	}
+	p.publishLocked()
+	p.mu.Unlock()
+	if to != from && p.opts.OnTransition != nil {
+		p.opts.OnTransition(p.opts.Targets[i], from, to)
+	}
+}
+
+// publishLocked swaps in a fresh immutable snapshot. Caller holds mu.
+func (p *Prober) publishLocked() {
+	rs := &ReplicaSet{Version: p.version, Replicas: make([]Replica, len(p.opts.Targets))}
+	for i, t := range p.opts.Targets {
+		st := p.states[i]
+		rs.Replicas[i] = Replica{
+			URL:                  t,
+			State:                st.state,
+			ConsecutiveFailures:  st.failures,
+			ConsecutiveSuccesses: st.successes,
+			LastError:            st.lastErr,
+		}
+	}
+	p.snap.Store(rs)
+}
+
+// maxReadyzBody bounds one readiness response read; /readyz bodies are
+// a few dozen bytes, anything huge is itself a failure.
+const maxReadyzBody = 1 << 16
+
+// HTTPReadyzProbe returns the default probe: GET target+"/readyz"
+// through hc (nil means http.DefaultClient), validated by ReadyzOK.
+func HTTPReadyzProbe(hc *http.Client) func(ctx context.Context, target string) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return func(ctx context.Context, target string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxReadyzBody))
+		if err != nil {
+			return err
+		}
+		return ReadyzOK(resp.StatusCode, body)
+	}
+}
+
+// ReadyzOK decides whether one readiness answer means "routable": a 200
+// whose JSON body reports status "ready". A draining replica answers
+// 503 {"status":"draining"} and correctly probes not-ready; malformed
+// bodies are a failure, never a panic (this parser is fuzzed).
+func ReadyzOK(status int, body []byte) error {
+	if status != http.StatusOK {
+		return fmt.Errorf("fleethealth: readyz answered %d", status)
+	}
+	var v struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("fleethealth: malformed readyz body: %v", err)
+	}
+	if v.Status != "ready" {
+		return fmt.Errorf("fleethealth: readyz status %q", v.Status)
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package fleethealth
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedProbe fails target t while failing[t] is true.
+type scriptedProbe struct {
+	mu      sync.Mutex
+	failing map[string]bool
+}
+
+func (sp *scriptedProbe) fn(_ context.Context, target string) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.failing[target] {
+		return errors.New("scripted failure")
+	}
+	return nil
+}
+
+func (sp *scriptedProbe) set(target string, fail bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.failing[target] = fail
+}
+
+func newScripted(t *testing.T, targets []string, opts Options) (*Prober, *scriptedProbe) {
+	t.Helper()
+	sp := &scriptedProbe{failing: map[string]bool{}}
+	opts.Targets = targets
+	opts.Probe = sp.fn
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sp
+}
+
+func stateOf(t *testing.T, p *Prober, url string) State {
+	t.Helper()
+	rep, ok := p.Snapshot().Get(url)
+	if !ok {
+		t.Fatalf("snapshot has no entry for %s", url)
+	}
+	return rep.State
+}
+
+// TestStateMachineTransitions walks the full lifecycle with the
+// documented default thresholds: one failure → suspect, three → dead,
+// two consecutive successes → healthy again via recovering.
+func TestStateMachineTransitions(t *testing.T) {
+	p, sp := newScripted(t, []string{"a"}, Options{})
+	ctx := context.Background()
+
+	if got := stateOf(t, p, "a"); got != Healthy {
+		t.Fatalf("initial state %v, want healthy", got)
+	}
+	sp.set("a", true)
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", got)
+	}
+	if stateOf(t, p, "a").Routable() != true {
+		t.Fatal("suspect must remain routable")
+	}
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Suspect {
+		t.Fatalf("after 2 failures: %v, want suspect (dead-after is 3)", got)
+	}
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Dead {
+		t.Fatalf("after 3 failures: %v, want dead", got)
+	}
+	if stateOf(t, p, "a").Routable() {
+		t.Fatal("dead must not be routable")
+	}
+	// First success: recovering, still not routable.
+	sp.set("a", false)
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Recovering {
+		t.Fatalf("after 1 success: %v, want recovering", got)
+	}
+	if stateOf(t, p, "a").Routable() {
+		t.Fatal("recovering must not be routable")
+	}
+	// Second consecutive success: healthy.
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Healthy {
+		t.Fatalf("after 2 successes: %v, want healthy", got)
+	}
+}
+
+// TestSuspectClearsOnOneSuccess: hysteresis only guards the
+// dead→routable edge; a suspect replica is rehabilitated by a single
+// good probe.
+func TestSuspectClearsOnOneSuccess(t *testing.T) {
+	p, sp := newScripted(t, []string{"a"}, Options{})
+	ctx := context.Background()
+	sp.set("a", true)
+	p.ProbeNow(ctx)
+	sp.set("a", false)
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Healthy {
+		t.Fatalf("suspect after one success: %v, want healthy", got)
+	}
+}
+
+// TestFlappingReplicaStaysDead: a replica alternating pass/fail never
+// accumulates ReviveAfter consecutive successes, so once dead it stays
+// unroutable instead of thrashing the routing table.
+func TestFlappingReplicaStaysDead(t *testing.T) {
+	p, sp := newScripted(t, []string{"a"}, Options{ReviveAfter: 2})
+	ctx := context.Background()
+	sp.set("a", true)
+	for i := 0; i < 3; i++ {
+		p.ProbeNow(ctx)
+	}
+	if got := stateOf(t, p, "a"); got != Dead {
+		t.Fatalf("setup: %v, want dead", got)
+	}
+	for i := 0; i < 10; i++ {
+		sp.set("a", i%2 == 0) // fail, pass, fail, pass...
+		p.ProbeNow(ctx)
+		if st := stateOf(t, p, "a"); st.Routable() {
+			t.Fatalf("flap round %d: state %v became routable", i, st)
+		}
+	}
+}
+
+// TestFailureDuringRecoveryReconfirmsDead.
+func TestFailureDuringRecoveryReconfirmsDead(t *testing.T) {
+	p, sp := newScripted(t, []string{"a"}, Options{DeadAfter: 1})
+	ctx := context.Background()
+	sp.set("a", true)
+	p.ProbeNow(ctx)
+	sp.set("a", false)
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Recovering {
+		t.Fatalf("setup: %v, want recovering", got)
+	}
+	sp.set("a", true)
+	p.ProbeNow(ctx)
+	if got := stateOf(t, p, "a"); got != Dead {
+		t.Fatalf("failure during recovery: %v, want dead", got)
+	}
+}
+
+// TestSnapshotVersionMonotonic: the version bumps exactly on state
+// transitions and never regresses; snapshots are immutable values.
+func TestSnapshotVersionMonotonic(t *testing.T) {
+	p, sp := newScripted(t, []string{"a", "b"}, Options{})
+	ctx := context.Background()
+	v0 := p.Snapshot().Version
+	p.ProbeNow(ctx) // both healthy, both succeed: no transition
+	if v := p.Snapshot().Version; v != v0 {
+		t.Fatalf("version moved %d → %d without a transition", v0, v)
+	}
+	sp.set("a", true)
+	p.ProbeNow(ctx) // a: healthy → suspect
+	v1 := p.Snapshot().Version
+	if v1 <= v0 {
+		t.Fatalf("version did not advance on a transition: %d → %d", v0, v1)
+	}
+	if got := stateOf(t, p, "b"); got != Healthy {
+		t.Fatalf("b caught a's transition: %v", got)
+	}
+}
+
+// TestOnTransitionHook observes the full healthy→…→healthy sequence.
+func TestOnTransitionHook(t *testing.T) {
+	var mu sync.Mutex
+	var seq []string
+	sp := &scriptedProbe{failing: map[string]bool{}}
+	p, err := New(Options{
+		Targets: []string{"a"},
+		Probe:   sp.fn,
+		OnTransition: func(target string, from, to State) {
+			mu.Lock()
+			seq = append(seq, fmt.Sprintf("%s:%v→%v", target, from, to))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sp.set("a", true)
+	for i := 0; i < 3; i++ {
+		p.ProbeNow(ctx)
+	}
+	sp.set("a", false)
+	p.ProbeNow(ctx)
+	p.ProbeNow(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{
+		"a:healthy→suspect", "a:suspect→dead",
+		"a:dead→recovering", "a:recovering→healthy",
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("transition sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("transition[%d] = %q, want %q (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+// TestProberLoopDetectsKillAndRevive runs the real goroutine loops
+// against an httptest replica that is killed and revived.
+func TestProberLoopDetectsKillAndRevive(t *testing.T) {
+	var killed sync.Map
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, dead := killed.Load("x"); dead {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"dead"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ready"}`))
+	}))
+	defer hs.Close()
+
+	p, err := New(Options{
+		Targets:   []string{hs.URL},
+		Interval:  5 * time.Millisecond,
+		DeadAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if rep, ok := p.Snapshot().Get(hs.URL); ok && rep.State == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		rep, _ := p.Snapshot().Get(hs.URL)
+		t.Fatalf("state never reached %v (stuck at %v)", want, rep.State)
+	}
+	waitState(Healthy)
+	killed.Store("x", true)
+	waitState(Dead)
+	killed.Delete("x")
+	waitState(Healthy)
+}
+
+// TestNextDelayJitterBounds: every drawn delay stays inside the
+// documented [1-j, 1+j]×interval band for routable targets.
+func TestNextDelayJitterBounds(t *testing.T) {
+	p, _ := newScripted(t, []string{"a"}, Options{Interval: 100 * time.Millisecond, Jitter: 0.2})
+	rng := rand.New(rand.NewSource(7))
+	lo := time.Duration(float64(100*time.Millisecond) * 0.8)
+	hi := time.Duration(float64(100*time.Millisecond) * 1.2)
+	for i := 0; i < 1000; i++ {
+		d := p.nextDelay(0, rng)
+		if d < lo || d > hi {
+			t.Fatalf("delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+// TestDeadBackoffCapped: a long-dead target's probe period stretches
+// but never past MaxBackoff (plus jitter).
+func TestDeadBackoffCapped(t *testing.T) {
+	p, sp := newScripted(t, []string{"a"}, Options{
+		Interval:   10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond,
+		Jitter:     0.1,
+	})
+	sp.set("a", true)
+	for i := 0; i < 20; i++ {
+		p.ProbeNow(context.Background())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if d := p.nextDelay(0, rng); d > 44*time.Millisecond {
+			t.Fatalf("dead-target delay %v exceeds jittered MaxBackoff", d)
+		}
+	}
+}
+
+// TestOptionValidation: malformed knobs are typed errors, never panics.
+func TestOptionValidation(t *testing.T) {
+	cases := []Options{
+		{}, // no targets
+		{Targets: []string{"a"}, Interval: -1},
+		{Targets: []string{"a"}, Jitter: 1.5},
+		{Targets: []string{"a"}, Jitter: -0.1},
+		{Targets: []string{"a"}, Timeout: -1},
+		{Targets: []string{"a"}, SuspectAfter: -1},
+		{Targets: []string{"a"}, SuspectAfter: 5, DeadAfter: 2},
+		{Targets: []string{"a"}, MaxBackoff: -1},
+	}
+	for i, opts := range cases {
+		if _, err := New(opts); err == nil {
+			t.Errorf("case %d: New(%+v) accepted invalid options", i, opts)
+		}
+	}
+}
+
+// TestStopIdempotentAndUnstarted.
+func TestStopIdempotentAndUnstarted(t *testing.T) {
+	p, _ := newScripted(t, []string{"a"}, Options{})
+	p.Stop() // never started: trivially fine
+	p2, _ := newScripted(t, []string{"a"}, Options{Interval: time.Millisecond})
+	p2.Start()
+	p2.Start() // idempotent
+	p2.Stop()
+	p2.Stop()
+}
+
+// TestReadyzOK pins the readiness parser's accept/reject behavior.
+func TestReadyzOK(t *testing.T) {
+	cases := []struct {
+		status int
+		body   string
+		ok     bool
+	}{
+		{200, `{"status":"ready"}`, true},
+		{200, `{"status":"draining"}`, false},
+		{503, `{"status":"draining"}`, false},
+		{200, `{"status":"READY"}`, false},
+		{200, `not json`, false},
+		{200, ``, false},
+		{200, `null`, false},
+		{200, `{"status":42}`, false},
+		{204, `{"status":"ready"}`, false},
+	}
+	for _, tc := range cases {
+		err := ReadyzOK(tc.status, []byte(tc.body))
+		if (err == nil) != tc.ok {
+			t.Errorf("ReadyzOK(%d, %q) = %v, want ok=%v", tc.status, tc.body, err, tc.ok)
+		}
+	}
+}
+
+// TestReplicaSetJSONRoundTrip: states marshal as names and round-trip.
+func TestReplicaSetJSONRoundTrip(t *testing.T) {
+	rs := ReplicaSet{Version: 7, Replicas: []Replica{
+		{URL: "http://a", State: Healthy},
+		{URL: "http://b", State: Dead, ConsecutiveFailures: 5, LastError: "x"},
+		{URL: "http://c", State: Recovering, ConsecutiveSuccesses: 1},
+	}}
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ReplicaSet
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs.Replicas {
+		if got.Replicas[i] != rs.Replicas[i] {
+			t.Fatalf("round-trip changed replica %d: %+v vs %+v", i, got.Replicas[i], rs.Replicas[i])
+		}
+	}
+	var bad State
+	if err := json.Unmarshal([]byte(`"zombie"`), &bad); err == nil {
+		t.Fatal("unknown state name unmarshaled without error")
+	}
+}
+
+// FuzzReadyzParse: the readiness body parser never panics on hostile
+// bytes — the "malformed replica-state JSON" contract.
+func FuzzReadyzParse(f *testing.F) {
+	seeds := []string{
+		`{"status":"ready"}`, `{"status":"draining"}`, `{"status":""}`,
+		`{"status":null}`, `{"status":{}}`, `{}`, `[]`, `null`, ``, `{`,
+		`{"status":"ready","extra":1}`, "\xff\xfe{not json", `{"status":"ready"} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add(200, []byte(s))
+	}
+	f.Add(503, []byte(`{"status":"draining"}`))
+	f.Add(0, []byte(``))
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		_ = ReadyzOK(status, body) // must not panic
+	})
+}
+
+// FuzzReplicaStateJSON: ReplicaSet unmarshaling never panics and
+// unknown state names always error.
+func FuzzReplicaStateJSON(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"replicas":[{"url":"http://a","state":"healthy"}]}`,
+		`{"version":1,"replicas":[{"url":"http://a","state":"zombie"}]}`,
+		`{"replicas":[{"state":"dead","consecutive_failures":-1}]}`,
+		`{"replicas":null}`, `{}`, `[]`, `null`, `{"version":"x"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var rs ReplicaSet
+		if err := json.Unmarshal(body, &rs); err != nil {
+			return
+		}
+		for _, rep := range rs.Replicas {
+			if rep.State < Healthy || rep.State > Recovering {
+				t.Fatalf("unmarshal admitted out-of-range state %d", rep.State)
+			}
+		}
+	})
+}

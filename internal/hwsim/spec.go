@@ -317,6 +317,14 @@ func AMDOpteronK10() NodeSpec {
 	}
 }
 
+// Names lists every calibrated node spec ByName resolves, in canonical
+// registry order. Callers that warm per-node state for the whole
+// registry (e.g. experiments.Suite.WarmAllModels) iterate this list so
+// two processes doing so end up bit-identical.
+func Names() []string {
+	return []string{"arm-cortex-a9", "amd-opteron-k10", "arm-cortex-a15"}
+}
+
 // ByName returns a calibrated node spec by its Name, for reconstructing
 // persisted models. Known names: "arm-cortex-a9", "amd-opteron-k10",
 // "arm-cortex-a15".

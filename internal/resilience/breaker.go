@@ -52,6 +52,14 @@ type BreakerOptions struct {
 	Clock func() time.Time
 	// OnStateChange, when set, observes every transition.
 	OnStateChange func(from, to BreakerState)
+	// IsFailure classifies fn's errors. Errors it rejects are neutral:
+	// returned to the caller but not counted against the threshold — how
+	// a hedging coordinator keeps deliberate context cancellations of
+	// losing requests from tripping a healthy replica's breaker. A
+	// neutral half-open probe re-opens the circuit with the cooldown
+	// already elapsed, so the next call probes again immediately.
+	// Default: every non-nil error is a failure.
+	IsFailure func(err error) bool
 }
 
 // Breaker is a consecutive-failure circuit breaker safe for concurrent
@@ -135,6 +143,17 @@ func (b *Breaker) Do(fn func() error) error {
 		b.failures = 0
 		b.transition(Closed)
 		return nil
+	}
+	if b.opts.IsFailure != nil && !b.opts.IsFailure(err) {
+		// Neutral outcome: the call was abandoned, not refused, so it says
+		// nothing about the dependency. Leave the failure streak alone; if
+		// this was the half-open probe, re-open with the cooldown already
+		// elapsed so the next caller probes again immediately.
+		if b.state == HalfOpen {
+			b.openUntil = b.opts.Clock()
+			b.transition(Open)
+		}
+		return err
 	}
 	b.failures++
 	if b.state == HalfOpen || b.failures >= b.opts.FailureThreshold {

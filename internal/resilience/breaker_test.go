@@ -1,8 +1,10 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -145,5 +147,112 @@ func TestBreakerStateStrings(t *testing.T) {
 		if got := s.String(); got != want {
 			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
 		}
+	}
+}
+
+// TestBreakerHalfOpenConcurrentRace: during the half-open window, a
+// stampede of concurrent Do calls admits exactly one probe; everyone
+// else gets ErrOpen without running, and a failed probe re-opens
+// cleanly for a full cooldown. Run under -race (make fleet-heal).
+func TestBreakerHalfOpenConcurrentRace(t *testing.T) {
+	clock := &fakeClock{}
+	b := NewBreaker(BreakerOptions{FailureThreshold: 1, Cooldown: time.Minute, Clock: clock.now})
+	b.Do(failing)
+	clock.advance(time.Minute) // half-open window
+
+	const goroutines = 32
+	probeEntered := make(chan struct{})
+	probeRelease := make(chan struct{})
+	var wg sync.WaitGroup
+	var probeRuns, openErrs atomic.Int64
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			err := b.Do(func() error {
+				probeRuns.Add(1)
+				probeEntered <- struct{}{}
+				<-probeRelease
+				return errBoom
+			})
+			if errors.Is(err, ErrOpen) {
+				openErrs.Add(1)
+			}
+		}()
+	}
+	// Hold the single admitted probe open until every other goroutine
+	// has had the chance to race it, then let it fail.
+	<-probeEntered
+	for openErrs.Load() < goroutines-1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(probeRelease)
+	wg.Wait()
+
+	if n := probeRuns.Load(); n != 1 {
+		t.Fatalf("half-open window admitted %d probes, want exactly 1", n)
+	}
+	if n := openErrs.Load(); n != goroutines-1 {
+		t.Fatalf("%d ErrOpen rejections, want %d", n, goroutines-1)
+	}
+	// The failed probe re-opened the circuit for a full cooldown.
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if err := b.Do(passing); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v right after failed probe, want ErrOpen", err)
+	}
+	clock.advance(time.Minute)
+	if err := b.Do(passing); err != nil {
+		t.Fatalf("probe after second cooldown: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+}
+
+// TestBreakerNeutralErrorsNotCounted: errors the IsFailure classifier
+// rejects (context cancellations of hedged losers) never advance the
+// failure streak, and a neutral half-open probe re-opens with the
+// cooldown already spent so the next call probes again immediately.
+func TestBreakerNeutralErrorsNotCounted(t *testing.T) {
+	clock := &fakeClock{}
+	canceled := context.Canceled
+	b := NewBreaker(BreakerOptions{
+		FailureThreshold: 2,
+		Cooldown:         time.Minute,
+		Clock:            clock.now,
+		IsFailure:        func(err error) bool { return !errors.Is(err, context.Canceled) },
+	})
+	// A pile of cancellations leaves the circuit closed.
+	for i := 0; i < 10; i++ {
+		if err := b.Do(func() error { return canceled }); !errors.Is(err, context.Canceled) {
+			t.Fatalf("neutral error not returned verbatim: %v", err)
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after neutral errors, want closed", b.State())
+	}
+	// Real failures still trip it.
+	b.Do(failing)
+	b.Do(failing)
+	if b.State() != Open {
+		t.Fatalf("state = %v after real failures, want open", b.State())
+	}
+	// A neutral half-open probe does not close the circuit, but leaves it
+	// immediately probeable: the next real call runs.
+	clock.advance(time.Minute)
+	if err := b.Do(func() error { return canceled }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("neutral probe error: %v", err)
+	}
+	ran := false
+	if err := b.Do(func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("probe after neutral outcome: %v", err)
+	}
+	if !ran {
+		t.Fatal("call after neutral probe did not run")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
 	}
 }

@@ -1,0 +1,163 @@
+package resilience
+
+// Replica-level chaos: whole-process fault modes for fleet soak tests.
+// The probabilistic Chaos middleware models a flaky but live handler;
+// ReplicaChaos models the failure domains a coordinator's self-healing
+// must survive — a killed process, a network partition, a cold replica
+// just after revival, and a flapping one — and, unlike an
+// httptest.Server.Close, every mode is reversible mid-test, so a soak
+// can kill and revive the same replica while traffic flows.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReplicaFault is one replica-level fault kind.
+type ReplicaFault int
+
+const (
+	// FaultNone serves normally.
+	FaultNone ReplicaFault = iota
+	// FaultKill answers 503 to every request — including /readyz, so
+	// health probes see the death just like traffic does.
+	FaultKill
+	// FaultPartition hangs every request until its context is done (the
+	// client gives up or the propagated deadline fires), then answers
+	// 504 — a replica that is reachable but unresponsive.
+	FaultPartition
+	// FaultSlowStart delays every request by the configured latency: a
+	// revived replica serving with cold caches.
+	FaultSlowStart
+	// FaultFlap alternates kill and serve per request, the oscillation
+	// the health state machine's hysteresis must not thrash on.
+	FaultFlap
+)
+
+// String names the fault kind.
+func (f ReplicaFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultKill:
+		return "kill"
+	case FaultPartition:
+		return "partition"
+	case FaultSlowStart:
+		return "slow-start"
+	case FaultFlap:
+		return "flap"
+	default:
+		return fmt.Sprintf("ReplicaFault(%d)", int(f))
+	}
+}
+
+// ParseReplicaFault inverts String.
+func ParseReplicaFault(s string) (ReplicaFault, error) {
+	switch s {
+	case "none":
+		return FaultNone, nil
+	case "kill":
+		return FaultKill, nil
+	case "partition":
+		return FaultPartition, nil
+	case "slow-start":
+		return FaultSlowStart, nil
+	case "flap":
+		return FaultFlap, nil
+	default:
+		return 0, fmt.Errorf("resilience: unknown replica fault %q", s)
+	}
+}
+
+// ReplicaChaos injects one switchable replica-level fault in front of a
+// handler. The zero value serves normally; safe for concurrent use.
+type ReplicaChaos struct {
+	mu     sync.Mutex
+	fault  ReplicaFault
+	slowBy time.Duration
+	reqs   int
+}
+
+// NewReplicaChaos returns a chaos valve in the FaultNone state.
+func NewReplicaChaos() *ReplicaChaos { return &ReplicaChaos{} }
+
+// Set switches the active fault kind.
+func (rc *ReplicaChaos) Set(f ReplicaFault) {
+	rc.mu.Lock()
+	rc.fault = f
+	rc.mu.Unlock()
+}
+
+// Kill is Set(FaultKill).
+func (rc *ReplicaChaos) Kill() { rc.Set(FaultKill) }
+
+// Revive is Set(FaultNone).
+func (rc *ReplicaChaos) Revive() { rc.Set(FaultNone) }
+
+// SlowStart switches to FaultSlowStart with the given added latency.
+func (rc *ReplicaChaos) SlowStart(d time.Duration) {
+	rc.mu.Lock()
+	rc.fault = FaultSlowStart
+	rc.slowBy = d
+	rc.mu.Unlock()
+}
+
+// Fault reports the active kind.
+func (rc *ReplicaChaos) Fault() ReplicaFault {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.fault
+}
+
+// kill answers the 503 a dead replica's load balancer would.
+func replicaKilled(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Chaos", "replica-kill")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte(`{"error":"chaos: replica killed"}`))
+}
+
+// Middleware wraps next with the active fault. Reading the fault once
+// per request keeps a mid-request Set from tearing one response.
+func (rc *ReplicaChaos) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rc.mu.Lock()
+		f := rc.fault
+		slow := rc.slowBy
+		n := rc.reqs
+		rc.reqs++
+		rc.mu.Unlock()
+		switch f {
+		case FaultKill:
+			replicaKilled(w)
+			return
+		case FaultFlap:
+			if n%2 == 0 {
+				replicaKilled(w)
+				return
+			}
+		case FaultPartition:
+			<-r.Context().Done()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Chaos", "replica-partition")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			w.Write([]byte(`{"error":"chaos: partitioned"}`))
+			return
+		case FaultSlowStart:
+			t := time.NewTimer(slow)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(`{"error":"chaos: slow-start abandoned"}`))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

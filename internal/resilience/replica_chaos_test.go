@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func chaosGet(t *testing.T, h http.Handler, ctx context.Context) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	if ctx != nil {
+		req = req.WithContext(ctx)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestReplicaChaosFaults(t *testing.T) {
+	rc := NewReplicaChaos()
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ready"}`))
+	})
+	h := rc.Middleware(ok)
+
+	// None: passes through.
+	if rr := chaosGet(t, h, nil); rr.Code != http.StatusOK {
+		t.Fatalf("FaultNone: %d", rr.Code)
+	}
+	// Kill: every request 503s, including readyz; Revive restores service.
+	rc.Kill()
+	if rc.Fault() != FaultKill {
+		t.Fatalf("Fault() = %v after Kill", rc.Fault())
+	}
+	for i := 0; i < 3; i++ {
+		if rr := chaosGet(t, h, nil); rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("FaultKill request %d: %d", i, rr.Code)
+		}
+	}
+	rc.Revive()
+	if rr := chaosGet(t, h, nil); rr.Code != http.StatusOK {
+		t.Fatalf("after Revive: %d", rr.Code)
+	}
+
+	// Flap: alternates kill/serve per request.
+	rc.Set(FaultFlap)
+	saw := map[int]int{}
+	for i := 0; i < 8; i++ {
+		saw[chaosGet(t, h, nil).Code]++
+	}
+	if saw[http.StatusOK] != 4 || saw[http.StatusServiceUnavailable] != 4 {
+		t.Fatalf("FaultFlap distribution: %v, want 4/4", saw)
+	}
+
+	// SlowStart: the handler still answers, after the added latency.
+	rc.SlowStart(30 * time.Millisecond)
+	start := time.Now()
+	if rr := chaosGet(t, h, nil); rr.Code != http.StatusOK {
+		t.Fatalf("FaultSlowStart: %d", rr.Code)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow-start answered in %v, want >= 30ms", d)
+	}
+
+	// Partition: hangs until the request context is done, then 504s.
+	rc.Set(FaultPartition)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	rr := chaosGet(t, h, ctx)
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("FaultPartition: %d, want 504", rr.Code)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("partition released in %v, before the context deadline", d)
+	}
+}
+
+func TestParseReplicaFault(t *testing.T) {
+	for _, f := range []ReplicaFault{FaultNone, FaultKill, FaultPartition, FaultSlowStart, FaultFlap} {
+		got, err := ParseReplicaFault(f.String())
+		if err != nil || got != f {
+			t.Fatalf("round-trip %v: %v, %v", f, got, err)
+		}
+	}
+	if _, err := ParseReplicaFault("meteor"); err == nil {
+		t.Fatal("unknown fault parsed")
+	}
+}

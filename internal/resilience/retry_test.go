@@ -200,3 +200,38 @@ func TestRetryNetworkError(t *testing.T) {
 		t.Errorf("slept %d times, want 2 (retried the dial failures)", len(rec.delays))
 	}
 }
+
+// TestRetryCancelDuringBackoffAborts is the regression test for the
+// backoff sleep honoring request-context cancellation: with a huge
+// BaseDelay and a server that always sheds, cancelling the context
+// mid-backoff must abort the pending retry immediately — through the
+// real default sleeper, not the test recorder.
+func TestRetryCancelDuringBackoffAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), RetryOptions{
+		MaxAttempts: 10,
+		BaseDelay:   30 * time.Second, // without cancellation this test hangs
+		MaxDelay:    30 * time.Second,
+		Seed:        3,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+
+	go func() {
+		time.Sleep(50 * time.Millisecond) // land inside the first backoff
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Do(req)
+	elapsed := time.Since(start)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to abort the pending retry", elapsed)
+	}
+}

@@ -10,10 +10,22 @@ package server
 // (cluster.MergeShardFrontiers), so the merged body is byte-identical
 // to what an unsharded walk of the same space would have served — and
 // is cached under the unsharded request's key, letting fleet and
-// single-process traffic share one entry. When some (not all) shards
-// fail, the merge of the surviving slices is served marked degraded
-// with the failed shard indices listed, and is never cached; when every
-// shard fails the request answers 503, never 500.
+// single-process traffic share one entry.
+//
+// Self-healing: each shard is assigned along the consistent-hash ring's
+// successor walk (shard.Ring.Successors), filtered by the health
+// prober's snapshot, so a shard owned by a dead replica is reassigned
+// to the next healthy one before a byte is sent. A shard request that
+// fails outright fails over to its next candidate immediately; one that
+// is merely slow gets a hedge — a duplicate sent to the next candidate
+// after the observed latency quantile elapses — and the first success
+// wins while the loser is cancelled. Sub-requests carry the
+// coordinator's remaining budget as X-Deadline-Ms so replicas shed work
+// whose answer would arrive too late. Only when a shard exhausts its
+// candidates does it count as failed: the merge of the surviving slices
+// is served marked degraded with the failed shard indices listed, and
+// is never cached; when every shard fails the request answers 503,
+// never 500.
 //
 // Routing: with a RouteKey configured, predict and single-workload
 // batch requests are forwarded to the consistent-hash owner of their
@@ -25,6 +37,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +50,7 @@ import (
 	"time"
 
 	"heteromix/internal/cluster"
+	"heteromix/internal/fleethealth"
 	"heteromix/internal/pareto"
 	"heteromix/internal/resilience"
 	"heteromix/internal/shard"
@@ -53,6 +67,17 @@ const (
 	// routedHeader marks a request as already routed/fanned-out once;
 	// servers never forward a request that carries it.
 	routedHeader = "X-Heteromix-Routed"
+	// deadlineHeader propagates a coordinator's remaining time budget to
+	// replicas, in integer milliseconds. Replicas cap their per-request
+	// timeout at it so they stop computing answers the coordinator has
+	// already given up on.
+	deadlineHeader = "X-Deadline-Ms"
+	// maxDeadlineMs bounds an accepted propagated deadline (one hour);
+	// larger values are a client error.
+	maxDeadlineMs = 3_600_000
+	// maxShardAttempts bounds how many replicas one shard may be tried
+	// on in a single fan-out: the ring owner plus one failover/hedge.
+	maxShardAttempts = 2
 )
 
 // errFleetUnavailable marks a fan-out in which every shard failed; it
@@ -89,13 +114,13 @@ func validReplicaURL(raw string) error {
 // on every fan-out.
 type fleetClient struct {
 	c          *resilience.Client
-	newBreaker func() *resilience.Breaker
+	newBreaker func(target string) *resilience.Breaker
 
 	mu       sync.Mutex
 	breakers map[string]*resilience.Breaker
 }
 
-func newFleetClient(newBreaker func() *resilience.Breaker) *fleetClient {
+func newFleetClient(newBreaker func(target string) *resilience.Breaker) *fleetClient {
 	return &fleetClient{
 		c: resilience.NewClient(nil, resilience.RetryOptions{
 			MaxAttempts: 2,
@@ -114,23 +139,35 @@ func (f *fleetClient) breakerFor(target string) *resilience.Breaker {
 	defer f.mu.Unlock()
 	b, ok := f.breakers[target]
 	if !ok {
-		b = f.newBreaker()
+		b = f.newBreaker(target)
 		f.breakers[target] = b
 	}
 	return b
 }
 
 // post sends body to target's endpoint through the retry client, with
-// the routed marker set. The response body is fully read and returned
-// with the status.
-func (f *fleetClient) post(r *http.Request, target, endpoint string, body []byte) (int, []byte, error) {
+// the routed marker set. When ctx carries a deadline, the remaining
+// budget minus a 10% gather margin is stamped on the sub-request as
+// X-Deadline-Ms, so the replica sheds work the coordinator could no
+// longer merge; an already-exhausted budget fails fast without a wire
+// round trip. The response body is fully read and returned with the
+// status.
+func (f *fleetClient) post(ctx context.Context, target, endpoint string, body []byte) (int, []byte, error) {
 	u := strings.TrimSuffix(target, "/") + endpoint
-	hreq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(routedHeader, "1")
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl)
+		budget -= budget / 10
+		if budget < time.Millisecond {
+			return 0, nil, fmt.Errorf("deadline exhausted: %w", context.DeadlineExceeded)
+		}
+		hreq.Header.Set(deadlineHeader, strconv.FormatInt(budget.Milliseconds(), 10))
+	}
 	resp, err := f.c.Do(hreq)
 	if err != nil {
 		return 0, nil, err
@@ -143,22 +180,45 @@ func (f *fleetClient) post(r *http.Request, target, endpoint string, body []byte
 	return resp.StatusCode, b, nil
 }
 
-// fleetTargets resolves the fan-out's replica URLs: the request's
-// override when present (normalize only admits one on a fleet-enabled
-// server), the configured set otherwise.
-func (s *Server) fleetTargets(req EnumerateGenericRequest) []string {
+// shardCandidates builds each shard's ordered replica walk: the
+// consistent-hash owner first, then the next distinct ring members —
+// filtered by the health snapshot so dead replicas are skipped before a
+// byte is sent — capped at maxShardAttempts. A request-override replica
+// set gets an ad hoc ring and no health filtering (the prober does not
+// track it). A shard whose every candidate is unroutable gets an empty
+// walk and fails without a wire attempt, which is exactly the
+// failed_shards partial path.
+func (s *Server) shardCandidates(req EnumerateGenericRequest) [][]string {
+	ring := s.shardRing
+	var snap *fleethealth.ReplicaSet
 	if len(req.Replicas) > 0 {
-		return req.Replicas
+		ring = shard.NewRing(req.Replicas, 0)
+	} else if s.health != nil {
+		snap = s.health.Snapshot()
 	}
-	return s.opts.Replicas
+	cands := make([][]string, req.Shards)
+	for i := range cands {
+		for _, t := range ring.Successors("shard:" + strconv.Itoa(i)) {
+			if snap != nil && !snap.Routable(t) {
+				continue
+			}
+			cands[i] = append(cands[i], t)
+			if len(cands[i]) == maxShardAttempts {
+				break
+			}
+		}
+	}
+	return cands
 }
 
 // fanOutGeneric scatters req.Shards shard requests across the replica
-// set and gathers the partial frontiers. It returns the deterministic
-// merge of the slices that answered, the indices of shards that failed,
-// and whether any surviving slice was itself served degraded.
+// set — each shard walking its candidate replicas with failover and
+// hedging — and gathers the partial frontiers. It returns the
+// deterministic merge of the slices that answered, the indices of
+// shards that failed, and whether any surviving slice was itself served
+// degraded.
 func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (merged cluster.ShardFrontier[cluster.GenericPointSummary], failed []int, degraded bool, err error) {
-	targets := s.fleetTargets(req)
+	cands := s.shardCandidates(req)
 	n := req.Shards
 	s.fleetFanouts.Inc()
 	type result struct {
@@ -172,7 +232,7 @@ func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (me
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			part, deg, err := s.shardRequest(r, targets[i%len(targets)], req, i, n)
+			part, deg, err := s.shardRequestHedged(r.Context(), cands[i], req, i, n)
 			results[i] = result{part: part, deg: deg, err: err}
 		}(i)
 	}
@@ -197,10 +257,111 @@ func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (me
 	return merged, failed, degraded, nil
 }
 
+// hedgeDelay is how long the coordinator waits on a shard's primary
+// before sending a hedge to the next candidate: the configured quantile
+// of observed successful shard latencies, clamped to [2ms,
+// RequestTimeout/4]. Before any latency has been observed it falls back
+// to a flat 50ms — conservative enough that a warm fleet rarely hedges
+// by accident, fast enough that a stuck replica costs one beat, not the
+// whole request timeout.
+func (s *Server) hedgeDelay() time.Duration {
+	const coldStart = 50 * time.Millisecond
+	if s.fleetShardLatency.Count() == 0 {
+		return coldStart
+	}
+	d := time.Duration(s.fleetShardLatency.Quantile(s.opts.HedgeQuantile) * float64(time.Second))
+	if d < 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	if lim := s.opts.RequestTimeout / 4; d > lim {
+		d = lim
+	}
+	return d
+}
+
+// shardRequestHedged resolves one shard against its candidate walk.
+// The primary (the shard's ring owner) is asked first; a failure before
+// any other outcome triggers immediate failover to the next candidate,
+// and a primary still unanswered after hedgeDelay gets a hedge sent to
+// that same next candidate — whichever copy succeeds first wins and the
+// loser's context is cancelled (a neutral outcome for its breaker).
+// The results channel is buffered to the attempt count so an abandoned
+// loser never blocks on send and no goroutine outlives its HTTP call.
+func (s *Server) shardRequestHedged(ctx context.Context, cands []string, req EnumerateGenericRequest, i, n int) (cluster.ShardFrontier[cluster.GenericPointSummary], bool, error) {
+	var zero cluster.ShardFrontier[cluster.GenericPointSummary]
+	if len(cands) == 0 {
+		return zero, false, fmt.Errorf("shard %d/%d: no routable replica", i, n)
+	}
+	type outcome struct {
+		part   cluster.ShardFrontier[cluster.GenericPointSummary]
+		deg    bool
+		err    error
+		hedged bool
+	}
+	results := make(chan outcome, len(cands))
+	cancels := make([]context.CancelFunc, 0, len(cands))
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	launch := func(target string, hedged bool) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		go func() {
+			start := time.Now()
+			part, deg, err := s.shardRequest(actx, target, req, i, n)
+			if err == nil {
+				s.fleetShardLatency.Observe(time.Since(start).Seconds())
+			}
+			results <- outcome{part: part, deg: deg, err: err, hedged: hedged}
+		}()
+	}
+	launch(cands[0], false)
+	launched := 1
+	var hedgeC <-chan time.Time
+	if len(cands) > 1 && !s.opts.DisableHedge {
+		t := time.NewTimer(s.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for got := 0; got < launched; {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			s.fleetHedges.Inc()
+			launch(cands[launched], true)
+			launched++
+		case o := <-results:
+			got++
+			if o.err == nil {
+				if o.hedged {
+					s.fleetHedgeWins.Inc()
+				}
+				return o.part, o.deg, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launched < len(cands) {
+				// The attempt failed outright before the hedge fired: fail
+				// over to the next candidate immediately instead of waiting
+				// out the hedge delay.
+				hedgeC = nil
+				s.fleetFailovers.Inc()
+				launch(cands[launched], false)
+				launched++
+			}
+		}
+	}
+	return zero, false, firstErr
+}
+
 // shardRequest asks one replica for slice i/n of req's space, through
 // that replica's breaker, and converts the answer into a mergeable
 // partial frontier.
-func (s *Server) shardRequest(r *http.Request, target string, req EnumerateGenericRequest, i, n int) (part cluster.ShardFrontier[cluster.GenericPointSummary], degraded bool, err error) {
+func (s *Server) shardRequest(ctx context.Context, target string, req EnumerateGenericRequest, i, n int) (part cluster.ShardFrontier[cluster.GenericPointSummary], degraded bool, err error) {
 	sub := req
 	sub.Shards = 0
 	sub.Replicas = nil
@@ -215,7 +376,7 @@ func (s *Server) shardRequest(r *http.Request, target string, req EnumerateGener
 		return part, false, err
 	}
 	berr := s.fleet.breakerFor(target).Do(func() error {
-		status, b, err := s.fleet.post(r, target, "/v1/enumerate-generic", body)
+		status, b, err := s.fleet.post(ctx, target, "/v1/enumerate-generic", body)
 		if err != nil {
 			return err
 		}
@@ -354,15 +515,28 @@ func batchWorkload(items []BatchItem) (string, bool) {
 }
 
 // routeForward forwards a request to the consistent-hash owner of key
-// and relays the answer. It returns false — caller computes locally —
-// when routing is off, the request was already routed once, this server
-// owns the key's replica slot itself, or the forward fails (counted as
-// a fallback; the owner's breaker absorbs repeated failures).
+// and relays the answer. A dead owner is skipped before a byte is sent:
+// the walk continues along the ring to the first routable successor,
+// the same deterministic order shard failover uses. It returns false —
+// caller computes locally — when routing is off, the request was
+// already routed once, no replica is routable, or the forward fails
+// (counted as a fallback; the owner's breaker absorbs repeated
+// failures).
 func (s *Server) routeForward(w http.ResponseWriter, r *http.Request, endpoint, key string, req any) bool {
 	if s.ring == nil || r.Header.Get(routedHeader) != "" {
 		return false
 	}
-	target := s.ring.Lookup(key)
+	var snap *fleethealth.ReplicaSet
+	if s.health != nil {
+		snap = s.health.Snapshot()
+	}
+	target := ""
+	for _, t := range s.ring.Successors(key) {
+		if snap == nil || snap.Routable(t) {
+			target = t
+			break
+		}
+	}
 	if target == "" {
 		return false
 	}
@@ -373,7 +547,7 @@ func (s *Server) routeForward(w http.ResponseWriter, r *http.Request, endpoint, 
 	var status int
 	var respBody []byte
 	berr := s.fleet.breakerFor(target).Do(func() error {
-		st, b, err := s.fleet.post(r, target, endpoint, body)
+		st, b, err := s.fleet.post(r.Context(), target, endpoint, body)
 		if err != nil {
 			return err
 		}

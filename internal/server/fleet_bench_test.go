@@ -114,3 +114,38 @@ func TestFleetColdSpeedupGate(t *testing.T) {
 			ratio, serial, sharded)
 	}
 }
+
+// The hedged-tail benchmarks: the same cold 4-shard fan-out with shard
+// 0's primary replica stalling every request by 25 ms (a revived
+// replica with cold caches, say). With hedging on, the coordinator
+// hedges the stalled shard to its ring successor after the observed
+// shard-latency quantile and the fan-out finishes near the healthy
+// shards' pace; with hedging off it eats the stall. The gap between the
+// two ns/op numbers is the tail-latency win recorded in
+// BENCH_serving.json.
+func BenchmarkFleetSlowReplicaHedged(b *testing.B)  { benchFleetSlowReplica(b, false) }
+func BenchmarkFleetSlowReplicaNoHedge(b *testing.B) { benchFleetSlowReplica(b, true) }
+
+func benchFleetSlowReplica(b *testing.B, disableHedge bool) {
+	const stall = 25 * time.Millisecond
+	f := newFleet(b, 4, Options{DisableHedge: disableHedge}, Options{})
+	body := fleetBenchBody(4)
+	// Warm-up compiles the kernel tables everywhere and seeds the
+	// shard-latency histogram the hedge delay is derived from.
+	for i := 0; i < 3; i++ {
+		chillFleet(f)
+		if rr := post(b, f.coord, "/v1/enumerate-generic", body); rr.Code != http.StatusOK {
+			b.Fatalf("warm-up: %d %s", rr.Code, rr.Body)
+		}
+	}
+	f.chaos[f.primaryOf(b, 0)].SlowStart(stall)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		chillFleet(f)
+		b.StartTimer()
+		if rr := post(b, f.coord, "/v1/enumerate-generic", body); rr.Code != http.StatusOK {
+			b.Fatalf("fleet enumerate: %d %s", rr.Code, rr.Body)
+		}
+	}
+}

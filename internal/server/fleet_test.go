@@ -1,14 +1,17 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"heteromix/internal/resilience"
+	"heteromix/internal/shard"
 )
 
 // fleetTri extends the canonical tri-type request (triBody, shared with
@@ -22,31 +25,70 @@ func fleetShardedBody(shards int) string {
 }
 
 // testFleet is the fleet-in-one harness: n replica Servers each behind
-// a real HTTP listener, and a coordinator configured with their URLs —
-// a whole fleet inside one test process.
+// a real HTTP listener and a switchable replica-level chaos valve, and
+// a coordinator configured with their URLs — a whole fleet inside one
+// test process. chaos[i].Kill()/Revive() kills and revives replica i
+// mid-test without tearing down its listener.
 type testFleet struct {
 	coord    *Server
 	replicas []*Server
 	backends []*httptest.Server
+	chaos    []*resilience.ReplicaChaos
 	urls     []string
 }
 
 // newFleet builds the harness. coordOpts.Replicas is filled in; set any
-// other knob before calling.
+// other knob before calling. Unless the test asks for its own probe
+// cadence, background probing is effectively off (an hour-long
+// interval) so transitions happen only through ProbeFleet — keeping
+// health state machine steps deterministic under the race detector.
 func newFleet(t testing.TB, n int, coordOpts, replicaOpts Options) *testFleet {
 	t.Helper()
 	f := &testFleet{}
 	for i := 0; i < n; i++ {
 		rs := newTestServer(t, replicaOpts)
-		hs := httptest.NewServer(rs.Handler())
+		rc := resilience.NewReplicaChaos()
+		hs := httptest.NewServer(rc.Middleware(rs.Handler()))
 		t.Cleanup(hs.Close)
 		f.replicas = append(f.replicas, rs)
 		f.backends = append(f.backends, hs)
+		f.chaos = append(f.chaos, rc)
 		f.urls = append(f.urls, hs.URL)
 	}
 	coordOpts.Replicas = f.urls
+	if coordOpts.ProbeInterval == 0 {
+		coordOpts.ProbeInterval = time.Hour
+	}
 	f.coord = newTestServer(t, coordOpts)
 	return f
+}
+
+// primaryOf returns the replica index owning shard i's primary slot on
+// the coordinator's ring — the one to kill when a test needs shard i's
+// first attempt to fail deterministically.
+func (f *testFleet) primaryOf(t testing.TB, i int) int {
+	t.Helper()
+	owner := shard.NewRing(f.urls, 0).Lookup("shard:" + strconv.Itoa(i))
+	for j, u := range f.urls {
+		if u == owner {
+			return j
+		}
+	}
+	t.Fatalf("no replica owns shard %d", i)
+	return -1
+}
+
+// fleetWorkBody renders the tri-type sharded request with an explicit
+// work size — distinct sizes take distinct cache keys, so every round
+// of a soak recomputes instead of hitting the previous round's merge.
+func fleetWorkBody(shards int, work float64) string {
+	return fmt.Sprintf(`%s,"work":%g,"shards":%d}`, fleetTri, work, shards)
+}
+
+// unshardedWorkBody is the same request a plain server answers — the
+// bit-identical ground truth for fleetWorkBody merges.
+func unshardedWorkBody(work float64) string {
+	return fmt.Sprintf(`%s,"work":%g}`, fleetTri, work)
 }
 
 // TestFleetMergedBitIdenticalToUnsharded is the tentpole's serving-layer
@@ -103,40 +145,109 @@ func TestFleetSharesCacheWithUnsharded(t *testing.T) {
 	}
 }
 
-// TestFleetShardDownDegrades is the chaos-path satellite: with one
-// replica dead, the coordinator serves the surviving slices marked
-// degraded with the failed shard listed, never caches the partial, and
-// trips the dead replica's breaker after repeated fan-outs.
-func TestFleetShardDownDegrades(t *testing.T) {
-	f := newFleet(t, 4, Options{BreakerThreshold: 2, BreakerCooldown: time.Minute}, Options{})
-	f.backends[2].Close() // shard 2 of 4 now lands on a dead URL
+// TestFleetShardFailoverServesFull: with one replica dead but not yet
+// probed dead, the shards it owns fail over to the next ring member and
+// the coordinator keeps serving full, non-degraded merges bit-identical
+// to an unsharded server — the old "one dead replica degrades every
+// fan-out" behaviour is gone. Repeated fan-outs trip the dead replica's
+// breaker. Hedging is off so each failed first attempt is observed
+// synchronously (a cancelled hedge loser would be breaker-neutral).
+func TestFleetShardFailoverServesFull(t *testing.T) {
+	f := newFleet(t, 4, Options{
+		BreakerThreshold: 2, BreakerCooldown: time.Minute, DisableHedge: true,
+	}, Options{})
+	plain := newTestServer(t, Options{})
+	victim := f.primaryOf(t, 0) // shard 0's first attempt now lands on a dead URL
+	f.backends[victim].Close()
 
 	for round := 0; round < 3; round++ {
-		rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(4))
+		work := 5e7 + float64(round) // fresh cache key every round
+		want := post(t, plain, "/v1/enumerate-generic", unshardedWorkBody(work))
+		if want.Code != http.StatusOK {
+			t.Fatalf("round %d unsharded: %d %s", round, want.Code, want.Body)
+		}
+		rr := post(t, f.coord, "/v1/enumerate-generic", fleetWorkBody(4, work))
 		if rr.Code != http.StatusOK {
 			t.Fatalf("round %d: %d %s", round, rr.Code, rr.Body)
 		}
-		if rr.Header().Get("X-Degraded") != "true" {
-			t.Fatalf("round %d: partial merge not marked degraded", round)
+		if rr.Header().Get("X-Degraded") == "true" {
+			t.Fatalf("round %d: failover round marked degraded: %s", round, rr.Body)
 		}
-		if rr.Header().Get("X-Cache") == "hit" {
-			t.Fatalf("round %d: degraded partial was served from cache", round)
-		}
-		body := rr.Body.String()
-		if !strings.Contains(body, `"degraded":true`) || !strings.Contains(body, `"failed_shards":[2]`) {
-			t.Fatalf("round %d: body lacks degraded/failed_shards markers: %s", round, body)
+		if rr.Body.String() != want.Body.String() {
+			t.Fatalf("round %d: failover merge not bit-identical to unsharded\n fleet: %s\nsingle: %s",
+				round, rr.Body, want.Body)
 		}
 	}
 	snap := f.coord.reg.Snapshot()
-	if snap["heteromixd_fleet_shard_errors_total"] < 3 {
-		t.Errorf("fleet_shard_errors_total = %v, want >= 3", snap["heteromixd_fleet_shard_errors_total"])
+	if snap["heteromixd_fleet_failovers_total"] < 3 {
+		t.Errorf("fleet_failovers_total = %v, want >= 3 (one per round)",
+			snap["heteromixd_fleet_failovers_total"])
 	}
 	if snap["heteromixd_fleet_breaker_opens_total"] < 1 {
-		t.Errorf("fleet_breaker_opens_total = %v, want >= 1 (threshold 2, 3 failed fan-outs)",
+		t.Errorf("fleet_breaker_opens_total = %v, want >= 1 (threshold 2, 3 failed rounds)",
 			snap["heteromixd_fleet_breaker_opens_total"])
 	}
-	if snap["heteromixd_degraded_responses_total"] < 3 {
-		t.Errorf("degraded_responses_total = %v, want >= 3", snap["heteromixd_degraded_responses_total"])
+	if snap["heteromixd_fleet_shard_errors_total"] != 0 {
+		t.Errorf("fleet_shard_errors_total = %v, want 0 (every shard was rescued)",
+			snap["heteromixd_fleet_shard_errors_total"])
+	}
+}
+
+// TestFleetPartialWhenFailoverExhausted: a shard degrades only when its
+// whole candidate walk is down. The test computes, from the same ring
+// the coordinator uses, which shards have both top-2 candidates among
+// the killed replicas, and expects exactly those listed in
+// failed_shards — and the partial is never cached.
+func TestFleetPartialWhenFailoverExhausted(t *testing.T) {
+	const shards = 8
+	f := newFleet(t, 4, Options{DisableHedge: true}, Options{})
+
+	// Keep alive a single replica chosen so that at least one shard's
+	// top-2 candidates are both dead (ring order depends on the ephemeral
+	// listener ports, so the choice is computed, not hard-coded).
+	ring := shard.NewRing(f.urls, 0)
+	alive, expectFailed := -1, []int(nil)
+	for cand := range f.urls {
+		var fails []int
+		for i := 0; i < shards; i++ {
+			walk := ring.Successors("shard:" + strconv.Itoa(i))[:2]
+			if walk[0] != f.urls[cand] && walk[1] != f.urls[cand] {
+				fails = append(fails, i)
+			}
+		}
+		if len(fails) > 0 {
+			alive, expectFailed = cand, fails
+			break
+		}
+	}
+	if alive < 0 {
+		t.Skip("every shard's top-2 walk contains every replica (astronomically unlikely)")
+	}
+	for i := range f.chaos {
+		if i != alive {
+			f.chaos[i].Kill()
+		}
+	}
+
+	rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(shards))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("partial fan-out: %d %s", rr.Code, rr.Body)
+	}
+	if rr.Header().Get("X-Degraded") != "true" {
+		t.Fatalf("exhausted failover not marked degraded: %s", rr.Body)
+	}
+	wantList, _ := json.Marshal(expectFailed)
+	if !strings.Contains(rr.Body.String(), fmt.Sprintf(`"failed_shards":%s`, wantList)) {
+		t.Fatalf("failed_shards != %s in: %s", wantList, rr.Body)
+	}
+	// Degraded partials ride the error path: nothing was cached.
+	again := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(shards))
+	if again.Header().Get("X-Cache") == "hit" {
+		t.Fatal("degraded partial was served from cache")
+	}
+	if snap := f.coord.reg.Snapshot(); snap["heteromixd_fleet_shard_errors_total"] < float64(len(expectFailed)) {
+		t.Errorf("fleet_shard_errors_total = %v, want >= %d",
+			snap["heteromixd_fleet_shard_errors_total"], len(expectFailed))
 	}
 }
 
@@ -284,19 +395,21 @@ func TestRouteFallsBackWhenOwnerDead(t *testing.T) {
 // TestFleetChaosSoak extends the chaos soak to the fan-out path:
 // replicas inject errors and panics under the coordinator while it
 // scatter-gathers, and the fleet keeps answering only 200/503/504 with
-// degraded partials where slices failed.
+// degraded partials where slices failed. Failover means a shard only
+// degrades when BOTH its candidates fail in the same round, so the
+// injection probabilities sit well above the single-replica soak's.
 func TestFleetChaosSoak(t *testing.T) {
 	replicaOpts := Options{
 		Chaos: resilience.ChaosOptions{
-			ErrorProb: 0.3,
-			PanicProb: 0.1,
+			ErrorProb: 0.5,
+			PanicProb: 0.2,
 			Seed:      11,
 		},
 		BreakerThreshold: 100, // keep replica-side breakers out of the way
 	}
-	f := newFleet(t, 3, Options{BreakerThreshold: 50, CacheTTL: time.Millisecond}, replicaOpts)
+	f := newFleet(t, 3, Options{BreakerThreshold: 200, CacheTTL: time.Millisecond}, replicaOpts)
 	sawOK, sawDegraded := false, false
-	for round := 0; round < 25; round++ {
+	for round := 0; round < 30; round++ {
 		rr := post(t, f.coord, "/v1/enumerate-generic", fleetShardedBody(3))
 		switch rr.Code {
 		case http.StatusOK:
@@ -318,7 +431,7 @@ func TestFleetChaosSoak(t *testing.T) {
 		t.Error("no fan-out round succeeded under chaos")
 	}
 	if !sawDegraded {
-		t.Error("no round served a degraded partial under 30% shard errors")
+		t.Error("no round served a degraded partial under 70% per-request faults")
 	}
 	if hz := get(t, f.coord, "/healthz"); hz.Code != http.StatusOK {
 		t.Fatalf("coordinator unhealthy after soak: %d", hz.Code)

@@ -148,3 +148,55 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDeadlineHeader holds the 400-never-5xx contract on the
+// X-Deadline-Ms header: whatever a (possibly buggy) coordinator stamps,
+// a replica answers 200 for a valid deadline, 400 with a JSON error
+// body for a malformed one — never a 5xx, never a panic. Seed inputs
+// covering the rejection classes are checked in under
+// testdata/fuzz/FuzzDeadlineHeader.
+func FuzzDeadlineHeader(f *testing.F) {
+	seeds := []string{
+		"5000", "1", "3600000", // valid range
+		"0", "-1", "3600001", // out of range
+		"1.5", " 7", "+12", "0x10", // not a plain decimal integer
+		"99999999999999999999", // overflows int64
+		"abc", "", "∞", "12\x0034", // garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	body := `{"workload":"ep","arm":{"nodes":1}}`
+	f.Fuzz(func(t *testing.T, header string) {
+		s := fuzzServer(t)
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		// http.Header values must be valid per RFC 7230; NewRequest would
+		// not reject control bytes, but the transport never delivers them,
+		// so strip what a real server could not have received.
+		req.Header.Set("X-Deadline-Ms", sanitizeHeaderValue(header))
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		if rr.Code >= 500 {
+			t.Fatalf("X-Deadline-Ms %q answered %d: %s", header, rr.Code, rr.Body)
+		}
+		if rr.Code == http.StatusBadRequest {
+			var e errorResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("400 without a JSON error body for header %q: %s", header, rr.Body)
+			}
+		}
+	})
+}
+
+// sanitizeHeaderValue drops bytes a conforming HTTP transport would
+// never deliver in a field value (CTLs other than HTAB).
+func sanitizeHeaderValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '\t' || (c >= 0x20 && c != 0x7f) {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -768,6 +768,25 @@ type HealthResponse struct {
 	// ProfileGeneration is the global profile generation: 1 at start,
 	// incremented on every calibration version bump.
 	ProfileGeneration uint64 `json:"profile_generation"`
+	// Fleet is the probed replica set (coordinators only): one entry per
+	// configured replica with its health state and breaker state, plus
+	// the snapshot version that increments on every transition.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
+}
+
+// FleetHealth is the coordinator's replica-set view in /healthz.
+type FleetHealth struct {
+	Version  uint64               `json:"version"`
+	Replicas []FleetReplicaHealth `json:"replicas"`
+}
+
+// FleetReplicaHealth is one replica's health and breaker state.
+type FleetReplicaHealth struct {
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Breaker string `json:"breaker"`
+	// LastError is the most recent probe failure, empty while healthy.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // HealthCache is the cache's counters in wire form.
@@ -786,6 +805,18 @@ type HealthCache struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	info := buildinfo.Get()
 	st := s.cache.Stats()
+	var fleet *FleetHealth
+	if snap := s.FleetHealth(); snap != nil {
+		fleet = &FleetHealth{Version: snap.Version}
+		for _, rep := range snap.Replicas {
+			fleet.Replicas = append(fleet.Replicas, FleetReplicaHealth{
+				URL:       rep.URL,
+				State:     rep.State.String(),
+				Breaker:   s.fleet.breakerFor(rep.URL).State().String(),
+				LastError: rep.LastError,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		Version:       info.Version,
@@ -805,6 +836,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PanicsRecovered:   s.panics.Value(),
 		Draining:          s.draining.Load(),
 		ProfileGeneration: s.calib.Generation(),
+		Fleet:             fleet,
 	})
 }
 

@@ -40,6 +40,7 @@ import (
 	"heteromix/internal/buildinfo"
 	"heteromix/internal/calib"
 	"heteromix/internal/cluster"
+	"heteromix/internal/fleethealth"
 	"heteromix/internal/metrics"
 	"heteromix/internal/resilience"
 	"heteromix/internal/servercache"
@@ -131,6 +132,22 @@ type Options struct {
 	// itself to this replica's slice — how a fleet member started with
 	// -shard serves coordination-free.
 	DefaultShard shard.Shard
+	// ProbeInterval is the fleet health prober's base period (default
+	// 2s). Only meaningful with Replicas.
+	ProbeInterval time.Duration
+	// SuspectAfter and DeadAfter are the consecutive probe-failure
+	// counts that demote a replica to suspect (still routable) and
+	// declare it dead (shards fail over away), defaults 1 and 3.
+	SuspectAfter int
+	DeadAfter    int
+	// HedgeQuantile selects the shard-latency quantile the coordinator
+	// derives its hedge delay from: a shard request still unanswered at
+	// that latency gets a second copy sent to the next healthy replica,
+	// first success wins (default 0.9; must be in (0, 1)).
+	HedgeQuantile float64
+	// DisableHedge turns hedged shard fan-out off. Failover on error and
+	// health-based shard reassignment still apply.
+	DisableHedge bool
 	// RefitThreshold is the rolling mean relative prediction error above
 	// which /v1/fit ingests trigger an automatic profile refit (default
 	// 0.10, i.e. 10%).
@@ -186,6 +203,13 @@ type Server struct {
 	fleet    *fleetClient
 	ring     *shard.Ring
 
+	// health probes the configured replicas and publishes lock-free
+	// ReplicaSet snapshots; shardRing is the consistent-hash ring the
+	// fan-out walks for deterministic shard failover. Both are nil
+	// without Replicas.
+	health    *fleethealth.Prober
+	shardRing *shard.Ring
+
 	inflight          *metrics.Gauge
 	rejected          *metrics.Counter
 	timeouts          *metrics.Counter
@@ -210,6 +234,13 @@ type Server struct {
 	fleetFanouts      *metrics.Counter
 	fleetShardErrors  *metrics.Counter
 	fleetBreakerOpens *metrics.Counter
+	fleetHedges       *metrics.Counter
+	fleetHedgeWins    *metrics.Counter
+	fleetFailovers    *metrics.Counter
+	fleetShardLatency *metrics.Histogram
+	deadlineCapped    *metrics.Counter
+	replicaState      map[string]*metrics.Gauge
+	targetBreaker     map[string]*metrics.Gauge
 	routedReqs        *metrics.Counter
 	routeFallbacks    *metrics.Counter
 	calibSamples      *metrics.Counter
@@ -306,6 +337,18 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %v", err)
 		}
 	}
+	if opts.ProbeInterval < 0 {
+		return nil, fmt.Errorf("server: negative probe interval %v", opts.ProbeInterval)
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.HedgeQuantile == 0 {
+		opts.HedgeQuantile = 0.9
+	}
+	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile >= 1 {
+		return nil, fmt.Errorf("server: hedge quantile must be in (0, 1), got %v", opts.HedgeQuantile)
+	}
 
 	s := &Server{
 		opts:   opts,
@@ -347,21 +390,45 @@ func New(opts Options) (*Server, error) {
 	})
 	if len(opts.Replicas) > 0 {
 		// One breaker per replica URL: a dead replica fails its shards
-		// fast; every open transition is counted fleet-wide.
-		s.fleet = newFleetClient(func() *resilience.Breaker {
+		// fast; every open transition is counted fleet-wide and mirrored
+		// into that target's labeled breaker_state gauge. Context
+		// cancellations are neutral — a hedge loser was abandoned, not
+		// refused, so it must not trip a healthy replica's breaker.
+		s.fleet = newFleetClient(func(target string) *resilience.Breaker {
+			gauge := s.targetBreaker[target]
 			return resilience.NewBreaker(resilience.BreakerOptions{
 				FailureThreshold: opts.BreakerThreshold,
 				Cooldown:         opts.BreakerCooldown,
+				IsFailure:        func(err error) bool { return !errors.Is(err, context.Canceled) },
 				OnStateChange: func(_, to resilience.BreakerState) {
+					if gauge != nil {
+						gauge.Set(int64(to))
+					}
 					if to == resilience.Open {
 						s.fleetBreakerOpens.Inc()
 					}
 				},
 			})
 		})
+		s.shardRing = shard.NewRing(opts.Replicas, 0)
 		if opts.RouteKey == "workload" || opts.RouteKey == "cluster" {
-			s.ring = shard.NewRing(opts.Replicas, 0)
+			s.ring = s.shardRing
 		}
+		s.health, err = fleethealth.New(fleethealth.Options{
+			Targets:      opts.Replicas,
+			Interval:     opts.ProbeInterval,
+			SuspectAfter: opts.SuspectAfter,
+			DeadAfter:    opts.DeadAfter,
+			OnTransition: func(target string, _, to fleethealth.State) {
+				if g := s.replicaState[target]; g != nil {
+					g.Set(int64(to))
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.health.Start()
 	}
 	s.registerRoutes()
 	return s, nil
@@ -417,6 +484,27 @@ func (s *Server) registerMetrics() {
 		"shard requests that failed within a fan-out")
 	s.fleetBreakerOpens = r.NewCounter("heteromixd_fleet_breaker_opens_total",
 		"times a per-replica circuit breaker tripped open")
+	s.fleetHedges = r.NewCounter("heteromixd_fleet_hedges_total",
+		"hedged shard requests launched after the hedge delay")
+	s.fleetHedgeWins = r.NewCounter("heteromixd_fleet_hedge_wins_total",
+		"hedged shard requests that answered before the primary")
+	s.fleetFailovers = r.NewCounter("heteromixd_fleet_failovers_total",
+		"shard requests re-sent to the next replica after the primary failed")
+	s.fleetShardLatency = r.NewHistogram("heteromixd_fleet_shard_latency_seconds",
+		"successful shard request latency as seen by the coordinator",
+		metrics.DefLatencyBuckets())
+	s.deadlineCapped = r.NewCounter("heteromixd_deadline_capped_total",
+		"requests whose timeout was tightened by a propagated X-Deadline-Ms")
+	s.replicaState = make(map[string]*metrics.Gauge, len(s.opts.Replicas))
+	s.targetBreaker = make(map[string]*metrics.Gauge, len(s.opts.Replicas))
+	for _, target := range s.opts.Replicas {
+		s.replicaState[target] = r.NewGauge("heteromixd_fleet_replica_state",
+			"probed replica health (0 healthy, 1 suspect, 2 dead, 3 recovering)",
+			metrics.Label{Key: "target", Value: target})
+		s.targetBreaker[target] = r.NewGauge("heteromixd_breaker_state",
+			"per-replica circuit breaker state (0 closed, 1 open, 2 half-open)",
+			metrics.Label{Key: "target", Value: target})
+	}
 	s.routedReqs = r.NewCounter("heteromixd_routed_requests_total",
 		"requests forwarded to their consistent-hash owner")
 	s.routeFallbacks = r.NewCounter("heteromixd_route_fallbacks_total",
@@ -567,7 +655,26 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				return
 			}
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		// Deadline propagation: a coordinator stamps its remaining budget
+		// on sub-requests as X-Deadline-Ms; a tighter propagated deadline
+		// caps this handler's timeout so the replica sheds work whose
+		// answer the coordinator could no longer use. Malformed values are
+		// a client error (400, never 500).
+		timeout := s.opts.RequestTimeout
+		if h := r.Header.Get(deadlineHeader); h != "" && limited {
+			ms, err := strconv.ParseInt(h, 10, 64)
+			if err != nil || ms <= 0 || ms > maxDeadlineMs {
+				em.errors.Inc()
+				writeError(w, http.StatusBadRequest,
+					"%s must be an integer in [1, %d], got %q", deadlineHeader, maxDeadlineMs, h)
+				return
+			}
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+				s.deadlineCapped.Inc()
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 
@@ -618,6 +725,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // wires SIGTERM/SIGINT into ctx), then drains in-flight requests for up
 // to Options.ShutdownGrace before returning.
 func (s *Server) Run(ctx context.Context, addr string) error {
+	defer s.Close()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -651,6 +759,34 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 			return err
 		}
 		return <-errCh
+	}
+}
+
+// Close releases the server's background resources — today the fleet
+// health prober's goroutines. Idempotent and safe on a server without
+// replicas; callers that construct with New and never Run should defer
+// it (Run closes on exit itself).
+func (s *Server) Close() {
+	if s.health != nil {
+		s.health.Stop()
+	}
+}
+
+// FleetHealth returns the current replica-set snapshot, nil without
+// replicas. Lock-free; intended for tests, logs and operator tooling.
+func (s *Server) FleetHealth() *fleethealth.ReplicaSet {
+	if s.health == nil {
+		return nil
+	}
+	return s.health.Snapshot()
+}
+
+// ProbeFleet forces one synchronous probe round across all replicas —
+// how tests observe kill/revive transitions without waiting out the
+// probe interval. No-op without replicas.
+func (s *Server) ProbeFleet(ctx context.Context) {
+	if s.health != nil {
+		s.health.ProbeNow(ctx)
 	}
 }
 

@@ -55,6 +55,7 @@ func newTestServer(t testing.TB, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 

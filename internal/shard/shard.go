@@ -260,3 +260,31 @@ func (r *Ring) Lookup(key string) string {
 	}
 	return r.points[i].member
 }
+
+// Successors returns every distinct member in ring order starting at
+// key's owner: Successors(k)[0] == Lookup(k), and each later entry is
+// the next new member met walking the circle — the deterministic
+// failover order a coordinator reassigns a dead owner's work along.
+// Like Lookup it is a pure function of (members, key), so every
+// coordinator agrees on the walk with no communication.
+func (r *Ring) Successors(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for k := 0; k < len(r.points); k++ {
+		m := r.points[(start+k)%len(r.points)].member
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}

@@ -218,3 +218,49 @@ func TestRingLookup(t *testing.T) {
 		t.Fatalf("nil-member ring Lookup = %q", got)
 	}
 }
+
+func TestRingSuccessors(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(members, 0)
+	r2 := NewRing([]string{members[3], members[1], members[0], members[2]}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("shard:%d", i)
+		succ := r.Successors(key)
+		if len(succ) != len(members) {
+			t.Fatalf("Successors(%q) has %d members, want %d: %v", key, len(succ), len(members), succ)
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("Successors(%q)[0] = %q, Lookup = %q", key, succ[0], r.Lookup(key))
+		}
+		seen := make(map[string]bool)
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeats %q: %v", key, m, succ)
+			}
+			seen[m] = true
+		}
+		// Deterministic across construction order: every coordinator
+		// agrees on the whole failover walk, not just the owner.
+		succ2 := r2.Successors(key)
+		for j := range succ {
+			if succ[j] != succ2[j] {
+				t.Fatalf("member order changed the walk for %q: %v vs %v", key, succ, succ2)
+			}
+		}
+	}
+	// The second member varies across keys: the walk spreads failover
+	// load instead of funneling every dead owner's shards to one peer.
+	second := make(map[string]int)
+	for i := 0; i < 500; i++ {
+		second[r.Successors(fmt.Sprintf("shard:%d", i))[1]]++
+	}
+	if len(second) < 2 {
+		t.Fatalf("failover successor is constant across keys: %v", second)
+	}
+	if got := (&Ring{}).Successors("x"); got != nil {
+		t.Fatalf("empty ring Successors = %v", got)
+	}
+	if got := NewRing([]string{"only"}, 0).Successors("x"); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-member Successors = %v", got)
+	}
+}
