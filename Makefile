@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit ci
+.PHONY: all build vet test race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat ci
 
 all: ci
 
@@ -121,4 +121,16 @@ bench-fit:
 		-bench 'BenchmarkFitRefit|BenchmarkWarmPredict(SteadyState|AfterBump)' \
 		-benchmem -benchtime=200x
 
-ci: vet build race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit
+# Cold-start elimination gates: a -preheat restart must reach its first
+# answers (one predict plus the tri-cluster frontier walk) ≥4x faster
+# than a no-snapshot restart, the preheated first predict must beat the
+# cold one ≥4x and land within 3x of a steady-state warm hit; plus the
+# fixed-iteration restart benchmarks. Baselines in BENCH_serving.json.
+bench-preheat:
+	HETEROMIX_PREHEAT_GATE=1 $(GO) test ./internal/server -count=1 \
+		-run 'TestPreheatSpeedupGate' -v
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'BenchmarkColdStart(NoSnapshot|Preheated)' \
+		-benchmem -benchtime=20x
+
+ci: vet build race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat

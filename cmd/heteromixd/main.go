@@ -17,6 +17,8 @@
 //	           [-hedge-quantile q]
 //	           [-refit-threshold e] [-max-fit-samples n]
 //	           [-profile-snapshot file]
+//	           [-preheat file] [-snapshot-interval d] [-peer-warm]
+//	           [-cache-bytes n] [-table-cache-bytes n]
 //
 // -shard makes this instance serve slice i/n of frontier-only generic
 // enumerations, -replicas makes it a coordinator that fans sharded
@@ -28,6 +30,14 @@
 // along the hash ring, and hedges slow shard requests at the
 // -hedge-quantile of observed shard latency (0 disables hedging). See
 // the README "Fleet mode" and "Fleet self-healing" sections.
+//
+// -preheat loads a binary cache snapshot (compiled kernel tables plus
+// the hottest result-cache entries) before the listener opens, so the
+// first requests after a restart serve warm; with -snapshot-interval
+// the daemon also writes the snapshot back periodically and on
+// shutdown. -peer-warm instead pulls the snapshot from a healthy
+// -replicas sibling over GET /v1/snapshot. See the README "Cold start
+// & preheat" section.
 package main
 
 import (
@@ -52,29 +62,34 @@ import (
 // daemonConfig is everything the flags select; split from main so tests
 // can build a serving instance without a flag set.
 type daemonConfig struct {
-	noise           float64
-	seed            int64
-	cache           int
-	tableCache      int
-	maxConcurrent   int
-	maxNodes        int
-	maxGenericSpace uint64
-	maxBatchItems   int
-	timeout         time.Duration
-	cacheTTL        time.Duration
-	drainDelay      time.Duration
-	chaosSpec       string
-	pprof           bool
-	shardSpec       string
-	replicas        string
-	routeKey        string
-	probeInterval   time.Duration
-	suspectAfter    int
-	deadAfter       int
-	hedgeQuantile   float64
-	refitThreshold  float64
-	maxFitSamples   int
-	profileSnapshot string
+	noise            float64
+	seed             int64
+	cache            int
+	tableCache       int
+	maxConcurrent    int
+	maxNodes         int
+	maxGenericSpace  uint64
+	maxBatchItems    int
+	timeout          time.Duration
+	cacheTTL         time.Duration
+	drainDelay       time.Duration
+	chaosSpec        string
+	pprof            bool
+	shardSpec        string
+	replicas         string
+	routeKey         string
+	probeInterval    time.Duration
+	suspectAfter     int
+	deadAfter        int
+	hedgeQuantile    float64
+	refitThreshold   float64
+	maxFitSamples    int
+	profileSnapshot  string
+	preheat          string
+	snapshotInterval time.Duration
+	peerWarm         bool
+	cacheBytes       int64
+	tableCacheBytes  int64
 }
 
 func main() {
@@ -103,6 +118,11 @@ func main() {
 	flag.Float64Var(&cfg.refitThreshold, "refit-threshold", 0.10, "rolling mean relative prediction error above which /v1/fit samples trigger an automatic profile refit")
 	flag.IntVar(&cfg.maxFitSamples, "max-fit-samples", 256, "calibration samples kept per (workload, node) pair")
 	flag.StringVar(&cfg.profileSnapshot, "profile-snapshot", "", "file refit profiles persist to on every version bump and load from at startup")
+	flag.StringVar(&cfg.preheat, "preheat", "", "cache snapshot file to load compiled tables and hot results from before the listener opens (also where -snapshot-interval writes)")
+	flag.DurationVar(&cfg.snapshotInterval, "snapshot-interval", 0, "how often to persist the cache snapshot to the -preheat path, plus a final write on shutdown (0 = load-only)")
+	flag.BoolVar(&cfg.peerWarm, "peer-warm", false, "pull a cache snapshot from a healthy -replicas sibling at startup and after recovering from dead")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "result cache byte budget (0 = entries-only limit)")
+	flag.Int64Var(&cfg.tableCacheBytes, "table-cache-bytes", 0, "compiled kernel-table cache byte budget (0 = entries-only limit)")
 	cliutil.Parse(0)
 
 	srv, err := newServer(cfg)
@@ -155,28 +175,33 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		return nil, err
 	}
 	return server.New(server.Options{
-		Models:            suite,
-		CacheEntries:      cfg.cache,
-		TableCacheEntries: cfg.tableCache,
-		MaxConcurrent:     cfg.maxConcurrent,
-		MaxNodes:          cfg.maxNodes,
-		MaxGenericSpace:   cfg.maxGenericSpace,
-		MaxBatchItems:     cfg.maxBatchItems,
-		RequestTimeout:    cfg.timeout,
-		CacheTTL:          cfg.cacheTTL,
-		DrainDelay:        cfg.drainDelay,
-		Chaos:             chaos,
-		EnablePprof:       cfg.pprof,
-		DefaultShard:      defaultShard,
-		Replicas:          replicas,
-		RouteKey:          cfg.routeKey,
-		ProbeInterval:     cfg.probeInterval,
-		SuspectAfter:      cfg.suspectAfter,
-		DeadAfter:         cfg.deadAfter,
-		HedgeQuantile:     cfg.hedgeQuantile,
-		DisableHedge:      cfg.hedgeQuantile == 0,
-		RefitThreshold:    cfg.refitThreshold,
-		MaxFitSamples:     cfg.maxFitSamples,
-		ProfileSnapshot:   cfg.profileSnapshot,
+		Models:             suite,
+		CacheEntries:       cfg.cache,
+		TableCacheEntries:  cfg.tableCache,
+		MaxConcurrent:      cfg.maxConcurrent,
+		MaxNodes:           cfg.maxNodes,
+		MaxGenericSpace:    cfg.maxGenericSpace,
+		MaxBatchItems:      cfg.maxBatchItems,
+		RequestTimeout:     cfg.timeout,
+		CacheTTL:           cfg.cacheTTL,
+		DrainDelay:         cfg.drainDelay,
+		Chaos:              chaos,
+		EnablePprof:        cfg.pprof,
+		DefaultShard:       defaultShard,
+		Replicas:           replicas,
+		RouteKey:           cfg.routeKey,
+		ProbeInterval:      cfg.probeInterval,
+		SuspectAfter:       cfg.suspectAfter,
+		DeadAfter:          cfg.deadAfter,
+		HedgeQuantile:      cfg.hedgeQuantile,
+		DisableHedge:       cfg.hedgeQuantile == 0,
+		RefitThreshold:     cfg.refitThreshold,
+		MaxFitSamples:      cfg.maxFitSamples,
+		ProfileSnapshot:    cfg.profileSnapshot,
+		SnapshotPath:       cfg.preheat,
+		SnapshotInterval:   cfg.snapshotInterval,
+		PeerWarm:           cfg.peerWarm,
+		CacheMaxBytes:      cfg.cacheBytes,
+		TableCacheMaxBytes: cfg.tableCacheBytes,
 	})
 }

@@ -224,3 +224,57 @@ func TestHealFlagsPlumbThrough(t *testing.T) {
 	}
 	srv2.Close()
 }
+
+func TestPreheatFlagsPlumbThrough(t *testing.T) {
+	// First life: serve one predict, then shut down with
+	// -snapshot-interval so Close persists the cache snapshot.
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	cfg := testConfig()
+	cfg.preheat = path
+	cfg.snapshotInterval = time.Hour
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/predict",
+		strings.NewReader(`{"workload":"ep","arm":{"nodes":2}}`)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("predict: %d %s", rr.Code, rr.Body)
+	}
+	srv.Close()
+
+	// Second life: -preheat loads it back and /healthz says so.
+	cfg = testConfig()
+	cfg.preheat = path
+	srv, err = newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"snapshot":{`) {
+		t.Fatalf("healthz has no snapshot section after -preheat: %d %s", rr.Code, rr.Body)
+	}
+
+	// Bad combinations fail validation instead of serving cold.
+	for _, tc := range []struct {
+		name   string
+		mutate func(*daemonConfig)
+	}{
+		{"negative snapshot interval", func(c *daemonConfig) {
+			c.preheat = path
+			c.snapshotInterval = -time.Second
+		}},
+		{"peer-warm without replicas", func(c *daemonConfig) { c.peerWarm = true }},
+		{"negative cache-bytes", func(c *daemonConfig) { c.cacheBytes = -1 }},
+		{"negative table-cache-bytes", func(c *daemonConfig) { c.tableCacheBytes = -1 }},
+	} {
+		cfg := testConfig()
+		tc.mutate(&cfg)
+		if _, err := newServer(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -359,3 +359,31 @@ func TestNilBaseRegistryServesOverridesOnly(t *testing.T) {
 		t.Error("nil-base registry served a Space")
 	}
 }
+
+// TestStateHashTracksProfileState: equal profile state → equal hash;
+// any bump → different hash. Snapshot compatibility rides on this.
+func TestStateHashTracksProfileState(t *testing.T) {
+	a := NewRegistry(testSuite(), Options{})
+	b := NewRegistry(testSuite(), Options{})
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("fresh registries must share a state hash")
+	}
+	base := a.StateHash()
+	nm, err := testSuite().Model("ep", hwsim.ARMCortexA9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm.Power.Idle *= 1.07
+	if _, err := a.Install("ep", nm.Spec.Name, nm, "install"); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateHash() == base {
+		t.Fatal("installing an override must change the state hash")
+	}
+	if _, err := b.Install("ep", nm.Spec.Name, nm, "install"); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("identical installs must converge to the same state hash")
+	}
+}

@@ -12,6 +12,8 @@ package calib
 // retired version again.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -519,6 +521,43 @@ func (r *Registry) Statuses() []Status {
 		return out[i].Node < out[j].Node
 	})
 	return out
+}
+
+// StateHash returns a content hash (16 hex chars) of the registry's
+// full profile state: every workload's active version plus every
+// installed override's identity (workload, node, version, content
+// hash). Two registries report the same StateHash exactly when every
+// cache key either would mint resolves to the same model parameters, so
+// cache snapshots are bound to it: a snapshot written under one state
+// hash is rejected by a server in any other state rather than silently
+// serving another profile's numbers.
+func (r *Registry) StateHash() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	workloads := make([]string, 0, len(r.versions))
+	for w := range r.versions {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	keys := make([]Key, 0, len(r.overrides))
+	for k := range r.overrides {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Workload != keys[j].Workload {
+			return keys[i].Workload < keys[j].Workload
+		}
+		return keys[i].Node < keys[j].Node
+	})
+	h := sha256.New()
+	for _, w := range workloads {
+		fmt.Fprintf(h, "v|%s|%d\n", w, r.versions[w])
+	}
+	for _, k := range keys {
+		e := r.overrides[k]
+		fmt.Fprintf(h, "o|%s|%s|%d|%s\n", k.Workload, k.Node, e.Version, e.Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 // Overrides returns the installed entries, sorted by workload then

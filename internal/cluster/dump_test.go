@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTableDumpRoundTrip asserts the cold-start contract: a table
+// restored from a dump walks and evaluates bit-identically to the one
+// the dump came from — same points, same split fractions, down to the
+// last mantissa bit.
+func TestTableDumpRoundTrip(t *testing.T) {
+	space := epSpace(t)
+	tbl, err := space.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := space.NewTableFromDump(tbl.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxARM, maxAMD = 3, 2
+	const w = 1000.0
+	if got, want := restored.Size(maxARM, maxAMD), tbl.Size(maxARM, maxAMD); got != want {
+		t.Fatalf("restored Size = %d, want %d", got, want)
+	}
+	if got, want := restored.SizeBytes(), tbl.SizeBytes(); got != want {
+		t.Fatalf("restored SizeBytes = %d, want %d", got, want)
+	}
+	var want []Point
+	if err := tbl.ForEach(maxARM, maxAMD, w, func(p Point) bool {
+		want = append(want, p)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := restored.ForEach(maxARM, maxAMD, w, func(p Point) bool {
+		if i >= len(want) {
+			t.Fatalf("restored table yielded more than %d points", len(want))
+		}
+		if p != want[i] {
+			t.Fatalf("point %d: restored %+v != original %+v", i, p, want[i])
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("restored table yielded %d points, want %d", i, len(want))
+	}
+	// Spot-check Evaluate parity on one mixed configuration.
+	cfg := want[len(want)-1].Config
+	p1, err := tbl.Evaluate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := restored.Evaluate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("Evaluate mismatch: original %+v, restored %+v", p1, p2)
+	}
+	if restored.Space().NoSwitchEnergy != space.NoSwitchEnergy {
+		t.Fatal("restored table lost its Space flags")
+	}
+}
+
+// TestGenericTableDumpRoundTrip does the same for the N-type
+// mixed-radix table, including frontier parity.
+func TestGenericTableDumpRoundTrip(t *testing.T) {
+	g, err := NewGenericTable(triTypes(t, 2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewGenericTableFromDump(g.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Size(), g.Size(); got != want {
+		t.Fatalf("restored Size = %d, want %d", got, want)
+	}
+	if got, want := restored.Types(), g.Types(); got != want {
+		t.Fatalf("restored Types = %d, want %d", got, want)
+	}
+	if got, want := restored.SizeBytes(), g.SizeBytes(); got != want {
+		t.Fatalf("restored SizeBytes = %d, want %d", got, want)
+	}
+	const w = 1000.0
+	want, err := g.Enumerate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Enumerate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored enumerated %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !genericPointEqual(got[i], want[i]) {
+			t.Fatalf("point %d: restored %+v != original %+v", i, got[i], want[i])
+		}
+	}
+	_, wantTE, err := g.Frontier(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotTE, err := restored.Frontier(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTE) != len(wantTE) {
+		t.Fatalf("restored frontier has %d points, want %d", len(gotTE), len(wantTE))
+	}
+	for i := range wantTE {
+		if gotTE[i] != wantTE[i] {
+			t.Fatalf("frontier point %d: restored %+v != original %+v", i, gotTE[i], wantTE[i])
+		}
+	}
+}
+
+func genericPointEqual(a, b GenericPoint) bool {
+	if a.Time != b.Time || a.Energy != b.Energy {
+		return false
+	}
+	if len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] || a.Configs[i] != b.Configs[i] || a.Work[i] != b.Work[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTableDumpRejectsCorruption: a bit-flipped or structurally bogus
+// dump must fail restore, never produce a table that divides by zero.
+func TestTableDumpRejectsCorruption(t *testing.T) {
+	space := epSpace(t)
+	tbl, err := space.NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tbl.Dump()
+	cases := []struct {
+		name    string
+		mutate  func(d *TableDump)
+		wantSub string
+	}{
+		{"zero time coefficient", func(d *TableDump) { d.ARM[0].TimeBits = 0 }, "time coefficient"},
+		{"NaN time coefficient", func(d *TableDump) { d.AMD[0].TimeBits = math.Float64bits(math.NaN()) }, "time coefficient"},
+		{"negative energy", func(d *TableDump) { d.ARM[1].EnergyBits = math.Float64bits(-1) }, "energy coefficient"},
+		{"inf energy", func(d *TableDump) { d.ARM[1].EnergyBits = math.Float64bits(math.Inf(1)) }, "energy coefficient"},
+		{"zero cores", func(d *TableDump) { d.ARM[0].Cores = 0 }, "cores"},
+		{"zero frequency", func(d *TableDump) { d.AMD[0].FrequencyBits = 0 }, "frequency"},
+		{"NaN switch wattage", func(d *TableDump) { d.SwitchWBits = math.Float64bits(math.NaN()) }, "switch wattage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base
+			d.ARM = append([]KernelEntryDump(nil), base.ARM...)
+			d.AMD = append([]KernelEntryDump(nil), base.AMD...)
+			tc.mutate(&d)
+			if _, err := space.NewTableFromDump(d); err == nil {
+				t.Fatal("corrupted dump restored without error")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestGenericDumpRejectsCorruption(t *testing.T) {
+	g, err := NewGenericTable(triTypes(t, 2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() GenericTableDump {
+		d := g.Dump()
+		types := make([]GenericTypeDump, len(d.Types))
+		for i, td := range d.Types {
+			td.Options = append([]GenericOptionDump(nil), td.Options...)
+			types[i] = td
+		}
+		d.Types = types
+		return d
+	}
+	cases := []struct {
+		name    string
+		mutate  func(d *GenericTableDump)
+		wantSub string
+	}{
+		{"no types", func(d *GenericTableDump) { d.Types = nil }, "no node types"},
+		{"missing absent option", func(d *GenericTableDump) { d.Types[0].Options = d.Types[0].Options[1:] }, "absent"},
+		{"absent out of place", func(d *GenericTableDump) { d.Types[1].Options[2].Count = 0 }, "absent"},
+		{"negative count", func(d *GenericTableDump) { d.Types[0].Options[1].Count = -3 }, "negative count"},
+		{"zero time coefficient", func(d *GenericTableDump) { d.Types[2].Options[1].TimeBits = 0 }, "time coefficient"},
+		{"negative switch wattage", func(d *GenericTableDump) { d.Types[0].SwitchWBits = math.Float64bits(-2) }, "switch wattage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := clone()
+			tc.mutate(&d)
+			if _, err := NewGenericTableFromDump(d); err == nil {
+				t.Fatal("corrupted dump restored without error")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -132,6 +132,17 @@ func (s *Suite) WarmAllModels() error {
 	return nil
 }
 
+// ModelFingerprint identifies the deterministic inputs of the suite's
+// model-fitting pipeline: the seed, the noise sigma and the two primary
+// node types. Two suites with equal fingerprints that warmed in the
+// canonical order (WarmAllModels) fit bit-identical models, so cache
+// snapshots embed it: a snapshot from a sibling started with a
+// different -seed or -noise must be rejected, not loaded.
+func (s *Suite) ModelFingerprint() string {
+	return fmt.Sprintf("suite|seed=%d|noise=%g|arm=%s|amd=%s",
+		s.Opts.Seed, s.Opts.NoiseSigma, s.ARM.Name, s.AMD.Name)
+}
+
 // Table returns the memoized compiled kernel table for a workload's
 // space with the given switch accounting. Concurrent callers collapse
 // onto one build; the table is immutable and shared.

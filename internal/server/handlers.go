@@ -772,6 +772,10 @@ type HealthResponse struct {
 	// configured replica with its health state and breaker state, plus
 	// the snapshot version that increments on every transition.
 	Fleet *FleetHealth `json:"fleet,omitempty"`
+	// Snapshot reports the cache snapshot subsystem (preheat, background
+	// writer, peer warming): the last snapshot's hash, age and entry
+	// counts plus the load/save/reject totals.
+	Snapshot *SnapshotHealth `json:"snapshot,omitempty"`
 }
 
 // FleetHealth is the coordinator's replica-set view in /healthz.
@@ -837,6 +841,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Draining:          s.draining.Load(),
 		ProfileGeneration: s.calib.Generation(),
 		Fleet:             fleet,
+		Snapshot:          s.snapshotHealth(),
 	})
 }
 

@@ -162,10 +162,38 @@ type Options struct {
 	// every version bump and load from at startup. A missing file is a
 	// normal first start; a corrupt or hash-mismatched one fails New.
 	ProfileSnapshot string
+	// SnapshotPath, when set, names the binary cache snapshot file
+	// (internal/snapshot): compiled kernel tables and hot result bodies
+	// are preheated from it before the listener opens, so the first
+	// request after a restart is a cache hit instead of a table build. A
+	// missing file is a normal first start and a snapshot written under
+	// other profiles, models or build is skipped (the server starts
+	// cold); a corrupt file fails New, like ProfileSnapshot.
+	SnapshotPath string
+	// SnapshotInterval is the background snapshot writer's period; with
+	// SnapshotPath set and a positive interval, the hottest cache entries
+	// persist atomically every interval and once more on Close. 0
+	// disables the writer (an existing file still preheats).
+	SnapshotInterval time.Duration
+	// MaxSnapshotBytes caps accepted and served snapshots — the preheat
+	// file, GET /v1/snapshot responses and peer-warm pulls (default
+	// 64 MiB).
+	MaxSnapshotBytes int64
+	// PeerWarm pulls a healthy ring sibling's snapshot over
+	// GET /v1/snapshot the first time the fleet prober sees one healthy,
+	// warming this replica's caches after a cold start or recovery.
+	// Requires Replicas.
+	PeerWarm bool
+	// CacheMaxBytes bounds the result cache's resident response-body
+	// bytes (0 = unlimited; entries still bound it).
+	CacheMaxBytes int64
+	// TableCacheMaxBytes bounds the compiled kernel-table cache's
+	// resident bytes (0 = unlimited; entries still bound it).
+	TableCacheMaxBytes int64
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "fit", "profiles", "healthz", "readyz"}
+var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "fit", "profiles", "snapshot", "healthz", "readyz"}
 
 // chaosKinds labels the chaos-injection counters.
 var chaosKinds = []string{"latency", "error", "panic", "timeout"}
@@ -248,8 +276,27 @@ type Server struct {
 	calibInvalid      *metrics.Counter
 	calibSnapErrors   *metrics.Counter
 	calibDrift        *metrics.Gauge
+	snapshotLoads     *metrics.Counter
+	snapshotSaves     *metrics.Counter
+	snapshotRejects   *metrics.Counter
+	snapshotSaveErrs  *metrics.Counter
+	snapshotBytes     *metrics.Gauge
 	chaosInject       map[string]*metrics.Counter
 	byEndpoint        map[string]*endpointMetrics
+
+	// snapMu guards snapInfo, the last loaded-or-written snapshot's
+	// identity reported by /healthz. The writer goroutine (snapStop /
+	// snapDone / snapOnce) runs only with SnapshotPath and a positive
+	// SnapshotInterval; peerWarmed latches the one-shot peer-warm pull.
+	snapMu     sync.Mutex
+	snapInfo   snapshotInfo
+	snapStop   chan struct{}
+	snapDone   chan struct{}
+	snapOnce   sync.Once
+	peerWarmed atomic.Bool
+	warmStop   chan struct{}
+	warmDone   chan struct{}
+	warmOnce   sync.Once
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -349,6 +396,21 @@ func New(opts Options) (*Server, error) {
 	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile >= 1 {
 		return nil, fmt.Errorf("server: hedge quantile must be in (0, 1), got %v", opts.HedgeQuantile)
 	}
+	if opts.SnapshotInterval < 0 {
+		return nil, fmt.Errorf("server: negative snapshot interval %v", opts.SnapshotInterval)
+	}
+	if opts.MaxSnapshotBytes < 0 {
+		return nil, fmt.Errorf("server: negative snapshot byte cap %d", opts.MaxSnapshotBytes)
+	}
+	if opts.MaxSnapshotBytes == 0 {
+		opts.MaxSnapshotBytes = defaultMaxSnapshotBytes
+	}
+	if opts.CacheMaxBytes < 0 || opts.TableCacheMaxBytes < 0 {
+		return nil, fmt.Errorf("server: cache byte limits must be non-negative")
+	}
+	if opts.PeerWarm && len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("server: peer warming requires replicas")
+	}
 
 	s := &Server{
 		opts:   opts,
@@ -360,6 +422,8 @@ func New(opts Options) (*Server, error) {
 		start:  time.Now(),
 		chaos:  chaos,
 	}
+	s.cache.SetMaxBytes(opts.CacheMaxBytes)
+	s.tables.SetMaxBytes(opts.TableCacheMaxBytes)
 	// All model resolution runs through the calibration registry: the
 	// base source with versioned refit overrides overlaid. The generic
 	// endpoint's capability gate keys on the base source, not the
@@ -423,12 +487,39 @@ func New(opts Options) (*Server, error) {
 				if g := s.replicaState[target]; g != nil {
 					g.Set(int64(to))
 				}
+				// Peer warming: the first sibling probed healthy donates its
+				// hottest cache entries to this freshly started replica.
+				s.maybePeerWarm(target, to)
 			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.health.Start()
+	}
+	// Preheat before the listener can open: the first request served
+	// after New returns already sees warm caches. A corrupt snapshot
+	// fails New (like ProfileSnapshot); an incompatible one is counted
+	// and skipped — the server starts cold rather than refusing to start
+	// after a legitimate profile or build change.
+	if opts.SnapshotPath != "" {
+		if err := s.preheat(opts.SnapshotPath); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: preheating from %s: %w", opts.SnapshotPath, err)
+		}
+		if opts.SnapshotInterval > 0 {
+			s.snapStop = make(chan struct{})
+			s.snapDone = make(chan struct{})
+			go s.snapshotWriter()
+		}
+	}
+	// The OnTransition hook only fires on state changes; a freshly
+	// started replica whose siblings are already healthy sees none, so a
+	// startup watcher makes the initial pull.
+	if opts.PeerWarm {
+		s.warmStop = make(chan struct{})
+		s.warmDone = make(chan struct{})
+		go s.peerWarmAtStartup()
 	}
 	s.registerRoutes()
 	return s, nil
@@ -519,6 +610,16 @@ func (s *Server) registerMetrics() {
 		"profile snapshot writes that failed")
 	s.calibDrift = r.NewGauge("heteromixd_calib_drift_ppm",
 		"worst rolling mean relative prediction error across calibrated pairs, parts per million")
+	s.snapshotLoads = r.NewCounter("heteromixd_snapshot_load_total",
+		"cache snapshots loaded (preheat and peer warming)")
+	s.snapshotSaves = r.NewCounter("heteromixd_snapshot_save_total",
+		"cache snapshots written by the background writer")
+	s.snapshotRejects = r.NewCounter("heteromixd_snapshot_reject_total",
+		"cache snapshots rejected (incompatible, corrupt, oversized or profile-mismatched)")
+	s.snapshotSaveErrs = r.NewCounter("heteromixd_snapshot_save_errors_total",
+		"cache snapshot writes that failed")
+	s.snapshotBytes = r.NewGauge("heteromixd_snapshot_bytes",
+		"size of the last cache snapshot loaded or written")
 	s.chaosInject = make(map[string]*metrics.Counter, len(chaosKinds))
 	for _, kind := range chaosKinds {
 		s.chaosInject[kind] = r.NewCounter("heteromixd_chaos_injections_total",
@@ -569,6 +670,7 @@ func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
 	s.mux.Handle("POST /v1/fit", s.instrument("fit", true, s.handleFit))
 	s.mux.Handle("GET /v1/profiles", s.instrument("profiles", false, s.handleProfiles))
+	s.mux.Handle("GET /v1/snapshot", s.instrument("snapshot", false, s.handleSnapshotGet))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -762,11 +864,24 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	}
 }
 
-// Close releases the server's background resources — today the fleet
-// health prober's goroutines. Idempotent and safe on a server without
-// replicas; callers that construct with New and never Run should defer
-// it (Run closes on exit itself).
+// Close releases the server's background resources — the fleet health
+// prober's goroutines and the snapshot writer (which persists one final
+// snapshot so a clean shutdown keeps its warmth). Idempotent and safe
+// on a server without replicas; callers that construct with New and
+// never Run should defer it (Run closes on exit itself).
 func (s *Server) Close() {
+	if s.warmStop != nil {
+		s.warmOnce.Do(func() {
+			close(s.warmStop)
+			<-s.warmDone
+		})
+	}
+	if s.snapStop != nil {
+		s.snapOnce.Do(func() {
+			close(s.snapStop)
+			<-s.snapDone
+		})
+	}
 	if s.health != nil {
 		s.health.Stop()
 	}

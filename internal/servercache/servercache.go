@@ -26,8 +26,10 @@ const shardCount = 16
 type shard struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List
-	m   map[string]*list.Element
+	// maxBytes bounds the shard's summed sizeOf (0 = unlimited).
+	maxBytes int64
+	ll       *list.List
+	m        map[string]*list.Element
 	// bytes sums the sizes of the shard's byte-slice values (see sizeOf).
 	bytes int64
 }
@@ -157,7 +159,14 @@ func (c *Cache) Add(key string, val any) {
 	}
 	s.m[key] = s.ll.PushFront(&lruEntry{key: key, val: val, storedAt: c.now()})
 	s.bytes += sizeOf(val)
-	if s.ll.Len() > s.cap {
+	c.evictLocked(s)
+}
+
+// evictLocked drops the shard's least-recently-used entries until both
+// the entry cap and the byte limit hold. The newest entry survives even
+// when it alone exceeds the limit: an empty cache is strictly worse.
+func (c *Cache) evictLocked(s *shard) {
+	for s.ll.Len() > 1 && (s.ll.Len() > s.cap || (s.maxBytes > 0 && s.bytes > s.maxBytes)) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		e := oldest.Value.(*lruEntry)
@@ -165,6 +174,84 @@ func (c *Cache) Add(key string, val any) {
 		s.bytes -= sizeOf(e.val)
 		c.evictions.Add(1)
 	}
+}
+
+// SetMaxBytes bounds the summed sizeOf of cached values across the
+// whole cache (0 or negative removes the bound). The bound is split
+// evenly across shards, so a pathological key distribution can evict
+// below the global figure — the limit is a ceiling, not a fill target.
+// Lowering it evicts immediately, coldest first per shard.
+func (c *Cache) SetMaxBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	per := n
+	if per > 0 {
+		per = (n + shardCount - 1) / shardCount
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.maxBytes = per
+		c.evictLocked(s)
+		s.mu.Unlock()
+	}
+}
+
+// MaxBytes returns the global byte limit (0 = unlimited).
+func (c *Cache) MaxBytes() int64 {
+	s := &c.shards[0]
+	s.mu.Lock()
+	per := s.maxBytes
+	s.mu.Unlock()
+	if per == 0 {
+		return 0
+	}
+	return per * shardCount
+}
+
+// Entry is one cached (key, value) pair as exported by Hottest.
+type Entry struct {
+	Key string
+	Val any
+}
+
+// Hottest returns up to limit entries, hottest first (limit <= 0
+// returns everything). Recency is shard-local, so the global order is
+// approximated by interleaving the shards' lists front-to-back: the
+// i-th round takes each shard's i-th most recent entry. It does not
+// touch recency or the hit/miss counters: snapshotting the cache must
+// not reorder it.
+func (c *Cache) Hottest(limit int) []Entry {
+	perShard := make([][]Entry, shardCount)
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		list := make([]Entry, 0, s.ll.Len())
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*lruEntry)
+			list = append(list, Entry{Key: e.key, Val: e.val})
+		}
+		s.mu.Unlock()
+		perShard[i] = list
+		total += len(list)
+	}
+	if limit <= 0 || limit > total {
+		limit = total
+	}
+	out := make([]Entry, 0, limit)
+	for round := 0; len(out) < limit; round++ {
+		for _, list := range perShard {
+			if round < len(list) {
+				out = append(out, list[round])
+				if len(out) == limit {
+					break
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Do returns the cached value for key, computing it with fn on a miss.

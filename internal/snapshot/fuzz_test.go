@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"testing"
+)
+
+// FuzzSnapshotDecode pins the decoder's hard contract: arbitrary bytes
+// — truncations, bit flips, lying length prefixes, oversized counts —
+// never panic, never allocate unboundedly, and either decode to a
+// snapshot that re-encodes losslessly or yield a typed error with a nil
+// snapshot (no partial results escape). Checked-in corpus seeds under
+// testdata/fuzz/FuzzSnapshotDecode cover the interesting boundaries: a
+// fully valid file, a truncated footer, a wrong magic, and a valid file
+// whose profile hash mismatches the server's (decodes fine, then fails
+// Meta.Compatible).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := Encode(testSnapshot())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{})
+	f.Add([]byte("HMXSNAP1"))
+	f.Add([]byte("XXXSNAP1 not a snapshot"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		// A successful decode must survive a lossless re-encode cycle:
+		// encode(decode(x)) decodes back to the same structure (the bytes
+		// may differ — Encode is canonical, the input need not be).
+		re := Encode(s)
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded snapshot failed to decode: %v", err)
+		}
+		if s2.Meta != s.Meta ||
+			len(s2.Tables) != len(s.Tables) ||
+			len(s2.Generic) != len(s.Generic) ||
+			len(s2.Results) != len(s.Results) {
+			t.Fatalf("re-encode cycle changed the snapshot:\n got %+v\nwant %+v", s2, s)
+		}
+		// Compatibility checking must not panic either, match or not.
+		_ = s.Meta.Compatible("some-profile-hash", "some-fingerprint", "some-build")
+	})
+}

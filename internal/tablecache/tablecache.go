@@ -55,11 +55,12 @@ type call struct {
 // Cache is an LRU of compiled artifacts with singleflight builds. The
 // zero value is not usable; construct with New.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	m     map[string]*list.Element
-	bytes int64
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64      // 0 = unlimited
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+	bytes    int64
 
 	flightMu sync.Mutex
 	flight   map[string]*call
@@ -122,7 +123,16 @@ func (c *Cache) Add(key string, val Artifact) {
 	}
 	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
 	c.bytes += int64(val.SizeBytes())
-	if c.ll.Len() > c.cap {
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used artifacts until both the entry
+// cap and the byte limit hold. A single artifact larger than the byte
+// limit stays resident alone — evicting it would just force the next
+// request to rebuild it, which is the exact cost the cache exists to
+// amortize.
+func (c *Cache) evictLocked() {
+	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		e := oldest.Value.(*lruEntry)
@@ -130,6 +140,57 @@ func (c *Cache) Add(key string, val Artifact) {
 		c.bytes -= int64(e.val.SizeBytes())
 		c.evictions.Add(1)
 	}
+}
+
+// SetMaxBytes bounds the summed SizeBytes of cached artifacts (0 or
+// negative removes the bound). Lowering the limit evicts immediately,
+// coldest first.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.maxBytes = n
+	c.evictLocked()
+}
+
+// MaxBytes returns the byte limit (0 = unlimited).
+func (c *Cache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
+// Capacity returns the entry cap.
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// Entry is one cached (key, artifact) pair as exported by Hottest.
+type Entry struct {
+	Key string
+	Val Artifact
+}
+
+// Hottest returns up to limit entries in recency order, most recently
+// used first (limit <= 0 returns everything). It does not touch recency
+// or the hit/miss counters: snapshotting the cache must not reorder it.
+func (c *Cache) Hottest(limit int) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Entry, 0, n)
+	for el := c.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		out = append(out, Entry{Key: e.key, Val: e.val})
+	}
+	return out
 }
 
 // Do returns the cached artifact for key, building it with build on a
