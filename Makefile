@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X heteromix/internal/buildinfo.Version=$(VERSION) \
            -X heteromix/internal/buildinfo.Commit=$(COMMIT)
 
-.PHONY: all build vet test race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat ci
+.PHONY: all build vet test race server-race fleet-race calib-race fleet-heal chaos stream-race bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat bench-stream ci
 
 all: ci
 
@@ -65,6 +65,16 @@ fleet-heal:
 # are randomly delayed. The soak test layers errors/panics on top.
 chaos:
 	HETEROMIX_CHAOS="latency=0.3:2ms,seed=1" $(GO) test -race -count=1 ./internal/server
+
+# The streaming wire layer under the race detector: pooled chunk
+# encoders, flush-boundary backpressure, gzip writer pooling, the delta
+# predecessor cache and the disconnect-shedding soak (clients hanging up
+# mid-stream must cancel the walk, leak nothing and never feed the
+# breaker) all exercise shared pools concurrently by design.
+stream-race:
+	$(GO) test -race -count=1 \
+		-run 'Stream|NDJSON|SSE|Delta|Diff|JoinSplit|Gzip|Disconnect|Encode|Writer|Append' \
+		./internal/stream ./internal/stream/delta ./internal/server
 
 # A short fixed-iteration run of the enumeration benchmarks: fast enough
 # for CI, long enough to expose gross regressions (the kernel-table path
@@ -133,4 +143,16 @@ bench-preheat:
 		-bench 'BenchmarkColdStart(NoSnapshot|Preheated)' \
 		-benchmem -benchtime=20x
 
-ci: vet build race server-race fleet-race calib-race fleet-heal chaos bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat
+# Streaming wire-protocol gates: the O(frontier)-not-O(space) allocation
+# claim on the streamed 384k-point walk, the >= 5x time-to-first-point
+# win over the buffered response on the same walk, plus fixed-iteration
+# row-throughput and gzip-pooling benchmarks. Baselines in
+# BENCH_serving.json.
+bench-stream:
+	HETEROMIX_STREAM_GATE=1 $(GO) test ./internal/server -count=1 \
+		-run 'TestStreamAllocGate|TestStreamTTFPGate' -v
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'Benchmark(Stream(GenericFrontier|Enumerate20k|DeltaReQuery)|Buffered(GenericFrontier|Enumerate20k)|Gzip(Pooled|Cold)Writer)' \
+		-benchmem -benchtime=3x
+
+ci: vet build race server-race fleet-race calib-race fleet-heal chaos stream-race bench bench-generic bench-server bench-batch bench-fleet bench-fit bench-preheat bench-stream

@@ -19,6 +19,7 @@
 //	           [-profile-snapshot file]
 //	           [-preheat file] [-snapshot-interval d] [-peer-warm]
 //	           [-cache-bytes n] [-table-cache-bytes n]
+//	           [-stream-flush-bytes n] [-stream-flush-interval d]
 //
 // -shard makes this instance serve slice i/n of frontier-only generic
 // enumerations, -replicas makes it a coordinator that fans sharded
@@ -38,6 +39,12 @@
 // shutdown. -peer-warm instead pulls the snapshot from a healthy
 // -replicas sibling over GET /v1/snapshot. See the README "Cold start
 // & preheat" section.
+//
+// The enumeration endpoints also serve streamed responses (NDJSON via
+// Accept: application/x-ndjson or ?stream=1, SSE via
+// GET /v1/enumerate-generic/stream) with incremental frontier deltas;
+// -stream-flush-bytes and -stream-flush-interval set the chunk
+// boundary policy. See the README "Streaming" section.
 package main
 
 import (
@@ -90,6 +97,8 @@ type daemonConfig struct {
 	peerWarm         bool
 	cacheBytes       int64
 	tableCacheBytes  int64
+	streamFlushBytes int
+	streamFlushEvery time.Duration
 }
 
 func main() {
@@ -123,6 +132,8 @@ func main() {
 	flag.BoolVar(&cfg.peerWarm, "peer-warm", false, "pull a cache snapshot from a healthy -replicas sibling at startup and after recovering from dead")
 	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "result cache byte budget (0 = entries-only limit)")
 	flag.Int64Var(&cfg.tableCacheBytes, "table-cache-bytes", 0, "compiled kernel-table cache byte budget (0 = entries-only limit)")
+	flag.IntVar(&cfg.streamFlushBytes, "stream-flush-bytes", 8192, "streamed-response chunk boundary: flush to the client once this many encoded bytes accumulate")
+	flag.DurationVar(&cfg.streamFlushEvery, "stream-flush-interval", 100*time.Millisecond, "longest a streamed row may wait unflushed regardless of chunk fill")
 	cliutil.Parse(0)
 
 	srv, err := newServer(cfg)
@@ -175,33 +186,35 @@ func newServer(cfg daemonConfig) (*server.Server, error) {
 		return nil, err
 	}
 	return server.New(server.Options{
-		Models:             suite,
-		CacheEntries:       cfg.cache,
-		TableCacheEntries:  cfg.tableCache,
-		MaxConcurrent:      cfg.maxConcurrent,
-		MaxNodes:           cfg.maxNodes,
-		MaxGenericSpace:    cfg.maxGenericSpace,
-		MaxBatchItems:      cfg.maxBatchItems,
-		RequestTimeout:     cfg.timeout,
-		CacheTTL:           cfg.cacheTTL,
-		DrainDelay:         cfg.drainDelay,
-		Chaos:              chaos,
-		EnablePprof:        cfg.pprof,
-		DefaultShard:       defaultShard,
-		Replicas:           replicas,
-		RouteKey:           cfg.routeKey,
-		ProbeInterval:      cfg.probeInterval,
-		SuspectAfter:       cfg.suspectAfter,
-		DeadAfter:          cfg.deadAfter,
-		HedgeQuantile:      cfg.hedgeQuantile,
-		DisableHedge:       cfg.hedgeQuantile == 0,
-		RefitThreshold:     cfg.refitThreshold,
-		MaxFitSamples:      cfg.maxFitSamples,
-		ProfileSnapshot:    cfg.profileSnapshot,
-		SnapshotPath:       cfg.preheat,
-		SnapshotInterval:   cfg.snapshotInterval,
-		PeerWarm:           cfg.peerWarm,
-		CacheMaxBytes:      cfg.cacheBytes,
-		TableCacheMaxBytes: cfg.tableCacheBytes,
+		Models:              suite,
+		CacheEntries:        cfg.cache,
+		TableCacheEntries:   cfg.tableCache,
+		MaxConcurrent:       cfg.maxConcurrent,
+		MaxNodes:            cfg.maxNodes,
+		MaxGenericSpace:     cfg.maxGenericSpace,
+		MaxBatchItems:       cfg.maxBatchItems,
+		RequestTimeout:      cfg.timeout,
+		CacheTTL:            cfg.cacheTTL,
+		DrainDelay:          cfg.drainDelay,
+		Chaos:               chaos,
+		EnablePprof:         cfg.pprof,
+		DefaultShard:        defaultShard,
+		Replicas:            replicas,
+		RouteKey:            cfg.routeKey,
+		ProbeInterval:       cfg.probeInterval,
+		SuspectAfter:        cfg.suspectAfter,
+		DeadAfter:           cfg.deadAfter,
+		HedgeQuantile:       cfg.hedgeQuantile,
+		DisableHedge:        cfg.hedgeQuantile == 0,
+		RefitThreshold:      cfg.refitThreshold,
+		MaxFitSamples:       cfg.maxFitSamples,
+		ProfileSnapshot:     cfg.profileSnapshot,
+		SnapshotPath:        cfg.preheat,
+		SnapshotInterval:    cfg.snapshotInterval,
+		PeerWarm:            cfg.peerWarm,
+		CacheMaxBytes:       cfg.cacheBytes,
+		TableCacheMaxBytes:  cfg.tableCacheBytes,
+		StreamFlushBytes:    cfg.streamFlushBytes,
+		StreamFlushInterval: cfg.streamFlushEvery,
 	})
 }

@@ -216,8 +216,11 @@ func (s *Server) shardCandidates(req EnumerateGenericRequest) [][]string {
 // hedging — and gathers the partial frontiers. It returns the
 // deterministic merge of the slices that answered, the indices of
 // shards that failed, and whether any surviving slice was itself served
-// degraded.
-func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (merged cluster.ShardFrontier[cluster.GenericPointSummary], failed []int, degraded bool, err error) {
+// degraded. onShard, when non-nil, is invoked from each shard's
+// goroutine as its outcome settles (streamed coordinators emit progress
+// records from it — the callback must serialize itself); every
+// callback has returned before fanOutGeneric does.
+func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest, onShard func(i, points int, err error)) (merged cluster.ShardFrontier[cluster.GenericPointSummary], failed []int, degraded bool, err error) {
 	cands := s.shardCandidates(req)
 	n := req.Shards
 	s.fleetFanouts.Inc()
@@ -234,6 +237,9 @@ func (s *Server) fanOutGeneric(r *http.Request, req EnumerateGenericRequest) (me
 			defer wg.Done()
 			part, deg, err := s.shardRequestHedged(r.Context(), cands[i], req, i, n)
 			results[i] = result{part: part, deg: deg, err: err}
+			if onShard != nil {
+				onShard(i, len(part.Points), err)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -365,6 +371,9 @@ func (s *Server) shardRequest(ctx context.Context, target string, req EnumerateG
 	sub := req
 	sub.Shards = 0
 	sub.Replicas = nil
+	// Shard sub-requests are buffered exchanges regardless of how the
+	// coordinator's own response is framed.
+	sub.Delta = false
 	sub.Shard = shard.Shard{Index: i, Count: n}.String()
 	// Pin the shard to the coordinator's active profile version: a
 	// replica that has drifted (bumped or lagging) answers 409 and its
@@ -417,8 +426,9 @@ func (s *Server) fleetGenericBytes(r *http.Request, req EnumerateGenericRequest,
 	base.Replicas = nil
 	base.ProfileVersion = 0
 	key, keyed := s.versionedKey("enumerate-generic", base.Workload, base)
+	ctx := r.Context()
 	v, cached, stale, err := s.doFresh(key, keyed, func() (any, error) {
-		merged, failedShards, partDegraded, err := s.fanOutGeneric(r, req)
+		merged, failedShards, partDegraded, err := s.fanOutGeneric(r, req, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -437,13 +447,13 @@ func (s *Server) fleetGenericBytes(r *http.Request, req EnumerateGenericRequest,
 		}
 		if len(failedShards) > 0 || partDegraded {
 			resp.FailedShards = failedShards
-			b, err := encodeBody(resp)
+			b, err := encodeGenericResponse(ctx, &resp)
 			if err != nil {
 				return nil, err
 			}
 			return nil, errFleetPartial{body: b}
 		}
-		return encodeBody(resp)
+		return encodeGenericResponse(ctx, &resp)
 	})
 	if stale {
 		s.degraded.Inc()
@@ -472,14 +482,14 @@ func (s *Server) handleFleetGeneric(w http.ResponseWriter, r *http.Request, req 
 		w.Header().Set("X-Degraded", "true")
 		if failedBody != nil {
 			// A live partial merge: failed_shards is already in the body.
-			writeRaw(w, markDegraded(failedBody), false)
+			s.writeBody(w, r, markDegraded(failedBody), false)
 			return
 		}
 		// A stale cached full merge served because this fan-out failed.
-		writeRaw(w, markDegraded(body), false)
+		s.writeBody(w, r, markDegraded(body), false)
 		return
 	}
-	writeRaw(w, body, cached)
+	s.writeBody(w, r, body, cached)
 }
 
 // --- consistent-hash routing -----------------------------------------

@@ -193,20 +193,13 @@ func TestFleetShardFailoverServesFull(t *testing.T) {
 	}
 }
 
-// TestFleetPartialWhenFailoverExhausted: a shard degrades only when its
-// whole candidate walk is down. The test computes, from the same ring
-// the coordinator uses, which shards have both top-2 candidates among
-// the killed replicas, and expects exactly those listed in
-// failed_shards — and the partial is never cached.
-func TestFleetPartialWhenFailoverExhausted(t *testing.T) {
-	const shards = 8
-	f := newFleet(t, 4, Options{DisableHedge: true}, Options{})
-
-	// Keep alive a single replica chosen so that at least one shard's
-	// top-2 candidates are both dead (ring order depends on the ephemeral
-	// listener ports, so the choice is computed, not hard-coded).
+// partialKillPlan picks the single replica to keep alive so that at
+// least one shard's top-2 ring candidates are both dead (ring order
+// depends on the ephemeral listener ports, so the choice is computed,
+// not hard-coded), and returns the shard indices expected to fail.
+// alive is -1 when no such choice exists.
+func partialKillPlan(f *testFleet, shards int) (alive int, expectFailed []int) {
 	ring := shard.NewRing(f.urls, 0)
-	alive, expectFailed := -1, []int(nil)
 	for cand := range f.urls {
 		var fails []int
 		for i := 0; i < shards; i++ {
@@ -216,10 +209,22 @@ func TestFleetPartialWhenFailoverExhausted(t *testing.T) {
 			}
 		}
 		if len(fails) > 0 {
-			alive, expectFailed = cand, fails
-			break
+			return cand, fails
 		}
 	}
+	return -1, nil
+}
+
+// TestFleetPartialWhenFailoverExhausted: a shard degrades only when its
+// whole candidate walk is down. The test computes, from the same ring
+// the coordinator uses, which shards have both top-2 candidates among
+// the killed replicas, and expects exactly those listed in
+// failed_shards — and the partial is never cached.
+func TestFleetPartialWhenFailoverExhausted(t *testing.T) {
+	const shards = 8
+	f := newFleet(t, 4, Options{DisableHedge: true}, Options{})
+
+	alive, expectFailed := partialKillPlan(f, shards)
 	if alive < 0 {
 		t.Skip("every shard's top-2 walk contains every replica (astronomically unlikely)")
 	}

@@ -125,6 +125,12 @@ func FuzzHandlersRejectBadInput(f *testing.F) {
 		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"time_seconds":1,"energy_joules":1e999}]}`,
 		`{"workload":"ep","node":"arm-cortex-a9","samples":[{"cores":99,"ghz":7.7,"time_seconds":1,"energy_joules":1}]}`,
 		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"profile_version":99}`,
+		// Delta requests: buffered delta (400 — needs a stream), delta
+		// without frontier_only, delta on a shard slice, and the valid
+		// spelling (still 400 here, the fuzz POSTs are unnegotiated).
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"delta":true}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"delta":true}`,
+		`{"workload":"ep","types":[{"node":"arm-cortex-a9","max_nodes":2}],"frontier_only":true,"shard":"0/2","delta":true}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -160,7 +166,7 @@ func FuzzDeadlineHeader(f *testing.F) {
 		"5000", "1", "3600000", // valid range
 		"0", "-1", "3600001", // out of range
 		"1.5", " 7", "+12", "0x10", // not a plain decimal integer
-		"99999999999999999999", // overflows int64
+		"99999999999999999999",     // overflows int64
 		"abc", "", "∞", "12\x0034", // garbage
 	}
 	for _, s := range seeds {

@@ -17,6 +17,7 @@ import (
 	"heteromix/internal/model"
 	"heteromix/internal/pareto"
 	"heteromix/internal/shard"
+	"heteromix/internal/stream"
 	"heteromix/internal/tablecache"
 )
 
@@ -80,6 +81,13 @@ type EnumerateGenericRequest struct {
 	// every shard sub-request, so a profile bump racing a fan-out can
 	// never merge slices computed under different profiles.
 	ProfileVersion uint64 `json:"profile_version,omitempty"`
+	// Delta asks a streamed frontier request to ship only the points
+	// that entered or left the frontier since this client spec's
+	// predecessor ({"op":"add"|"del"} records), falling back to a full
+	// stream on the first query or after a profile bump. Requires
+	// frontier_only and a streamed response; incompatible with shard
+	// slices (a slice's frontier is not the spec's frontier).
+	Delta bool `json:"delta,omitempty"`
 }
 
 // EnumerateGenericResponse carries the points (or frontier) of the
@@ -273,6 +281,14 @@ func (s *Server) normalizeEnumerateGeneric(req EnumerateGenericRequest) (Enumera
 		plan.shard = sh
 		req.Shard = sh.String()
 	}
+	if req.Delta {
+		if !req.FrontierOnly {
+			return req, plan, badRequestf("delta requires frontier_only")
+		}
+		if req.Shard != "" {
+			return req, plan, badRequestf("delta is incompatible with shard slices")
+		}
+	}
 	if req.Shards < 0 || req.Shards > maxFleetShards {
 		return req, plan, badRequestf("shards must be in [0, %d], got %d", maxFleetShards, req.Shards)
 	}
@@ -438,7 +454,9 @@ func (s *Server) genericBytes(r *http.Request, req EnumerateGenericRequest, plan
 				s.genericPruned.Add(plan.spaceSize - plan.prunedSize)
 			}
 			resp.Returned = len(resp.Points)
-			b, err := encodeBody(resp)
+			// The cancellation-aware encoder: a deadline that expires while
+			// a large body marshals aborts the encode, not just the walk.
+			b, err := encodeGenericResponse(ctx, &resp)
 			if err != nil {
 				return err
 			}
@@ -470,6 +488,19 @@ func (s *Server) handleEnumerateGeneric(w http.ResponseWriter, r *http.Request) 
 		replyError(w, r, err)
 		return
 	}
+	if wantsStream(r) {
+		if norm.Shards > 0 {
+			s.streamFleetGeneric(w, r, norm, plan, stream.NDJSON)
+			return
+		}
+		s.streamGeneric(w, r, norm, plan, stream.NDJSON)
+		return
+	}
+	if norm.Delta {
+		replyError(w, r, badRequestf(
+			"delta requires a streamed response (Accept: application/x-ndjson or ?stream=1)"))
+		return
+	}
 	if norm.Shards > 0 {
 		s.handleFleetGeneric(w, r, norm, plan)
 		return
@@ -481,8 +512,8 @@ func (s *Server) handleEnumerateGeneric(w http.ResponseWriter, r *http.Request) 
 	}
 	if degraded {
 		w.Header().Set("X-Degraded", "true")
-		writeRaw(w, markDegraded(body), false)
+		s.writeBody(w, r, markDegraded(body), false)
 		return
 	}
-	writeRaw(w, body, cached)
+	s.writeBody(w, r, body, cached)
 }

@@ -498,7 +498,9 @@ func (s *Server) enumerateBytes(r *http.Request, req EnumerateRequest) (body []b
 				}
 			}
 			resp.Returned = len(resp.Points)
-			b, err := encodeBody(resp)
+			// The cancellation-aware encoder: a deadline that expires while
+			// a large body marshals aborts the encode, not just the walk.
+			b, err := encodeEnumerateResponse(ctx, &resp)
 			if err != nil {
 				return err
 			}
@@ -545,6 +547,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		replyError(w, r, err)
 		return
 	}
+	if wantsStream(r) {
+		s.streamEnumerate(w, r, norm)
+		return
+	}
 	body, cached, degraded, err := s.enumerateBytes(r, norm)
 	if err != nil {
 		replyError(w, r, err)
@@ -552,10 +558,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	if degraded {
 		w.Header().Set("X-Degraded", "true")
-		writeRaw(w, markDegraded(body), false)
+		s.writeBody(w, r, markDegraded(body), false)
 		return
 	}
-	writeRaw(w, body, cached)
+	s.writeBody(w, r, body, cached)
 }
 
 // --- /v1/budget ------------------------------------------------------

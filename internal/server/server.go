@@ -184,6 +184,14 @@ type Options struct {
 	// warming this replica's caches after a cold start or recovery.
 	// Requires Replicas.
 	PeerWarm bool
+	// StreamFlushBytes is the streamed-response chunk boundary: encoded
+	// rows accumulate in a pooled buffer and flush to the client when it
+	// crosses this many bytes (default 8 KiB).
+	StreamFlushBytes int
+	// StreamFlushInterval bounds how long a streamed row may sit
+	// unflushed regardless of chunk fill, so a slow walk still feeds a
+	// live consumer (default 100ms).
+	StreamFlushInterval time.Duration
 	// CacheMaxBytes bounds the result cache's resident response-body
 	// bytes (0 = unlimited; entries still bound it).
 	CacheMaxBytes int64
@@ -193,7 +201,7 @@ type Options struct {
 }
 
 // endpoints instrumented with per-endpoint counters and latencies.
-var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "budget", "queueing", "batch", "fit", "profiles", "snapshot", "healthz", "readyz"}
+var endpointNames = []string{"predict", "enumerate", "enumerate-generic", "enumerate-generic-stream", "budget", "queueing", "batch", "fit", "profiles", "snapshot", "healthz", "readyz"}
 
 // chaosKinds labels the chaos-injection counters.
 var chaosKinds = []string{"latency", "error", "panic", "timeout"}
@@ -267,6 +275,13 @@ type Server struct {
 	fleetFailovers    *metrics.Counter
 	fleetShardLatency *metrics.Histogram
 	deadlineCapped    *metrics.Counter
+	streamRows        *metrics.Counter
+	streamFlushes     *metrics.Counter
+	streamDisconnects *metrics.Counter
+	deltaHits         *metrics.Counter
+	deltaMisses       *metrics.Counter
+	deltaAdds         *metrics.Counter
+	deltaDels         *metrics.Counter
 	replicaState      map[string]*metrics.Gauge
 	targetBreaker     map[string]*metrics.Gauge
 	routedReqs        *metrics.Counter
@@ -586,6 +601,20 @@ func (s *Server) registerMetrics() {
 		metrics.DefLatencyBuckets())
 	s.deadlineCapped = r.NewCounter("heteromixd_deadline_capped_total",
 		"requests whose timeout was tightened by a propagated X-Deadline-Ms")
+	s.streamRows = r.NewCounter("heteromixd_stream_rows_total",
+		"point/add/del records shipped on streamed enumeration responses")
+	s.streamFlushes = r.NewCounter("heteromixd_stream_flushes_total",
+		"chunk boundary flushes pushed to streaming clients")
+	s.streamDisconnects = r.NewCounter("heteromixd_stream_disconnects_total",
+		"streams abandoned by the client mid-response (the walk was shed)")
+	s.deltaHits = r.NewCounter("heteromixd_delta_hits_total",
+		"delta-requested streams that found a predecessor frontier and shipped ops")
+	s.deltaMisses = r.NewCounter("heteromixd_delta_misses_total",
+		"delta-requested streams that fell back to a full stream")
+	s.deltaAdds = r.NewCounter("heteromixd_delta_adds_total",
+		"add ops shipped on delta streams")
+	s.deltaDels = r.NewCounter("heteromixd_delta_dels_total",
+		"del ops shipped on delta streams")
 	s.replicaState = make(map[string]*metrics.Gauge, len(s.opts.Replicas))
 	s.targetBreaker = make(map[string]*metrics.Gauge, len(s.opts.Replicas))
 	for _, target := range s.opts.Replicas {
@@ -665,6 +694,7 @@ func (s *Server) registerRoutes() {
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", true, s.handlePredict))
 	s.mux.Handle("POST /v1/enumerate", s.instrument("enumerate", true, s.handleEnumerate))
 	s.mux.Handle("POST /v1/enumerate-generic", s.instrument("enumerate-generic", true, s.handleEnumerateGeneric))
+	s.mux.Handle("GET /v1/enumerate-generic/stream", s.instrument("enumerate-generic-stream", true, s.handleEnumerateGenericSSE))
 	s.mux.Handle("POST /v1/budget", s.instrument("budget", true, s.handleBudget))
 	s.mux.Handle("POST /v1/queueing", s.instrument("queueing", true, s.handleQueueing))
 	s.mux.Handle("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
@@ -711,6 +741,14 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush lets streamed responses push chunk boundaries through the
+// instrumentation wrapper to the real connection.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // shedRetryAfter returns a jittered Retry-After value in [1, 3] seconds

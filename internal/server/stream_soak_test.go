@@ -1,0 +1,102 @@
+package server
+
+// The disconnect soak: clients that abandon a streamed enumeration
+// mid-flight must shed the walk, leak no goroutines, and never feed the
+// breaker. Runs under `make stream-race`.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamDisconnectShedsAndDoesNotLeak opens streamed enumerations
+// over real TCP, reads the first line and hangs up, over and over; the
+// server must cancel each walk, settle every handler goroutine, and
+// count the disconnects — without tripping the breaker (abandonment is
+// not a server failure).
+func TestStreamDisconnectShedsAndDoesNotLeak(t *testing.T) {
+	// A breaker threshold the soak would certainly cross if disconnects
+	// were misclassified as compute failures.
+	s := newTestServer(t, Options{MaxGenericSpace: 5_000_000, BreakerThreshold: 5, BreakerCooldown: time.Minute})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	body := `{"workload":"ep","types":[
+		{"node":"arm-cortex-a9","max_nodes":4,"needs_switch":true},
+		{"node":"arm-cortex-a15","max_nodes":4,"needs_switch":true},
+		{"node":"amd-opteron-k10","max_nodes":4}],"limit":100000000}`
+
+	// Warm the compiled tables so the baseline goroutine count is taken
+	// after any lazy construction.
+	warm, err := http.Post(hs.URL+"/v1/enumerate-generic?stream=1", "application/json",
+		strings.NewReader(strings.Replace(body, `"limit":100000000`, `"limit":5`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
+	baseline := runtime.NumGoroutine()
+
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			hs.URL+"/v1/enumerate-generic?stream=1", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read through the head and first row, then vanish mid-walk.
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("round %d: no head: %v", i, err)
+		}
+		br.ReadString('\n')
+		cancel()
+		resp.Body.Close()
+	}
+
+	// The handler goroutines unwind asynchronously after the hangup;
+	// give them a bounded grace period.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, n, buf[:runtime.Stack(buf, true)])
+	}
+
+	snap := s.reg.Snapshot()
+	if snap["heteromixd_stream_disconnects_total"] == 0 {
+		t.Error("stream_disconnects_total = 0 after the soak")
+	}
+	if snap["heteromixd_breaker_opens_total"] != 0 {
+		t.Errorf("breaker opened %v times: disconnects were misclassified as failures",
+			snap["heteromixd_breaker_opens_total"])
+	}
+
+	// The server is still perfectly healthy for a patient client.
+	resp, err := http.Post(hs.URL+"/v1/enumerate-generic", "application/json",
+		strings.NewReader(triBody+`,"frontier_only":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-soak request: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+// Hand-rolled envelope encoders for the two enumeration responses,
+// byte-identical to encoding/json (pinned by property tests against
+// json.Marshal) but cancellation-aware: a huge marshal polls the
+// request context every few hundred rows, so a response whose walk
+// finished just under the deadline cannot blow past it inside the
+// encoder — the bug where a 384k-point body kept marshaling long after
+// the coordinator had given up on it. The row bytes come from
+// internal/stream's single-pass encoder, the same one the streamed
+// paths ship, which is what makes streamed and buffered output
+// byte-comparable row for row.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"heteromix/internal/stream"
+)
+
+// wireBufPool recycles envelope buffers; enumeration bodies routinely
+// reach tens of KB, so the buffers grow once and are reused.
+var wireBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// encodeCheckEvery is how many rows the envelope encoders emit between
+// context polls: frequent enough that encoding can overshoot a deadline
+// by at most a few microseconds of appends, rare enough to be free.
+const encodeCheckEvery = 0x1ff
+
+// encodeEnumerateResponse marshals resp exactly as json.Marshal would,
+// polling ctx between row batches.
+func encodeEnumerateResponse(ctx context.Context, resp *EnumerateResponse) ([]byte, error) {
+	bp := wireBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"workload":`...)
+	b = stream.AppendString(b, resp.Workload)
+	b = append(b, `,"work":`...)
+	b = stream.AppendFloat(b, resp.Work)
+	b = append(b, `,"space_size":`...)
+	b = strconv.AppendInt(b, int64(resp.SpaceSize), 10)
+	b = append(b, `,"returned":`...)
+	b = strconv.AppendInt(b, int64(resp.Returned), 10)
+	if resp.Truncated {
+		b = append(b, `,"truncated":true`...)
+	}
+	if resp.FrontierOnly {
+		b = append(b, `,"frontier_only":true`...)
+	}
+	b = append(b, `,"points":`...)
+	if resp.Points == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range resp.Points {
+			if i&encodeCheckEvery == encodeCheckEvery && ctx.Err() != nil {
+				*bp = b[:0]
+				wireBufPool.Put(bp)
+				return nil, ctx.Err()
+			}
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = stream.AppendPointSummary(b, &resp.Points[i])
+		}
+		b = append(b, ']')
+	}
+	if resp.Degraded {
+		b = append(b, `,"degraded":true`...)
+	}
+	b = append(b, '}')
+	out := make([]byte, len(b))
+	copy(out, b)
+	*bp = b[:0]
+	wireBufPool.Put(bp)
+	return out, nil
+}
+
+// encodeGenericResponse marshals resp exactly as json.Marshal would,
+// polling ctx between row batches.
+func encodeGenericResponse(ctx context.Context, resp *EnumerateGenericResponse) ([]byte, error) {
+	bp := wireBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"workload":`...)
+	b = stream.AppendString(b, resp.Workload)
+	b = append(b, `,"work":`...)
+	b = stream.AppendFloat(b, resp.Work)
+	b = append(b, `,"type_names":`...)
+	if resp.TypeNames == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, n := range resp.TypeNames {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = stream.AppendString(b, n)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"space_size":`...)
+	b = strconv.AppendUint(b, resp.SpaceSize, 10)
+	if resp.PrunedSize != 0 {
+		b = append(b, `,"pruned_size":`...)
+		b = strconv.AppendUint(b, resp.PrunedSize, 10)
+	}
+	b = append(b, `,"returned":`...)
+	b = strconv.AppendInt(b, int64(resp.Returned), 10)
+	if resp.Truncated {
+		b = append(b, `,"truncated":true`...)
+	}
+	if resp.FrontierOnly {
+		b = append(b, `,"frontier_only":true`...)
+	}
+	b = append(b, `,"points":`...)
+	if resp.Points == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range resp.Points {
+			if i&encodeCheckEvery == encodeCheckEvery && ctx.Err() != nil {
+				*bp = b[:0]
+				wireBufPool.Put(bp)
+				return nil, ctx.Err()
+			}
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = stream.AppendGenericPointSummary(b, &resp.Points[i])
+		}
+		b = append(b, ']')
+	}
+	if resp.Shard != "" {
+		b = append(b, `,"shard":`...)
+		b = stream.AppendString(b, resp.Shard)
+	}
+	if len(resp.Indices) != 0 {
+		b = append(b, `,"indices":[`...)
+		for i, idx := range resp.Indices {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, idx, 10)
+		}
+		b = append(b, ']')
+	}
+	if len(resp.FailedShards) != 0 {
+		b = append(b, `,"failed_shards":[`...)
+		for i, fs := range resp.FailedShards {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(fs), 10)
+		}
+		b = append(b, ']')
+	}
+	if resp.Degraded {
+		b = append(b, `,"degraded":true`...)
+	}
+	b = append(b, '}')
+	out := make([]byte, len(b))
+	copy(out, b)
+	*bp = b[:0]
+	wireBufPool.Put(bp)
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Format selects the wire framing for a stream.
+type Format int
+
+const (
+	// NDJSON frames every record as one newline-terminated JSON line:
+	// points are bare objects, everything else is a one-key envelope
+	// ({"head":...}, {"trailer":...}, {"error":...}, {"op":"add",...}).
+	NDJSON Format = iota
+	// SSE frames every record as a Server-Sent-Events message with the
+	// record's event name ("event: point\ndata: {...}\n\n").
+	SSE
+)
+
+// Record event names. Head opens a stream, Trailer or Error closes it;
+// Point/Add/Del carry rows (Add/Del only on delta streams); Progress
+// carries fleet sub-frontier completion notices.
+const (
+	EventHead     = "head"
+	EventPoint    = "point"
+	EventAdd      = "add"
+	EventDel      = "del"
+	EventProgress = "progress"
+	EventTrailer  = "trailer"
+	EventError    = "error"
+)
+
+// Policy bounds how much encoded output may sit unflushed. FlushBytes
+// triggers a flush whenever the chunk buffer crosses it; FlushInterval
+// triggers one when the oldest unflushed record has waited that long
+// (checked cheaply, every few records). Zero values take the defaults.
+type Policy struct {
+	FlushBytes    int
+	FlushInterval time.Duration
+}
+
+const (
+	DefaultFlushBytes    = 8 << 10
+	DefaultFlushInterval = 100 * time.Millisecond
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.FlushBytes <= 0 {
+		p.FlushBytes = DefaultFlushBytes
+	}
+	if p.FlushInterval <= 0 {
+		p.FlushInterval = DefaultFlushInterval
+	}
+	return p
+}
+
+// Stats counts what a writer shipped: Rows is point/add/del records,
+// Flushes is boundary flushes that reached the client, Bytes is encoded
+// payload written to the destination.
+type Stats struct {
+	Rows    uint64
+	Flushes uint64
+	Bytes   uint64
+}
+
+// bufPool recycles chunk buffers across streams; buffers grow to the
+// flush boundary once and are reused at that size.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, DefaultFlushBytes+1024); return &b }}
+
+// Writer accumulates encoded records into a pooled chunk buffer and
+// flushes on the policy's byte/time boundaries. It is not safe for
+// concurrent use; the serving layer serializes access per stream.
+type Writer struct {
+	dst       io.Writer
+	push      func() error // invoked after each chunk write, e.g. gzip+HTTP flush
+	format    Format
+	pol       Policy
+	buf       *[]byte
+	err       error
+	lastFlush time.Time
+	sinceChk  int
+	stats     Stats
+}
+
+// NewWriter wraps dst in a chunked record writer. push, if non-nil, is
+// called after every chunk lands in dst — the server uses it to drain
+// the gzip frame and flush the HTTP response so the chunk actually
+// reaches the client at the boundary.
+func NewWriter(dst io.Writer, push func() error, format Format, pol Policy) *Writer {
+	return &Writer{
+		dst:       dst,
+		push:      push,
+		format:    format,
+		pol:       pol.withDefaults(),
+		buf:       bufPool.Get().(*[]byte),
+		lastFlush: time.Now(),
+	}
+}
+
+// Err reports the first destination error; once set, every subsequent
+// call is a no-op returning it. A non-nil Err on a live HTTP stream
+// means the client went away.
+func (w *Writer) Err() error { return w.err }
+
+// Stats returns what has been shipped so far.
+func (w *Writer) Stats() Stats { return w.stats }
+
+// Record appends one record. enc receives the chunk buffer positioned
+// at the record's payload start and must append exactly one JSON value.
+// Rows (point/add/del) count toward Stats.Rows.
+func (w *Writer) Record(event string, enc func([]byte) []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	b := *w.buf
+	switch w.format {
+	case SSE:
+		b = append(b, "event: "...)
+		b = append(b, event...)
+		b = append(b, "\ndata: "...)
+		b = enc(b)
+		b = append(b, '\n', '\n')
+	default:
+		switch event {
+		case EventPoint:
+			b = enc(b)
+		case EventAdd, EventDel:
+			b = append(b, `{"op":"`...)
+			b = append(b, event...)
+			b = append(b, `","point":`...)
+			b = enc(b)
+			b = append(b, '}')
+		default:
+			b = append(b, `{"`...)
+			b = append(b, event...)
+			b = append(b, `":`...)
+			b = enc(b)
+			b = append(b, '}')
+		}
+		b = append(b, '\n')
+	}
+	*w.buf = b
+	if event == EventPoint || event == EventAdd || event == EventDel {
+		w.stats.Rows++
+	}
+	return w.maybeFlush()
+}
+
+// maybeFlush applies the policy: the byte bound on every record, the
+// time bound every 32 records (a time.Now per record would dominate
+// the row encoding it polices).
+func (w *Writer) maybeFlush() error {
+	if len(*w.buf) >= w.pol.FlushBytes {
+		return w.Flush()
+	}
+	w.sinceChk++
+	if w.sinceChk >= 32 {
+		w.sinceChk = 0
+		if time.Since(w.lastFlush) >= w.pol.FlushInterval {
+			return w.Flush()
+		}
+	}
+	return nil
+}
+
+// Flush writes the buffered chunk to the destination and pushes it
+// through. Empty flushes are free and uncounted.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.lastFlush = time.Now()
+	w.sinceChk = 0
+	b := *w.buf
+	if len(b) == 0 {
+		return nil
+	}
+	if _, err := w.dst.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	w.stats.Bytes += uint64(len(b))
+	*w.buf = b[:0]
+	if w.push != nil {
+		if err := w.push(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.stats.Flushes++
+	return nil
+}
+
+// Close flushes the remainder and returns the chunk buffer to the
+// pool. The writer must not be used afterwards.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.buf != nil {
+		*w.buf = (*w.buf)[:0]
+		bufPool.Put(w.buf)
+		w.buf = nil
+	}
+	return err
+}

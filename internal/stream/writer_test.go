@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(payload string) func([]byte) []byte {
+	return func(b []byte) []byte { return append(b, payload...) }
+}
+
+func TestWriterNDJSONFraming(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, nil, NDJSON, Policy{})
+	if err := w.Record(EventHead, rec(`{"workload":"ep"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(EventPoint, rec(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(EventAdd, rec(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(EventDel, rec(`{"x":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(EventTrailer, rec(`{"returned":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"head":{"workload":"ep"}}
+{"x":1}
+{"op":"add","point":{"x":2}}
+{"op":"del","point":{"x":3}}
+{"trailer":{"returned":3}}
+`
+	if out.String() != want {
+		t.Fatalf("NDJSON framing:\n got %q\nwant %q", out.String(), want)
+	}
+	st := w.Stats()
+	if st.Rows != 3 {
+		t.Fatalf("Rows = %d, want 3 (point+add+del)", st.Rows)
+	}
+	if st.Bytes != uint64(len(want)) {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, len(want))
+	}
+}
+
+func TestWriterSSEFraming(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, nil, SSE, Policy{})
+	if err := w.Record(EventHead, rec(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(EventPoint, rec(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: head\ndata: {\"a\":1}\n\nevent: point\ndata: {\"b\":2}\n\n"
+	if out.String() != want {
+		t.Fatalf("SSE framing:\n got %q\nwant %q", out.String(), want)
+	}
+}
+
+func TestWriterByteBoundFlush(t *testing.T) {
+	var out bytes.Buffer
+	pushes := 0
+	w := NewWriter(&out, func() error { pushes++; return nil }, NDJSON, Policy{FlushBytes: 64, FlushInterval: time.Hour})
+	row := strings.Repeat("x", 30)
+	for i := 0; i < 10; i++ {
+		if err := w.Record(EventPoint, rec(`"`+row+`"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Flushes == 0 {
+		t.Fatal("no boundary flush after crossing FlushBytes repeatedly")
+	}
+	if pushes != int(w.Stats().Flushes) {
+		t.Fatalf("push calls = %d, flushes = %d", pushes, w.Stats().Flushes)
+	}
+	mid := out.Len()
+	if mid == 0 {
+		t.Fatal("nothing reached the destination before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 10 {
+		t.Fatalf("delivered %d lines, want 10", lines)
+	}
+}
+
+func TestWriterTimeBoundFlush(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, nil, NDJSON, Policy{FlushBytes: 1 << 20, FlushInterval: time.Nanosecond})
+	// The time bound is only checked every 32 records, so write enough
+	// to cross the check with an interval that has certainly elapsed.
+	for i := 0; i < 40; i++ {
+		if err := w.Record(EventPoint, rec(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Flushes == 0 {
+		t.Fatal("no time-bound flush after 40 records with 1ns interval")
+	}
+	_ = w.Close()
+}
+
+func TestWriterEmptyFlushFree(t *testing.T) {
+	var out bytes.Buffer
+	pushes := 0
+	w := NewWriter(&out, func() error { pushes++; return nil }, NDJSON, Policy{})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Flushes != 0 || pushes != 0 {
+		t.Fatalf("empty flush counted: flushes=%d pushes=%d", w.Stats().Flushes, pushes)
+	}
+	_ = w.Close()
+}
+
+type failAfter struct {
+	n    int
+	seen int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.seen++
+	if f.seen > f.n {
+		return 0, errors.New("client gone")
+	}
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	dst := &failAfter{n: 0}
+	w := NewWriter(dst, nil, NDJSON, Policy{FlushBytes: 1})
+	err := w.Record(EventPoint, rec(`{}`))
+	if err == nil {
+		t.Fatal("expected write error")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() not sticky after failed flush")
+	}
+	// Subsequent records are no-ops returning the same error.
+	if err2 := w.Record(EventPoint, rec(`{}`)); !errors.Is(err2, w.Err()) {
+		t.Fatalf("Record after error = %v, want sticky %v", err2, w.Err())
+	}
+	if dst.seen != 1 {
+		t.Fatalf("destination written %d times after sticky error, want 1", dst.seen)
+	}
+	_ = w.Close()
+}
+
+func TestWriterPushErrorSticks(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, func() error { return errors.New("flush failed") }, NDJSON, Policy{FlushBytes: 1})
+	if err := w.Record(EventPoint, rec(`{}`)); err == nil {
+		t.Fatal("expected push error to surface")
+	}
+	if w.Err() == nil {
+		t.Fatal("push error not sticky")
+	}
+	_ = w.Close()
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.FlushBytes != DefaultFlushBytes || p.FlushInterval != DefaultFlushInterval {
+		t.Fatalf("withDefaults() = %+v", p)
+	}
+	p = Policy{FlushBytes: 256, FlushInterval: time.Second}.withDefaults()
+	if p.FlushBytes != 256 || p.FlushInterval != time.Second {
+		t.Fatalf("withDefaults clobbered explicit policy: %+v", p)
+	}
+}
